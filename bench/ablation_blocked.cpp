@@ -1,0 +1,91 @@
+// ablation_blocked — the §2.3 strip-mined variant (E4): time and arena
+// memory as a function of strip size, against the unblocked engine.
+//
+// The paper's claim: strip-mining bounds the ready/ynew arena memory
+// (reused per strip) at the price of extra barriers per strip. Expect
+// times to approach the unblocked engine as the strip grows, and arena
+// bytes to scale with the strip, not the value space.
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "benchsupport/env.hpp"
+#include "benchsupport/stats.hpp"
+#include "benchsupport/table.hpp"
+#include "benchsupport/timer.hpp"
+#include "core/blocked_doacross.hpp"
+#include "core/doacross.hpp"
+#include "gen/testloop.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace bench = pdx::bench;
+namespace core = pdx::core;
+namespace gen = pdx::gen;
+namespace rt = pdx::rt;
+using pdx::index_t;
+
+int main() {
+  std::cout << bench::environment_banner("ablation_blocked (paper §2.3)")
+            << "\n";
+  const unsigned procs = bench::default_procs();
+  const int reps = bench::default_reps();
+  const index_t n = bench::quick_mode() ? 4000 : 20000;
+  rt::ThreadPool pool(procs);
+
+  const gen::TestLoop tl =
+      gen::make_test_loop({.n = n, .m = 5, .l = 8, .work_reps = 16});
+  std::vector<double> y = gen::make_initial_y(tl);
+
+  // Unblocked engine baseline.
+  core::DoacrossEngine<double> eng(pool, tl.value_space);
+  core::DoacrossOptions opts;
+  opts.nthreads = procs;
+  const double t_full =
+      bench::summarize(bench::time_samples(reps, 1, [&] {
+        y = tl.y0;
+        eng.run(std::span<const index_t>(tl.a), std::span<double>(y),
+                [&tl](auto& it) { gen::test_loop_body(tl, it); }, opts);
+      })).min;
+
+  bench::Table table({"strip", "dense-iter T(ms)", "hash-iter T(ms)",
+                      "vs unblocked", "strip arena KiB", "iter KiB (dense)",
+                      "iter KiB (hash)"});
+  core::BlockedDoacross<double> blk(pool, tl.value_space);
+  core::CompactBlockedDoacross<double> cmp(pool, tl.value_space);
+  core::BlockedOptions bopts;
+  bopts.nthreads = procs;
+
+  const std::vector<index_t> strips = {64, 256, 1024, 4096, n};
+  for (index_t strip : strips) {
+    const double t_blk =
+        bench::summarize(bench::time_samples(reps, 1, [&] {
+          y = tl.y0;
+          blk.run(std::span<const index_t>(tl.a), std::span<double>(y),
+                  [&tl](auto& it) { gen::test_loop_body(tl, it); }, strip,
+                  bopts);
+        })).min;
+    const double t_cmp =
+        bench::summarize(bench::time_samples(reps, 1, [&] {
+          y = tl.y0;
+          cmp.run(std::span<const index_t>(tl.a), std::span<double>(y),
+                  [&tl](auto& it) { gen::test_loop_body(tl, it); }, strip,
+                  bopts);
+        })).min;
+    table.row()
+        .cell(static_cast<long long>(strip))
+        .cell(t_blk * 1e3, 3)
+        .cell(t_cmp * 1e3, 3)
+        .cell(t_blk / t_full, 2)
+        .cell(static_cast<double>(
+                  core::BlockedDoacross<double>::strip_arena_bytes(strip)) /
+                  1024.0,
+              1)
+        .cell(static_cast<double>(blk.iter_memory_bytes()) / 1024.0, 1)
+        .cell(static_cast<double>(cmp.iter_memory_bytes()) / 1024.0, 1);
+  }
+  std::printf("\nUnblocked engine: %.3f ms (iter+ready+ynew arenas all "
+              "value-space sized)\n",
+              t_full * 1e3);
+  table.print();
+  return 0;
+}

@@ -1,0 +1,125 @@
+// ablation_flags — ready-table layout ablation (E9 companion).
+//
+// The paper's `ready` array is a dense flag vector, natural on a 1990
+// bus-based machine. On cache-coherent multicores, layout matters: dense
+// bytes share lines (producer stores invalidate neighbouring consumers'
+// spin lines), padded flags trade memory for isolation, and epoch stamps
+// trade a word per entry for O(1) whole-table reset. This bench times all
+// three on both paper workloads.
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "benchsupport/env.hpp"
+#include "benchsupport/stats.hpp"
+#include "benchsupport/table.hpp"
+#include "benchsupport/timer.hpp"
+#include "core/doacross.hpp"
+#include "gen/stencil.hpp"
+#include "gen/rng.hpp"
+#include "gen/testloop.hpp"
+#include "runtime/thread_pool.hpp"
+#include "sparse/ilu0.hpp"
+#include "sparse/levels.hpp"
+#include "sparse/par_trisolve.hpp"
+
+namespace bench = pdx::bench;
+namespace core = pdx::core;
+namespace gen = pdx::gen;
+namespace rt = pdx::rt;
+namespace sp = pdx::sparse;
+using pdx::index_t;
+
+namespace {
+
+template <class Ready>
+double time_fig4(rt::ThreadPool& pool, const gen::TestLoop& tl,
+                 unsigned procs, int reps) {
+  core::DoacrossEngine<double, Ready> eng(pool, tl.value_space);
+  core::DoacrossOptions opts;
+  opts.nthreads = procs;
+  opts.schedule = rt::Schedule::static_cyclic(1);
+  std::vector<double> y = gen::make_initial_y(tl);
+  return bench::summarize(bench::time_samples(reps, 1, [&] {
+           y = tl.y0;
+           eng.run(std::span<const index_t>(tl.a), std::span<double>(y),
+                   [&tl](auto& it) { gen::test_loop_body(tl, it); }, opts);
+         })).min;
+}
+
+template <class Ready>
+double time_trisolve(rt::ThreadPool& pool, const sp::Csr& l,
+                     const core::Reordering& r,
+                     std::span<const double> rhs, std::span<double> y,
+                     unsigned procs, int reps, int work) {
+  Ready ready(l.rows);
+  sp::TrisolveOptions opts;
+  opts.nthreads = procs;
+  opts.schedule = rt::Schedule::dynamic(1);
+  opts.order = r.order.data();
+  opts.work_reps = work;
+  return bench::summarize(bench::time_samples(reps, 1, [&] {
+           sp::trisolve_doacross(pool, l, rhs, y, ready, opts);
+         })).min;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << bench::environment_banner("ablation_flags (flag layout)")
+            << "\n";
+  const unsigned procs = bench::default_procs();
+  const int reps = bench::default_reps();
+  rt::ThreadPool pool(procs);
+
+  {
+    const index_t n = bench::quick_mode() ? 2000 : 10000;
+    const int work = bench::quick_mode() ? 16 : 64;
+    const gen::TestLoop tl =
+        gen::make_test_loop({.n = n, .m = 5, .l = 8, .work_reps = work});
+    std::printf("\nFig. 4 loop (N=%lld, M=5, L=8, work_reps=%d):\n",
+                static_cast<long long>(n), work);
+    bench::Table t({"ready table", "T(ms)", "flag bytes/entry"});
+    t.row()
+        .cell("dense (paper)")
+        .cell(time_fig4<core::DenseReadyTable>(pool, tl, procs, reps) * 1e3, 3)
+        .cell(1);
+    t.row()
+        .cell("padded")
+        .cell(time_fig4<core::PaddedReadyTable>(pool, tl, procs, reps) * 1e3, 3)
+        .cell(64);
+    t.row()
+        .cell("epoch")
+        .cell(time_fig4<core::EpochReadyTable>(pool, tl, procs, reps) * 1e3, 3)
+        .cell(4);
+    t.print();
+  }
+
+  {
+    const sp::Csr l = sp::ilu0(bench::quick_mode()
+                                   ? gen::five_point(30, 30)
+                                   : gen::matrix_5pt())
+                          .l;
+    const core::Reordering r = sp::lower_solve_reordering(l);
+    const int work = bench::quick_mode() ? 100 : 400;
+    gen::SplitMix64 rng(13);
+    std::vector<double> rhs(static_cast<std::size_t>(l.rows));
+    for (auto& v : rhs) v = rng.next_double(-1.0, 1.0);
+    std::vector<double> y(static_cast<std::size_t>(l.rows));
+
+    std::printf("\n5-PT ILU(0) lower solve, doconsider order, work_reps=%d:\n",
+                work);
+    bench::Table t({"ready table", "T(us)"});
+    t.row().cell("dense (paper)").cell(
+        time_trisolve<core::DenseReadyTable>(pool, l, r, rhs, y, procs, reps,
+                                             work) * 1e6, 1);
+    t.row().cell("padded").cell(
+        time_trisolve<core::PaddedReadyTable>(pool, l, r, rhs, y, procs, reps,
+                                              work) * 1e6, 1);
+    t.row().cell("epoch").cell(
+        time_trisolve<core::EpochReadyTable>(pool, l, r, rhs, y, procs, reps,
+                                             work) * 1e6, 1);
+    t.print();
+  }
+  return 0;
+}

@@ -1,0 +1,93 @@
+// ablation_levelsched — busy-wait flags vs wavefront barriers (E7).
+//
+// Two classic executions of the same reordered triangular solve:
+//   * doacross + doconsider: ready-flag busy waits, no barriers — rows of
+//     the next wavefront start as soon as their own producers finish;
+//   * level-scheduled: barrier after every wavefront — no flags, but the
+//     slowest row of each wavefront gates all of the next.
+//
+// Expect the flag version to win when wavefronts are narrow or skewed
+// (many levels, e.g. SPE2), and the two to converge for wide flat fronts.
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "benchsupport/env.hpp"
+#include "benchsupport/stats.hpp"
+#include "benchsupport/table.hpp"
+#include "benchsupport/timer.hpp"
+#include "core/doconsider.hpp"
+#include "gen/block_operator.hpp"
+#include "gen/rng.hpp"
+#include "gen/stencil.hpp"
+#include "runtime/thread_pool.hpp"
+#include "sparse/ilu0.hpp"
+#include "sparse/levels.hpp"
+#include "sparse/par_trisolve.hpp"
+#include "sparse/trisolve.hpp"
+
+namespace bench = pdx::bench;
+namespace core = pdx::core;
+namespace gen = pdx::gen;
+namespace rt = pdx::rt;
+namespace sp = pdx::sparse;
+using pdx::index_t;
+
+int main() {
+  std::cout << bench::environment_banner("ablation_levelsched (design E7)")
+            << "\n";
+  const unsigned procs = bench::default_procs();
+  const int reps = bench::default_reps();
+  rt::ThreadPool pool(procs);
+
+  struct Case {
+    const char* name;
+    sp::Csr matrix;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"SPE2", gen::matrix_spe2()});
+  cases.push_back({"SPE5", gen::matrix_spe5()});
+  cases.push_back({"5-PT", gen::matrix_5pt()});
+  cases.push_back({"7-PT", gen::matrix_7pt()});
+  cases.push_back({"9-PT", gen::matrix_9pt()});
+
+  const int work = bench::quick_mode() ? 100 : 400;
+  std::printf("(Multimax-emulated per-entry cost: work_reps=%d)\n", work);
+  bench::Table table({"Problem", "levels", "avg width", "flags(us)",
+                      "barriers(us)", "flags/barriers"});
+
+  for (auto& c : cases) {
+    const sp::Csr l = sp::ilu0(c.matrix).l;
+    const core::Reordering r = sp::lower_solve_reordering(l);
+    gen::SplitMix64 rng(5);
+    std::vector<double> rhs(static_cast<std::size_t>(l.rows));
+    for (auto& v : rhs) v = rng.next_double(-1.0, 1.0);
+    std::vector<double> y(static_cast<std::size_t>(l.rows));
+
+    core::DenseReadyTable ready(l.rows);
+    sp::TrisolveOptions opts;
+    opts.nthreads = procs;
+    opts.order = r.order.data();
+    opts.schedule = rt::Schedule::dynamic(1);
+    opts.work_reps = work;
+    const double t_flags =
+        bench::summarize(bench::time_samples(reps, 1, [&] {
+          sp::trisolve_doacross(pool, l, rhs, y, ready, opts);
+        })).min;
+
+    const double t_barriers =
+        bench::summarize(bench::time_samples(reps, 1, [&] {
+          sp::trisolve_levelsched(pool, l, rhs, y, r, procs, work);
+        })).min;
+
+    table.row()
+        .cell(c.name)
+        .cell(static_cast<long long>(r.num_levels()))
+        .cell(r.average_parallelism(), 1)
+        .cell(t_flags * 1e6, 1)
+        .cell(t_barriers * 1e6, 1)
+        .cell(t_flags / t_barriers, 2);
+  }
+  table.print();
+  return 0;
+}

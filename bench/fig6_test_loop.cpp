@@ -1,0 +1,134 @@
+// fig6_test_loop — reproduces Figure 6: "Effect of Loop Parameters on
+// Efficiency of Preprocessed Doacross".
+//
+// Workload: the Fig. 4 test loop with N = 10000, a(i) = 2i,
+// nbrs(j) = 2j - L, M in {1, 5}, L swept 1..14, on min(16, cores)
+// processors (override with PDX_THREADS).
+//
+// Paper expectations (Encore Multimax/320, 16 procs):
+//   * odd L  -> no cross-iteration dependences; efficiency is the flat
+//     overhead floor (~0.33 for M=1, ~0.50 for M=5);
+//   * even L -> efficiency rises monotonically with L (dependence
+//     distance L/2 - j grows, so executors wait less).
+//
+// A modern core performs the loop's ~N*M flops thousands of times faster
+// than a 13 MHz APC/02, which deflates all efficiencies at work_reps = 0;
+// the work_reps column scales per-iteration work back toward the paper's
+// work/synchronization ratio without touching any dependence. Both series
+// are printed; EXPERIMENTS.md records the shape comparison.
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "benchsupport/env.hpp"
+#include "benchsupport/stats.hpp"
+#include "benchsupport/table.hpp"
+#include "benchsupport/timer.hpp"
+#include "core/doacross.hpp"
+#include "gen/testloop.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace bench = pdx::bench;
+namespace core = pdx::core;
+namespace gen = pdx::gen;
+namespace rt = pdx::rt;
+using pdx::index_t;
+
+namespace {
+
+struct Measurement {
+  double t_seq = 0.0;
+  double t_par = 0.0;
+  double efficiency = 0.0;
+  std::uint64_t wait_episodes = 0;
+};
+
+Measurement measure(rt::ThreadPool& pool, const gen::TestLoopParams& params,
+                    unsigned procs, int reps) {
+  const gen::TestLoop tl = gen::make_test_loop(params);
+  Measurement m;
+
+  std::vector<double> y = gen::make_initial_y(tl);
+  m.t_seq = bench::summarize(bench::time_samples(reps, /*warmup=*/1, [&] {
+              y = tl.y0;
+              gen::run_test_loop_seq(tl, y);
+            })).min;
+
+  core::DoacrossEngine<double> eng(pool, tl.value_space);
+  core::DoacrossOptions opts;
+  opts.nthreads = procs;
+  opts.schedule = rt::Schedule::static_cyclic(1);
+  core::DoacrossStats last;
+  m.t_par = bench::summarize(bench::time_samples(reps, /*warmup=*/1, [&] {
+              y = tl.y0;
+              last = eng.run(std::span<const index_t>(tl.a),
+                             std::span<double>(y),
+                             [&tl](auto& it) { gen::test_loop_body(tl, it); },
+                             opts);
+            })).min;
+  m.efficiency = bench::parallel_efficiency(m.t_seq, m.t_par, procs);
+  m.wait_episodes = last.wait_episodes;
+  return m;
+}
+
+void run_series(rt::ThreadPool& pool, index_t n, int work_reps, unsigned procs,
+                int reps) {
+  std::printf("\nFigure 6 series: N=%lld, procs=%u, work_reps=%d\n",
+              static_cast<long long>(n), procs, work_reps);
+  bench::Table table({"L", "deps", "M=1 eff", "M=1 Tpar(ms)", "M=5 eff",
+                      "M=5 Tpar(ms)", "M=5 waits"});
+  for (int l = 1; l <= 14; ++l) {
+    const Measurement m1 =
+        measure(pool, {.n = n, .m = 1, .l = l, .work_reps = work_reps}, procs,
+                reps);
+    const Measurement m5 =
+        measure(pool, {.n = n, .m = 5, .l = l, .work_reps = work_reps}, procs,
+                reps);
+    const char* kind = (l % 2 == 1) ? "none" : "true";
+    table.row()
+        .cell(l)
+        .cell(kind)
+        .cell(m1.efficiency, 3)
+        .cell(m1.t_par * 1e3, 3)
+        .cell(m5.efficiency, 3)
+        .cell(m5.t_par * 1e3, 3)
+        .cell(static_cast<long long>(m5.wait_episodes));
+  }
+  table.print();
+}
+
+}  // namespace
+
+int main() {
+  std::cout << bench::environment_banner("fig6_test_loop (paper Figure 6)")
+            << "\n";
+  const unsigned procs = bench::default_procs();
+  const int reps = bench::default_reps();
+  rt::ThreadPool pool(procs);
+
+  const index_t n = bench::quick_mode() ? 2000 : 10000;
+
+  // Series 1 [RAW]: the paper's exact parameters at native per-iteration
+  // cost. On a 13 MHz Multimax this loop ran hundreds of milliseconds; on
+  // a modern core it runs in microseconds, so dispatch noise and memory
+  // traffic dominate — kept for the record.
+  run_series(pool, n, /*work_reps=*/0, procs, reps);
+
+  // Series 2 [MULTIMAX-EMULATED, headline]: per-read work scaled toward
+  // the 1990 work/synchronization ratio. The paper's shape emerges here:
+  // flat odd-L floors (M=5 above M=1), even-L below them and rising
+  // monotonically with L.
+  run_series(pool, n, /*work_reps=*/bench::quick_mode() ? 16 : 64, procs,
+             reps);
+
+  // Series 3 [HEAVY EMULATION]: pushing the ratio further closes the gap
+  // between the even-L curve and the odd-L floor, as on the Multimax,
+  // where per-iteration work dwarfed the flag-handoff latency.
+  run_series(pool, n, /*work_reps=*/bench::quick_mode() ? 128 : 512, procs,
+             reps);
+
+  std::cout << "\nShape checks (paper: odd-L flat floor; even-L below it, "
+               "rising monotonically; M=5 floor above M=1 floor) are "
+               "recorded in EXPERIMENTS.md.\n";
+  return 0;
+}

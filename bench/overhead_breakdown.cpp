@@ -1,0 +1,134 @@
+// overhead_breakdown — quantifies §3.1's overhead decomposition (E3).
+//
+// "The efficiencies we see for those [odd] L values reflect the overheads
+//  of (1) performing the runtime preprocessing and postprocessing, and
+//  (2) performing execution time dependency checks."
+//
+// This harness separates the two: phase timers isolate inspector and
+// postprocessor cost, and a comparison of the doacross executor (with
+// three-way checks) against a doall executor of the same body (no checks)
+// isolates the dependency-check overhead. Run on an odd L so the physical
+// work is identical.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "benchsupport/env.hpp"
+#include "benchsupport/stats.hpp"
+#include "benchsupport/table.hpp"
+#include "benchsupport/timer.hpp"
+#include "core/doacross.hpp"
+#include "gen/testloop.hpp"
+#include "runtime/barrier.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace bench = pdx::bench;
+namespace core = pdx::core;
+namespace gen = pdx::gen;
+namespace rt = pdx::rt;
+using pdx::index_t;
+
+int main() {
+  std::cout << bench::environment_banner("overhead_breakdown (paper §3.1)")
+            << "\n";
+  const unsigned procs = bench::default_procs();
+  const int reps = bench::default_reps();
+  const index_t n = bench::quick_mode() ? 2000 : 10000;
+  rt::ThreadPool pool(procs);
+
+  bench::Table table({"M", "L", "T_seq(us)", "T_par(us)", "inspect(us)",
+                      "execute(us)", "post(us)", "pre+post %", "doall(us)",
+                      "check overhead %"});
+
+  for (int m : {1, 5}) {
+    for (int l : {7, 13}) {  // odd L: zero dependences, pure overhead
+      const gen::TestLoop tl = gen::make_test_loop({.n = n, .m = m, .l = l});
+      std::vector<double> y = gen::make_initial_y(tl);
+
+      const double t_seq =
+          bench::summarize(bench::time_samples(reps, 1, [&] {
+            y = tl.y0;
+            gen::run_test_loop_seq(tl, y);
+          })).min;
+
+      core::DoacrossEngine<double> eng(pool, tl.value_space);
+      core::DoacrossOptions opts;
+      opts.nthreads = procs;
+      core::DoacrossStats best_stats;
+      double best = 1e300;
+      for (int r = 0; r < reps + 1; ++r) {
+        y = tl.y0;
+        const auto s = eng.run(std::span<const index_t>(tl.a),
+                               std::span<double>(y),
+                               [&tl](auto& it) { gen::test_loop_body(tl, it); },
+                               opts);
+        if (r > 0 && s.total_seconds() < best) {
+          best = s.total_seconds();
+          best_stats = s;
+        }
+      }
+
+      // Same body, same pool, same phase instrumentation, but a plain
+      // doall (no iter/ready machinery): isolates the dependency-check
+      // overhead of the executor phase. Timed inside the region between
+      // barriers, exactly like the engine times its executor phase.
+      double t_doall = 1e300;
+      {
+        const unsigned nth = pool.clamp_threads(procs);
+        rt::Barrier barrier(nth);
+        for (int r = 0; r < reps + 1; ++r) {
+          y = tl.y0;
+          double* yp = y.data();
+          std::chrono::steady_clock::time_point p0, p1;
+          pool.parallel_region(nth, [&](unsigned tid, unsigned nthreads) {
+            barrier.arrive_and_wait();
+            if (tid == 0) p0 = std::chrono::steady_clock::now();
+            const rt::IterRange range =
+                rt::static_block_range(tl.n(), tid, nthreads);
+            for (index_t i = range.begin; i < range.end; ++i) {
+              double acc = yp[tl.a[static_cast<std::size_t>(i)]];
+              const index_t bi = tl.b[static_cast<std::size_t>(i)];
+              for (int j = 0; j < tl.params.m; ++j) {
+                double v = tl.val[static_cast<std::size_t>(j)] *
+                           yp[bi + tl.nbrs[static_cast<std::size_t>(j)]];
+                acc += v;
+                if (tl.params.work_reps > 0) {
+                  acc = gen::work_spin(acc, tl.params.work_reps);
+                }
+              }
+              yp[tl.a[static_cast<std::size_t>(i)]] = acc;
+            }
+            barrier.arrive_and_wait();
+            if (tid == 0) p1 = std::chrono::steady_clock::now();
+          });
+          if (r > 0) {
+            t_doall = std::min(
+                t_doall, std::chrono::duration<double>(p1 - p0).count());
+          }
+        }
+      }
+
+      const double t_par = best_stats.total_seconds();
+      table.row()
+          .cell(m)
+          .cell(l)
+          .cell(t_seq * 1e6, 1)
+          .cell(t_par * 1e6, 1)
+          .cell(best_stats.inspect_seconds * 1e6, 1)
+          .cell(best_stats.execute_seconds * 1e6, 1)
+          .cell(best_stats.post_seconds * 1e6, 1)
+          .cell(100.0 * best_stats.overhead_fraction(), 1)
+          .cell(t_doall * 1e6, 1)
+          .cell(100.0 * (best_stats.execute_seconds - t_doall) /
+                    (t_doall > 0 ? t_doall : 1e-300),
+                1);
+    }
+  }
+  table.print();
+  std::printf("\n'pre+post %%' is the paper's runtime pre/postprocessing "
+              "overhead; 'check overhead %%' compares the checking executor "
+              "against a doall of the same body.\n");
+  return 0;
+}

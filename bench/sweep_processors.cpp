@@ -1,0 +1,120 @@
+// sweep_processors — efficiency vs processor count (E8) for both paper
+// kernels: the Fig. 4 loop (L=8, M=5) and the 7-PT triangular solve.
+//
+// The paper reports single points at p = 16; this sweep shows the whole
+// scaling curve so the reader can see where the overheads bite.
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "benchsupport/env.hpp"
+#include "benchsupport/stats.hpp"
+#include "benchsupport/table.hpp"
+#include "benchsupport/timer.hpp"
+#include "core/doacross.hpp"
+#include "core/doconsider.hpp"
+#include "gen/rng.hpp"
+#include "gen/stencil.hpp"
+#include "gen/testloop.hpp"
+#include "runtime/thread_pool.hpp"
+#include "sparse/ilu0.hpp"
+#include "sparse/levels.hpp"
+#include "sparse/par_trisolve.hpp"
+#include "sparse/trisolve.hpp"
+
+namespace bench = pdx::bench;
+namespace core = pdx::core;
+namespace gen = pdx::gen;
+namespace rt = pdx::rt;
+namespace sp = pdx::sparse;
+using pdx::index_t;
+
+int main() {
+  std::cout << bench::environment_banner("sweep_processors (E8)") << "\n";
+  const unsigned max_procs = bench::default_procs();
+  const int reps = bench::default_reps();
+  rt::ThreadPool pool(max_procs);
+
+  std::vector<unsigned> procs_list;
+  for (unsigned p = 1; p <= max_procs; p *= 2) procs_list.push_back(p);
+  if (procs_list.back() != max_procs) procs_list.push_back(max_procs);
+
+  // Kernel 1: Fig. 4 loop with odd L (no cross-iteration dependences):
+  // this curve isolates how the *mechanism* (inspector, three-way checks,
+  // flag commits, postprocess) scales with p, with zero waiting. Even-L
+  // scaling is dependence-limited and covered by fig6_test_loop.
+  {
+    const index_t n = bench::quick_mode() ? 4000 : 10000;
+    const gen::TestLoop tl =
+        gen::make_test_loop({.n = n, .m = 5, .l = 13, .work_reps = 32});
+    std::vector<double> y = gen::make_initial_y(tl);
+    const double t_seq = bench::summarize(bench::time_samples(reps, 1, [&] {
+                           y = tl.y0;
+                           gen::run_test_loop_seq(tl, y);
+                         })).min;
+
+    std::printf("\nFig. 4 loop (N=%lld, M=5, L=13, work_reps=32), T_seq=%.1f us:\n",
+                static_cast<long long>(n), t_seq * 1e6);
+    bench::Table table({"p", "T_par(us)", "speedup", "efficiency"});
+    core::DoacrossEngine<double> eng(pool, tl.value_space);
+    for (unsigned p : procs_list) {
+      core::DoacrossOptions opts;
+      opts.nthreads = p;
+      opts.schedule = rt::Schedule::static_block();
+      const double t_par =
+          bench::summarize(bench::time_samples(reps, 1, [&] {
+            y = tl.y0;
+            eng.run(std::span<const index_t>(tl.a), std::span<double>(y),
+                    [&tl](auto& it) { gen::test_loop_body(tl, it); }, opts);
+          })).min;
+      table.row()
+          .cell(p)
+          .cell(t_par * 1e6, 1)
+          .cell(bench::speedup(t_seq, t_par), 2)
+          .cell(bench::parallel_efficiency(t_seq, t_par, p), 3);
+    }
+    table.print();
+  }
+
+  // Kernel 2: 7-PT ILU(0) lower solve (doconsider-reordered).
+  {
+    const sp::Csr l = sp::ilu0(bench::quick_mode()
+                                   ? gen::seven_point(10, 10, 10)
+                                   : gen::matrix_7pt())
+                          .l;
+    const core::Reordering r = sp::lower_solve_reordering(l);
+    gen::SplitMix64 rng(9);
+    std::vector<double> rhs(static_cast<std::size_t>(l.rows));
+    for (auto& v : rhs) v = rng.next_double(-1.0, 1.0);
+    std::vector<double> y(static_cast<std::size_t>(l.rows));
+    const int work = bench::quick_mode() ? 100 : 400;
+
+    const double t_seq = bench::summarize(bench::time_samples(reps, 1, [&] {
+                           sp::trisolve_lower_seq(l, rhs, y, work);
+                         })).min;
+
+    std::printf("\n7-PT lower solve (n=%lld, doconsider order, work_reps=%d), "
+                "T_seq=%.1f us:\n",
+                static_cast<long long>(l.rows), work, t_seq * 1e6);
+    bench::Table table({"p", "T_par(us)", "speedup", "efficiency"});
+    core::DenseReadyTable ready(l.rows);
+    for (unsigned p : procs_list) {
+      sp::TrisolveOptions opts;
+      opts.nthreads = p;
+      opts.order = r.order.data();
+      opts.schedule = rt::Schedule::dynamic(1);
+      opts.work_reps = work;
+      const double t_par =
+          bench::summarize(bench::time_samples(reps, 1, [&] {
+            sp::trisolve_doacross(pool, l, rhs, y, ready, opts);
+          })).min;
+      table.row()
+          .cell(p)
+          .cell(t_par * 1e6, 1)
+          .cell(bench::speedup(t_seq, t_par), 2)
+          .cell(bench::parallel_efficiency(t_seq, t_par, p), 3);
+    }
+    table.print();
+  }
+  return 0;
+}

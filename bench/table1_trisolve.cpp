@@ -1,0 +1,220 @@
+// table1_trisolve — reproduces Table 1: "Preprocessed Doacross Times for
+// Sparse Triangular Matrices".
+//
+// For each appendix system (SPE2, SPE5, 5-PT, 7-PT, 9-PT) the ILU(0)
+// lower factor L is solved three ways on min(16, cores) processors:
+//
+//   column 1 — preprocessed doacross, source iteration order;
+//   column 2 — preprocessed doacross with doconsider-reordered iterations
+//              (paper ref. [4]); same dependences, less waiting;
+//   column 3 — optimized sequential Fig. 7 loop (T_seq).
+//
+// Two sections are printed:
+//
+//   * RAW (single right-hand side): the 1990 problems at modern speed.
+//     A 13 MHz Multimax spent ~200 us of work per row; a modern core
+//     spends ~10 ns, so synchronization dwarfs computation and parallel
+//     efficiency collapses. This is itself a finding (see EXPERIMENTS.md).
+//
+//   * WORK-SCALED (nrhs right-hand sides solved simultaneously): the same
+//     dependence DAG with the per-row work restored to the paper's
+//     work/synchronization ratio — real multi-vector solves, not padding.
+//     The paper's shape must hold here: doconsider-rearranged beats plain
+//     doacross on every matrix (paper: eff 0.63-0.75 vs 0.32-0.46), both
+//     beat 1/p scaling of the sequential loop.
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "benchsupport/env.hpp"
+#include "benchsupport/stats.hpp"
+#include "benchsupport/table.hpp"
+#include "benchsupport/timer.hpp"
+#include "core/analysis.hpp"
+#include "core/doconsider.hpp"
+#include "gen/block_operator.hpp"
+#include "gen/rng.hpp"
+#include "gen/stencil.hpp"
+#include "runtime/thread_pool.hpp"
+#include "sparse/ilu0.hpp"
+#include "sparse/levels.hpp"
+#include "sparse/par_trisolve.hpp"
+#include "sparse/trisolve.hpp"
+
+namespace bench = pdx::bench;
+namespace core = pdx::core;
+namespace gen = pdx::gen;
+namespace rt = pdx::rt;
+namespace sp = pdx::sparse;
+using pdx::index_t;
+
+namespace {
+
+struct Case {
+  const char* name;
+  sp::Csr l;
+  core::Reordering reorder;
+};
+
+std::vector<Case> make_cases() {
+  std::vector<Case> cases;
+  auto add = [&cases](const char* name, const sp::Csr& a) {
+    sp::Csr l = sp::ilu0(a).l;
+    core::Reordering r = sp::lower_solve_reordering(l);
+    cases.push_back({name, std::move(l), std::move(r)});
+  };
+  add("SPE2", gen::matrix_spe2());
+  add("SPE5", gen::matrix_spe5());
+  add("5-PT", gen::matrix_5pt());
+  add("7-PT", gen::matrix_7pt());
+  add("9-PT", gen::matrix_9pt());
+  return cases;
+}
+
+void run_section(rt::ThreadPool& pool, std::vector<Case>& cases,
+                 index_t nrhs, int work_reps, unsigned procs, int reps) {
+  bench::Table table({"Problem", "n", "crit.path", "avg.par", "Doacross",
+                      "Rearranged", "Sequential", "eff(dx)", "eff(rearr)",
+                      "rearr speedup"});
+  for (auto& c : cases) {
+    const index_t n = c.l.rows;
+    gen::SplitMix64 rng(7);
+    std::vector<double> rhs(static_cast<std::size_t>(n * nrhs));
+    for (auto& v : rhs) v = rng.next_double(-1.0, 1.0);
+    std::vector<double> y(static_cast<std::size_t>(n * nrhs));
+
+    const double t_seq = bench::summarize(bench::time_samples(reps, 1, [&] {
+                           if (nrhs == 1) {
+                             sp::trisolve_lower_seq(c.l, rhs, y, work_reps);
+                           } else {
+                             sp::trisolve_lower_seq_multi(c.l, rhs, y, nrhs);
+                           }
+                         })).min;
+
+    core::DenseReadyTable ready(n);
+    sp::TrisolveOptions dx;
+    dx.nthreads = procs;
+    dx.work_reps = work_reps;
+    // Chunk 1 keeps the in-flight window at `procs` rows; larger chunks
+    // pull rows many wavefronts ahead and stall threads on far-away
+    // producers.
+    dx.schedule = rt::Schedule::dynamic(1);
+    auto run_par = [&](const sp::TrisolveOptions& o) {
+      return bench::summarize(bench::time_samples(reps, 1, [&] {
+               if (nrhs == 1) {
+                 sp::trisolve_doacross(pool, c.l, rhs, y, ready, o);
+               } else {
+                 sp::trisolve_doacross_multi(pool, c.l, rhs, y, nrhs, ready,
+                                             o);
+               }
+             })).min;
+    };
+    const double t_dx = run_par(dx);
+
+    sp::TrisolveOptions dc = dx;
+    dc.order = c.reorder.order.data();
+    const double t_dc = run_par(dc);
+
+    table.row()
+        .cell(c.name)
+        .cell(static_cast<long long>(n))
+        .cell(static_cast<long long>(c.reorder.critical_path()))
+        .cell(c.reorder.average_parallelism(), 1)
+        .cell(t_dx * 1e6, 1)
+        .cell(t_dc * 1e6, 1)
+        .cell(t_seq * 1e6, 1)
+        .cell(bench::parallel_efficiency(t_seq, t_dx, procs), 3)
+        .cell(bench::parallel_efficiency(t_seq, t_dc, procs), 3)
+        .cell(t_dx / t_dc, 2);
+  }
+  table.print();
+}
+
+}  // namespace
+
+int main() {
+  std::cout << bench::environment_banner("table1_trisolve (paper Table 1)")
+            << "\n";
+  const unsigned procs = bench::default_procs();
+  const int reps = bench::default_reps();
+  rt::ThreadPool pool(procs);
+
+  std::vector<Case> cases = make_cases();
+
+  std::printf("\n[RAW] single RHS, native per-entry cost — the 1990 "
+              "problems at modern speed (times in us):\n");
+  run_section(pool, cases, 1, /*work_reps=*/0, procs, reps);
+
+  const int work = bench::quick_mode() ? 100 : 400;
+  std::printf("\n[MULTIMAX-EMULATED] single RHS, work_reps=%d — per-entry "
+              "cost restored to the paper's work/synchronization ratio "
+              "(times in us). This is the headline Table 1 comparison:\n",
+              work);
+  run_section(pool, cases, 1, work, procs, reps);
+
+  const index_t nrhs = bench::quick_mode() ? 16 : 64;
+  std::printf("\n[MULTI-RHS] %lld simultaneous right-hand sides — a real "
+              "workload with the same dependence DAG and a %lldx work/sync "
+              "ratio (times in us):\n",
+              static_cast<long long>(nrhs), static_cast<long long>(nrhs));
+  run_section(pool, cases, nrhs, /*work_reps=*/0, procs, reps);
+
+  // DAG-limit analysis: what a zero-overhead runtime that executes whole
+  // rows atomically could reach with each iteration order (greedy list
+  // scheduling, per-row cost = number of stored entries). The rearranged
+  // column is a genuine upper bound for the doconsider runs; the source-
+  // order column may be *exceeded* by the real executor, which overlaps
+  // the early part of a row with the wait for its last dependence.
+  std::printf("\n[ANALYSIS] atomic-iteration list-schedule bounds "
+              "(row cost = nnz):\n");
+  bench::Table an({"Problem", "pred eff (source)", "pred eff (rearranged)",
+                   "mean dep distance"});
+  for (auto& c : cases) {
+    const index_t n = c.l.rows;
+    core::DepGraph g;
+    g.ptr.assign(static_cast<std::size_t>(n) + 1, 0);
+    for (index_t i = 0; i < n; ++i) {
+      index_t deps = 0;
+      for (index_t col : c.l.row_cols(i)) {
+        if (col < i) ++deps;
+      }
+      g.ptr[static_cast<std::size_t>(i) + 1] =
+          g.ptr[static_cast<std::size_t>(i)] + deps;
+    }
+    g.adj.resize(static_cast<std::size_t>(g.ptr.back()));
+    {
+      std::vector<index_t> cur(g.ptr.begin(), g.ptr.end() - 1);
+      for (index_t i = 0; i < n; ++i) {
+        for (index_t col : c.l.row_cols(i)) {
+          if (col < i) {
+            g.adj[static_cast<std::size_t>(
+                cur[static_cast<std::size_t>(i)]++)] = col;
+          }
+        }
+      }
+    }
+    std::vector<double> cost(static_cast<std::size_t>(n));
+    for (index_t i = 0; i < n; ++i) {
+      cost[static_cast<std::size_t>(i)] = static_cast<double>(c.l.row_nnz(i));
+    }
+    std::vector<index_t> src_order(static_cast<std::size_t>(n));
+    for (index_t i = 0; i < n; ++i) src_order[static_cast<std::size_t>(i)] = i;
+
+    const auto est_src =
+        core::simulate_list_schedule(g, src_order, procs, cost);
+    const auto est_ord =
+        core::simulate_list_schedule(g, c.reorder.order, procs, cost);
+    const auto hist = core::dependence_distance_histogram(g);
+    an.row()
+        .cell(c.name)
+        .cell(est_src.predicted_efficiency(procs), 3)
+        .cell(est_ord.predicted_efficiency(procs), 3)
+        .cell(hist.mean_distance, 1);
+  }
+  an.print();
+
+  std::printf("\nPaper reference points (16-proc Multimax): doacross eff "
+              "0.32-0.46, rearranged 0.63-0.75; rearranged faster on every "
+              "matrix.\n");
+  return 0;
+}

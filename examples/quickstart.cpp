@@ -1,0 +1,74 @@
+// quickstart — parallelize a loop whose dependences exist only at run time.
+//
+// The loop below is the paper's Figure 1 shape:
+//
+//     for i in 0..n:  y[a[i]] = y[a[i]] + 0.5 * y[b[i]]
+//
+// where a and b are filled from input (here: pseudo-random). A compiler
+// cannot parallelize this — whether iteration i depends on iteration j
+// depends on the *values* in a and b. The preprocessed doacross runs it in
+// parallel anyway and produces exactly the sequential result.
+//
+// Build & run:  ./examples/quickstart
+#include <cstdio>
+#include <numeric>
+#include <span>
+#include <vector>
+
+#include "core/doacross.hpp"
+#include "gen/rng.hpp"
+#include "runtime/thread_pool.hpp"
+
+using pdx::index_t;
+
+int main() {
+  const index_t n = 100000;
+  const index_t space = 2 * n;
+
+  // Runtime-determined index arrays: a is a random injection (no two
+  // iterations write the same element — the paper's precondition), b is
+  // arbitrary.
+  pdx::gen::SplitMix64 rng(2024);
+  std::vector<index_t> a = pdx::gen::random_injection(n, space, rng);
+  std::vector<index_t> b(n);
+  for (auto& off : b) off = rng.next_index(space);
+
+  std::vector<double> y0(space);
+  for (auto& v : y0) v = rng.next_double(-1.0, 1.0);
+
+  // --- Sequential reference -------------------------------------------
+  std::vector<double> y_seq = y0;
+  for (index_t i = 0; i < n; ++i) {
+    y_seq[a[i]] = y_seq[a[i]] + 0.5 * y_seq[b[i]];
+  }
+
+  // --- Preprocessed doacross ------------------------------------------
+  pdx::rt::ThreadPool pool;  // hardware width
+  pdx::core::DoacrossEngine<double> engine(pool, space);
+
+  std::vector<double> y_par = y0;
+  const auto stats = engine.run(
+      std::span<const index_t>(a), std::span<double>(y_par),
+      // The body sees an Iteration: lhs() is the accumulator for y[a[i]],
+      // read(off) resolves y[off] against the dependence tables.
+      [&b](auto& it) { it.lhs() += 0.5 * it.read(b[it.index()]); });
+
+  // --- Verify -----------------------------------------------------------
+  std::size_t mismatches = 0;
+  for (index_t i = 0; i < space; ++i) {
+    if (y_seq[i] != y_par[i]) ++mismatches;
+  }
+
+  std::printf("preprocessed doacross over %lld iterations on %u threads\n",
+              static_cast<long long>(n), pool.width());
+  std::printf("  inspector  %8.1f us\n", stats.inspect_seconds * 1e6);
+  std::printf("  executor   %8.1f us  (%llu busy-wait episodes)\n",
+              stats.execute_seconds * 1e6,
+              static_cast<unsigned long long>(stats.wait_episodes));
+  std::printf("  postproc   %8.1f us\n", stats.post_seconds * 1e6);
+  std::printf("  result: %s (%zu mismatching elements)\n",
+              mismatches == 0 ? "exactly matches sequential execution"
+                              : "MISMATCH",
+              mismatches);
+  return mismatches == 0 ? 0 : 1;
+}

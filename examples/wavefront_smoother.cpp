@@ -1,0 +1,130 @@
+// wavefront_smoother — a Gauss–Seidel sweep over an unstructured ordering.
+//
+// Gauss–Seidel updates u[i] using the *latest* values of its neighbours:
+// earlier-numbered neighbours contribute updated values, later-numbered
+// ones old values. On a structured grid a compiler could wavefront this;
+// after a runtime renumbering (here: a random permutation of the grid,
+// standing in for an unstructured mesh ordering read from a file) the
+// dependence pattern exists only at execution time — exactly the paper's
+// setting. The preprocessed doacross parallelizes the sweep and, with the
+// doconsider reordering, recovers wavefront-like efficiency.
+//
+// Build & run:  ./examples/wavefront_smoother [grid] [sweeps]
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <numeric>
+#include <vector>
+
+#include "benchsupport/timer.hpp"
+#include "core/doacross.hpp"
+#include "core/doconsider.hpp"
+#include "gen/rng.hpp"
+#include "gen/stencil.hpp"
+#include "runtime/thread_pool.hpp"
+#include "sparse/csr.hpp"
+#include "sparse/permute.hpp"
+#include "sparse/spmv.hpp"
+
+using pdx::index_t;
+namespace core = pdx::core;
+namespace gen = pdx::gen;
+namespace sp = pdx::sparse;
+
+int main(int argc, char** argv) {
+  const index_t grid = argc > 1 ? std::atoll(argv[1]) : 96;
+  const int sweeps = argc > 2 ? std::atoi(argv[2]) : 20;
+
+  // "Unstructured mesh": 5-point Laplacian under a random renumbering.
+  sp::Csr a = gen::five_point(grid, grid);
+  gen::SplitMix64 rng(11);
+  std::vector<index_t> perm(static_cast<std::size_t>(a.rows));
+  std::iota(perm.begin(), perm.end(), index_t{0});
+  gen::shuffle(perm, rng);
+  a = sp::permute_symmetric(a, perm);
+  const index_t n = a.rows;
+
+  std::vector<double> rhs(static_cast<std::size_t>(n), 1.0);
+  std::vector<double> u0(static_cast<std::size_t>(n), 0.0);
+
+  // One Gauss–Seidel sweep as a doacross body: the LHS is u[i] itself
+  // (identity writer map) and each neighbour read is dependence-resolved.
+  pdx::rt::ThreadPool pool;
+  core::DoacrossEngine<double> eng(pool, n);
+  std::vector<index_t> writer(static_cast<std::size_t>(n));
+  std::iota(writer.begin(), writer.end(), index_t{0});
+
+  auto sweep_body = [&a, &rhs](auto& it) {
+    const index_t i = it.index();
+    double sum = rhs[static_cast<std::size_t>(i)];
+    double diag = 1.0;
+    for (index_t k = a.row_begin(i); k < a.row_end(i); ++k) {
+      const index_t c = a.idx[static_cast<std::size_t>(k)];
+      const double v = a.val[static_cast<std::size_t>(k)];
+      if (c == i) {
+        diag = v;
+      } else {
+        sum -= v * it.read(c);
+      }
+    }
+    it.lhs() = sum / diag;
+  };
+
+  // The Gauss–Seidel dependence graph: lower-numbered neighbours.
+  const core::DepGraph deps = core::build_true_deps(
+      n, writer, n, [&a](index_t i, const std::function<void(index_t)>& emit) {
+        for (index_t c : a.row_cols(i)) {
+          if (c != i) emit(c);
+        }
+      });
+  const core::Reordering reorder = core::doconsider_order(deps);
+  std::printf("renumbered %lld-point mesh: critical path %lld, "
+              "avg parallelism %.1f\n",
+              static_cast<long long>(n),
+              static_cast<long long>(reorder.critical_path()),
+              reorder.average_parallelism());
+
+  auto residual = [&](const std::vector<double>& u) {
+    std::vector<double> r(static_cast<std::size_t>(n));
+    sp::spmv(a, u, r);
+    double nrm = 0.0;
+    for (index_t i = 0; i < n; ++i) {
+      const double d = rhs[static_cast<std::size_t>(i)] - r[static_cast<std::size_t>(i)];
+      nrm += d * d;
+    }
+    return std::sqrt(nrm);
+  };
+
+  auto run = [&](const core::DoacrossOptions& opts, const char* label) {
+    std::vector<double> u = u0;
+    pdx::bench::WallTimer t;
+    for (int s = 0; s < sweeps; ++s) {
+      eng.run(std::span<const index_t>(writer), std::span<double>(u),
+              sweep_body, opts);
+    }
+    std::printf("  %-28s %8.2f ms   residual %.3e\n", label, t.millis(),
+                residual(u));
+    return u;
+  };
+
+  std::printf("\n%d Gauss-Seidel sweeps:\n", sweeps);
+  core::DoacrossOptions src;
+  src.schedule = pdx::rt::Schedule::dynamic(1);
+  const auto u_src = run(src, "doacross, source order");
+  core::DoacrossOptions ord;
+  ord.order = reorder.order.data();
+  ord.schedule = pdx::rt::Schedule::dynamic(1);  // spread each wavefront
+  const auto u_ord = run(ord, "doacross, doconsider order");
+
+  // Both orders implement the SAME sweep (sequential semantics), so the
+  // results agree exactly.
+  std::size_t mismatch = 0;
+  for (index_t i = 0; i < n; ++i) {
+    if (u_src[static_cast<std::size_t>(i)] != u_ord[static_cast<std::size_t>(i)]) {
+      ++mismatch;
+    }
+  }
+  std::printf("\nsource-order and reordered sweeps %s\n",
+              mismatch == 0 ? "agree bitwise" : "DISAGREE");
+  return mismatch == 0 ? 0 : 1;
+}

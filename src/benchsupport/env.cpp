@@ -1,0 +1,37 @@
+#include "benchsupport/env.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+
+#include "runtime/affinity.hpp"
+
+namespace pdx::bench {
+
+int env_int(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  const long parsed = std::strtol(v, &end, 10);
+  if (end == v || parsed <= 0) return fallback;
+  return static_cast<int>(parsed);
+}
+
+unsigned default_procs() {
+  const unsigned avail = rt::allowed_cpus();
+  const unsigned paper = std::min(16u, avail);
+  return static_cast<unsigned>(env_int("PDX_THREADS", static_cast<int>(paper)));
+}
+
+int default_reps() { return env_int("PDX_REPS", 3); }
+
+bool quick_mode() { return env_int("PDX_QUICK", 0) != 0; }
+
+std::string environment_banner(const std::string& bench_name) {
+  std::ostringstream os;
+  os << "# " << bench_name << " | procs=" << default_procs()
+     << " reps=" << default_reps() << (quick_mode() ? " (quick mode)" : "");
+  return os.str();
+}
+
+}  // namespace pdx::bench

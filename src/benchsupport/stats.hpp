@@ -1,0 +1,52 @@
+// stats.hpp — robust summary statistics over timing samples.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace pdx::bench {
+
+struct Summary {
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double median = 0.0;
+  double stddev = 0.0;
+  std::size_t n = 0;
+};
+
+inline Summary summarize(std::vector<double> samples) {
+  if (samples.empty()) throw std::invalid_argument("summarize: no samples");
+  Summary s;
+  s.n = samples.size();
+  std::sort(samples.begin(), samples.end());
+  s.min = samples.front();
+  s.max = samples.back();
+  const std::size_t mid = samples.size() / 2;
+  s.median = samples.size() % 2 == 1
+                 ? samples[mid]
+                 : 0.5 * (samples[mid - 1] + samples[mid]);
+  double sum = 0.0;
+  for (double v : samples) sum += v;
+  s.mean = sum / static_cast<double>(samples.size());
+  double var = 0.0;
+  for (double v : samples) var += (v - s.mean) * (v - s.mean);
+  s.stddev = samples.size() > 1
+                 ? std::sqrt(var / static_cast<double>(samples.size() - 1))
+                 : 0.0;
+  return s;
+}
+
+/// The paper's metric: T_seq / (p * T_par).
+inline double parallel_efficiency(double t_seq, double t_par, unsigned procs) {
+  if (t_par <= 0.0 || procs == 0) return 0.0;
+  return t_seq / (static_cast<double>(procs) * t_par);
+}
+
+inline double speedup(double t_seq, double t_par) {
+  return t_par > 0.0 ? t_seq / t_par : 0.0;
+}
+
+}  // namespace pdx::bench

@@ -1,0 +1,85 @@
+// table.hpp — aligned text tables and CSV output for the bench harnesses.
+//
+// Every bench prints the same rows/series the paper reports; this keeps
+// the formatting in one place so outputs stay uniform and parseable.
+#pragma once
+
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace pdx::bench {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  /// Begin a new row; append cells with `cell()`.
+  Table& row() {
+    rows_.emplace_back();
+    return *this;
+  }
+
+  Table& cell(const std::string& v) {
+    rows_.back().push_back(v);
+    return *this;
+  }
+  Table& cell(const char* v) { return cell(std::string(v)); }
+  Table& cell(double v, int precision = 3) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return cell(os.str());
+  }
+  Table& cell(long long v) { return cell(std::to_string(v)); }
+  Table& cell(int v) { return cell(std::to_string(v)); }
+  Table& cell(unsigned v) { return cell(std::to_string(v)); }
+
+  void print(std::ostream& os = std::cout) const {
+    std::vector<std::size_t> width(headers_.size(), 0);
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      width[c] = headers_[c].size();
+    }
+    for (const auto& r : rows_) {
+      for (std::size_t c = 0; c < r.size() && c < width.size(); ++c) {
+        width[c] = std::max(width[c], r[c].size());
+      }
+    }
+    auto print_row = [&](const std::vector<std::string>& r) {
+      os << "  ";
+      for (std::size_t c = 0; c < width.size(); ++c) {
+        const std::string& v = c < r.size() ? r[c] : std::string();
+        os << std::left << std::setw(static_cast<int>(width[c]) + 2) << v;
+      }
+      os << '\n';
+    };
+    print_row(headers_);
+    std::vector<std::string> rule;
+    rule.reserve(headers_.size());
+    for (std::size_t c = 0; c < width.size(); ++c) {
+      rule.push_back(std::string(width[c], '-'));
+    }
+    print_row(rule);
+    for (const auto& r : rows_) print_row(r);
+  }
+
+  void print_csv(std::ostream& os) const {
+    auto emit = [&](const std::vector<std::string>& r) {
+      for (std::size_t c = 0; c < r.size(); ++c) {
+        if (c) os << ',';
+        os << r[c];
+      }
+      os << '\n';
+    };
+    emit(headers_);
+    for (const auto& r : rows_) emit(r);
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace pdx::bench

@@ -1,0 +1,44 @@
+// timer.hpp — wall-clock measurement helpers for the benchmark harnesses.
+#pragma once
+
+#include <chrono>
+#include <utility>
+#include <vector>
+
+namespace pdx::bench {
+
+class WallTimer {
+ public:
+  WallTimer() : start_(clock::now()) {}
+  void restart() { start_ = clock::now(); }
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+  double millis() const { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Time one call of `fn` in seconds.
+template <class Fn>
+double time_call(Fn&& fn) {
+  WallTimer t;
+  fn();
+  return t.seconds();
+}
+
+/// Run `fn` `reps` times (after `warmup` unrecorded runs) and return the
+/// per-run seconds. Benches report the minimum — the least-disturbed run —
+/// as the paper's single-shot timings effectively did on a quiet Multimax.
+template <class Fn>
+std::vector<double> time_samples(int reps, int warmup, Fn&& fn) {
+  for (int r = 0; r < warmup; ++r) fn();
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(reps));
+  for (int r = 0; r < reps; ++r) out.push_back(time_call(fn));
+  return out;
+}
+
+}  // namespace pdx::bench

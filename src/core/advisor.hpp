@@ -1,0 +1,42 @@
+// advisor.hpp — dependence-aware executor configuration.
+//
+// The scheduling ablation (bench E6) shows the best executor schedule is
+// a function of the loop's dependence structure, which the preprocessed
+// doacross makes *measurable at run time*: the inspector machinery that
+// already exists for correctness also supports choosing the policy. This
+// advisor codifies the measured decision rules:
+//
+//   * no dependences            -> static-block (doall; locality wins);
+//   * negligible parallelism    -> don't parallelize (serial chain);
+//   * short-distance deps       -> static-block (deps stay intra-block;
+//                                  only block boundaries chain);
+//   * otherwise                 -> doconsider reordering + dynamic/1
+//                                  (spread each wavefront; paper ref [4]).
+#pragma once
+
+#include <string>
+
+#include "core/doconsider.hpp"
+#include "runtime/schedule.hpp"
+
+namespace pdx::core {
+
+struct ScheduleAdvice {
+  rt::Schedule schedule;
+  /// Recommend executing in doconsider (level) order.
+  bool use_reordering = false;
+  /// Whether parallel execution is expected to beat sequential at all.
+  bool worth_parallelizing = true;
+  /// Human-readable reason, for logs and reports.
+  std::string rationale;
+  /// Structural facts the decision used.
+  index_t critical_path = 0;
+  double avg_parallelism = 0.0;
+  index_t max_distance = 0;
+};
+
+/// Analyze the true-dependence graph of a loop and recommend an executor
+/// configuration for `procs` processors.
+ScheduleAdvice advise_schedule(const DepGraph& g, unsigned procs);
+
+}  // namespace pdx::core

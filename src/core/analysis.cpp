@@ -1,0 +1,86 @@
+#include "core/analysis.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+
+namespace pdx::core {
+
+DistanceHistogram dependence_distance_histogram(const DepGraph& g,
+                                                index_t max_tracked) {
+  DistanceHistogram h;
+  h.count.assign(static_cast<std::size_t>(max_tracked) + 1, 0);
+  h.min_distance = std::numeric_limits<index_t>::max();
+  double sum = 0.0;
+  for (index_t i = 0; i < g.iterations(); ++i) {
+    for (index_t j : g.deps_of(i)) {
+      const index_t d = i - j;
+      ++h.total;
+      sum += static_cast<double>(d);
+      h.min_distance = std::min(h.min_distance, d);
+      h.max_distance = std::max(h.max_distance, d);
+      if (d <= max_tracked) {
+        ++h.count[static_cast<std::size_t>(d)];
+      } else {
+        ++h.overflow;
+      }
+    }
+  }
+  if (h.total == 0) {
+    h.min_distance = 0;
+  } else {
+    h.mean_distance = sum / static_cast<double>(h.total);
+  }
+  return h;
+}
+
+ScheduleEstimate simulate_list_schedule(const DepGraph& g,
+                                        std::span<const index_t> order,
+                                        unsigned procs,
+                                        std::span<const double> cost) {
+  const index_t n = g.iterations();
+  if (static_cast<index_t>(order.size()) != n) {
+    throw std::invalid_argument("simulate_list_schedule: bad order size");
+  }
+  if (procs == 0) {
+    throw std::invalid_argument("simulate_list_schedule: procs must be >= 1");
+  }
+  if (!cost.empty() && static_cast<index_t>(cost.size()) != n) {
+    throw std::invalid_argument("simulate_list_schedule: bad cost size");
+  }
+
+  ScheduleEstimate est;
+  std::vector<double> finish(static_cast<std::size_t>(n), 0.0);
+  std::vector<double> chain(static_cast<std::size_t>(n), 0.0);
+
+  // Earliest-free processor pool.
+  std::priority_queue<double, std::vector<double>, std::greater<>> free_at;
+  for (unsigned p = 0; p < procs; ++p) free_at.push(0.0);
+
+  for (index_t k = 0; k < n; ++k) {
+    const index_t i = order[static_cast<std::size_t>(k)];
+    const double c = cost.empty() ? 1.0 : cost[static_cast<std::size_t>(i)];
+    double ready_time = 0.0;
+    double chain_in = 0.0;
+    for (index_t j : g.deps_of(i)) {
+      ready_time = std::max(ready_time, finish[static_cast<std::size_t>(j)]);
+      chain_in = std::max(chain_in, chain[static_cast<std::size_t>(j)]);
+    }
+    const double proc_free = free_at.top();
+    free_at.pop();
+    const double start = std::max(proc_free, ready_time);
+    const double end = start + c;
+    finish[static_cast<std::size_t>(i)] = end;
+    chain[static_cast<std::size_t>(i)] = chain_in + c;
+    free_at.push(end);
+
+    est.total_work += c;
+    est.makespan = std::max(est.makespan, end);
+    est.critical_path =
+        std::max(est.critical_path, chain[static_cast<std::size_t>(i)]);
+  }
+  return est;
+}
+
+}  // namespace pdx::core

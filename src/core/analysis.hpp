@@ -1,0 +1,62 @@
+// analysis.hpp — dependence-structure analysis and performance prediction.
+//
+// Tools for reasoning about what a preprocessed doacross *can* achieve on
+// a given loop before running it:
+//
+//   * dependence-distance histogram — the quantity Figure 6 sweeps (the
+//     paper's L controls exactly this distribution);
+//   * greedy list-scheduling simulation — an idealized executor (zero
+//     synchronization cost, perfect knowledge) that bounds the achievable
+//     makespan for a given iteration order and processor count. The
+//     benches print predicted next to measured efficiency so the reader
+//     can separate "the DAG does not allow more" from "the runtime is
+//     losing time".
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/doconsider.hpp"
+#include "runtime/types.hpp"
+
+namespace pdx::core {
+
+struct DistanceHistogram {
+  /// count[d] = number of true dependences at distance d (i - j), for
+  /// d <= max_tracked; longer distances land in `overflow`.
+  std::vector<index_t> count;
+  index_t overflow = 0;
+  index_t total = 0;
+  index_t min_distance = 0;  ///< 0 when there are no dependences
+  index_t max_distance = 0;
+  double mean_distance = 0.0;
+};
+
+DistanceHistogram dependence_distance_histogram(const DepGraph& g,
+                                                index_t max_tracked = 64);
+
+/// Result of the idealized executor simulation.
+struct ScheduleEstimate {
+  double makespan = 0.0;        ///< predicted parallel time (cost units)
+  double total_work = 0.0;      ///< sum of all iteration costs
+  double critical_path = 0.0;   ///< longest dependence chain (cost units)
+  /// total_work / (procs * makespan) — the efficiency an ideal runtime
+  /// would reach with this order on this many processors.
+  double predicted_efficiency(unsigned procs) const noexcept {
+    return makespan > 0.0
+               ? total_work / (static_cast<double>(procs) * makespan)
+               : 0.0;
+  }
+};
+
+/// Simulate greedy execution of `order` on `procs` processors: each
+/// iteration is claimed in order by the earliest-free processor and starts
+/// when both that processor and all its dependences are done (zero
+/// synchronization overhead). `cost[i]` is iteration i's execution cost;
+/// pass an empty span for unit costs. `order` must be a valid schedule.
+ScheduleEstimate simulate_list_schedule(const DepGraph& g,
+                                        std::span<const index_t> order,
+                                        unsigned procs,
+                                        std::span<const double> cost = {});
+
+}  // namespace pdx::core

@@ -1,0 +1,33 @@
+// doacross_stats.hpp — phase timing and synchronization counters.
+//
+// Characterizing the cost of execution-time preprocessing is "a critical
+// aspect of this research" (paper §1), so the engine always measures the
+// three phases separately and counts busy-wait activity. Bench E3
+// (overhead_breakdown) is built entirely on these numbers.
+#pragma once
+
+#include <cstdint>
+
+namespace pdx::core {
+
+struct DoacrossStats {
+  double inspect_seconds = 0.0;  ///< parallel preprocessing (iter fill)
+  double execute_seconds = 0.0;  ///< transformed loop body
+  double post_seconds = 0.0;     ///< parallel postprocessing (reset + copyback)
+
+  /// Number of read() calls that actually had to spin (summed over threads).
+  std::uint64_t wait_episodes = 0;
+  /// Total spin rounds across all waits (see rt::SpinWait::spin_once).
+  std::uint64_t wait_rounds = 0;
+
+  double total_seconds() const noexcept {
+    return inspect_seconds + execute_seconds + post_seconds;
+  }
+  /// Fraction of wall time spent outside the executor phase.
+  double overhead_fraction() const noexcept {
+    const double t = total_seconds();
+    return t > 0.0 ? (inspect_seconds + post_seconds) / t : 0.0;
+  }
+};
+
+}  // namespace pdx::core

@@ -1,0 +1,125 @@
+#include "core/doconsider.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+
+#include "core/iter_table.hpp"
+
+namespace pdx::core {
+
+std::vector<index_t> dependence_levels(index_t n, const DepFn& deps) {
+  std::vector<index_t> level(static_cast<std::size_t>(n), 0);
+  for (index_t i = 0; i < n; ++i) {
+    index_t lvl = 0;
+    deps(i, [&](index_t j) {
+      if (j < 0 || j >= i) {
+        throw std::invalid_argument(
+            "dependence_levels: dependence must point to an earlier "
+            "iteration (got " +
+            std::to_string(j) + " for iteration " + std::to_string(i) + ")");
+      }
+      lvl = std::max(lvl, level[static_cast<std::size_t>(j)] + 1);
+    });
+    level[static_cast<std::size_t>(i)] = lvl;
+  }
+  return level;
+}
+
+Reordering doconsider_order(index_t n, const DepFn& deps) {
+  Reordering r;
+  r.level_of = dependence_levels(n, deps);
+
+  const index_t max_level =
+      n == 0 ? -1
+             : *std::max_element(r.level_of.begin(), r.level_of.end());
+  const index_t nlevels = max_level + 1;
+
+  // Counting sort by level — stable, so same-level iterations keep their
+  // source order (and with them whatever locality the source loop had).
+  r.level_ptr.assign(static_cast<std::size_t>(nlevels) + 1, 0);
+  for (index_t i = 0; i < n; ++i) {
+    ++r.level_ptr[static_cast<std::size_t>(r.level_of[static_cast<std::size_t>(i)]) + 1];
+  }
+  std::partial_sum(r.level_ptr.begin(), r.level_ptr.end(),
+                   r.level_ptr.begin());
+
+  r.order.resize(static_cast<std::size_t>(n));
+  r.position.resize(static_cast<std::size_t>(n));
+  std::vector<index_t> cursor(r.level_ptr.begin(), r.level_ptr.end() - 1);
+  for (index_t i = 0; i < n; ++i) {
+    const index_t l = r.level_of[static_cast<std::size_t>(i)];
+    const index_t k = cursor[static_cast<std::size_t>(l)]++;
+    r.order[static_cast<std::size_t>(k)] = i;
+    r.position[static_cast<std::size_t>(i)] = k;
+  }
+  return r;
+}
+
+Reordering doconsider_order(const DepGraph& g) {
+  return doconsider_order(g.iterations(), g.as_fn());
+}
+
+bool is_valid_schedule(index_t n, std::span<const index_t> order,
+                       const DepFn& deps) {
+  if (static_cast<index_t>(order.size()) != n) return false;
+  std::vector<index_t> position(static_cast<std::size_t>(n), -1);
+  for (index_t k = 0; k < n; ++k) {
+    const index_t i = order[static_cast<std::size_t>(k)];
+    if (i < 0 || i >= n) return false;
+    if (position[static_cast<std::size_t>(i)] != -1) return false;  // dup
+    position[static_cast<std::size_t>(i)] = k;
+  }
+  bool ok = true;
+  for (index_t i = 0; i < n && ok; ++i) {
+    deps(i, [&](index_t j) {
+      if (j < 0 || j >= n ||
+          position[static_cast<std::size_t>(j)] >=
+              position[static_cast<std::size_t>(i)]) {
+        ok = false;
+      }
+    });
+  }
+  return ok;
+}
+
+DepGraph build_true_deps(index_t n, std::span<const index_t> writer,
+                         index_t value_space, const ReadFn& reads) {
+  if (static_cast<index_t>(writer.size()) != n) {
+    throw std::invalid_argument("build_true_deps: writer size != n");
+  }
+  // One sequential inspector pass gives the writer of every offset; the
+  // executor's three-way check then classifies each read.
+  IterTable iter(value_space);
+  iter.record_all(writer);
+
+  DepGraph g;
+  g.ptr.assign(static_cast<std::size_t>(n) + 1, 0);
+
+  // Two passes: count, then fill (CSR construction without reallocation).
+  for (index_t i = 0; i < n; ++i) {
+    index_t count = 0;
+    reads(i, [&](index_t off) {
+      const index_t w = iter[off];
+      if (w != kNeverWritten && w < i) ++count;
+    });
+    g.ptr[static_cast<std::size_t>(i) + 1] = count;
+  }
+  std::partial_sum(g.ptr.begin(), g.ptr.end(), g.ptr.begin());
+  g.adj.resize(static_cast<std::size_t>(g.ptr.back()));
+
+  std::vector<index_t> cursor(g.ptr.begin(), g.ptr.end() - 1);
+  for (index_t i = 0; i < n; ++i) {
+    reads(i, [&](index_t off) {
+      const index_t w = iter[off];
+      if (w != kNeverWritten && w < i) {
+        g.adj[static_cast<std::size_t>(cursor[static_cast<std::size_t>(i)]++)] = w;
+      }
+    });
+  }
+  return g;
+}
+
+}  // namespace pdx::core

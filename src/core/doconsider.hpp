@@ -1,0 +1,112 @@
+// doconsider.hpp — dependence-level iteration reordering (the Doconsider
+// transformation of Saltz, Mirchandaney & Crowley, ICS 1989 — reference
+// [4] of the paper).
+//
+// "A modified loop was produced by carrying out the loop iterations in a
+//  more advantageous order. This reordering leaves the inter-iteration
+//  dependencies unchanged but reduces the effects of these dependencies on
+//  performance." (paper §3.2)
+//
+// The mechanism: compute each iteration's *wavefront level* — the length
+// of the longest true-dependence chain ending at it — and execute
+// iterations sorted (stably) by level. Any dependence then points to a
+// strictly earlier position, so the reordered sequence is a valid schedule
+// for the busy-wait executor, and iterations of equal level, which are
+// mutually independent, land next to each other where the doacross
+// scheduler spreads them across processors without waiting.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "runtime/types.hpp"
+
+namespace pdx::core {
+
+/// Visitor for the true dependences of one iteration: `deps(i, emit)` must
+/// call `emit(j)` for every iteration j < i that i truly depends on
+/// (i reads a value j writes). Emitting j >= i is a precondition violation.
+using DepVisitor = std::function<void(index_t)>;
+using DepFn = std::function<void(index_t, const DepVisitor&)>;
+
+/// Compressed true-dependence graph: deps of iteration i are
+/// adj[ptr[i] .. ptr[i+1]).
+struct DepGraph {
+  std::vector<index_t> ptr;
+  std::vector<index_t> adj;
+
+  index_t iterations() const noexcept {
+    return static_cast<index_t>(ptr.empty() ? 0 : ptr.size() - 1);
+  }
+  index_t edges() const noexcept { return static_cast<index_t>(adj.size()); }
+
+  std::span<const index_t> deps_of(index_t i) const noexcept {
+    return {adj.data() + ptr[static_cast<std::size_t>(i)],
+            adj.data() + ptr[static_cast<std::size_t>(i) + 1]};
+  }
+
+  /// Adapter to the callback form used by the analysis functions.
+  DepFn as_fn() const {
+    return [this](index_t i, const DepVisitor& emit) {
+      for (index_t j : deps_of(i)) emit(j);
+    };
+  }
+};
+
+/// The result of the doconsider analysis.
+struct Reordering {
+  /// order[k] = source iteration executed at position k.
+  std::vector<index_t> order;
+  /// position[i] = k such that order[k] == i (inverse permutation).
+  std::vector<index_t> position;
+  /// level_of[i] = longest true-dependence chain length ending at i
+  /// (iterations with no dependences have level 0).
+  std::vector<index_t> level_of;
+  /// Wavefront l occupies order[level_ptr[l] .. level_ptr[l+1]).
+  std::vector<index_t> level_ptr;
+
+  index_t iterations() const noexcept {
+    return static_cast<index_t>(order.size());
+  }
+  index_t num_levels() const noexcept {
+    return static_cast<index_t>(level_ptr.empty() ? 0 : level_ptr.size() - 1);
+  }
+  /// Length of the critical dependence chain (= number of wavefronts).
+  index_t critical_path() const noexcept { return num_levels(); }
+  /// Mean iterations per wavefront — the available parallelism.
+  double average_parallelism() const noexcept {
+    const index_t l = num_levels();
+    return l > 0 ? static_cast<double>(iterations()) / static_cast<double>(l)
+                 : 0.0;
+  }
+  index_t level_size(index_t l) const noexcept {
+    return level_ptr[static_cast<std::size_t>(l) + 1] -
+           level_ptr[static_cast<std::size_t>(l)];
+  }
+};
+
+/// Compute wavefront levels. Dependences must point backwards (j < i).
+std::vector<index_t> dependence_levels(index_t n, const DepFn& deps);
+
+/// Full doconsider analysis: levels + stable-by-level execution order.
+Reordering doconsider_order(index_t n, const DepFn& deps);
+Reordering doconsider_order(const DepGraph& g);
+
+/// True iff `order` is a permutation of [0, n) in which every dependence's
+/// producer precedes its consumers — the deadlock-freedom requirement of
+/// the reordered doacross executor.
+bool is_valid_schedule(index_t n, std::span<const index_t> order,
+                       const DepFn& deps);
+
+/// Build the true-dependence graph of a preprocessed-doacross loop from
+/// its writer map and a read enumerator: i depends on j iff j < i and
+/// iteration j writes an offset that i reads. `reads(i, emit)` must emit
+/// every read offset of iteration i (duplicates are fine; self-references
+/// and antidependences are filtered out here, exactly as the executor's
+/// three-way check would).
+using ReadFn = std::function<void(index_t, const std::function<void(index_t)>&)>;
+DepGraph build_true_deps(index_t n, std::span<const index_t> writer,
+                         index_t value_space, const ReadFn& reads);
+
+}  // namespace pdx::core

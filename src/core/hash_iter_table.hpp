@@ -1,0 +1,145 @@
+// hash_iter_table.hpp — memory-bounded last-writer table (§2.3 extension).
+//
+// The paper reduces doacross memory by strip-mining so that `iter` and
+// `ready` can be *reused*; the table itself still spans the value space.
+// This open-addressing hash table finishes the job: capacity scales with
+// the number of writes per strip (O(strip)), not with the value space, so
+// a blocked doacross over a loop writing into a huge sparsely-touched
+// array needs arena memory proportional only to the strip.
+//
+// Concurrency contract (matching the engine's phase structure):
+//   * inspector phase — concurrent `record` calls from many threads,
+//     distinct offsets (writer map is injective); insertion claims a slot
+//     with a CAS on the key;
+//   * executor phase — concurrent read-only `operator[]` lookups; the
+//     phase barrier orders them after all inserts;
+//   * postprocess — `begin_epoch()` (thread 0, between barriers) wipes the
+//     keys for the next strip; per-entry `clear` is a no-op.
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cassert>
+#include <cstdint>
+#include <memory>
+
+#include "core/iter_table.hpp"
+#include "runtime/types.hpp"
+
+namespace pdx::core {
+
+class HashIterTable {
+ public:
+  HashIterTable() = default;
+  explicit HashIterTable(index_t expected_writes) {
+    reserve_writes(expected_writes);
+  }
+
+  /// Size the table for up to `expected_writes` insertions per epoch at a
+  /// load factor <= 0.5. Existing contents are discarded.
+  void reserve_writes(index_t expected_writes) {
+    const std::uint64_t wanted =
+        std::bit_ceil(static_cast<std::uint64_t>(
+            expected_writes > 0 ? 2 * expected_writes : 2));
+    if (wanted == capacity_ && slots_) {
+      begin_epoch();
+      return;
+    }
+    capacity_ = wanted;
+    mask_ = capacity_ - 1;
+    slots_ = std::make_unique<Slot[]>(capacity_);
+    for (std::uint64_t s = 0; s < capacity_; ++s) {
+      slots_[s].key.store(kEmpty, std::memory_order_relaxed);
+    }
+  }
+
+  index_t capacity() const noexcept { return static_cast<index_t>(capacity_); }
+
+  /// Arena bytes — the number the §2.3 ablation (bench E4) reports.
+  std::size_t memory_bytes() const noexcept {
+    return static_cast<std::size_t>(capacity_) * sizeof(Slot);
+  }
+
+  /// Wipe all entries (O(capacity), which is O(strip)).
+  void begin_epoch() noexcept {
+    for (std::uint64_t s = 0; s < capacity_; ++s) {
+      slots_[s].key.store(kEmpty, std::memory_order_relaxed);
+      slots_[s].value = kNeverWritten;
+    }
+  }
+
+  /// Inspector step: iter(offset) = i. Thread-safe for distinct offsets.
+  /// The value store is plain: executor reads are ordered behind the
+  /// phase barrier.
+  void record(index_t offset, index_t i) noexcept {
+    assert(offset >= 0);
+    std::uint64_t s = probe_start(offset);
+    for (;;) {
+      index_t seen = slots_[s].key.load(std::memory_order_relaxed);
+      if (seen == offset) {  // duplicate writer: precondition violation,
+        slots_[s].value = i;  // keep last like the dense table would
+        return;
+      }
+      if (seen == kEmpty) {
+        if (slots_[s].key.compare_exchange_strong(
+                seen, offset, std::memory_order_relaxed)) {
+          slots_[s].value = i;
+          return;
+        }
+        if (seen == offset) {  // lost the race to ourselves-by-offset
+          slots_[s].value = i;
+          return;
+        }
+        continue;  // lost to a different offset: re-inspect this slot
+      }
+      s = (s + 1) & mask_;
+      assert(s != probe_start(offset) && "HashIterTable full");
+    }
+  }
+
+  /// Executor lookup: the writer of `offset`, or kNeverWritten.
+  index_t operator[](index_t offset) const noexcept {
+    std::uint64_t s = probe_start(offset);
+    for (;;) {
+      const index_t seen = slots_[s].key.load(std::memory_order_relaxed);
+      if (seen == offset) return slots_[s].value;
+      if (seen == kEmpty) return kNeverWritten;
+      s = (s + 1) & mask_;
+    }
+  }
+
+  /// Postprocess per-entry reset: a no-op (begin_epoch wipes wholesale).
+  void clear(index_t) noexcept {}
+
+  /// True iff no entry is present (test hook; O(capacity)).
+  bool pristine() const {
+    for (std::uint64_t s = 0; s < capacity_; ++s) {
+      if (slots_[s].key.load(std::memory_order_relaxed) != kEmpty) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+ private:
+  static constexpr index_t kEmpty = -1;
+
+  struct Slot {
+    std::atomic<index_t> key{kEmpty};
+    index_t value = kNeverWritten;
+  };
+
+  std::uint64_t probe_start(index_t offset) const noexcept {
+    // splitmix-style finalizer scatters dense offset ranges.
+    std::uint64_t z = static_cast<std::uint64_t>(offset);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return (z ^ (z >> 31)) & mask_;
+  }
+
+  std::unique_ptr<Slot[]> slots_;
+  std::uint64_t capacity_ = 0;
+  std::uint64_t mask_ = 0;
+};
+
+}  // namespace pdx::core

@@ -1,0 +1,116 @@
+// iter_table.hpp — the paper's `iter` array (last-writer table).
+//
+// The inspector phase of the preprocessed doacross records, for every data
+// offset that the loop writes, *which iteration* writes it:
+//
+//     parallel do i = 1, N
+//        iter(a(i)) = i          (paper Fig. 3, "Preprocessing")
+//     end parallel do
+//
+// every other entry holds MAXINT ("never written"). The executor then
+// resolves each right-hand-side reference y(off) with the three-way test on
+// `check = iter(off) - i` (paper §2.1/§2.2). The postprocessing phase
+// resets exactly the entries that were written — O(writes), not O(table) —
+// so one table is reused across many doacross loops (paper Fig. 3,
+// "Postprocessing").
+#pragma once
+
+#include <cassert>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "runtime/types.hpp"
+
+namespace pdx::core {
+
+/// Sentinel meaning "this offset is written by no iteration of the current
+/// loop" — the paper's MAXINT. It compares greater than every iteration
+/// index, so the executor's `check > 0` branch (read the old value) handles
+/// never-written offsets with no extra test.
+inline constexpr index_t kNeverWritten = std::numeric_limits<index_t>::max();
+
+class IterTable {
+ public:
+  IterTable() = default;
+  explicit IterTable(index_t size)
+      : slots_(static_cast<std::size_t>(size), kNeverWritten) {}
+
+  index_t size() const noexcept { return static_cast<index_t>(slots_.size()); }
+
+  /// Grow (never shrink) to cover offsets [0, size). New slots start as
+  /// never-written; existing contents are preserved.
+  void ensure_size(index_t size) {
+    if (size > this->size()) {
+      slots_.resize(static_cast<std::size_t>(size), kNeverWritten);
+    }
+  }
+
+  /// No-op: the dense table resets through per-entry `clear` in the
+  /// postprocessing sweep. (The hash table flavour resets here instead.)
+  void begin_epoch() noexcept {}
+
+  /// iter(offset) — the iteration that writes `offset`, or kNeverWritten.
+  index_t operator[](index_t off) const noexcept {
+    assert(off >= 0 && off < size());
+    return slots_[static_cast<std::size_t>(off)];
+  }
+
+  /// Inspector step for one iteration: iter(writer) = i.
+  /// Distinct iterations must target distinct offsets (no output
+  /// dependences, a stated paper precondition), so concurrent calls from
+  /// different iterations never race.
+  void record(index_t writer_off, index_t i) noexcept {
+    assert(writer_off >= 0 && writer_off < size());
+    slots_[static_cast<std::size_t>(writer_off)] = i;
+  }
+
+  /// Postprocessing step for one iteration: iter(writer) = MAXINT.
+  void clear(index_t writer_off) noexcept {
+    assert(writer_off >= 0 && writer_off < size());
+    slots_[static_cast<std::size_t>(writer_off)] = kNeverWritten;
+  }
+
+  /// Sequential whole-loop inspector (tests / single-thread paths).
+  void record_all(std::span<const index_t> writer) {
+    for (index_t i = 0; i < static_cast<index_t>(writer.size()); ++i) {
+      record(writer[static_cast<std::size_t>(i)], i);
+    }
+  }
+
+  /// Sequential whole-loop reset (tests / single-thread paths).
+  void clear_all(std::span<const index_t> writer) {
+    for (index_t off : writer) clear(off);
+  }
+
+  /// True iff every slot is kNeverWritten — the invariant the table must
+  /// satisfy between loops. O(size); meant for tests and debug checks.
+  bool pristine() const {
+    for (index_t v : slots_) {
+      if (v != kNeverWritten) return false;
+    }
+    return true;
+  }
+
+  const index_t* data() const noexcept { return slots_.data(); }
+
+ private:
+  std::vector<index_t> slots_;
+};
+
+/// Check the paper's no-output-dependence precondition: `writer` maps
+/// distinct iterations to distinct offsets, all within [0, value_space).
+/// Returns the first offending iteration index, or -1 if the map is valid.
+inline index_t find_writer_conflict(std::span<const index_t> writer,
+                                    index_t value_space) {
+  std::vector<bool> seen(static_cast<std::size_t>(value_space), false);
+  for (index_t i = 0; i < static_cast<index_t>(writer.size()); ++i) {
+    const index_t off = writer[static_cast<std::size_t>(i)];
+    if (off < 0 || off >= value_space) return i;
+    if (seen[static_cast<std::size_t>(off)]) return i;
+    seen[static_cast<std::size_t>(off)] = true;
+  }
+  return -1;
+}
+
+}  // namespace pdx::core

@@ -1,0 +1,226 @@
+// linear_doacross.hpp — inspector-free doacross for linear writer maps
+// (paper §2.3, second variant).
+//
+// "When the left hand side arrays are indexed by a linear subscript
+//  function (a(i) = c*i + d) it is possible to eliminate the execution
+//  time preprocessing phase along with the need to allocate storage for
+//  array iter. We can determine whether y(off) can be written to by
+//  testing whether (off - d) mod c == 0; if a write is carried out it
+//  occurs during loop iteration (off - d) / c."
+//
+// Consequences realized here:
+//   * no inspector phase (stats.inspect_seconds == 0 identically);
+//   * no iter table — the writer of an offset is computed arithmetically;
+//   * ready flags and the ynew shadow are indexed by *iteration* (the
+//     writer map is a bijection onto its image), so arena memory is O(N)
+//     regardless of the value space.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <chrono>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "core/doacross_stats.hpp"
+#include "core/iter_table.hpp"
+#include "core/ready_table.hpp"
+#include "runtime/aligned.hpp"
+#include "runtime/barrier.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace pdx::core {
+
+/// The linear writer map a(i) = c*i + d over i in [0, n), with the paper's
+/// closed-form inverse.
+struct LinearWriter {
+  index_t c = 1;  ///< stride; must be >= 1 (injectivity)
+  index_t d = 0;  ///< base offset
+  index_t n = 0;  ///< iteration count
+
+  index_t operator()(index_t i) const noexcept { return c * i + d; }
+
+  /// Iteration that writes `off`, or kNeverWritten. This is the paper's
+  /// "(off - d) mod c == 0, write occurs during iteration (off - d)/c".
+  index_t writer_of(index_t off) const noexcept {
+    const index_t t = off - d;
+    if (t < 0 || t % c != 0) return kNeverWritten;
+    const index_t i = t / c;
+    return i < n ? i : kNeverWritten;
+  }
+
+  /// Smallest value space that covers all written offsets.
+  index_t written_extent() const noexcept { return n == 0 ? 0 : c * (n - 1) + d + 1; }
+};
+
+/// Accessor with the same duck-typed interface as core::Iteration, but
+/// dependence resolution by arithmetic instead of table lookup.
+///
+/// `StaticC` specializes the stride at compile time (0 = runtime stride):
+/// the hot path divides by c on *every read*, and an integer division by a
+/// runtime divisor costs more than the iter-table load it replaces — with
+/// a constant divisor the compiler strength-reduces it to shifts/masks and
+/// the §2.3 elimination pays off. LinearDoacross dispatches to common
+/// strides automatically.
+template <class T, class Ready, index_t StaticC = 0>
+class LinearIteration {
+ public:
+  LinearIteration(index_t i, LinearWriter w, const Ready* ready, const T* yold,
+                  const T* ynew_by_iter, std::uint64_t* wait_episodes,
+                  std::uint64_t* wait_rounds) noexcept
+      : i_(i),
+        w_(w),
+        acc_(yold[w(i)]),
+        ready_(ready),
+        yold_(yold),
+        ynew_(ynew_by_iter),
+        wait_episodes_(wait_episodes),
+        wait_rounds_(wait_rounds) {}
+
+  index_t index() const noexcept { return i_; }
+  index_t lhs_index() const noexcept { return w_(i_); }
+  T& lhs() noexcept { return acc_; }
+
+  T read(index_t offset) noexcept {
+    const index_t c = StaticC > 0 ? StaticC : w_.c;
+    const index_t t = offset - w_.d;
+    if (t >= 0 && t % c == 0) {
+      const index_t w = t / c;
+      if (w < w_.n) {
+        if (w == i_) return acc_;
+        if (w < i_) {
+          const std::uint64_t rounds = ready_->wait_done(w);
+          if (rounds != 0) {
+            ++*wait_episodes_;
+            *wait_rounds_ += rounds;
+          }
+          return ynew_[w];
+        }
+        return yold_[offset];  // antidependence
+      }
+    }
+    return yold_[offset];  // never written
+  }
+
+ private:
+  const index_t i_;
+  const LinearWriter w_;
+  T acc_;
+  const Ready* ready_;
+  const T* yold_;
+  const T* ynew_;
+  std::uint64_t* wait_episodes_;
+  std::uint64_t* wait_rounds_;
+};
+
+struct LinearOptions {
+  unsigned nthreads = 0;
+  rt::Schedule schedule = rt::Schedule::static_block();
+  /// Optional valid execution order over [0, n), as in DoacrossOptions.
+  const index_t* order = nullptr;
+};
+
+template <class T, class Ready = DenseReadyTable>
+class LinearDoacross {
+ public:
+  explicit LinearDoacross(rt::ThreadPool& pool) : pool_(&pool) {}
+
+  /// Execute the loop `for i: y[c*i + d] = f(reads)` with runtime-resolved
+  /// reads. `y` must cover every read offset and the written extent.
+  /// Common strides dispatch to compile-time-specialized executors (the
+  /// per-read division strength-reduces to shifts).
+  template <class Body>
+  DoacrossStats run(LinearWriter w, std::span<T> y, Body&& body,
+                    const LinearOptions& opts = {}) {
+    if (w.c < 1) throw std::invalid_argument("LinearWriter: c must be >= 1");
+    if (w.n > 0 && static_cast<index_t>(y.size()) < w.written_extent()) {
+      throw std::invalid_argument("LinearDoacross::run: y too small");
+    }
+    switch (w.c) {
+      case 1:
+        return run_impl<1>(w, y, body, opts);
+      case 2:
+        return run_impl<2>(w, y, body, opts);
+      case 3:
+        return run_impl<3>(w, y, body, opts);
+      case 4:
+        return run_impl<4>(w, y, body, opts);
+      default:
+        return run_impl<0>(w, y, body, opts);
+    }
+  }
+
+ private:
+  template <index_t StaticC, class Body>
+  DoacrossStats run_impl(LinearWriter w, std::span<T> y, Body&& body,
+                         const LinearOptions& opts) {
+    DoacrossStats stats;
+    const index_t n = w.n;
+    if (n == 0) return stats;
+
+    const unsigned nth = pool_->clamp_threads(opts.nthreads);
+    ready_.ensure_size(n);
+    ready_.begin_epoch();
+    if (static_cast<index_t>(ynew_.size()) < n) {
+      ynew_.resize(static_cast<std::size_t>(n));
+    }
+
+    rt::Barrier barrier(nth);
+    std::atomic<index_t> cursor{0};
+    std::vector<rt::Padded<std::uint64_t>> episodes(nth), rounds(nth);
+
+    using clock = std::chrono::steady_clock;
+    clock::time_point t0, t1, t2;
+    const index_t* order = opts.order;
+    T* yp = y.data();
+    T* ynp = ynew_.data();
+
+    pool_->parallel_region(nth, [&](unsigned tid, unsigned nthreads) {
+      barrier.arrive_and_wait();  // rendezvous: exclude pool wake-up
+      if (tid == 0) t0 = clock::now();
+
+      // No inspector phase — that is the point of this variant.
+      std::uint64_t my_episodes = 0, my_rounds = 0;
+      // noexcept: see DoacrossEngine::run — fail fast over deadlock.
+      auto run_one = [&](index_t k) noexcept {
+        const index_t i = order ? order[k] : k;
+        LinearIteration<T, Ready, StaticC> it(i, w, &ready_, yp, ynp,
+                                              &my_episodes, &my_rounds);
+        body(it);
+        ynp[i] = it.lhs();
+        ready_.mark_done(i);
+      };
+      rt::schedule_run(opts.schedule, n, tid, nthreads, &cursor, run_one);
+      episodes[tid].value = my_episodes;
+      rounds[tid].value = my_rounds;
+      barrier.arrive_and_wait();
+      if (tid == 0) t1 = clock::now();
+
+      // Postprocessing: copy back and reset flags (iteration-indexed).
+      const rt::IterRange post = rt::static_block_range(n, tid, nthreads);
+      for (index_t i = post.begin; i < post.end; ++i) {
+        yp[w(i)] = ynp[i];
+        ready_.clear(i);
+      }
+      barrier.arrive_and_wait();
+      if (tid == 0) t2 = clock::now();
+    });
+
+    stats.inspect_seconds = 0.0;
+    stats.execute_seconds = std::chrono::duration<double>(t1 - t0).count();
+    stats.post_seconds = std::chrono::duration<double>(t2 - t1).count();
+    for (unsigned t = 0; t < nth; ++t) {
+      stats.wait_episodes += episodes[t].value;
+      stats.wait_rounds += rounds[t].value;
+    }
+    return stats;
+  }
+
+  rt::ThreadPool* pool_;
+  Ready ready_;  // iteration-indexed
+  std::vector<T, rt::CacheAlignedAllocator<T>> ynew_;
+};
+
+}  // namespace pdx::core

@@ -1,0 +1,251 @@
+// ready_table.hpp — the paper's `ready` array (completion flags).
+//
+// The executor satisfies a true dependence on offset `off` by busy-waiting
+// until the producing iteration has stored its result (paper Fig. 2 S1 /
+// Fig. 5 S4), and announces its own completion with `ready(a(i)) = DONE`
+// (Fig. 2 S3 / Fig. 5 tail). Three interchangeable implementations:
+//
+//   DenseReadyTable  — one byte per offset, paper-faithful; reset via the
+//                      postprocessing loop (`ready(a(i)) = NOTDONE`).
+//   PaddedReadyTable — one cache line per offset; ablation for the cost of
+//                      false sharing between producer stores and consumer
+//                      spins (bench E9).
+//   EpochReadyTable  — 32-bit epoch stamps; `begin_epoch()` makes reset
+//                      O(1), an engineering extension of the paper's
+//                      arena-reuse idea (§2.1 last paragraph).
+//
+// Memory ordering: `mark_done` is a release store so the producer's ynew
+// write happens-before any consumer that observes the flag with the
+// acquire loads in `wait_done` / `is_done`.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <span>
+
+#include "runtime/spin_wait.hpp"
+#include "runtime/types.hpp"
+
+namespace pdx::core {
+
+class DenseReadyTable {
+ public:
+  DenseReadyTable() = default;
+  explicit DenseReadyTable(index_t size) { ensure_size(size); }
+
+  index_t size() const noexcept { return size_; }
+
+  void ensure_size(index_t size) {
+    if (size <= size_) return;
+    auto bigger = std::make_unique<std::atomic<std::uint8_t>[]>(
+        static_cast<std::size_t>(size));
+    for (index_t i = 0; i < size; ++i) {
+      bigger[static_cast<std::size_t>(i)].store(0, std::memory_order_relaxed);
+    }
+    flags_ = std::move(bigger);  // table must be idle when resized
+    size_ = size;
+  }
+
+  /// No-op for flag-style tables; epoch tables use it to invalidate all
+  /// previous DONE marks in O(1).
+  void begin_epoch() noexcept {}
+
+  void mark_done(index_t off) noexcept {
+    assert(off >= 0 && off < size_);
+    flags_[static_cast<std::size_t>(off)].store(1, std::memory_order_release);
+  }
+
+  bool is_done(index_t off) const noexcept {
+    assert(off >= 0 && off < size_);
+    return flags_[static_cast<std::size_t>(off)].load(
+               std::memory_order_acquire) != 0;
+  }
+
+  /// Busy-wait until `off` is DONE. Returns the number of spin rounds
+  /// taken (0 if it was already done) — the executor aggregates these into
+  /// the wait statistics reported by bench E3.
+  std::uint64_t wait_done(index_t off) const noexcept {
+    if (is_done(off)) return 0;
+    rt::SpinWait sw;
+    std::uint64_t rounds = 0;
+    do {
+      sw.spin_once();
+      ++rounds;
+    } while (!is_done(off));
+    return rounds;
+  }
+
+  /// Postprocessing step for one iteration: ready(writer) = NOTDONE.
+  void clear(index_t off) noexcept {
+    assert(off >= 0 && off < size_);
+    flags_[static_cast<std::size_t>(off)].store(0, std::memory_order_relaxed);
+  }
+
+  void clear_all(std::span<const index_t> writer) noexcept {
+    for (index_t off : writer) clear(off);
+  }
+
+  /// True iff no flag is set (inter-loop invariant; O(size), for tests).
+  bool pristine() const noexcept {
+    for (index_t i = 0; i < size_; ++i) {
+      if (is_done(i)) return false;
+    }
+    return true;
+  }
+
+ private:
+  std::unique_ptr<std::atomic<std::uint8_t>[]> flags_;
+  index_t size_ = 0;
+};
+
+/// One flag per cache line. Identical observable semantics to
+/// DenseReadyTable; exists to measure the false-sharing cost of the dense
+/// layout (the paper's flag array is dense, as 1990 memories were small).
+class PaddedReadyTable {
+ public:
+  PaddedReadyTable() = default;
+  explicit PaddedReadyTable(index_t size) { ensure_size(size); }
+
+  index_t size() const noexcept { return size_; }
+
+  void ensure_size(index_t size) {
+    if (size <= size_) return;
+    slots_ = std::make_unique<Slot[]>(static_cast<std::size_t>(size));
+    size_ = size;
+  }
+
+  void begin_epoch() noexcept {}
+
+  void mark_done(index_t off) noexcept {
+    slot(off).flag.store(1, std::memory_order_release);
+  }
+
+  bool is_done(index_t off) const noexcept {
+    return slot(off).flag.load(std::memory_order_acquire) != 0;
+  }
+
+  std::uint64_t wait_done(index_t off) const noexcept {
+    if (is_done(off)) return 0;
+    rt::SpinWait sw;
+    std::uint64_t rounds = 0;
+    do {
+      sw.spin_once();
+      ++rounds;
+    } while (!is_done(off));
+    return rounds;
+  }
+
+  void clear(index_t off) noexcept {
+    slot(off).flag.store(0, std::memory_order_relaxed);
+  }
+
+  void clear_all(std::span<const index_t> writer) noexcept {
+    for (index_t off : writer) clear(off);
+  }
+
+  bool pristine() const noexcept {
+    for (index_t i = 0; i < size_; ++i) {
+      if (is_done(i)) return false;
+    }
+    return true;
+  }
+
+ private:
+  struct alignas(kCacheLineBytes) Slot {
+    std::atomic<std::uint8_t> flag{0};
+  };
+
+  Slot& slot(index_t off) noexcept {
+    assert(off >= 0 && off < size_);
+    return slots_[static_cast<std::size_t>(off)];
+  }
+  const Slot& slot(index_t off) const noexcept {
+    assert(off >= 0 && off < size_);
+    return slots_[static_cast<std::size_t>(off)];
+  }
+
+  std::unique_ptr<Slot[]> slots_;
+  index_t size_ = 0;
+};
+
+/// Epoch-stamped flags: DONE means "stamp equals the current epoch", so a
+/// whole-table reset is a single counter increment instead of the paper's
+/// postprocessing sweep. The stamp starts at 0 and epochs start at 1, so a
+/// fresh table is all-NOTDONE.
+class EpochReadyTable {
+ public:
+  EpochReadyTable() = default;
+  explicit EpochReadyTable(index_t size) { ensure_size(size); }
+
+  index_t size() const noexcept { return size_; }
+
+  void ensure_size(index_t size) {
+    if (size <= size_) return;
+    auto bigger = std::make_unique<std::atomic<std::uint32_t>[]>(
+        static_cast<std::size_t>(size));
+    for (index_t i = 0; i < size; ++i) {
+      bigger[static_cast<std::size_t>(i)].store(0, std::memory_order_relaxed);
+    }
+    flags_ = std::move(bigger);
+    size_ = size;
+    epoch_ = 1;
+  }
+
+  /// Invalidate every DONE mark from the previous loop. O(1). Wraps after
+  /// 2^32-1 loops; at that point the stamps are swept clean.
+  void begin_epoch() noexcept {
+    ++epoch_;
+    if (epoch_ == 0) {  // wrapped: stamps from 2^32 loops ago could alias
+      for (index_t i = 0; i < size_; ++i) {
+        flags_[static_cast<std::size_t>(i)].store(0, std::memory_order_relaxed);
+      }
+      epoch_ = 1;
+    }
+  }
+
+  void mark_done(index_t off) noexcept {
+    assert(off >= 0 && off < size_);
+    flags_[static_cast<std::size_t>(off)].store(epoch_,
+                                                std::memory_order_release);
+  }
+
+  bool is_done(index_t off) const noexcept {
+    assert(off >= 0 && off < size_);
+    return flags_[static_cast<std::size_t>(off)].load(
+               std::memory_order_acquire) == epoch_;
+  }
+
+  std::uint64_t wait_done(index_t off) const noexcept {
+    if (is_done(off)) return 0;
+    rt::SpinWait sw;
+    std::uint64_t rounds = 0;
+    do {
+      sw.spin_once();
+      ++rounds;
+    } while (!is_done(off));
+    return rounds;
+  }
+
+  /// Per-entry clear is a no-op: `begin_epoch` already invalidated
+  /// everything, and the postprocessing loop calls this unconditionally.
+  void clear(index_t) noexcept {}
+  void clear_all(std::span<const index_t>) noexcept {}
+
+  bool pristine() const noexcept {
+    for (index_t i = 0; i < size_; ++i) {
+      if (is_done(i)) return false;
+    }
+    return true;
+  }
+
+  std::uint32_t epoch() const noexcept { return epoch_; }
+
+ private:
+  std::unique_ptr<std::atomic<std::uint32_t>[]> flags_;
+  index_t size_ = 0;
+  std::uint32_t epoch_ = 1;
+};
+
+}  // namespace pdx::core

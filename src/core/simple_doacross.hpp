@@ -1,0 +1,173 @@
+// simple_doacross.hpp — the paper's Figure 2: doacross with true
+// dependences only.
+//
+// Before introducing the full preprocessed machinery, the paper presents
+// the restricted case a(i) = i and b(i) < i — every reference to another
+// iteration's element is a *true* dependence on an earlier iteration, so
+// no iter table, no ynew shadow, and no antidependence handling are
+// needed:
+//
+//     parallel do i = 1, N
+//   S1:  while (ready(b(i)) .eq. NOTDONE) endwhile
+//   S2:  y(i) = ... y(b(i))
+//   S3:  ready(i) = DONE
+//     end parallel do
+//
+// This executor generalizes that figure to any body that writes y(i) and
+// reads only offsets j < i (checked in debug builds). It is both the
+// pedagogical entry point of the library and the fast path the sparse
+// triangular solves specialize further.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <chrono>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "core/doacross_stats.hpp"
+#include "core/ready_table.hpp"
+#include "runtime/aligned.hpp"
+#include "runtime/barrier.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace pdx::core {
+
+/// Accessor for the Figure 2 executor: reads wait on the producer's flag
+/// and then load y directly (writes are published by the release flag).
+template <class T, class Ready>
+class SimpleIteration {
+ public:
+  SimpleIteration(index_t i, const Ready* ready, T* y,
+                  std::uint64_t* wait_episodes,
+                  std::uint64_t* wait_rounds) noexcept
+      : i_(i),
+        acc_(),
+        ready_(ready),
+        y_(y),
+        wait_episodes_(wait_episodes),
+        wait_rounds_(wait_rounds) {}
+
+  index_t index() const noexcept { return i_; }
+  index_t lhs_index() const noexcept { return i_; }
+
+  /// The value being computed for y(i); committed by the executor.
+  T& lhs() noexcept { return acc_; }
+
+  /// Read y(j) for j < i: wait until iteration j is DONE (paper S1).
+  T read(index_t j) noexcept {
+    assert(j < i_ && "Figure 2 form requires b(i) < i (true dependences)");
+    const std::uint64_t rounds = ready_->wait_done(j);
+    if (rounds != 0) {
+      ++*wait_episodes_;
+      *wait_rounds_ += rounds;
+    }
+    return y_[j];
+  }
+
+  /// Read y(i)'s old value (no wait; the writer is this iteration).
+  T read_own() const noexcept { return y_[i_]; }
+
+ private:
+  const index_t i_;
+  T acc_;
+  const Ready* ready_;
+  const T* y_;
+  std::uint64_t* wait_episodes_;
+  std::uint64_t* wait_rounds_;
+};
+
+struct SimpleDoacrossOptions {
+  unsigned nthreads = 0;
+  rt::Schedule schedule = rt::Schedule::static_block();
+  /// Optional valid execution order (producers before consumers).
+  const index_t* order = nullptr;
+};
+
+/// Execute `for i in [0, n): y[i] = body(i, reads of y[j<i])` in parallel
+/// (paper Fig. 2). `ready` is reused across calls (reset during the
+/// postprocessing sweep). Results are bitwise equal to sequential
+/// execution.
+template <class T, class Ready = DenseReadyTable, class Body>
+DoacrossStats simple_doacross(rt::ThreadPool& pool, index_t n,
+                              std::span<T> y, Ready& ready, Body&& body,
+                              const SimpleDoacrossOptions& opts = {}) {
+  if (static_cast<index_t>(y.size()) < n) {
+    throw std::invalid_argument("simple_doacross: y too small");
+  }
+  DoacrossStats stats;
+  if (n == 0) return stats;
+
+  const unsigned nth = pool.clamp_threads(opts.nthreads);
+  ready.ensure_size(n);
+  ready.begin_epoch();
+
+  rt::Barrier barrier(nth);
+  std::atomic<index_t> cursor{0};
+  std::vector<rt::Padded<std::uint64_t>> episodes(nth), rounds(nth);
+
+  using clock = std::chrono::steady_clock;
+  clock::time_point t0, t1, t2;
+  const index_t* order = opts.order;
+  T* yp = y.data();
+
+  pool.parallel_region(nth, [&](unsigned tid, unsigned nthreads) {
+    barrier.arrive_and_wait();  // rendezvous: exclude pool wake-up
+    if (tid == 0) t0 = clock::now();
+
+    std::uint64_t my_episodes = 0, my_rounds = 0;
+    // noexcept: see DoacrossEngine::run — fail fast over deadlock.
+    auto run_one = [&](index_t k) noexcept {
+      const index_t i = order ? order[k] : k;
+      SimpleIteration<T, Ready> it(i, &ready, yp, &my_episodes, &my_rounds);
+      body(it);
+      yp[i] = it.lhs();
+      ready.mark_done(i);  // paper S3; release-publishes the y store
+    };
+    rt::schedule_run(opts.schedule, n, tid, nthreads, &cursor, run_one);
+    episodes[tid].value = my_episodes;
+    rounds[tid].value = my_rounds;
+    barrier.arrive_and_wait();
+    if (tid == 0) t1 = clock::now();
+
+    const rt::IterRange post = rt::static_block_range(n, tid, nthreads);
+    for (index_t i = post.begin; i < post.end; ++i) ready.clear(i);
+    barrier.arrive_and_wait();
+    if (tid == 0) t2 = clock::now();
+  });
+
+  stats.execute_seconds = std::chrono::duration<double>(t1 - t0).count();
+  stats.post_seconds = std::chrono::duration<double>(t2 - t1).count();
+  for (unsigned t = 0; t < nth; ++t) {
+    stats.wait_episodes += episodes[t].value;
+    stats.wait_rounds += rounds[t].value;
+  }
+  return stats;
+}
+
+/// Sequential reference for the Figure 2 form.
+template <class T, class Body>
+void simple_doacross_reference(index_t n, std::span<T> y, Body&& body) {
+  struct SeqIt {
+    index_t i;
+    T acc;
+    T* y;
+    index_t index() const noexcept { return i; }
+    index_t lhs_index() const noexcept { return i; }
+    T& lhs() noexcept { return acc; }
+    T read(index_t j) noexcept {
+      assert(j < i);
+      return y[j];
+    }
+    T read_own() const noexcept { return y[i]; }
+  };
+  for (index_t i = 0; i < n; ++i) {
+    SeqIt it{i, T{}, y.data()};
+    body(it);
+    y[static_cast<std::size_t>(i)] = it.acc;
+  }
+}
+
+}  // namespace pdx::core

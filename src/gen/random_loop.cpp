@@ -1,0 +1,80 @@
+#include "gen/random_loop.hpp"
+
+#include <stdexcept>
+
+namespace pdx::gen {
+
+RandomLoop make_random_loop(const RandomLoopParams& p, std::uint64_t seed) {
+  if (p.n < 1) throw std::invalid_argument("make_random_loop: n must be >= 1");
+  if (p.min_reads < 0 || p.max_reads < p.min_reads) {
+    throw std::invalid_argument("make_random_loop: bad read counts");
+  }
+  RandomLoop rl;
+  rl.params = p;
+  rl.value_space = p.value_space > 0 ? p.value_space : 2 * p.n;
+  if (rl.value_space < p.n) {
+    throw std::invalid_argument(
+        "make_random_loop: value_space must be >= n for an injective writer");
+  }
+
+  SplitMix64 rng(seed);
+  rl.writer = random_injection(p.n, rl.value_space, rng);
+
+  rl.read_ptr.assign(static_cast<std::size_t>(p.n) + 1, 0);
+  const int spread = p.max_reads - p.min_reads + 1;
+  for (index_t i = 0; i < p.n; ++i) {
+    const index_t reads =
+        p.min_reads + static_cast<index_t>(rng.next_below(
+                          static_cast<std::uint64_t>(spread)));
+    rl.read_ptr[static_cast<std::size_t>(i) + 1] =
+        rl.read_ptr[static_cast<std::size_t>(i)] + reads;
+  }
+
+  const index_t total = rl.read_ptr[static_cast<std::size_t>(p.n)];
+  rl.read_off.resize(static_cast<std::size_t>(total));
+  rl.coeff.resize(static_cast<std::size_t>(total));
+  for (index_t i = 0; i < p.n; ++i) {
+    for (index_t k = rl.read_ptr[static_cast<std::size_t>(i)];
+         k < rl.read_ptr[static_cast<std::size_t>(i) + 1]; ++k) {
+      index_t off;
+      if (i > 0 && rng.next_double() < p.dep_bias) {
+        // Aim at an offset some earlier iteration writes: guarantees a
+        // true dependence (unless it happens to be i itself — excluded by
+        // drawing below i).
+        off = rl.writer[static_cast<std::size_t>(rng.next_index(i))];
+      } else {
+        off = rng.next_index(rl.value_space);
+      }
+      rl.read_off[static_cast<std::size_t>(k)] = off;
+      rl.coeff[static_cast<std::size_t>(k)] =
+          rng.next_double(-0.5, 0.5) /
+          static_cast<double>(p.max_reads > 0 ? p.max_reads : 1);
+    }
+  }
+
+  rl.y0.resize(static_cast<std::size_t>(rl.value_space));
+  for (auto& v : rl.y0) v = rng.next_double(-1.0, 1.0);
+  return rl;
+}
+
+void run_random_loop_seq(const RandomLoop& rl, std::span<double> y) {
+  if (static_cast<index_t>(y.size()) < rl.value_space) {
+    throw std::invalid_argument("run_random_loop_seq: y too small");
+  }
+  core::doacross_reference<double>(
+      std::span<const index_t>(rl.writer), y,
+      [&rl](auto& it) { random_loop_body(rl, it); });
+}
+
+core::DepGraph random_loop_deps(const RandomLoop& rl) {
+  return core::build_true_deps(
+      rl.n(), std::span<const index_t>(rl.writer), rl.value_space,
+      [&rl](index_t i, const std::function<void(index_t)>& emit) {
+        for (index_t k = rl.read_ptr[static_cast<std::size_t>(i)];
+             k < rl.read_ptr[static_cast<std::size_t>(i) + 1]; ++k) {
+          emit(rl.read_off[static_cast<std::size_t>(k)]);
+        }
+      });
+}
+
+}  // namespace pdx::gen

@@ -1,0 +1,26 @@
+#include "gen/rng.hpp"
+
+#include <stdexcept>
+
+namespace pdx::gen {
+
+std::vector<index_t> random_injection(index_t n, index_t space,
+                                      SplitMix64& rng) {
+  if (n > space) {
+    throw std::invalid_argument("random_injection: n > space");
+  }
+  // Partial Fisher–Yates over [0, space): after k swaps the prefix holds a
+  // uniform k-subset in uniform order. O(space) memory, O(space + n) time.
+  std::vector<index_t> pool(static_cast<std::size_t>(space));
+  std::iota(pool.begin(), pool.end(), index_t{0});
+  std::vector<index_t> out(static_cast<std::size_t>(n));
+  for (index_t k = 0; k < n; ++k) {
+    const index_t j = k + rng.next_index(space - k);
+    std::swap(pool[static_cast<std::size_t>(k)],
+              pool[static_cast<std::size_t>(j)]);
+    out[static_cast<std::size_t>(k)] = pool[static_cast<std::size_t>(k)];
+  }
+  return out;
+}
+
+}  // namespace pdx::gen

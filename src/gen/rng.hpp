@@ -1,0 +1,74 @@
+// rng.hpp — deterministic pseudo-random generation for workloads.
+//
+// Every generator in the library takes an explicit 64-bit seed and uses
+// this SplitMix64 engine, so all experiments are exactly reproducible
+// across runs and platforms (no dependence on std:: distribution
+// implementation details).
+#pragma once
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "runtime/types.hpp"
+
+namespace pdx::gen {
+
+/// SplitMix64 (Steele, Lea & Flood): tiny, high-quality, splittable.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() noexcept {
+    state_ += 0x9E3779B97F4A7C15ull;
+    std::uint64_t z = state_;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, 1).
+  double next_double() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform in [lo, hi).
+  double next_double(double lo, double hi) noexcept {
+    return lo + (hi - lo) * next_double();
+  }
+
+  /// Uniform integer in [0, bound). Uses rejection to avoid modulo bias.
+  std::uint64_t next_below(std::uint64_t bound) noexcept {
+    if (bound == 0) return 0;
+    const std::uint64_t limit = ~std::uint64_t{0} - ~std::uint64_t{0} % bound;
+    std::uint64_t x;
+    do {
+      x = next();
+    } while (x >= limit);
+    return x % bound;
+  }
+
+  index_t next_index(index_t bound) noexcept {
+    return static_cast<index_t>(next_below(static_cast<std::uint64_t>(bound)));
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Fisher–Yates shuffle driven by SplitMix64.
+template <class T>
+void shuffle(std::vector<T>& v, SplitMix64& rng) {
+  for (std::size_t i = v.size(); i > 1; --i) {
+    const std::size_t j =
+        static_cast<std::size_t>(rng.next_below(static_cast<std::uint64_t>(i)));
+    std::swap(v[i - 1], v[j]);
+  }
+}
+
+/// A random injective map from [0, n) into [0, space): a uniformly chosen
+/// n-subset of offsets in random order. Requires n <= space.
+std::vector<index_t> random_injection(index_t n, index_t space,
+                                      SplitMix64& rng);
+
+}  // namespace pdx::gen

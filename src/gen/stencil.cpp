@@ -1,0 +1,82 @@
+#include "gen/stencil.hpp"
+
+#include <stdexcept>
+
+namespace pdx::gen {
+
+namespace {
+
+void require_positive(index_t v, const char* what) {
+  if (v < 1) throw std::invalid_argument(std::string(what) + " must be >= 1");
+}
+
+}  // namespace
+
+sparse::Csr five_point(index_t nx, index_t ny) {
+  require_positive(nx, "nx");
+  require_positive(ny, "ny");
+  const index_t n = nx * ny;
+  sparse::CsrBuilder b(n, n);
+  for (index_t yy = 0; yy < ny; ++yy) {
+    for (index_t xx = 0; xx < nx; ++xx) {
+      const index_t p = yy * nx + xx;
+      b.add(p, p, 4.0);
+      if (xx > 0) b.add(p, p - 1, -1.0);
+      if (xx + 1 < nx) b.add(p, p + 1, -1.0);
+      if (yy > 0) b.add(p, p - nx, -1.0);
+      if (yy + 1 < ny) b.add(p, p + nx, -1.0);
+    }
+  }
+  return b.build();
+}
+
+sparse::Csr seven_point(index_t nx, index_t ny, index_t nz) {
+  require_positive(nx, "nx");
+  require_positive(ny, "ny");
+  require_positive(nz, "nz");
+  const index_t n = nx * ny * nz;
+  sparse::CsrBuilder b(n, n);
+  for (index_t zz = 0; zz < nz; ++zz) {
+    for (index_t yy = 0; yy < ny; ++yy) {
+      for (index_t xx = 0; xx < nx; ++xx) {
+        const index_t p = (zz * ny + yy) * nx + xx;
+        b.add(p, p, 6.0);
+        if (xx > 0) b.add(p, p - 1, -1.0);
+        if (xx + 1 < nx) b.add(p, p + 1, -1.0);
+        if (yy > 0) b.add(p, p - nx, -1.0);
+        if (yy + 1 < ny) b.add(p, p + nx, -1.0);
+        if (zz > 0) b.add(p, p - nx * ny, -1.0);
+        if (zz + 1 < nz) b.add(p, p + nx * ny, -1.0);
+      }
+    }
+  }
+  return b.build();
+}
+
+sparse::Csr nine_point(index_t nx, index_t ny) {
+  require_positive(nx, "nx");
+  require_positive(ny, "ny");
+  const index_t n = nx * ny;
+  sparse::CsrBuilder b(n, n);
+  for (index_t yy = 0; yy < ny; ++yy) {
+    for (index_t xx = 0; xx < nx; ++xx) {
+      const index_t p = yy * nx + xx;
+      b.add(p, p, 8.0);
+      for (index_t dy = -1; dy <= 1; ++dy) {
+        for (index_t dx = -1; dx <= 1; ++dx) {
+          if (dx == 0 && dy == 0) continue;
+          const index_t x2 = xx + dx, y2 = yy + dy;
+          if (x2 < 0 || x2 >= nx || y2 < 0 || y2 >= ny) continue;
+          b.add(p, y2 * nx + x2, -1.0);
+        }
+      }
+    }
+  }
+  return b.build();
+}
+
+sparse::Csr matrix_5pt() { return five_point(63, 63); }
+sparse::Csr matrix_7pt() { return seven_point(20, 20, 20); }
+sparse::Csr matrix_9pt() { return nine_point(63, 63); }
+
+}  // namespace pdx::gen

@@ -1,0 +1,37 @@
+// stencil.hpp — central-difference discretizations on regular grids.
+//
+// The scalar test matrices of the paper's appendix:
+//
+//   5-PT — five point central difference on a 63 x 63 grid (3969 eqs)
+//   7-PT — seven point central difference on 20 x 20 x 20 (8000 eqs)
+//   9-PT — nine point box scheme on a 63 x 63 grid (3969 eqs)
+//
+// All are standard Poisson-type operators: positive diagonal, -1 couplings,
+// weakly diagonally dominant, symmetric — ILU(0)-friendly and SPD, so the
+// same matrices also exercise the CG solver in the examples.
+#pragma once
+
+#include <cstdint>
+
+#include "sparse/csr.hpp"
+
+namespace pdx::gen {
+
+/// 2-D five point operator on an nx-by-ny grid: 4 on the diagonal,
+/// -1 to the N/S/E/W neighbours. Row-major grid numbering.
+sparse::Csr five_point(index_t nx, index_t ny);
+
+/// 3-D seven point operator on nx-by-ny-by-nz: 6 diagonal, -1 to the six
+/// axis neighbours.
+sparse::Csr seven_point(index_t nx, index_t ny, index_t nz);
+
+/// 2-D nine point box operator on nx-by-ny: 8 diagonal, -1 to all eight
+/// surrounding points (the box scheme of the appendix).
+sparse::Csr nine_point(index_t nx, index_t ny);
+
+/// The appendix's exact scalar instances.
+sparse::Csr matrix_5pt();  ///< 63 x 63 grid -> 3969 equations
+sparse::Csr matrix_7pt();  ///< 20 x 20 x 20 grid -> 8000 equations
+sparse::Csr matrix_9pt();  ///< 63 x 63 grid -> 3969 equations
+
+}  // namespace pdx::gen

@@ -1,0 +1,78 @@
+#include "gen/testloop.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace pdx::gen {
+
+TestLoop make_test_loop(const TestLoopParams& p, std::uint64_t seed) {
+  if (p.n < 1 || p.m < 1 || p.l < 1) {
+    throw std::invalid_argument("make_test_loop: n, m, l must be positive");
+  }
+  TestLoop tl;
+  tl.params = p;
+  // Shift both a and b by `base` so that the smallest read offset
+  // (i = 0, j = 0: base + 2 - L) stays non-negative. Shifting a and b
+  // together preserves every dependence relation of the paper's setup.
+  tl.base = p.l;
+
+  tl.a.resize(static_cast<std::size_t>(p.n));
+  tl.b.resize(static_cast<std::size_t>(p.n));
+  for (index_t i = 0; i < p.n; ++i) {
+    tl.a[static_cast<std::size_t>(i)] = 2 * i + tl.base;
+    tl.b[static_cast<std::size_t>(i)] = 2 * i + tl.base;
+  }
+
+  tl.nbrs.resize(static_cast<std::size_t>(p.m));
+  for (int j = 0; j < p.m; ++j) {
+    // Paper is 1-based: nbrs(j) = 2j - L for j = 1..M.
+    tl.nbrs[static_cast<std::size_t>(j)] = 2 * (j + 1) - p.l;
+  }
+
+  SplitMix64 rng(seed);
+  tl.val.resize(static_cast<std::size_t>(p.m));
+  for (int j = 0; j < p.m; ++j) {
+    // Small coefficients keep the length-N accumulation chains finite.
+    tl.val[static_cast<std::size_t>(j)] =
+        rng.next_double(-0.25, 0.25) / static_cast<double>(p.m);
+  }
+
+  // Largest offset either map can produce.
+  const index_t max_write = tl.a[static_cast<std::size_t>(p.n - 1)];
+  const index_t max_read =
+      tl.b[static_cast<std::size_t>(p.n - 1)] + tl.nbrs[static_cast<std::size_t>(p.m - 1)];
+  tl.value_space = std::max(max_write, max_read) + 1;
+
+  tl.y0.resize(static_cast<std::size_t>(tl.value_space));
+  for (auto& v : tl.y0) v = rng.next_double(-1.0, 1.0);
+  return tl;
+}
+
+std::vector<double> make_initial_y(const TestLoop& tl) { return tl.y0; }
+
+void run_test_loop_seq(const TestLoop& tl, std::span<double> y) {
+  if (static_cast<index_t>(y.size()) < tl.value_space) {
+    throw std::invalid_argument("run_test_loop_seq: y too small");
+  }
+  core::doacross_reference<double>(
+      std::span<const index_t>(tl.a), y,
+      [&tl](auto& it) { test_loop_body(tl, it); });
+}
+
+core::DepGraph test_loop_deps(const TestLoop& tl) {
+  return core::build_true_deps(
+      tl.params.n, std::span<const index_t>(tl.a), tl.value_space,
+      [&tl](index_t i, const std::function<void(index_t)>& emit) {
+        const index_t bi = tl.b[static_cast<std::size_t>(i)];
+        for (int j = 0; j < tl.params.m; ++j) {
+          emit(bi + tl.nbrs[static_cast<std::size_t>(j)]);
+        }
+      });
+}
+
+index_t count_true_deps(const TestLoop& tl) {
+  return test_loop_deps(tl).edges();
+}
+
+}  // namespace pdx::gen

@@ -1,0 +1,106 @@
+// testloop.hpp — the paper's preprocessed-doacross test loop (Fig. 4).
+//
+//     do i = 1, N
+//        do j = 1, M
+//           y(a(i)) = y(a(i)) + val(j) * y(b(i) + nbrs(j))
+//        end do
+//     end do
+//
+// with the §3.1 initialization a(i) = 2i and nbrs(j) = 2j - L (we use
+// b(i) = 2i as well, which reproduces the paper's behaviour exactly):
+//
+//   * odd L  — read offsets have opposite parity from written offsets, so
+//     there are **no cross-iteration dependences**; measured efficiency is
+//     the pure overhead floor of the mechanism (paper: ~0.33 at M=1,
+//     ~0.50 at M=5 on 16 procs).
+//   * even L — the reader of offset 2i + 2j - L is iteration i + j - L/2,
+//     i.e. a true dependence at distance L/2 - j (j < L/2), a self
+//     reference (j = L/2), or an antidependence (j > L/2). Larger L means
+//     longer distances, fewer forced waits, and monotonically rising
+//     efficiency — Figure 6's even-L series.
+//
+// All indices here are 0-based; a constant `base` shift (>= L) keeps every
+// offset non-negative without altering any dependence relation.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/doacross.hpp"
+#include "core/doconsider.hpp"
+#include "gen/rng.hpp"
+#include "runtime/types.hpp"
+
+namespace pdx::gen {
+
+struct TestLoopParams {
+  index_t n = 10000;  ///< N — outer iterations
+  int m = 5;          ///< M — reads per iteration (inner loop trips)
+  int l = 1;          ///< L — dependence-distance control, 1..14 in Fig. 6
+  /// Extra synthetic flops folded into each inner step. The 1990 Multimax
+  /// spent far more cycles per iteration relative to synchronization than
+  /// a modern core does; work_reps recovers the paper's work/overhead
+  /// ratio without changing any dependence (bench E1 reports both).
+  int work_reps = 0;
+};
+
+struct TestLoop {
+  TestLoopParams params;
+  index_t base = 0;           ///< offset shift applied to a and b
+  std::vector<index_t> a;     ///< writer map, a[i] = 2i + base
+  std::vector<index_t> b;     ///< read base,  b[i] = 2i + base
+  std::vector<index_t> nbrs;  ///< nbrs[j] = 2(j+1) - L, j in [0, M)
+  std::vector<double> val;    ///< val[j], deterministic pseudo-random
+  std::vector<double> y0;     ///< initial y, deterministic pseudo-random
+  index_t value_space = 0;    ///< exclusive bound on every offset used
+
+  index_t n() const noexcept { return params.n; }
+};
+
+/// Build the Fig. 4 workload for the given parameters.
+TestLoop make_test_loop(const TestLoopParams& p, std::uint64_t seed = 42);
+
+/// Deterministic extra work: `reps` fused multiply-adds that keep the
+/// value finite. Identical code on the sequential and parallel paths, so
+/// results stay bitwise comparable.
+inline double work_spin(double x, int reps) noexcept {
+  double acc = x;
+  for (int r = 0; r < reps; ++r) {
+    acc = acc * 0.999999999 + 1e-12;
+  }
+  return acc;
+}
+
+/// The loop body, shared verbatim by the sequential reference and every
+/// parallel executor (duck-typed `It`: index/lhs/read).
+template <class It>
+inline void test_loop_body(const TestLoop& tl, It& it) {
+  const index_t i = it.index();
+  const index_t bi = tl.b[static_cast<std::size_t>(i)];
+  const int m = tl.params.m;
+  const int reps = tl.params.work_reps;
+  double acc = it.lhs();
+  for (int j = 0; j < m; ++j) {
+    const double v = it.read(bi + tl.nbrs[static_cast<std::size_t>(j)]);
+    acc += tl.val[static_cast<std::size_t>(j)] * v;
+    if (reps > 0) acc = work_spin(acc, reps);
+  }
+  it.lhs() = acc;
+}
+
+/// Optimized sequential execution (the paper's T_seq baseline): original
+/// source order, original memory semantics, no synchronization state.
+void run_test_loop_seq(const TestLoop& tl, std::span<double> y);
+
+/// Fresh copy of the initial data sized to the loop's value space.
+std::vector<double> make_initial_y(const TestLoop& tl);
+
+/// Count the cross-iteration true dependences of the workload (for test
+/// assertions: zero for odd L, positive for even L with L/2 <= ... ).
+index_t count_true_deps(const TestLoop& tl);
+
+/// Build the dependence graph of the test loop (for doconsider and tests).
+core::DepGraph test_loop_deps(const TestLoop& tl);
+
+}  // namespace pdx::gen

@@ -1,0 +1,37 @@
+#include "runtime/affinity.hpp"
+
+#include <thread>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace pdx::rt {
+
+bool pin_this_thread(unsigned cpu) noexcept {
+#if defined(__linux__)
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(cpu, &set);
+  return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+#else
+  (void)cpu;
+  return false;
+#endif
+}
+
+unsigned allowed_cpus() noexcept {
+#if defined(__linux__)
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  if (pthread_getaffinity_np(pthread_self(), sizeof(set), &set) == 0) {
+    const int n = CPU_COUNT(&set);
+    if (n > 0) return static_cast<unsigned>(n);
+  }
+#endif
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : hc;
+}
+
+}  // namespace pdx::rt

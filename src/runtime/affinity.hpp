@@ -1,0 +1,18 @@
+// affinity.hpp — optional CPU pinning helpers.
+//
+// The original experiments ran on a 16-processor Encore Multimax where the
+// FORTRAN runtime bound workers to processors. On Linux we can reproduce
+// that with pthread affinity; on other platforms these calls degrade to
+// no-ops and report failure.
+#pragma once
+
+namespace pdx::rt {
+
+/// Pin the calling thread to logical CPU `cpu`. Returns true on success.
+bool pin_this_thread(unsigned cpu) noexcept;
+
+/// Number of logical CPUs the current thread may run on (affinity mask
+/// popcount), or hardware_concurrency if the mask is unavailable.
+unsigned allowed_cpus() noexcept;
+
+}  // namespace pdx::rt

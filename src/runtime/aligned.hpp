@@ -1,0 +1,69 @@
+// aligned.hpp — cache-line aware storage helpers.
+//
+// Shared-memory doacross synchronization lives or dies by false sharing:
+// per-thread counters and spin flags must not share destructively
+// interfered lines. These helpers provide (a) a padded wrapper that gives
+// a value its own cache line and (b) an aligned heap allocator usable with
+// std::vector.
+#pragma once
+
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+#include <utility>
+
+#include "runtime/types.hpp"
+
+namespace pdx::rt {
+
+/// A T padded out to (at least) one cache line. Use for per-thread slots in
+/// shared arrays, e.g. `std::vector<Padded<std::atomic<long>>>`.
+template <class T>
+struct alignas(kCacheLineBytes) Padded {
+  T value{};
+
+  Padded() = default;
+  explicit Padded(T v) : value(std::move(v)) {}
+
+  T& operator*() noexcept { return value; }
+  const T& operator*() const noexcept { return value; }
+  T* operator->() noexcept { return &value; }
+  const T* operator->() const noexcept { return &value; }
+};
+
+static_assert(sizeof(Padded<char>) >= kCacheLineBytes);
+static_assert(alignof(Padded<char>) == kCacheLineBytes);
+
+/// Minimal C++17-style allocator returning cache-line aligned memory.
+/// Suitable for the big value arrays (y, ynew) so SIMD loads in the
+/// executor bodies never straddle lines at the base.
+template <class T>
+class CacheAlignedAllocator {
+ public:
+  using value_type = T;
+
+  CacheAlignedAllocator() noexcept = default;
+  template <class U>
+  CacheAlignedAllocator(const CacheAlignedAllocator<U>&) noexcept {}
+
+  T* allocate(std::size_t n) {
+    if (n == 0) return nullptr;
+    void* p = ::operator new(n * sizeof(T), std::align_val_t{kCacheLineBytes});
+    return static_cast<T*>(p);
+  }
+
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t{kCacheLineBytes});
+  }
+
+  template <class U>
+  bool operator==(const CacheAlignedAllocator<U>&) const noexcept {
+    return true;
+  }
+  template <class U>
+  bool operator!=(const CacheAlignedAllocator<U>&) const noexcept {
+    return false;
+  }
+};
+
+}  // namespace pdx::rt

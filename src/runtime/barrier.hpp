@@ -1,0 +1,59 @@
+// barrier.hpp — epoch-counting centralized barrier.
+//
+// The preprocessed doacross runs inspector / executor / postprocessor as
+// three phases of one parallel region separated by barriers (paper Fig. 3).
+// This is a classic central barrier: the last arriver resets the count and
+// bumps the epoch; everyone else spins on the epoch. Epoch counting (rather
+// than sense reversal) needs no per-thread state and is safe for arbitrary
+// reuse, including back-to-back barriers.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+
+#include "runtime/aligned.hpp"
+#include "runtime/spin_wait.hpp"
+
+namespace pdx::rt {
+
+class Barrier {
+ public:
+  explicit Barrier(unsigned nthreads) : nthreads_(nthreads) {
+    assert(nthreads >= 1);
+  }
+
+  Barrier(const Barrier&) = delete;
+  Barrier& operator=(const Barrier&) = delete;
+
+  /// Block until all `nthreads` participants have arrived.
+  void arrive_and_wait() noexcept {
+    const std::uint32_t my_epoch = epoch_.value.load(std::memory_order_acquire);
+    const unsigned prior = arrived_.value.fetch_add(1, std::memory_order_acq_rel);
+    if (prior + 1 == nthreads_) {
+      // Last arriver releases the others. The reset of `arrived_` must be
+      // visible before the epoch bump, which the release store orders.
+      arrived_.value.store(0, std::memory_order_relaxed);
+      epoch_.value.fetch_add(1, std::memory_order_release);
+    } else {
+      SpinWait sw;
+      while (epoch_.value.load(std::memory_order_acquire) == my_epoch) {
+        sw.spin_once();
+      }
+    }
+  }
+
+  unsigned participants() const noexcept { return nthreads_; }
+
+  /// Number of full barrier episodes completed so far.
+  std::uint32_t epochs() const noexcept {
+    return epoch_.value.load(std::memory_order_acquire);
+  }
+
+ private:
+  Padded<std::atomic<unsigned>> arrived_{};    // value-initialized to 0
+  Padded<std::atomic<std::uint32_t>> epoch_{};  // value-initialized to 0
+  unsigned nthreads_;
+};
+
+}  // namespace pdx::rt

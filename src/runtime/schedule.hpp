@@ -1,0 +1,116 @@
+// schedule.hpp — iteration-to-processor assignment policies.
+//
+// A doacross loop must hand iterations to processors in an order that
+// cannot deadlock: a true dependence always points from iteration `i` to
+// some `j < i` (in executor order), so as long as (a) chunks are claimed in
+// globally non-decreasing order and (b) each thread retires its own
+// iterations in increasing order, the smallest unfinished iteration can
+// never be blocked and the loop always makes progress. All three policies
+// below satisfy (a) and (b); tests assert it.
+//
+//   StaticBlock  — thread t owns one contiguous block (paper-era default).
+//   StaticCyclic — chunks dealt round-robin; spreads dependence chains.
+//   Dynamic      — self-scheduling off a shared atomic cursor (the paper's
+//                  "schedule iterations of a loop among processors").
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <string>
+
+#include "runtime/types.hpp"
+
+namespace pdx::rt {
+
+enum class SchedKind : std::uint8_t { StaticBlock, StaticCyclic, Dynamic };
+
+/// Loop scheduling policy descriptor. `chunk == 0` selects a per-policy
+/// default (cyclic: 1; dynamic: ~8 chunks per thread).
+struct Schedule {
+  SchedKind kind = SchedKind::StaticBlock;
+  index_t chunk = 0;
+
+  static Schedule static_block() { return {SchedKind::StaticBlock, 0}; }
+  static Schedule static_cyclic(index_t chunk = 1) {
+    return {SchedKind::StaticCyclic, chunk};
+  }
+  static Schedule dynamic(index_t chunk = 0) {
+    return {SchedKind::Dynamic, chunk};
+  }
+};
+
+inline std::string to_string(const Schedule& s) {
+  switch (s.kind) {
+    case SchedKind::StaticBlock:
+      return "static-block";
+    case SchedKind::StaticCyclic:
+      return "static-cyclic/" + std::to_string(s.chunk ? s.chunk : 1);
+    case SchedKind::Dynamic:
+      return "dynamic/" + std::to_string(s.chunk);
+  }
+  return "?";
+}
+
+/// The contiguous range [begin, end) owned by thread `tid` of `nthreads`
+/// under a StaticBlock split of n iterations (remainder spread over the
+/// first `n % nthreads` threads).
+struct IterRange {
+  index_t begin = 0;
+  index_t end = 0;
+  index_t size() const noexcept { return end - begin; }
+};
+
+inline IterRange static_block_range(index_t n, unsigned tid, unsigned nthreads) {
+  assert(nthreads >= 1 && tid < nthreads);
+  const index_t base = n / nthreads;
+  const index_t extra = n % nthreads;
+  const index_t begin =
+      static_cast<index_t>(tid) * base + std::min<index_t>(tid, extra);
+  const index_t len = base + (static_cast<index_t>(tid) < extra ? 1 : 0);
+  return {begin, begin + len};
+}
+
+inline index_t default_dynamic_chunk(index_t n, unsigned nthreads) {
+  const index_t denom = static_cast<index_t>(nthreads) * 8;
+  return std::max<index_t>(1, n / std::max<index_t>(denom, 1));
+}
+
+/// Execute `f(i)` for every iteration assigned to (tid, nthreads) under
+/// schedule `s`, in increasing order of i within this thread. `cursor` is
+/// the shared claim counter for Dynamic scheduling (must be reset to 0
+/// before the parallel region; ignored by the static policies).
+template <class F>
+inline void schedule_run(const Schedule& s, index_t n, unsigned tid,
+                         unsigned nthreads, std::atomic<index_t>* cursor,
+                         F&& f) {
+  switch (s.kind) {
+    case SchedKind::StaticBlock: {
+      const IterRange r = static_block_range(n, tid, nthreads);
+      for (index_t i = r.begin; i < r.end; ++i) f(i);
+      return;
+    }
+    case SchedKind::StaticCyclic: {
+      const index_t c = s.chunk > 0 ? s.chunk : 1;
+      const index_t stride = c * static_cast<index_t>(nthreads);
+      for (index_t s0 = static_cast<index_t>(tid) * c; s0 < n; s0 += stride) {
+        const index_t hi = std::min(s0 + c, n);
+        for (index_t i = s0; i < hi; ++i) f(i);
+      }
+      return;
+    }
+    case SchedKind::Dynamic: {
+      assert(cursor != nullptr);
+      const index_t c = s.chunk > 0 ? s.chunk : default_dynamic_chunk(n, nthreads);
+      for (;;) {
+        const index_t s0 = cursor->fetch_add(c, std::memory_order_relaxed);
+        if (s0 >= n) return;
+        const index_t hi = std::min(s0 + c, n);
+        for (index_t i = s0; i < hi; ++i) f(i);
+      }
+    }
+  }
+}
+
+}  // namespace pdx::rt

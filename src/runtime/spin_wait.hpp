@@ -1,0 +1,90 @@
+// spin_wait.hpp — adaptive busy-wait primitive.
+//
+// The preprocessed doacross executor synchronizes through busy waits on
+// ready flags (paper Fig. 2 statement S1 and Fig. 5 statement S4). A naive
+// `while (!flag) {}` loop is hostile both to the memory system (it hammers
+// the line) and to oversubscribed runs (the producer may be descheduled).
+// SpinWait escalates politely: CPU pause instructions first, then
+// `std::this_thread::yield`, then short sleeps, so progress is guaranteed
+// even with more software threads than hardware contexts.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+namespace pdx::rt {
+
+/// One spin-wait episode. Construct fresh (or `reset()`) for each logical
+/// wait; call `spin_once()` each time the awaited condition is still false.
+///
+/// Escalation is deliberately patient: doacross producers usually finish
+/// within a few hundred nanoseconds, so the pause phase covers roughly a
+/// microsecond, the yield phase tens of microseconds, and the sleep
+/// backstop (needed only when software threads outnumber hardware
+/// contexts) engages late — an early sleep would stall entire dependence
+/// wavefronts behind one descheduled consumer.
+class SpinWait {
+ public:
+  /// Number of pause-only rounds before the first yield. Doacross link
+  /// latencies (producer finishing the tail of its iteration) run from
+  /// nanoseconds to tens of microseconds; the pause phase must cover them
+  /// without a yield, whose syscall latency would serialize dependence
+  /// chains (measured: microseconds per crossing once yields begin).
+  static constexpr std::uint32_t kPauseRounds = 1024;
+  /// Number of yield rounds before the sleep backstop engages.
+  static constexpr std::uint32_t kYieldRounds = 4096;
+
+  void spin_once() noexcept {
+    if (count_ < kPauseRounds) {
+      // Exponentially growing burst of pause instructions: 1, 2, 4, ... up
+      // to 64 per round. Keeps the loop short at first (low latency when
+      // the producer is about to finish) and backs off under contention.
+      std::uint32_t reps = 1u << (count_ < 6 ? count_ : 6);
+      for (std::uint32_t r = 0; r < reps; ++r) cpu_pause();
+    } else if (count_ < kPauseRounds + kYieldRounds ||
+               (count_ & 63u) != 0) {
+      std::this_thread::yield();
+    } else {
+      // Genuinely oversubscribed: sleep occasionally (every 64th round)
+      // so the producer gets a full scheduling quantum.
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+    ++count_;
+  }
+
+  void reset() noexcept { count_ = 0; }
+
+  /// Rounds spun so far in this episode (used by tests and stats).
+  std::uint32_t rounds() const noexcept { return count_; }
+
+  /// Architectural pause/relax hint; a plain compiler barrier elsewhere.
+  static void cpu_pause() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#elif defined(__aarch64__)
+    asm volatile("yield" ::: "memory");
+#else
+    asm volatile("" ::: "memory");
+#endif
+  }
+
+ private:
+  std::uint32_t count_ = 0;
+};
+
+/// Spin until `pred()` returns true. Returns the number of spin rounds
+/// taken (0 means the predicate was already true).
+template <class Pred>
+inline std::uint64_t spin_until(Pred&& pred) {
+  if (pred()) return 0;
+  SpinWait sw;
+  std::uint64_t rounds = 0;
+  while (!pred()) {
+    sw.spin_once();
+    ++rounds;
+  }
+  return rounds;
+}
+
+}  // namespace pdx::rt

@@ -1,0 +1,104 @@
+#include "runtime/thread_pool.hpp"
+
+#include <cassert>
+
+namespace pdx::rt {
+
+ThreadPool::ThreadPool(unsigned width)
+    : width_(width == 0 ? std::max(1u, std::thread::hardware_concurrency())
+                        : width) {
+  workers_.reserve(width_ > 0 ? width_ - 1 : 0);
+  for (unsigned tid = 1; tid < width_; ++tid) {
+    workers_.emplace_back([this, tid] { worker_main(tid); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stopping_ = true;
+    ++job_epoch_;
+  }
+  cv_start_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+void ThreadPool::record_exception() noexcept {
+  std::lock_guard<std::mutex> lk(exc_mu_);
+  if (!first_exception_) first_exception_ = std::current_exception();
+}
+
+void ThreadPool::worker_main(unsigned tid) {
+  std::uint64_t seen_epoch = 0;
+  for (;;) {
+    const RegionFn* job = nullptr;
+    unsigned job_width = 0;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_start_.wait(lk, [&] { return stopping_ || job_epoch_ != seen_epoch; });
+      if (stopping_) return;
+      seen_epoch = job_epoch_;
+      job = job_;
+      job_width = job_width_;
+    }
+    if (tid < job_width) {
+      try {
+        (*job)(tid, job_width);
+      } catch (...) {
+        record_exception();
+      }
+      bool last;
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        last = (--outstanding_ == 0);
+      }
+      if (last) cv_done_.notify_one();
+    }
+  }
+}
+
+void ThreadPool::parallel_region(unsigned nthreads, const RegionFn& fn) {
+  nthreads = clamp_threads(nthreads);
+  if (nthreads <= 1) {
+    fn(0, 1);
+    return;
+  }
+
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    assert(outstanding_ == 0 && "parallel_region is not reentrant");
+    job_ = &fn;
+    job_width_ = nthreads;
+    outstanding_ = nthreads - 1;  // workers 1..nthreads-1
+    ++job_epoch_;
+  }
+  cv_start_.notify_all();
+
+  // The calling thread is member 0.
+  try {
+    fn(0, nthreads);
+  } catch (...) {
+    record_exception();
+  }
+
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_done_.wait(lk, [&] { return outstanding_ == 0; });
+    job_ = nullptr;
+  }
+
+  std::exception_ptr eptr;
+  {
+    std::lock_guard<std::mutex> lk(exc_mu_);
+    eptr = first_exception_;
+    first_exception_ = nullptr;
+  }
+  if (eptr) std::rethrow_exception(eptr);
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace pdx::rt

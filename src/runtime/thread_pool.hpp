@@ -1,0 +1,93 @@
+// thread_pool.hpp — persistent worker pool with fork/join parallel regions.
+//
+// This is the stand-in for the Encore Multimax "parallel do" runtime the
+// paper ran on: a fixed team of OS threads that repeatedly executes
+// SPMD-style regions. The calling thread participates as member 0, so a
+// pool of width 1 runs everything inline with zero threads.
+//
+// The doacross executor needs all `nthreads` members of a region to be
+// genuinely concurrent (they busy-wait on each other), which a task-queue
+// style pool does not guarantee; this fork/join design does.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "runtime/schedule.hpp"
+#include "runtime/types.hpp"
+
+namespace pdx::rt {
+
+class ThreadPool {
+ public:
+  /// Function run by every member of a parallel region.
+  using RegionFn = std::function<void(unsigned tid, unsigned nthreads)>;
+
+  /// Create a pool of logical width `width` (0 → hardware_concurrency).
+  /// Spawns `width - 1` worker threads; the caller is always member 0.
+  explicit ThreadPool(unsigned width = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Logical width (maximum region size).
+  unsigned width() const noexcept { return width_; }
+
+  /// Run `fn(tid, nthreads)` on `nthreads` members (clamped to width()).
+  /// Blocks until every member finishes. The first exception thrown by any
+  /// member is rethrown here after all members have completed.
+  void parallel_region(unsigned nthreads, const RegionFn& fn);
+
+  /// Convenience: run `f(i)` for i in [0, n) across `nthreads` members
+  /// under schedule `s`.
+  template <class F>
+  void parallel_for(index_t n, unsigned nthreads, F&& f,
+                    const Schedule& s = {}) {
+    if (n <= 0) return;
+    nthreads = clamp_threads(nthreads);
+    if (nthreads <= 1 || n == 1) {
+      for (index_t i = 0; i < n; ++i) f(i);
+      return;
+    }
+    std::atomic<index_t> cursor{0};
+    parallel_region(nthreads, [&](unsigned tid, unsigned nth) {
+      schedule_run(s, n, tid, nth, &cursor, f);
+    });
+  }
+
+  /// Process-wide default pool, created on first use with hardware width.
+  static ThreadPool& global();
+
+  unsigned clamp_threads(unsigned nthreads) const noexcept {
+    if (nthreads == 0 || nthreads > width_) return width_;
+    return nthreads;
+  }
+
+ private:
+  void worker_main(unsigned tid);
+  void record_exception() noexcept;
+
+  unsigned width_;
+  std::vector<std::thread> workers_;  // members 1 .. width_-1
+
+  std::mutex mu_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  const RegionFn* job_ = nullptr;
+  unsigned job_width_ = 0;
+  std::uint64_t job_epoch_ = 0;   // bumped per dispatched region
+  unsigned outstanding_ = 0;      // workers still inside current region
+  bool stopping_ = false;
+
+  std::mutex exc_mu_;
+  std::exception_ptr first_exception_;
+};
+
+}  // namespace pdx::rt

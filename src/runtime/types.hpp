@@ -1,0 +1,24 @@
+// types.hpp — project-wide fundamental types.
+//
+// Part of the preprocessed-doacross library (Saltz & Mirchandaney, ICASE
+// Interim Report 11, 1990). Every module uses `pdx::index_t` for loop
+// iteration numbers and array offsets; it is signed so that dependence
+// distances (i - j) and the paper's `check = iter(offset) - i` test are
+// directly expressible.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace pdx {
+
+/// Iteration / offset index. Signed 64-bit: large index sets, and signed
+/// arithmetic for dependence-distance tests.
+using index_t = std::int64_t;
+
+/// Size of a destructive-interference-free block on the target machines.
+/// Used to pad per-thread mutable state so spin loops on one flag do not
+/// invalidate neighbouring threads' lines.
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+}  // namespace pdx

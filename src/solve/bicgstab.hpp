@@ -1,0 +1,30 @@
+// bicgstab.hpp — preconditioned BiCGSTAB.
+//
+// The third standard Krylov method of the substrate (van der Vorst 1992):
+// nonsymmetric systems with short recurrences — constant memory where
+// GMRES(m) stores m basis vectors. Each iteration applies the
+// preconditioner twice, i.e. runs four of the paper's triangular solves
+// when M = ILU(0).
+#pragma once
+
+#include <span>
+
+#include "solve/cg.hpp"  // SolveReport
+#include "solve/precond.hpp"
+#include "sparse/csr.hpp"
+
+namespace pdx::solve {
+
+struct BicgstabOptions {
+  int max_iterations = 1000;
+  double rel_tolerance = 1e-10;
+  bool record_history = true;
+};
+
+/// Solve A x = b; x holds the initial guess on entry, the solution on
+/// exit. Reports convergence against ||b||.
+SolveReport bicgstab(const sparse::Csr& a, std::span<const double> b,
+                     std::span<double> x, const Preconditioner& m,
+                     const BicgstabOptions& opts = {});
+
+}  // namespace pdx::solve

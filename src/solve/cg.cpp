@@ -1,0 +1,73 @@
+#include "solve/cg.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "solve/vec.hpp"
+#include "sparse/spmv.hpp"
+
+namespace pdx::solve {
+
+SolveReport pcg(const sparse::Csr& a, std::span<const double> b,
+                std::span<double> x, const Preconditioner& m,
+                const CgOptions& opts) {
+  if (a.rows != a.cols) throw std::invalid_argument("pcg: matrix not square");
+  const std::size_t n = static_cast<std::size_t>(a.rows);
+  if (b.size() < n || x.size() < n) {
+    throw std::invalid_argument("pcg: vector size mismatch");
+  }
+
+  std::vector<double> r(n), z(n), p(n), ap(n);
+
+  // r = b - A x
+  sparse::spmv(a, x, r);
+  for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - r[i];
+
+  const double bnorm = norm2(b);
+  const double stop = opts.rel_tolerance * (bnorm > 0.0 ? bnorm : 1.0);
+
+  SolveReport rep;
+  double rnorm = norm2(r);
+  if (opts.record_history) {
+    rep.residual_history.push_back(bnorm > 0 ? rnorm / bnorm : rnorm);
+  }
+  if (rnorm <= stop) {
+    rep.converged = true;
+    rep.final_relative_residual = bnorm > 0 ? rnorm / bnorm : rnorm;
+    return rep;
+  }
+
+  m.apply(r, z);
+  copy(z, p);
+  double rho = dot(r, z);
+
+  for (int it = 0; it < opts.max_iterations; ++it) {
+    sparse::spmv(a, p, ap);
+    const double denom = dot(p, ap);
+    if (denom == 0.0 || !std::isfinite(denom)) break;
+    const double alpha = rho / denom;
+    axpy(alpha, p, x);
+    axpy(-alpha, ap, r);
+
+    rnorm = norm2(r);
+    rep.iterations = it + 1;
+    if (opts.record_history) {
+      rep.residual_history.push_back(bnorm > 0 ? rnorm / bnorm : rnorm);
+    }
+    if (rnorm <= stop) {
+      rep.converged = true;
+      break;
+    }
+
+    m.apply(r, z);
+    const double rho_new = dot(r, z);
+    const double beta = rho_new / rho;
+    rho = rho_new;
+    // p = z + beta p
+    xpby(z, beta, p);
+  }
+  rep.final_relative_residual = bnorm > 0 ? rnorm / bnorm : rnorm;
+  return rep;
+}
+
+}  // namespace pdx::solve

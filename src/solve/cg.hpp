@@ -1,0 +1,36 @@
+// cg.hpp — preconditioned conjugate gradients.
+//
+// The Krylov context of paper §3.2 / reference [1]: an SPD system solved by
+// PCG with an ILU(0) (or Jacobi/identity) preconditioner, where each
+// iteration applies the preconditioner — i.e. runs the paper's sparse
+// triangular solves.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "solve/precond.hpp"
+#include "sparse/csr.hpp"
+
+namespace pdx::solve {
+
+struct SolveReport {
+  bool converged = false;
+  int iterations = 0;
+  double final_relative_residual = 0.0;
+  std::vector<double> residual_history;  ///< relative residual per iteration
+};
+
+struct CgOptions {
+  int max_iterations = 1000;
+  double rel_tolerance = 1e-10;
+  bool record_history = true;
+};
+
+/// Solve A x = b for SPD A; x holds the initial guess on entry and the
+/// solution on exit.
+SolveReport pcg(const sparse::Csr& a, std::span<const double> b,
+                std::span<double> x, const Preconditioner& m,
+                const CgOptions& opts = {});
+
+}  // namespace pdx::solve

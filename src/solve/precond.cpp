@@ -1,0 +1,65 @@
+#include "solve/precond.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+#include "sparse/permute.hpp"
+#include "solve/vec.hpp"
+
+namespace pdx::solve {
+
+JacobiPreconditioner::JacobiPreconditioner(const sparse::Csr& a) {
+  if (a.rows != a.cols) throw std::invalid_argument("jacobi: not square");
+  inv_diag_.resize(static_cast<std::size_t>(a.rows));
+  for (index_t i = 0; i < a.rows; ++i) {
+    const double d = a.at(i, i);
+    if (d == 0.0) throw std::invalid_argument("jacobi: zero diagonal");
+    inv_diag_[static_cast<std::size_t>(i)] = 1.0 / d;
+  }
+}
+
+void JacobiPreconditioner::apply(std::span<const double> r,
+                                 std::span<double> z) const {
+  for (std::size_t i = 0; i < inv_diag_.size(); ++i) {
+    z[i] = r[i] * inv_diag_[i];
+  }
+}
+
+Ilu0Preconditioner::Ilu0Preconditioner(const sparse::Csr& a)
+    : f_(sparse::ilu0(a)), tmp_(static_cast<std::size_t>(a.rows)) {}
+
+void Ilu0Preconditioner::apply(std::span<const double> r,
+                               std::span<double> z) const {
+  sparse::trisolve_lower_seq(f_.l, r, tmp_);
+  sparse::trisolve_upper_seq(f_.u, tmp_, z);
+}
+
+DoacrossIlu0Preconditioner::DoacrossIlu0Preconditioner(rt::ThreadPool& pool,
+                                                       const sparse::Csr& a,
+                                                       bool reorder,
+                                                       unsigned nthreads)
+    : pool_(&pool),
+      f_(sparse::ilu0(a)),
+      nthreads_(nthreads),
+      tmp_(static_cast<std::size_t>(a.rows)),
+      ready_(a.rows) {
+  if (reorder) {
+    l_order_ = std::make_unique<core::Reordering>(
+        sparse::lower_solve_reordering(f_.l));
+    u_order_ = std::make_unique<core::Reordering>(
+        sparse::upper_solve_reordering(f_.u));
+  }
+}
+
+void DoacrossIlu0Preconditioner::apply(std::span<const double> r,
+                                       std::span<double> z) const {
+  sparse::TrisolveOptions opts;
+  opts.nthreads = nthreads_;
+  opts.order = l_order_ ? l_order_->order.data() : nullptr;
+  sparse::trisolve_doacross(*pool_, f_.l, r, tmp_, ready_, opts);
+
+  opts.order = u_order_ ? u_order_->order.data() : nullptr;
+  sparse::trisolve_upper_doacross(*pool_, f_.u, tmp_, z, ready_, opts);
+}
+
+}  // namespace pdx::solve

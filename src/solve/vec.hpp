@@ -1,0 +1,41 @@
+// vec.hpp — dense vector kernels for the Krylov solvers.
+#pragma once
+
+#include <cmath>
+#include <span>
+#include <vector>
+
+namespace pdx::solve {
+
+inline double dot(std::span<const double> a, std::span<const double> b) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+inline double norm2(std::span<const double> a) { return std::sqrt(dot(a, a)); }
+
+/// y += alpha * x
+inline void axpy(double alpha, std::span<const double> x,
+                 std::span<double> y) {
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+/// y = x + beta * y
+inline void xpby(std::span<const double> x, double beta, std::span<double> y) {
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] = x[i] + beta * y[i];
+}
+
+inline void scale(double alpha, std::span<double> x) {
+  for (auto& v : x) v *= alpha;
+}
+
+inline void copy(std::span<const double> src, std::span<double> dst) {
+  for (std::size_t i = 0; i < src.size(); ++i) dst[i] = src[i];
+}
+
+inline void fill(std::span<double> x, double v) {
+  for (auto& e : x) e = v;
+}
+
+}  // namespace pdx::solve

@@ -1,0 +1,193 @@
+// csr.hpp — compressed sparse row matrices.
+//
+// The substrate for the paper's §3.2 experiments: sparse triangular systems
+// from incompletely factored PDE discretizations. Row-major CSR with sorted
+// column indices; `index_t` indices to match the rest of the library.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "runtime/types.hpp"
+
+namespace pdx::sparse {
+
+struct Csr {
+  index_t rows = 0;
+  index_t cols = 0;
+  std::vector<index_t> ptr;  ///< size rows + 1
+  std::vector<index_t> idx;  ///< column indices, sorted within each row
+  std::vector<double> val;   ///< one per stored entry
+
+  Csr() = default;
+  Csr(index_t r, index_t c) : rows(r), cols(c), ptr(static_cast<std::size_t>(r) + 1, 0) {}
+
+  index_t nnz() const noexcept { return static_cast<index_t>(idx.size()); }
+
+  index_t row_begin(index_t r) const noexcept {
+    return ptr[static_cast<std::size_t>(r)];
+  }
+  index_t row_end(index_t r) const noexcept {
+    return ptr[static_cast<std::size_t>(r) + 1];
+  }
+  index_t row_nnz(index_t r) const noexcept {
+    return row_end(r) - row_begin(r);
+  }
+
+  std::span<const index_t> row_cols(index_t r) const noexcept {
+    return {idx.data() + row_begin(r), idx.data() + row_end(r)};
+  }
+  std::span<const double> row_vals(index_t r) const noexcept {
+    return {val.data() + row_begin(r), val.data() + row_end(r)};
+  }
+
+  /// Value at (r, c), or 0 if the entry is not stored. Binary search —
+  /// requires sorted rows.
+  double at(index_t r, index_t c) const noexcept {
+    const auto cols_span = row_cols(r);
+    const auto it = std::lower_bound(cols_span.begin(), cols_span.end(), c);
+    if (it == cols_span.end() || *it != c) return 0.0;
+    return val[static_cast<std::size_t>(row_begin(r) + (it - cols_span.begin()))];
+  }
+
+  /// Position of entry (r, c) in idx/val, or -1 if absent.
+  index_t find(index_t r, index_t c) const noexcept {
+    const auto cols_span = row_cols(r);
+    const auto it = std::lower_bound(cols_span.begin(), cols_span.end(), c);
+    if (it == cols_span.end() || *it != c) return -1;
+    return row_begin(r) + static_cast<index_t>(it - cols_span.begin());
+  }
+
+  bool rows_sorted() const noexcept {
+    for (index_t r = 0; r < rows; ++r) {
+      const auto c = row_cols(r);
+      if (!std::is_sorted(c.begin(), c.end())) return false;
+    }
+    return true;
+  }
+
+  /// Throw if the structure is inconsistent (sizes, ordering, bounds).
+  void validate() const {
+    if (static_cast<index_t>(ptr.size()) != rows + 1) {
+      throw std::invalid_argument("Csr: ptr size mismatch");
+    }
+    if (ptr.front() != 0 || ptr.back() != nnz() ||
+        idx.size() != val.size()) {
+      throw std::invalid_argument("Csr: ptr/idx/val mismatch");
+    }
+    for (index_t r = 0; r < rows; ++r) {
+      if (row_begin(r) > row_end(r)) {
+        throw std::invalid_argument("Csr: decreasing ptr at row " +
+                                    std::to_string(r));
+      }
+      index_t prev = -1;
+      for (index_t k = row_begin(r); k < row_end(r); ++k) {
+        const index_t c = idx[static_cast<std::size_t>(k)];
+        if (c < 0 || c >= cols) {
+          throw std::invalid_argument("Csr: column out of range");
+        }
+        if (c <= prev) {
+          throw std::invalid_argument("Csr: unsorted/duplicate column in row " +
+                                      std::to_string(r));
+        }
+        prev = c;
+      }
+    }
+  }
+
+  /// True iff every stored entry satisfies col <= row (col >= row).
+  bool is_lower_triangular() const noexcept {
+    for (index_t r = 0; r < rows; ++r) {
+      for (index_t c : row_cols(r)) {
+        if (c > r) return false;
+      }
+    }
+    return true;
+  }
+  bool is_upper_triangular() const noexcept {
+    for (index_t r = 0; r < rows; ++r) {
+      for (index_t c : row_cols(r)) {
+        if (c < r) return false;
+      }
+    }
+    return true;
+  }
+
+  Csr transposed() const {
+    Csr t(cols, rows);
+    t.ptr.assign(static_cast<std::size_t>(cols) + 1, 0);
+    for (index_t c : idx) ++t.ptr[static_cast<std::size_t>(c) + 1];
+    for (index_t c = 0; c < cols; ++c) {
+      t.ptr[static_cast<std::size_t>(c) + 1] += t.ptr[static_cast<std::size_t>(c)];
+    }
+    t.idx.resize(idx.size());
+    t.val.resize(val.size());
+    std::vector<index_t> cursor(t.ptr.begin(), t.ptr.end() - 1);
+    for (index_t r = 0; r < rows; ++r) {
+      for (index_t k = row_begin(r); k < row_end(r); ++k) {
+        const index_t c = idx[static_cast<std::size_t>(k)];
+        const index_t pos = cursor[static_cast<std::size_t>(c)]++;
+        t.idx[static_cast<std::size_t>(pos)] = r;
+        t.val[static_cast<std::size_t>(pos)] = val[static_cast<std::size_t>(k)];
+      }
+    }
+    return t;
+  }
+};
+
+/// Triplet (COO) builder: accumulate entries in any order, duplicates sum.
+class CsrBuilder {
+ public:
+  CsrBuilder(index_t rows, index_t cols) : rows_(rows), cols_(cols) {}
+
+  void add(index_t r, index_t c, double v) {
+    assert(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    entries_.push_back({r, c, v});
+  }
+
+  index_t pending() const noexcept {
+    return static_cast<index_t>(entries_.size());
+  }
+
+  /// Sort, merge duplicates, and emit the CSR matrix.
+  Csr build() {
+    std::sort(entries_.begin(), entries_.end(), [](const E& a, const E& b) {
+      return a.r != b.r ? a.r < b.r : a.c < b.c;
+    });
+    Csr m(rows_, cols_);
+    m.ptr.assign(static_cast<std::size_t>(rows_) + 1, 0);
+    std::size_t out = 0;
+    for (std::size_t k = 0; k < entries_.size();) {
+      std::size_t k2 = k;
+      double sum = 0.0;
+      while (k2 < entries_.size() && entries_[k2].r == entries_[k].r &&
+             entries_[k2].c == entries_[k].c) {
+        sum += entries_[k2].v;
+        ++k2;
+      }
+      m.idx.push_back(entries_[k].c);
+      m.val.push_back(sum);
+      ++m.ptr[static_cast<std::size_t>(entries_[k].r) + 1];
+      ++out;
+      k = k2;
+    }
+    for (index_t r = 0; r < rows_; ++r) {
+      m.ptr[static_cast<std::size_t>(r) + 1] += m.ptr[static_cast<std::size_t>(r)];
+    }
+    return m;
+  }
+
+ private:
+  struct E {
+    index_t r, c;
+    double v;
+  };
+  index_t rows_, cols_;
+  std::vector<E> entries_;
+};
+
+}  // namespace pdx::sparse

@@ -1,0 +1,85 @@
+#include "sparse/dense.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace pdx::sparse {
+
+Dense Dense::from_csr(const Csr& m) {
+  Dense d(m.rows, m.cols);
+  for (index_t r = 0; r < m.rows; ++r) {
+    for (index_t k = m.row_begin(r); k < m.row_end(r); ++k) {
+      d(r, m.idx[static_cast<std::size_t>(k)]) =
+          m.val[static_cast<std::size_t>(k)];
+    }
+  }
+  return d;
+}
+
+std::vector<double> Dense::matvec(std::span<const double> x) const {
+  if (static_cast<index_t>(x.size()) < cols_) {
+    throw std::invalid_argument("Dense::matvec: x too small");
+  }
+  std::vector<double> y(static_cast<std::size_t>(rows_), 0.0);
+  for (index_t r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    for (index_t c = 0; c < cols_; ++c) acc += (*this)(r, c) * x[static_cast<std::size_t>(c)];
+    y[static_cast<std::size_t>(r)] = acc;
+  }
+  return y;
+}
+
+Dense Dense::matmul(const Dense& b) const {
+  if (cols_ != b.rows_) throw std::invalid_argument("Dense::matmul: shape");
+  Dense out(rows_, b.cols_);
+  for (index_t i = 0; i < rows_; ++i) {
+    for (index_t k = 0; k < cols_; ++k) {
+      const double aik = (*this)(i, k);
+      if (aik == 0.0) continue;
+      for (index_t j = 0; j < b.cols_; ++j) {
+        out(i, j) += aik * b(k, j);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<double> Dense::lower_solve(std::span<const double> rhs) const {
+  if (rows_ != cols_ || static_cast<index_t>(rhs.size()) < rows_) {
+    throw std::invalid_argument("Dense::lower_solve: shape");
+  }
+  std::vector<double> y(static_cast<std::size_t>(rows_), 0.0);
+  for (index_t i = 0; i < rows_; ++i) {
+    double acc = rhs[static_cast<std::size_t>(i)];
+    for (index_t c = 0; c < i; ++c) acc -= (*this)(i, c) * y[static_cast<std::size_t>(c)];
+    y[static_cast<std::size_t>(i)] = acc / (*this)(i, i);
+  }
+  return y;
+}
+
+std::vector<double> Dense::upper_solve(std::span<const double> rhs) const {
+  if (rows_ != cols_ || static_cast<index_t>(rhs.size()) < rows_) {
+    throw std::invalid_argument("Dense::upper_solve: shape");
+  }
+  std::vector<double> y(static_cast<std::size_t>(rows_), 0.0);
+  for (index_t i = rows_ - 1; i >= 0; --i) {
+    double acc = rhs[static_cast<std::size_t>(i)];
+    for (index_t c = i + 1; c < cols_; ++c) acc -= (*this)(i, c) * y[static_cast<std::size_t>(c)];
+    y[static_cast<std::size_t>(i)] = acc / (*this)(i, i);
+  }
+  return y;
+}
+
+double Dense::max_abs_diff(const Dense& a, const Dense& b) {
+  if (a.rows_ != b.rows_ || a.cols_ != b.cols_) {
+    throw std::invalid_argument("Dense::max_abs_diff: shape");
+  }
+  double m = 0.0;
+  for (std::size_t k = 0; k < a.a_.size(); ++k) {
+    m = std::max(m, std::fabs(a.a_[k] - b.a_[k]));
+  }
+  return m;
+}
+
+}  // namespace pdx::sparse

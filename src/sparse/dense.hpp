@@ -1,0 +1,51 @@
+// dense.hpp — small dense matrices for reference checks.
+//
+// The unit tests validate sparse kernels (SpMV, triangular solves, ILU(0))
+// against straightforward dense arithmetic on small problems. Row-major,
+// double only; nothing here is performance-relevant.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "runtime/types.hpp"
+#include "sparse/csr.hpp"
+
+namespace pdx::sparse {
+
+class Dense {
+ public:
+  Dense() = default;
+  Dense(index_t rows, index_t cols)
+      : rows_(rows), cols_(cols),
+        a_(static_cast<std::size_t>(rows * cols), 0.0) {}
+
+  static Dense from_csr(const Csr& m);
+
+  index_t rows() const noexcept { return rows_; }
+  index_t cols() const noexcept { return cols_; }
+
+  double& operator()(index_t r, index_t c) noexcept {
+    return a_[static_cast<std::size_t>(r * cols_ + c)];
+  }
+  double operator()(index_t r, index_t c) const noexcept {
+    return a_[static_cast<std::size_t>(r * cols_ + c)];
+  }
+
+  std::vector<double> matvec(std::span<const double> x) const;
+  Dense matmul(const Dense& b) const;
+
+  /// Forward substitution for a lower-triangular dense matrix.
+  std::vector<double> lower_solve(std::span<const double> rhs) const;
+  /// Backward substitution for an upper-triangular dense matrix.
+  std::vector<double> upper_solve(std::span<const double> rhs) const;
+
+  /// max |a - b| over all entries (infinity norm of the difference).
+  static double max_abs_diff(const Dense& a, const Dense& b);
+
+ private:
+  index_t rows_ = 0, cols_ = 0;
+  std::vector<double> a_;
+};
+
+}  // namespace pdx::sparse

@@ -1,0 +1,98 @@
+#include "sparse/ilu0.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace pdx::sparse {
+
+IluFactors ilu0(const Csr& a) {
+  if (a.rows != a.cols) throw std::invalid_argument("ilu0: matrix not square");
+  a.validate();
+
+  const index_t n = a.rows;
+  // Work on a copy of the values; the pattern never changes (zero fill).
+  std::vector<double> w = a.val;
+
+  // Diagonal positions, needed as pivots throughout.
+  std::vector<index_t> diag(static_cast<std::size_t>(n));
+  for (index_t i = 0; i < n; ++i) {
+    const index_t d = a.find(i, i);
+    if (d < 0) {
+      throw std::invalid_argument("ilu0: missing diagonal at row " +
+                                  std::to_string(i));
+    }
+    diag[static_cast<std::size_t>(i)] = d;
+  }
+
+  // Scatter buffer: position of column c within the current row, or -1.
+  std::vector<index_t> pos(static_cast<std::size_t>(n), -1);
+
+  for (index_t i = 0; i < n; ++i) {
+    for (index_t k = a.row_begin(i); k < a.row_end(i); ++k) {
+      pos[static_cast<std::size_t>(a.idx[static_cast<std::size_t>(k)])] = k;
+    }
+    // Eliminate with every previous row k that appears in row i.
+    for (index_t kk = a.row_begin(i); kk < a.row_end(i); ++kk) {
+      const index_t k = a.idx[static_cast<std::size_t>(kk)];
+      if (k >= i) break;  // sorted row: strictly-lower part is first
+      const double pivot = w[static_cast<std::size_t>(diag[static_cast<std::size_t>(k)])];
+      if (pivot == 0.0 || !std::isfinite(pivot)) {
+        throw std::runtime_error("ilu0: zero/invalid pivot at row " +
+                                 std::to_string(k));
+      }
+      const double lik = w[static_cast<std::size_t>(kk)] / pivot;
+      w[static_cast<std::size_t>(kk)] = lik;
+      // Subtract lik * (row k's upper part), restricted to row i's pattern.
+      for (index_t jj = diag[static_cast<std::size_t>(k)] + 1;
+           jj < a.row_end(k); ++jj) {
+        const index_t j = a.idx[static_cast<std::size_t>(jj)];
+        const index_t p = pos[static_cast<std::size_t>(j)];
+        if (p >= 0) {
+          w[static_cast<std::size_t>(p)] -=
+              lik * w[static_cast<std::size_t>(jj)];
+        }
+      }
+    }
+    for (index_t k = a.row_begin(i); k < a.row_end(i); ++k) {
+      pos[static_cast<std::size_t>(a.idx[static_cast<std::size_t>(k)])] = -1;
+    }
+    const double piv = w[static_cast<std::size_t>(diag[static_cast<std::size_t>(i)])];
+    if (piv == 0.0 || !std::isfinite(piv)) {
+      throw std::runtime_error("ilu0: zero/invalid pivot produced at row " +
+                               std::to_string(i));
+    }
+  }
+
+  // Split the factored values into L (strictly lower + unit diagonal) and
+  // U (diagonal + strictly upper).
+  IluFactors f;
+  f.l = Csr(a.rows, a.cols);
+  f.u = Csr(a.rows, a.cols);
+  for (index_t i = 0; i < n; ++i) {
+    for (index_t k = a.row_begin(i); k < a.row_end(i); ++k) {
+      const index_t c = a.idx[static_cast<std::size_t>(k)];
+      if (c < i) {
+        f.l.idx.push_back(c);
+        f.l.val.push_back(w[static_cast<std::size_t>(k)]);
+        ++f.l.ptr[static_cast<std::size_t>(i) + 1];
+      } else {
+        f.u.idx.push_back(c);
+        f.u.val.push_back(w[static_cast<std::size_t>(k)]);
+        ++f.u.ptr[static_cast<std::size_t>(i) + 1];
+      }
+    }
+    // Explicit unit diagonal closes each L row (kept last, sorted order).
+    f.l.idx.push_back(i);
+    f.l.val.push_back(1.0);
+    ++f.l.ptr[static_cast<std::size_t>(i) + 1];
+  }
+  for (index_t i = 0; i < n; ++i) {
+    f.l.ptr[static_cast<std::size_t>(i) + 1] += f.l.ptr[static_cast<std::size_t>(i)];
+    f.u.ptr[static_cast<std::size_t>(i) + 1] += f.u.ptr[static_cast<std::size_t>(i)];
+  }
+  return f;
+}
+
+}  // namespace pdx::sparse

@@ -1,0 +1,31 @@
+// ilu0.hpp — incomplete LU factorization with zero fill (ILU(0)).
+//
+// "Many of the sparse triangular systems we use for model problems arise
+//  from incompletely factored matrices obtained from a variety of
+//  discretized partial differential equations." (paper §3.2, citing [1])
+//
+// ILU(0) computes L (unit lower) and U (upper) such that A ≈ L·U with the
+// product's sparsity restricted to A's pattern: at every stored position of
+// A, (L·U)(i,j) equals A(i,j) exactly. Rows must be sorted and every
+// diagonal entry must be stored and end up nonzero.
+#pragma once
+
+#include "sparse/csr.hpp"
+
+namespace pdx::sparse {
+
+struct IluFactors {
+  /// Unit lower triangular factor, diagonal (1.0) stored explicitly as the
+  /// last entry of each row.
+  Csr l;
+  /// Upper triangular factor, diagonal stored as the first entry of each
+  /// row.
+  Csr u;
+};
+
+/// Factor `a` (square, sorted rows, explicit nonzero diagonal) in the
+/// IKJ ordering restricted to a's pattern. Throws on structural problems
+/// or a zero pivot.
+IluFactors ilu0(const Csr& a);
+
+}  // namespace pdx::sparse

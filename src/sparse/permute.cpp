@@ -1,0 +1,76 @@
+#include "sparse/permute.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pdx::sparse {
+
+std::vector<index_t> invert_permutation(std::span<const index_t> perm) {
+  std::vector<index_t> inv(perm.size(), -1);
+  for (std::size_t k = 0; k < perm.size(); ++k) {
+    const index_t old = perm[k];
+    if (old < 0 || old >= static_cast<index_t>(perm.size()) ||
+        inv[static_cast<std::size_t>(old)] != -1) {
+      throw std::invalid_argument("invert_permutation: not a permutation");
+    }
+    inv[static_cast<std::size_t>(old)] = static_cast<index_t>(k);
+  }
+  return inv;
+}
+
+Csr permute_symmetric(const Csr& a, std::span<const index_t> perm) {
+  if (a.rows != a.cols || static_cast<index_t>(perm.size()) != a.rows) {
+    throw std::invalid_argument("permute_symmetric: size mismatch");
+  }
+  const std::vector<index_t> inv = invert_permutation(perm);
+
+  Csr b(a.rows, a.cols);
+  b.ptr.assign(static_cast<std::size_t>(a.rows) + 1, 0);
+  for (index_t k = 0; k < a.rows; ++k) {
+    b.ptr[static_cast<std::size_t>(k) + 1] = a.row_nnz(perm[static_cast<std::size_t>(k)]);
+  }
+  for (index_t k = 0; k < a.rows; ++k) {
+    b.ptr[static_cast<std::size_t>(k) + 1] += b.ptr[static_cast<std::size_t>(k)];
+  }
+  b.idx.resize(static_cast<std::size_t>(a.nnz()));
+  b.val.resize(static_cast<std::size_t>(a.nnz()));
+
+  std::vector<std::pair<index_t, double>> row;
+  for (index_t k = 0; k < a.rows; ++k) {
+    const index_t old_row = perm[static_cast<std::size_t>(k)];
+    row.clear();
+    for (index_t kk = a.row_begin(old_row); kk < a.row_end(old_row); ++kk) {
+      row.emplace_back(inv[static_cast<std::size_t>(
+                           a.idx[static_cast<std::size_t>(kk)])],
+                       a.val[static_cast<std::size_t>(kk)]);
+    }
+    std::sort(row.begin(), row.end());
+    index_t out = b.row_begin(k);
+    for (const auto& [c, v] : row) {
+      b.idx[static_cast<std::size_t>(out)] = c;
+      b.val[static_cast<std::size_t>(out)] = v;
+      ++out;
+    }
+  }
+  return b;
+}
+
+std::vector<double> permute_vector(std::span<const double> v,
+                                   std::span<const index_t> perm) {
+  std::vector<double> out(perm.size());
+  for (std::size_t k = 0; k < perm.size(); ++k) {
+    out[k] = v[static_cast<std::size_t>(perm[k])];
+  }
+  return out;
+}
+
+std::vector<double> unpermute_vector(std::span<const double> v,
+                                     std::span<const index_t> perm) {
+  std::vector<double> out(perm.size());
+  for (std::size_t k = 0; k < perm.size(); ++k) {
+    out[static_cast<std::size_t>(perm[k])] = v[k];
+  }
+  return out;
+}
+
+}  // namespace pdx::sparse

@@ -1,0 +1,31 @@
+// permute.hpp — symmetric permutations of matrices and vectors.
+//
+// Reordering transformations (doconsider, bandwidth-reducing orderings)
+// are expressed as permutations; these helpers apply them. `perm` maps
+// new index -> old index throughout (i.e. row k of the permuted matrix is
+// row perm[k] of the original), matching core::Reordering::order.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "sparse/csr.hpp"
+
+namespace pdx::sparse {
+
+/// B = P A Pᵀ with B(k, :) = A(perm[k], perm-mapped columns). Rows of the
+/// result are sorted.
+Csr permute_symmetric(const Csr& a, std::span<const index_t> perm);
+
+/// out[k] = v[perm[k]] (gather into the new numbering).
+std::vector<double> permute_vector(std::span<const double> v,
+                                   std::span<const index_t> perm);
+
+/// out[perm[k]] = v[k] (scatter back to the old numbering).
+std::vector<double> unpermute_vector(std::span<const double> v,
+                                     std::span<const index_t> perm);
+
+/// inverse[perm[k]] = k.
+std::vector<index_t> invert_permutation(std::span<const index_t> perm);
+
+}  // namespace pdx::sparse

@@ -1,0 +1,26 @@
+// rcm.hpp — reverse Cuthill–McKee ordering.
+//
+// Bandwidth-reducing symmetric permutation. Relevant to this library
+// because the dependence *distances* of a triangular solve are exactly the
+// bandwidth structure of the factor: RCM shortens them (pulling rows'
+// dependences close behind, favouring the pipelined source-order
+// executor), while doconsider sorts by level regardless of distance. The
+// ordering ablation in the triangular-solve benches contrasts the two.
+#pragma once
+
+#include <vector>
+
+#include "sparse/csr.hpp"
+
+namespace pdx::sparse {
+
+/// Compute the RCM permutation of a structurally symmetric matrix.
+/// Returns `perm` with perm[k] = old index of the row placed k-th (the
+/// convention of permute_symmetric). Disconnected components are ordered
+/// one after another, each seeded from its minimum-degree vertex.
+std::vector<index_t> rcm_order(const Csr& a);
+
+/// Structural bandwidth: max |i - j| over stored entries.
+index_t bandwidth(const Csr& a);
+
+}  // namespace pdx::sparse

@@ -1,0 +1,119 @@
+// trisolve.hpp — sequential sparse triangular solves (paper Fig. 7).
+//
+//     do i = 1, n
+//        y(i) = rhs(i)
+//        do j = low(i), high(i)
+//           y(i) = y(i) - a(j) * y(column(j))
+//        end do
+//     end do
+//
+// "The data dependencies between the elements of y are determined by the
+//  values assigned to the data structure column during program execution.
+//  These dependencies inhibit the parallelization of the outer loop."
+//
+// Conventions: the matrix passed to these routines contains only the
+// *strictly* triangular part plus an explicit diagonal entry per row
+// (ILU(0) factors are emitted in that form by sparse/ilu0.hpp; the L
+// factor's diagonal is all ones, matching the paper's solves, where the
+// division is absent).
+#pragma once
+
+#include <span>
+#include <stdexcept>
+
+#include "sparse/csr.hpp"
+
+namespace pdx::sparse {
+
+/// Machine-emulation hook: `reps` extra *dependent* flops folded into the
+/// accumulator after each off-diagonal term. A 13 MHz Multimax spent
+/// roughly 10^4 times more cycles per matrix entry than a modern core, so
+/// the paper's work/synchronization ratio is unreachable at native speed;
+/// running every executor (sequential and parallel) with the same
+/// `work_reps` restores that ratio without touching any dependence, and
+/// results remain bitwise comparable across executors because the
+/// arithmetic is identical everywhere. work_reps = 0 (the default) is a
+/// predictable dead branch.
+inline double machine_emulation_work(double x, int reps) noexcept {
+  double acc = x;
+  for (int r = 0; r < reps; ++r) {
+    acc = acc * 0.999999999 + 1e-12;
+  }
+  return acc;
+}
+
+/// Solve L y = rhs where L is lower triangular with an explicit diagonal
+/// entry in every row (last entry of the sorted row). The optimized
+/// sequential baseline of Table 1.
+inline void trisolve_lower_seq(const Csr& l, std::span<const double> rhs,
+                               std::span<double> y, int work_reps = 0) {
+  if (l.rows != l.cols) throw std::invalid_argument("trisolve: not square");
+  if (static_cast<index_t>(rhs.size()) < l.rows ||
+      static_cast<index_t>(y.size()) < l.rows) {
+    throw std::invalid_argument("trisolve: vector size mismatch");
+  }
+  for (index_t i = 0; i < l.rows; ++i) {
+    double acc = rhs[static_cast<std::size_t>(i)];
+    const index_t k_end = l.row_end(i) - 1;  // diagonal is last (sorted row)
+    for (index_t k = l.row_begin(i); k < k_end; ++k) {
+      acc -= l.val[static_cast<std::size_t>(k)] *
+             y[static_cast<std::size_t>(l.idx[static_cast<std::size_t>(k)])];
+      if (work_reps > 0) acc = machine_emulation_work(acc, work_reps);
+    }
+    y[static_cast<std::size_t>(i)] = acc / l.val[static_cast<std::size_t>(k_end)];
+  }
+}
+
+/// Multi-right-hand-side lower solve: L Y = RHS for `nrhs` vectors at
+/// once. Row-major layout: element (i, r) lives at i*nrhs + r. The
+/// dependence DAG is that of the single solve; per-row work scales by
+/// nrhs — this is how Krylov methods with multiple vectors (and our
+/// Table 1 harness, emulating the 1990 work/synchronization ratio) run.
+inline void trisolve_lower_seq_multi(const Csr& l,
+                                     std::span<const double> rhs,
+                                     std::span<double> y, index_t nrhs) {
+  if (l.rows != l.cols) throw std::invalid_argument("trisolve: not square");
+  if (nrhs < 1) throw std::invalid_argument("trisolve: nrhs must be >= 1");
+  if (static_cast<index_t>(rhs.size()) < l.rows * nrhs ||
+      static_cast<index_t>(y.size()) < l.rows * nrhs) {
+    throw std::invalid_argument("trisolve: vector size mismatch");
+  }
+  for (index_t i = 0; i < l.rows; ++i) {
+    double* yi = y.data() + i * nrhs;
+    const double* bi = rhs.data() + i * nrhs;
+    for (index_t r = 0; r < nrhs; ++r) yi[r] = bi[r];
+    const index_t k_end = l.row_end(i) - 1;
+    for (index_t k = l.row_begin(i); k < k_end; ++k) {
+      const double a = l.val[static_cast<std::size_t>(k)];
+      const double* yc =
+          y.data() + l.idx[static_cast<std::size_t>(k)] * nrhs;
+      for (index_t r = 0; r < nrhs; ++r) yi[r] -= a * yc[r];
+    }
+    // Division (not reciprocal-multiply) keeps each column bitwise equal
+    // to the corresponding single-RHS solve.
+    const double d = l.val[static_cast<std::size_t>(k_end)];
+    for (index_t r = 0; r < nrhs; ++r) yi[r] /= d;
+  }
+}
+
+/// Solve U y = rhs where U is upper triangular with the diagonal stored as
+/// the *first* entry of each sorted row.
+inline void trisolve_upper_seq(const Csr& u, std::span<const double> rhs,
+                               std::span<double> y) {
+  if (u.rows != u.cols) throw std::invalid_argument("trisolve: not square");
+  if (static_cast<index_t>(rhs.size()) < u.rows ||
+      static_cast<index_t>(y.size()) < u.rows) {
+    throw std::invalid_argument("trisolve: vector size mismatch");
+  }
+  for (index_t i = u.rows - 1; i >= 0; --i) {
+    double acc = rhs[static_cast<std::size_t>(i)];
+    const index_t k_diag = u.row_begin(i);  // diagonal first in sorted row
+    for (index_t k = k_diag + 1; k < u.row_end(i); ++k) {
+      acc -= u.val[static_cast<std::size_t>(k)] *
+             y[static_cast<std::size_t>(u.idx[static_cast<std::size_t>(k)])];
+    }
+    y[static_cast<std::size_t>(i)] = acc / u.val[static_cast<std::size_t>(k_diag)];
+  }
+}
+
+}  // namespace pdx::sparse

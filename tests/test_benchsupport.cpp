@@ -1,0 +1,108 @@
+// Tests for the bench-support utilities: statistics, the paper's
+// efficiency metric, table rendering, timers, and env parsing.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <sstream>
+#include <thread>
+
+#include "benchsupport/env.hpp"
+#include "benchsupport/stats.hpp"
+#include "benchsupport/table.hpp"
+#include "benchsupport/timer.hpp"
+
+namespace bench = pdx::bench;
+
+TEST(Stats, SummaryOfKnownSamples) {
+  const auto s = bench::summarize({4.0, 1.0, 3.0, 2.0});
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.median, 2.5);
+  EXPECT_NEAR(s.stddev, 1.2909944487358056, 1e-12);
+  EXPECT_EQ(s.n, 4u);
+}
+
+TEST(Stats, OddCountMedianAndSingleton) {
+  EXPECT_DOUBLE_EQ(bench::summarize({5.0, 1.0, 3.0}).median, 3.0);
+  const auto s = bench::summarize({2.0});
+  EXPECT_DOUBLE_EQ(s.median, 2.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+}
+
+TEST(Stats, EmptySamplesThrow) {
+  EXPECT_THROW(bench::summarize({}), std::invalid_argument);
+}
+
+TEST(Stats, PaperEfficiencyMetric) {
+  // T_seq = 160, p = 16, T_par = 20 -> eff = 160 / 320 = 0.5
+  EXPECT_DOUBLE_EQ(bench::parallel_efficiency(160.0, 20.0, 16), 0.5);
+  EXPECT_DOUBLE_EQ(bench::parallel_efficiency(1.0, 0.0, 4), 0.0);
+  EXPECT_DOUBLE_EQ(bench::parallel_efficiency(1.0, 1.0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(bench::speedup(100.0, 25.0), 4.0);
+}
+
+TEST(Table, RendersAlignedColumns) {
+  bench::Table t({"name", "value"});
+  t.row().cell("alpha").cell(1.5, 2);
+  t.row().cell("b").cell(10.25, 2);
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("1.50"), std::string::npos);
+  EXPECT_NE(out.find("10.25"), std::string::npos);
+  EXPECT_NE(out.find("-----"), std::string::npos);  // header rule
+}
+
+TEST(Table, CsvEscapesNothingButDelimits) {
+  bench::Table t({"a", "b"});
+  t.row().cell(1).cell(2);
+  t.row().cell(3).cell(4);
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n3,4\n");
+}
+
+TEST(Timer, MeasuresElapsedTime) {
+  bench::WallTimer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  const double s = t.seconds();
+  EXPECT_GE(s, 0.009);
+  EXPECT_LT(s, 5.0);
+  t.restart();
+  EXPECT_LT(t.seconds(), 0.009);
+}
+
+TEST(Timer, TimeSamplesRunsWarmupPlusReps) {
+  int calls = 0;
+  const auto samples = bench::time_samples(3, 2, [&] { ++calls; });
+  EXPECT_EQ(calls, 5);
+  EXPECT_EQ(samples.size(), 3u);
+  for (double s : samples) EXPECT_GE(s, 0.0);
+}
+
+TEST(Env, ParsesIntegersWithFallback) {
+  ::setenv("PDX_TEST_INT", "42", 1);
+  EXPECT_EQ(bench::env_int("PDX_TEST_INT", 7), 42);
+  ::setenv("PDX_TEST_INT", "garbage", 1);
+  EXPECT_EQ(bench::env_int("PDX_TEST_INT", 7), 7);
+  ::setenv("PDX_TEST_INT", "-3", 1);
+  EXPECT_EQ(bench::env_int("PDX_TEST_INT", 7), 7);
+  ::unsetenv("PDX_TEST_INT");
+  EXPECT_EQ(bench::env_int("PDX_TEST_INT", 7), 7);
+}
+
+TEST(Env, DefaultProcsRespectsOverrideAndPaperCap) {
+  ::setenv("PDX_THREADS", "3", 1);
+  EXPECT_EQ(bench::default_procs(), 3u);
+  ::unsetenv("PDX_THREADS");
+  EXPECT_LE(bench::default_procs(), 16u);  // paper's processor count cap
+  EXPECT_GE(bench::default_procs(), 1u);
+}
+
+TEST(Env, BannerMentionsBenchName) {
+  const std::string b = bench::environment_banner("my_bench");
+  EXPECT_NE(b.find("my_bench"), std::string::npos);
+  EXPECT_NE(b.find("procs="), std::string::npos);
+}

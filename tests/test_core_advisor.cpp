@@ -1,0 +1,134 @@
+// Tests for the dependence-aware schedule advisor.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/advisor.hpp"
+#include "gen/block_operator.hpp"
+#include "gen/testloop.hpp"
+#include "gen/random_loop.hpp"
+#include "sparse/ilu0.hpp"
+
+namespace core = pdx::core;
+namespace gen = pdx::gen;
+namespace rt = pdx::rt;
+using pdx::index_t;
+
+namespace {
+
+core::DepGraph graph_from_lists(std::vector<std::vector<index_t>> deps) {
+  core::DepGraph g;
+  g.ptr.push_back(0);
+  for (const auto& d : deps) {
+    for (index_t j : d) g.adj.push_back(j);
+    g.ptr.push_back(static_cast<index_t>(g.adj.size()));
+  }
+  return g;
+}
+
+}  // namespace
+
+TEST(Advisor, DoallGetsBlockSchedule) {
+  const core::DepGraph g = graph_from_lists(
+      std::vector<std::vector<index_t>>(100, std::vector<index_t>{}));
+  const auto a = core::advise_schedule(g, 8);
+  EXPECT_EQ(a.schedule.kind, rt::SchedKind::StaticBlock);
+  EXPECT_FALSE(a.use_reordering);
+  EXPECT_TRUE(a.worth_parallelizing);
+}
+
+TEST(Advisor, SerialChainNotWorthParallelizing) {
+  std::vector<std::vector<index_t>> deps(64);
+  for (index_t i = 1; i < 64; ++i) deps[static_cast<std::size_t>(i)] = {i - 1};
+  const auto a = core::advise_schedule(graph_from_lists(std::move(deps)), 8);
+  EXPECT_FALSE(a.worth_parallelizing);
+  EXPECT_EQ(a.critical_path, 64);
+  EXPECT_DOUBLE_EQ(a.avg_parallelism, 1.0);
+}
+
+TEST(Advisor, ShortDistanceDepsGetBlockSchedule) {
+  // 10000 iterations, deps at distance <= 3, 8 procs -> block = 1250,
+  // distance * 8 = 24 << block.
+  std::vector<std::vector<index_t>> deps(10000);
+  for (index_t i = 3; i < 10000; i += 2) {
+    deps[static_cast<std::size_t>(i)] = {i - 3};
+  }
+  const auto a = core::advise_schedule(graph_from_lists(std::move(deps)), 8);
+  EXPECT_EQ(a.schedule.kind, rt::SchedKind::StaticBlock);
+  EXPECT_FALSE(a.use_reordering);
+  EXPECT_TRUE(a.worth_parallelizing);
+  EXPECT_EQ(a.max_distance, 3);
+}
+
+TEST(Advisor, LongDistanceDepsGetReorderedDynamic) {
+  // Chains with stride n/4: long-distance, plenty of level parallelism.
+  const index_t n = 1024;
+  std::vector<std::vector<index_t>> deps(static_cast<std::size_t>(n));
+  for (index_t i = n / 4; i < n; ++i) {
+    deps[static_cast<std::size_t>(i)] = {i - n / 4};
+  }
+  const auto a = core::advise_schedule(graph_from_lists(std::move(deps)), 8);
+  EXPECT_EQ(a.schedule.kind, rt::SchedKind::Dynamic);
+  EXPECT_TRUE(a.use_reordering);
+  EXPECT_TRUE(a.worth_parallelizing);
+  EXPECT_DOUBLE_EQ(a.avg_parallelism, static_cast<double>(n) / 4.0);
+}
+
+TEST(Advisor, PaperTestLoopOddAndEven) {
+  // Odd L: doall -> block. Even L: short distances -> block (E6's
+  // measured winner for the Fig. 4 loop).
+  const gen::TestLoop odd = gen::make_test_loop({.n = 2000, .m = 5, .l = 7});
+  const auto a_odd =
+      core::advise_schedule(gen::test_loop_deps(odd), 16);
+  EXPECT_EQ(a_odd.schedule.kind, rt::SchedKind::StaticBlock);
+  EXPECT_FALSE(a_odd.use_reordering);
+
+  const gen::TestLoop even = gen::make_test_loop({.n = 2000, .m = 5, .l = 8});
+  const auto a_even =
+      core::advise_schedule(gen::test_loop_deps(even), 16);
+  EXPECT_EQ(a_even.schedule.kind, rt::SchedKind::StaticBlock);
+  EXPECT_EQ(a_even.max_distance, 3);  // L/2 - 1
+}
+
+TEST(Advisor, SparseFactorGetsReorderedDynamic) {
+  // The ILU(0) factor of SPE5 has long-distance dependences (mean ~271):
+  // the advisor must land on the Table 1 configuration.
+  const auto l = pdx::sparse::ilu0(gen::matrix_spe5()).l;
+  core::DepGraph g;
+  g.ptr.assign(static_cast<std::size_t>(l.rows) + 1, 0);
+  for (index_t i = 0; i < l.rows; ++i) {
+    index_t c = 0;
+    for (index_t col : l.row_cols(i)) {
+      if (col < i) ++c;
+    }
+    g.ptr[static_cast<std::size_t>(i) + 1] =
+        g.ptr[static_cast<std::size_t>(i)] + c;
+  }
+  g.adj.resize(static_cast<std::size_t>(g.ptr.back()));
+  std::vector<index_t> cur(g.ptr.begin(), g.ptr.end() - 1);
+  for (index_t i = 0; i < l.rows; ++i) {
+    for (index_t col : l.row_cols(i)) {
+      if (col < i) {
+        g.adj[static_cast<std::size_t>(cur[static_cast<std::size_t>(i)]++)] =
+            col;
+      }
+    }
+  }
+  const auto a = core::advise_schedule(g, 16);
+  EXPECT_EQ(a.schedule.kind, rt::SchedKind::Dynamic);
+  EXPECT_TRUE(a.use_reordering);
+  EXPECT_GT(a.avg_parallelism, 10.0);
+}
+
+TEST(Advisor, RejectsZeroProcs) {
+  const core::DepGraph g = graph_from_lists({{}});
+  EXPECT_THROW(core::advise_schedule(g, 0), std::invalid_argument);
+}
+
+TEST(Advisor, EmptyLoop) {
+  core::DepGraph g;
+  g.ptr = {0};
+  const auto a = core::advise_schedule(g, 4);
+  EXPECT_TRUE(a.worth_parallelizing);
+  EXPECT_EQ(a.schedule.kind, rt::SchedKind::StaticBlock);
+}

@@ -1,0 +1,135 @@
+// Tests for the dependence analysis and list-scheduling predictor.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "core/analysis.hpp"
+#include "core/doconsider.hpp"
+#include "gen/testloop.hpp"
+
+namespace core = pdx::core;
+namespace gen = pdx::gen;
+using pdx::index_t;
+
+namespace {
+
+core::DepGraph graph_from_lists(std::vector<std::vector<index_t>> deps) {
+  core::DepGraph g;
+  g.ptr.push_back(0);
+  for (const auto& d : deps) {
+    for (index_t j : d) g.adj.push_back(j);
+    g.ptr.push_back(static_cast<index_t>(g.adj.size()));
+  }
+  return g;
+}
+
+std::vector<index_t> identity_order(index_t n) {
+  std::vector<index_t> o(static_cast<std::size_t>(n));
+  std::iota(o.begin(), o.end(), index_t{0});
+  return o;
+}
+
+}  // namespace
+
+TEST(DistanceHistogram, EmptyGraph) {
+  const core::DepGraph g = graph_from_lists({{}, {}, {}});
+  const auto h = core::dependence_distance_histogram(g);
+  EXPECT_EQ(h.total, 0);
+  EXPECT_EQ(h.min_distance, 0);
+  EXPECT_EQ(h.max_distance, 0);
+  EXPECT_DOUBLE_EQ(h.mean_distance, 0.0);
+}
+
+TEST(DistanceHistogram, CountsDistances) {
+  // deps: 1->0 (d=1), 2->0 (d=2), 3->2 (d=1)
+  const core::DepGraph g = graph_from_lists({{}, {0}, {0}, {2}});
+  const auto h = core::dependence_distance_histogram(g, 8);
+  EXPECT_EQ(h.total, 3);
+  EXPECT_EQ(h.count[1], 2);
+  EXPECT_EQ(h.count[2], 1);
+  EXPECT_EQ(h.min_distance, 1);
+  EXPECT_EQ(h.max_distance, 2);
+  EXPECT_NEAR(h.mean_distance, 4.0 / 3.0, 1e-12);
+  EXPECT_EQ(h.overflow, 0);
+}
+
+TEST(DistanceHistogram, OverflowBucket) {
+  const core::DepGraph g = graph_from_lists({{}, {}, {}, {}, {}, {0}});
+  const auto h = core::dependence_distance_histogram(g, 3);
+  EXPECT_EQ(h.overflow, 1);
+  EXPECT_EQ(h.max_distance, 5);
+}
+
+TEST(DistanceHistogram, TestLoopMatchesTheory) {
+  // Even L: distances are exactly {L/2 - j : j = 1..min(M, L/2-1)}.
+  const gen::TestLoop tl = gen::make_test_loop({.n = 300, .m = 5, .l = 10});
+  const auto h =
+      core::dependence_distance_histogram(gen::test_loop_deps(tl), 16);
+  EXPECT_EQ(h.min_distance, 1);
+  EXPECT_EQ(h.max_distance, 4);  // L/2 - 1
+  for (index_t d = 1; d <= 4; ++d) {
+    EXPECT_GT(h.count[static_cast<std::size_t>(d)], 250) << d;
+  }
+  EXPECT_EQ(h.count[5], 0);
+}
+
+TEST(ListSchedule, IndependentWorkScalesPerfectly) {
+  const core::DepGraph g = graph_from_lists(
+      std::vector<std::vector<index_t>>(12, std::vector<index_t>{}));
+  const auto est =
+      core::simulate_list_schedule(g, identity_order(12), 4);
+  EXPECT_DOUBLE_EQ(est.total_work, 12.0);
+  EXPECT_DOUBLE_EQ(est.makespan, 3.0);
+  EXPECT_DOUBLE_EQ(est.predicted_efficiency(4), 1.0);
+  EXPECT_DOUBLE_EQ(est.critical_path, 1.0);
+}
+
+TEST(ListSchedule, SerialChainIsCriticalPathBound) {
+  std::vector<std::vector<index_t>> deps(10);
+  for (index_t i = 1; i < 10; ++i) deps[static_cast<std::size_t>(i)] = {i - 1};
+  const core::DepGraph g = graph_from_lists(std::move(deps));
+  const auto est = core::simulate_list_schedule(g, identity_order(10), 8);
+  EXPECT_DOUBLE_EQ(est.makespan, 10.0);  // fully serial
+  EXPECT_DOUBLE_EQ(est.critical_path, 10.0);
+  EXPECT_NEAR(est.predicted_efficiency(8), 10.0 / 80.0, 1e-12);
+}
+
+TEST(ListSchedule, NonUniformCostsRespected) {
+  // Two independent tasks, costs 3 and 1, one processor: makespan 4.
+  const core::DepGraph g = graph_from_lists({{}, {}});
+  const std::vector<double> cost = {3.0, 1.0};
+  const auto est =
+      core::simulate_list_schedule(g, identity_order(2), 1, cost);
+  EXPECT_DOUBLE_EQ(est.makespan, 4.0);
+  EXPECT_DOUBLE_EQ(est.total_work, 4.0);
+}
+
+TEST(ListSchedule, BetterOrderGivesShorterMakespan) {
+  // Three chains of length 4, interleaved badly in source order.
+  const index_t n = 12, stride = 3;
+  std::vector<std::vector<index_t>> deps(static_cast<std::size_t>(n));
+  for (index_t i = stride; i < n; ++i) {
+    deps[static_cast<std::size_t>(i)] = {i - stride};
+  }
+  const core::DepGraph g = graph_from_lists(std::move(deps));
+  const core::Reordering r = core::doconsider_order(g);
+
+  const auto src = core::simulate_list_schedule(g, identity_order(n), 3);
+  const auto ord = core::simulate_list_schedule(g, r.order, 3);
+  EXPECT_LE(ord.makespan, src.makespan);
+  // Level order achieves the critical-path bound here.
+  EXPECT_DOUBLE_EQ(ord.makespan, 4.0);
+}
+
+TEST(ListSchedule, RejectsBadArguments) {
+  const core::DepGraph g = graph_from_lists({{}, {}});
+  EXPECT_THROW(core::simulate_list_schedule(g, identity_order(3), 2),
+               std::invalid_argument);
+  EXPECT_THROW(core::simulate_list_schedule(g, identity_order(2), 0),
+               std::invalid_argument);
+  const std::vector<double> bad_cost = {1.0};
+  EXPECT_THROW(
+      core::simulate_list_schedule(g, identity_order(2), 2, bad_cost),
+      std::invalid_argument);
+}

@@ -1,0 +1,242 @@
+// Core engine tests: the preprocessed doacross must reproduce sequential
+// source-order semantics bitwise, on all dependence shapes (true deps,
+// antideps, intra-iteration, never-written), all schedules, all ready
+// tables, with arenas reusable across loops.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "core/doacross.hpp"
+#include "gen/testloop.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace core = pdx::core;
+namespace gen = pdx::gen;
+namespace rt = pdx::rt;
+using pdx::index_t;
+
+namespace {
+
+/// Shared pool across tests (construction is cheap but not free).
+rt::ThreadPool& pool() {
+  static rt::ThreadPool p(8);
+  return p;
+}
+
+}  // namespace
+
+TEST(Doacross, IdentityLoopNoDependencies) {
+  // y[i] = y[i] + 1 — a doall in disguise; writer map identity.
+  const index_t n = 1000;
+  std::vector<index_t> writer(n);
+  std::iota(writer.begin(), writer.end(), index_t{0});
+  std::vector<double> y(n, 1.0);
+
+  core::DoacrossEngine<double> eng(pool(), n);
+  eng.run(writer, y, [](auto& it) { it.lhs() += 1.0; });
+  for (index_t i = 0; i < n; ++i) EXPECT_DOUBLE_EQ(y[i], 2.0);
+}
+
+TEST(Doacross, PrefixChainTrueDependencies) {
+  // y[i] = y[i-1] + 1: the fully serial chain (iteration i reads i-1).
+  const index_t n = 500;
+  std::vector<index_t> writer(n);
+  std::iota(writer.begin(), writer.end(), index_t{0});
+  std::vector<double> y(n, 0.0);
+  y[0] = 0.0;
+
+  core::DoacrossEngine<double> eng(pool(), n);
+  eng.run(writer, y, [](auto& it) {
+    const index_t i = it.index();
+    if (i > 0) it.lhs() = it.read(i - 1) + 1.0;
+  });
+  for (index_t i = 0; i < n; ++i) EXPECT_DOUBLE_EQ(y[i], static_cast<double>(i));
+}
+
+TEST(Doacross, AntidependenceReadsOldValue) {
+  // Iteration i reads y[i+1] (written by iteration i+1): every read must
+  // observe the ORIGINAL value, not the updated one.
+  const index_t n = 400;
+  std::vector<index_t> writer(n);
+  std::iota(writer.begin(), writer.end(), index_t{0});
+  std::vector<double> y(n);
+  for (index_t i = 0; i < n; ++i) y[i] = static_cast<double>(i);
+
+  core::DoacrossEngine<double> eng(pool(), n);
+  eng.run(writer, y, [n](auto& it) {
+    const index_t i = it.index();
+    if (i + 1 < n) it.lhs() = 1000.0 + it.read(i + 1);
+  });
+  for (index_t i = 0; i + 1 < n; ++i) {
+    EXPECT_DOUBLE_EQ(y[i], 1000.0 + static_cast<double>(i + 1)) << i;
+  }
+}
+
+TEST(Doacross, IntraIterationReadSeesPartialLhs) {
+  // Iteration reads its own LHS offset mid-body: check == 0 path.
+  const index_t n = 64;
+  std::vector<index_t> writer(n);
+  std::iota(writer.begin(), writer.end(), index_t{0});
+  std::vector<double> y(n, 1.0);
+
+  core::DoacrossEngine<double> eng(pool(), n);
+  eng.run(writer, y, [](auto& it) {
+    it.lhs() += 2.0;                        // partial update
+    it.lhs() += it.read(it.lhs_index());    // must see 3.0, not 1.0
+  });
+  for (index_t i = 0; i < n; ++i) EXPECT_DOUBLE_EQ(y[i], 6.0);
+}
+
+TEST(Doacross, NeverWrittenOffsetsReadOldValues) {
+  // Writers land on even offsets; reads on odd ones (never written).
+  const index_t n = 200;
+  std::vector<index_t> writer(n);
+  for (index_t i = 0; i < n; ++i) writer[i] = 2 * i;
+  std::vector<double> y(2 * n, 0.0);
+  for (index_t i = 0; i < 2 * n; ++i) y[i] = static_cast<double>(i);
+
+  core::DoacrossEngine<double> eng(pool(), 2 * n);
+  eng.run(writer, y, [n](auto& it) {
+    const index_t odd = (2 * it.index() + 1) % (2 * n);
+    it.lhs() = it.read(odd);
+  });
+  for (index_t i = 0; i < n; ++i) {
+    EXPECT_DOUBLE_EQ(y[2 * i], static_cast<double>((2 * i + 1) % (2 * n)));
+  }
+}
+
+TEST(Doacross, MatchesReferenceOnPaperTestLoop) {
+  for (int l : {1, 2, 3, 4, 8, 13, 14}) {
+    const gen::TestLoop tl = gen::make_test_loop({.n = 2000, .m = 5, .l = l});
+    std::vector<double> y_ref = gen::make_initial_y(tl);
+    gen::run_test_loop_seq(tl, y_ref);
+
+    std::vector<double> y_par = gen::make_initial_y(tl);
+    core::DoacrossEngine<double> eng(pool(), tl.value_space);
+    eng.run(std::span<const index_t>(tl.a), std::span<double>(y_par),
+            [&tl](auto& it) { gen::test_loop_body(tl, it); });
+
+    ASSERT_EQ(y_ref.size(), y_par.size());
+    for (std::size_t i = 0; i < y_ref.size(); ++i) {
+      ASSERT_EQ(y_ref[i], y_par[i]) << "L=" << l << " offset " << i;
+    }
+  }
+}
+
+TEST(Doacross, ArenaReuseAcrossManyLoops) {
+  const gen::TestLoop tl = gen::make_test_loop({.n = 500, .m = 3, .l = 4});
+  core::DoacrossEngine<double> eng(pool(), tl.value_space);
+
+  std::vector<double> y_ref = gen::make_initial_y(tl);
+  std::vector<double> y_par = gen::make_initial_y(tl);
+  for (int loop = 0; loop < 10; ++loop) {
+    gen::run_test_loop_seq(tl, y_ref);
+    eng.run(std::span<const index_t>(tl.a), std::span<double>(y_par),
+            [&tl](auto& it) { gen::test_loop_body(tl, it); });
+    // Arenas must be pristine after every postprocessing phase.
+    ASSERT_TRUE(eng.iter_table().pristine()) << "loop " << loop;
+    ASSERT_TRUE(eng.ready_table().pristine()) << "loop " << loop;
+    for (std::size_t i = 0; i < y_ref.size(); ++i) {
+      ASSERT_EQ(y_ref[i], y_par[i]) << "loop " << loop << " offset " << i;
+    }
+  }
+}
+
+TEST(Doacross, StatsPhasesArePopulated) {
+  const gen::TestLoop tl = gen::make_test_loop({.n = 5000, .m = 5, .l = 2});
+  std::vector<double> y = gen::make_initial_y(tl);
+  core::DoacrossEngine<double> eng(pool(), tl.value_space);
+  const core::DoacrossStats s =
+      eng.run(std::span<const index_t>(tl.a), std::span<double>(y),
+              [&tl](auto& it) { gen::test_loop_body(tl, it); });
+  EXPECT_GT(s.total_seconds(), 0.0);
+  EXPECT_GE(s.inspect_seconds, 0.0);
+  EXPECT_GT(s.execute_seconds, 0.0);
+  EXPECT_GE(s.post_seconds, 0.0);
+  EXPECT_GE(s.overhead_fraction(), 0.0);
+  EXPECT_LE(s.overhead_fraction(), 1.0);
+}
+
+TEST(Doacross, WaitStatsZeroWhenNoCrossIterationDeps) {
+  // Odd L: no dependences at all -> no wait episodes.
+  const gen::TestLoop tl = gen::make_test_loop({.n = 3000, .m = 5, .l = 7});
+  ASSERT_EQ(gen::count_true_deps(tl), 0);
+  std::vector<double> y = gen::make_initial_y(tl);
+  core::DoacrossEngine<double> eng(pool(), tl.value_space);
+  const auto s = eng.run(std::span<const index_t>(tl.a), std::span<double>(y),
+                         [&tl](auto& it) { gen::test_loop_body(tl, it); });
+  EXPECT_EQ(s.wait_episodes, 0u);
+  EXPECT_EQ(s.wait_rounds, 0u);
+}
+
+TEST(Doacross, ValidateRejectsOutputDependence) {
+  std::vector<index_t> writer = {0, 1, 1};  // duplicate target
+  std::vector<double> y(4, 0.0);
+  core::DoacrossEngine<double> eng(pool(), 4);
+  core::DoacrossOptions opts;
+  opts.validate = true;
+  EXPECT_THROW(eng.run(writer, y, [](auto&) {}, opts), std::invalid_argument);
+}
+
+TEST(Doacross, ValidateRejectsWriterBeyondY) {
+  std::vector<index_t> writer = {0, 1};
+  std::vector<double> y(1, 0.0);  // writer offset 1 is out of y's extent
+  core::DoacrossEngine<double> eng(pool(), 8);
+  core::DoacrossOptions opts;
+  opts.validate = true;
+  EXPECT_THROW(eng.run(writer, y, [](auto&) {}, opts), std::invalid_argument);
+}
+
+TEST(Doacross, ArenaShrinksAndGrowsAcrossLoops) {
+  // A big loop followed by a small one must both work on one engine.
+  core::DoacrossEngine<double> eng(pool(), 4);
+  std::vector<index_t> big_writer(256);
+  std::iota(big_writer.begin(), big_writer.end(), index_t{0});
+  std::vector<double> big_y(256, 1.0);
+  eng.run(big_writer, big_y, [](auto& it) { it.lhs() += 1.0; });
+  EXPECT_DOUBLE_EQ(big_y[255], 2.0);
+
+  std::vector<index_t> small_writer = {0, 1, 2};
+  std::vector<double> small_y(3, 5.0);
+  eng.run(small_writer, small_y, [](auto& it) { it.lhs() += 1.0; });
+  EXPECT_DOUBLE_EQ(small_y[2], 6.0);
+}
+
+TEST(Doacross, EmptyLoopIsANoop) {
+  std::vector<index_t> writer;
+  std::vector<double> y(4, 1.0);
+  core::DoacrossEngine<double> eng(pool(), 4);
+  const auto s = eng.run(writer, y, [](auto&) { FAIL(); });
+  EXPECT_EQ(s.wait_episodes, 0u);
+  for (double v : y) EXPECT_DOUBLE_EQ(v, 1.0);
+}
+
+TEST(Doacross, WorksWithFloatValues) {
+  const index_t n = 128;
+  std::vector<index_t> writer(n);
+  std::iota(writer.begin(), writer.end(), index_t{0});
+  std::vector<float> y(n, 0.5f);
+  core::DoacrossEngine<float> eng(pool(), n);
+  eng.run(std::span<const index_t>(writer), std::span<float>(y), [](auto& it) {
+    const index_t i = it.index();
+    if (i > 0) it.lhs() += it.read(i - 1);
+  });
+  EXPECT_FLOAT_EQ(y[0], 0.5f);
+  EXPECT_FLOAT_EQ(y[1], 1.0f);
+  EXPECT_FLOAT_EQ(y[2], 1.5f);
+}
+
+TEST(Doacross, SingleThreadPoolStillCorrect) {
+  rt::ThreadPool serial(1);
+  const gen::TestLoop tl = gen::make_test_loop({.n = 1000, .m = 2, .l = 4});
+  std::vector<double> y_ref = gen::make_initial_y(tl);
+  gen::run_test_loop_seq(tl, y_ref);
+  std::vector<double> y_par = gen::make_initial_y(tl);
+  core::DoacrossEngine<double> eng(serial, tl.value_space);
+  eng.run(std::span<const index_t>(tl.a), std::span<double>(y_par),
+          [&tl](auto& it) { gen::test_loop_body(tl, it); });
+  for (std::size_t i = 0; i < y_ref.size(); ++i) {
+    ASSERT_EQ(y_ref[i], y_par[i]);
+  }
+}

@@ -1,0 +1,294 @@
+// Cross-product correctness matrix: every executor variant x schedule x
+// ordering x ready-table kind on randomized and adversarial workloads.
+// The invariant everywhere: parallel result == sequential source-order
+// result, bitwise.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "core/blocked_doacross.hpp"
+#include "core/doacross.hpp"
+#include "core/doconsider.hpp"
+#include "core/linear_doacross.hpp"
+#include "gen/random_loop.hpp"
+#include "gen/rng.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace core = pdx::core;
+namespace gen = pdx::gen;
+namespace rt = pdx::rt;
+using pdx::index_t;
+
+namespace {
+
+rt::ThreadPool& pool() {
+  static rt::ThreadPool p(8);
+  return p;
+}
+
+std::vector<double> reference_result(const gen::RandomLoop& rl) {
+  std::vector<double> y = rl.y0;
+  gen::run_random_loop_seq(rl, y);
+  return y;
+}
+
+void expect_equal(const std::vector<double>& want,
+                  const std::vector<double>& got, const std::string& label) {
+  ASSERT_EQ(want.size(), got.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    ASSERT_EQ(want[i], got[i]) << label << " offset " << i;
+  }
+}
+
+}  // namespace
+
+struct MatrixCase {
+  std::uint64_t seed;
+  rt::Schedule sched;
+  bool reorder;
+};
+
+class EngineMatrix : public ::testing::TestWithParam<MatrixCase> {};
+
+TEST_P(EngineMatrix, DenseReadyTable) {
+  const MatrixCase c = GetParam();
+  gen::RandomLoopParams p{.n = 500, .value_space = 800, .min_reads = 0,
+                          .max_reads = 5, .dep_bias = 0.7};
+  const gen::RandomLoop rl = gen::make_random_loop(p, c.seed);
+  const auto want = reference_result(rl);
+
+  core::Reordering r;
+  core::DoacrossOptions opts;
+  opts.schedule = c.sched;
+  if (c.reorder) {
+    r = core::doconsider_order(gen::random_loop_deps(rl));
+    opts.order = r.order.data();
+  }
+
+  std::vector<double> y = rl.y0;
+  core::DoacrossEngine<double> eng(pool(), rl.value_space);
+  eng.run(std::span<const index_t>(rl.writer), std::span<double>(y),
+          [&rl](auto& it) { gen::random_loop_body(rl, it); }, opts);
+  expect_equal(want, y, "dense");
+}
+
+TEST_P(EngineMatrix, EpochReadyTable) {
+  const MatrixCase c = GetParam();
+  gen::RandomLoopParams p{.n = 500, .value_space = 800, .min_reads = 0,
+                          .max_reads = 5, .dep_bias = 0.7};
+  const gen::RandomLoop rl = gen::make_random_loop(p, c.seed);
+  const auto want = reference_result(rl);
+
+  core::Reordering r;
+  core::DoacrossOptions opts;
+  opts.schedule = c.sched;
+  if (c.reorder) {
+    r = core::doconsider_order(gen::random_loop_deps(rl));
+    opts.order = r.order.data();
+  }
+
+  std::vector<double> y = rl.y0;
+  core::DoacrossEngine<double, core::EpochReadyTable> eng(pool(),
+                                                          rl.value_space);
+  eng.run(std::span<const index_t>(rl.writer), std::span<double>(y),
+          [&rl](auto& it) { gen::random_loop_body(rl, it); }, opts);
+  expect_equal(want, y, "epoch");
+}
+
+TEST_P(EngineMatrix, BlockedDenseAndHash) {
+  const MatrixCase c = GetParam();
+  if (c.reorder) GTEST_SKIP() << "strip-mined variant has no reordering";
+  gen::RandomLoopParams p{.n = 500, .value_space = 800, .min_reads = 0,
+                          .max_reads = 5, .dep_bias = 0.7};
+  const gen::RandomLoop rl = gen::make_random_loop(p, c.seed);
+  const auto want = reference_result(rl);
+
+  core::BlockedOptions opts;
+  opts.schedule = c.sched;
+
+  std::vector<double> y1 = rl.y0;
+  core::BlockedDoacross<double> dense(pool(), rl.value_space);
+  dense.run(std::span<const index_t>(rl.writer), std::span<double>(y1),
+            [&rl](auto& it) { gen::random_loop_body(rl, it); }, 64, opts);
+  expect_equal(want, y1, "blocked-dense");
+
+  std::vector<double> y2 = rl.y0;
+  core::CompactBlockedDoacross<double> hash(pool(), rl.value_space);
+  hash.run(std::span<const index_t>(rl.writer), std::span<double>(y2),
+           [&rl](auto& it) { gen::random_loop_body(rl, it); }, 64, opts);
+  expect_equal(want, y2, "blocked-hash");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, EngineMatrix,
+    ::testing::Values(
+        MatrixCase{201, rt::Schedule::static_block(), false},
+        MatrixCase{202, rt::Schedule::static_block(), true},
+        MatrixCase{203, rt::Schedule::static_cyclic(1), false},
+        MatrixCase{204, rt::Schedule::static_cyclic(1), true},
+        MatrixCase{205, rt::Schedule::static_cyclic(7), false},
+        MatrixCase{206, rt::Schedule::dynamic(1), true},
+        MatrixCase{207, rt::Schedule::dynamic(16), false},
+        MatrixCase{208, rt::Schedule::dynamic(0), true}));
+
+// ---------------------------------------------------------------------
+// Adversarial shapes.
+// ---------------------------------------------------------------------
+
+TEST(Adversarial, ReverseWriterPermutation) {
+  // writer[i] = n-1-i: iteration 0 writes the LAST offset. Reads of
+  // offset k resolve to iteration n-1-k; mixture of true/anti deps
+  // depends on sign of (n-1-k) - i.
+  const index_t n = 400;
+  std::vector<index_t> writer(static_cast<std::size_t>(n));
+  for (index_t i = 0; i < n; ++i) writer[static_cast<std::size_t>(i)] = n - 1 - i;
+  auto body = [n](auto& it) {
+    const index_t i = it.index();
+    // Read the offset written by iteration i-1 (true dep) and by i+1
+    // (antidep), clamped.
+    if (i > 0) it.lhs() += it.read(n - i);
+    if (i + 1 < n) it.lhs() += it.read(n - 2 - i);
+  };
+  std::vector<double> y_ref(static_cast<std::size_t>(n));
+  for (index_t i = 0; i < n; ++i) {
+    y_ref[static_cast<std::size_t>(i)] = static_cast<double>(i) * 0.25;
+  }
+  std::vector<double> y_par = y_ref;
+  core::doacross_reference<double>(writer, std::span<double>(y_ref), body);
+  core::DoacrossEngine<double> eng(pool(), n);
+  eng.run(writer, std::span<double>(y_par), body);
+  for (index_t i = 0; i < n; ++i) {
+    ASSERT_EQ(y_ref[static_cast<std::size_t>(i)],
+              y_par[static_cast<std::size_t>(i)])
+        << i;
+  }
+}
+
+TEST(Adversarial, EveryIterationReadsOffsetZero) {
+  // Offset 0 is written by iteration 0; every later iteration has a true
+  // dependence on it — a fan-out hot spot hammering one ready flag.
+  const index_t n = 2000;
+  std::vector<index_t> writer(static_cast<std::size_t>(n));
+  std::iota(writer.begin(), writer.end(), index_t{0});
+  auto body = [](auto& it) {
+    const index_t i = it.index();
+    it.lhs() = (i == 0) ? 42.0 : it.read(0) + static_cast<double>(i);
+  };
+  std::vector<double> y(static_cast<std::size_t>(n), 0.0);
+  core::DoacrossEngine<double> eng(pool(), n);
+  core::DoacrossOptions opts;
+  opts.schedule = rt::Schedule::dynamic(4);
+  eng.run(writer, std::span<double>(y), body, opts);
+  for (index_t i = 1; i < n; ++i) {
+    ASSERT_DOUBLE_EQ(y[static_cast<std::size_t>(i)],
+                     42.0 + static_cast<double>(i));
+  }
+}
+
+TEST(Adversarial, LongestPossibleChainUnderEverySchedule) {
+  // Full serial chain through the writer permutation (i reads writer of
+  // i-1). Any scheduling policy must survive it without deadlock and
+  // produce exact results.
+  const index_t n = 600;
+  gen::SplitMix64 rng(99);
+  std::vector<index_t> writer = gen::random_injection(n, 2 * n, rng);
+  auto body = [&writer](auto& it) {
+    const index_t i = it.index();
+    if (i > 0) {
+      it.lhs() = it.read(writer[static_cast<std::size_t>(i - 1)]) + 1.0;
+    } else {
+      it.lhs() = 0.0;
+    }
+  };
+  std::vector<double> y0(static_cast<std::size_t>(2 * n), 0.0);
+  for (const auto& sched :
+       {rt::Schedule::static_block(), rt::Schedule::static_cyclic(1),
+        rt::Schedule::dynamic(1)}) {
+    std::vector<double> y = y0;
+    core::DoacrossEngine<double> eng(pool(), 2 * n);
+    core::DoacrossOptions opts;
+    opts.schedule = sched;
+    eng.run(writer, std::span<double>(y), body, opts);
+    ASSERT_DOUBLE_EQ(y[static_cast<std::size_t>(
+                         writer[static_cast<std::size_t>(n - 1)])],
+                     static_cast<double>(n - 1))
+        << rt::to_string(sched);
+  }
+}
+
+TEST(Adversarial, BoundaryOffsetsZeroAndMax) {
+  const index_t space = 64;
+  std::vector<index_t> writer = {0, space - 1};
+  auto body = [space](auto& it) {
+    if (it.index() == 1) {
+      it.lhs() = it.read(0) * 2.0;  // true dep on the first offset
+    } else {
+      it.lhs() = 21.0;
+    }
+  };
+  std::vector<double> y(static_cast<std::size_t>(space), 0.0);
+  core::DoacrossEngine<double> eng(pool(), space);
+  eng.run(writer, std::span<double>(y), body);
+  EXPECT_DOUBLE_EQ(y[0], 21.0);
+  EXPECT_DOUBLE_EQ(y[static_cast<std::size_t>(space - 1)], 42.0);
+}
+
+TEST(Adversarial, LinearVariantAllSupportedStrides) {
+  // Strides 1..5 cover the specialized (1..4) and runtime (5) paths.
+  for (index_t c = 1; c <= 5; ++c) {
+    const index_t n = 300;
+    const index_t d = 3;
+    const core::LinearWriter w{.c = c, .d = d, .n = n};
+    std::vector<double> y0(static_cast<std::size_t>(w.written_extent()) + 8);
+    for (std::size_t i = 0; i < y0.size(); ++i) {
+      y0[i] = static_cast<double>(i % 11) * 0.5;
+    }
+    auto body = [&w](auto& it) {
+      const index_t i = it.index();
+      it.lhs() += 1.0;
+      if (i > 0) it.lhs() += it.read(w(i - 1));  // true dep
+      it.lhs() += it.read(w(i) + 1 == w.written_extent()
+                              ? w(i)
+                              : w(i) + 1);  // gap or self
+    };
+    std::vector<index_t> writer(static_cast<std::size_t>(n));
+    for (index_t i = 0; i < n; ++i) writer[static_cast<std::size_t>(i)] = w(i);
+    std::vector<double> y_ref = y0;
+    core::doacross_reference<double>(writer, std::span<double>(y_ref), body);
+
+    std::vector<double> y_lin = y0;
+    core::LinearDoacross<double> eng(pool());
+    eng.run(w, std::span<double>(y_lin), body);
+    for (std::size_t i = 0; i < y_ref.size(); ++i) {
+      ASSERT_EQ(y_ref[i], y_lin[i]) << "stride " << c << " offset " << i;
+    }
+  }
+}
+
+TEST(Adversarial, ManyLoopsInterleavedOnSharedEngine) {
+  // Two different loops alternating on one engine: the arena-reuse
+  // invariant must hold between heterogeneous invocations.
+  const index_t n = 300;
+  gen::RandomLoopParams pa{.n = n, .value_space = 500, .min_reads = 1,
+                           .max_reads = 3, .dep_bias = 0.8};
+  gen::RandomLoopParams pb{.n = 2 * n, .value_space = 900, .min_reads = 0,
+                           .max_reads = 2, .dep_bias = 0.3};
+  const gen::RandomLoop a = gen::make_random_loop(pa, 1001);
+  const gen::RandomLoop b = gen::make_random_loop(pb, 1002);
+
+  std::vector<double> ya_ref = a.y0, yb_ref = b.y0;
+  std::vector<double> ya = a.y0, yb = b.y0;
+  core::DoacrossEngine<double> eng(pool(), 900);
+  for (int rep = 0; rep < 4; ++rep) {
+    gen::run_random_loop_seq(a, ya_ref);
+    eng.run(std::span<const index_t>(a.writer), std::span<double>(ya),
+            [&a](auto& it) { gen::random_loop_body(a, it); });
+    gen::run_random_loop_seq(b, yb_ref);
+    eng.run(std::span<const index_t>(b.writer), std::span<double>(yb),
+            [&b](auto& it) { gen::random_loop_body(b, it); });
+  }
+  for (std::size_t i = 0; i < ya_ref.size(); ++i) ASSERT_EQ(ya_ref[i], ya[i]);
+  for (std::size_t i = 0; i < yb_ref.size(); ++i) ASSERT_EQ(yb_ref[i], yb[i]);
+}

@@ -1,0 +1,142 @@
+// Tests for the Figure 2 simple doacross (true dependences only).
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "core/doconsider.hpp"
+#include "core/simple_doacross.hpp"
+#include "gen/rng.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace core = pdx::core;
+namespace gen = pdx::gen;
+namespace rt = pdx::rt;
+using pdx::index_t;
+
+namespace {
+
+rt::ThreadPool& pool() {
+  static rt::ThreadPool p(8);
+  return p;
+}
+
+}  // namespace
+
+TEST(SimpleDoacross, PrefixSums) {
+  const index_t n = 2000;
+  std::vector<double> y(n, 0.0);
+  core::DenseReadyTable ready(n);
+  const auto stats = core::simple_doacross(
+      pool(), n, std::span<double>(y), ready, [](auto& it) {
+        const index_t i = it.index();
+        it.lhs() = (i > 0 ? it.read(i - 1) : 0.0) + 1.0;
+      });
+  for (index_t i = 0; i < n; ++i) {
+    ASSERT_DOUBLE_EQ(y[static_cast<std::size_t>(i)],
+                     static_cast<double>(i + 1));
+  }
+  EXPECT_EQ(stats.inspect_seconds, 0.0);  // Figure 2 has no inspector
+}
+
+TEST(SimpleDoacross, RandomFanInMatchesReference) {
+  const index_t n = 3000;
+  gen::SplitMix64 rng(8);
+  // Each iteration reads up to 3 random earlier offsets.
+  std::vector<std::vector<index_t>> reads(static_cast<std::size_t>(n));
+  for (index_t i = 1; i < n; ++i) {
+    const int k = static_cast<int>(rng.next_below(4));
+    for (int r = 0; r < k; ++r) {
+      reads[static_cast<std::size_t>(i)].push_back(rng.next_index(i));
+    }
+  }
+  auto body = [&reads](auto& it) {
+    const index_t i = it.index();
+    double acc = it.read_own() + 1.0;
+    for (index_t j : reads[static_cast<std::size_t>(i)]) {
+      acc += 0.125 * it.read(j);
+    }
+    it.lhs() = acc;
+  };
+
+  std::vector<double> y_ref(static_cast<std::size_t>(n));
+  for (index_t i = 0; i < n; ++i) {
+    y_ref[static_cast<std::size_t>(i)] = static_cast<double>(i % 7);
+  }
+  std::vector<double> y_par = y_ref;
+
+  core::simple_doacross_reference(n, std::span<double>(y_ref), body);
+  core::DenseReadyTable ready(n);
+  core::SimpleDoacrossOptions opts;
+  opts.schedule = rt::Schedule::dynamic(8);
+  core::simple_doacross(pool(), n, std::span<double>(y_par), ready, body,
+                        opts);
+  for (index_t i = 0; i < n; ++i) {
+    ASSERT_EQ(y_ref[static_cast<std::size_t>(i)],
+              y_par[static_cast<std::size_t>(i)])
+        << i;
+  }
+}
+
+TEST(SimpleDoacross, ReorderedExecutionStillExact) {
+  const index_t n = 1024;
+  const index_t stride = 32;  // 32 interleaved chains
+  auto body = [stride](auto& it) {
+    const index_t i = it.index();
+    it.lhs() = (i >= stride ? it.read(i - stride) : 0.0) + 1.0;
+  };
+  core::DepFn deps = [stride](index_t i, const core::DepVisitor& emit) {
+    if (i >= stride) emit(i - stride);
+  };
+  const core::Reordering r = core::doconsider_order(n, deps);
+
+  std::vector<double> y_ref(static_cast<std::size_t>(n), 0.0);
+  core::simple_doacross_reference(n, std::span<double>(y_ref), body);
+
+  std::vector<double> y_ord(static_cast<std::size_t>(n), 0.0);
+  core::DenseReadyTable ready(n);
+  core::SimpleDoacrossOptions opts;
+  opts.order = r.order.data();
+  core::simple_doacross(pool(), n, std::span<double>(y_ord), ready, body,
+                        opts);
+  EXPECT_EQ(y_ref, y_ord);
+}
+
+TEST(SimpleDoacross, ReadyTableReusedAcrossCalls) {
+  const index_t n = 500;
+  core::EpochReadyTable ready(n);
+  for (int rep = 0; rep < 6; ++rep) {
+    std::vector<double> y(static_cast<std::size_t>(n), 1.0);
+    core::simple_doacross(pool(), n, std::span<double>(y), ready,
+                          [](auto& it) {
+                            const index_t i = it.index();
+                            it.lhs() = (i > 0 ? it.read(i - 1) : 0.0) + 2.0;
+                          });
+    ASSERT_DOUBLE_EQ(y[static_cast<std::size_t>(n - 1)], 2.0 * n)
+        << "rep " << rep;
+  }
+}
+
+TEST(SimpleDoacross, EmptyAndUndersized) {
+  core::DenseReadyTable ready(4);
+  std::vector<double> y(4, 0.0);
+  const auto s = core::simple_doacross(pool(), 0, std::span<double>(y),
+                                       ready, [](auto&) { FAIL(); });
+  EXPECT_EQ(s.wait_episodes, 0u);
+  std::vector<double> tiny(2);
+  EXPECT_THROW(core::simple_doacross(pool(), 4, std::span<double>(tiny),
+                                     ready, [](auto&) {}),
+               std::invalid_argument);
+}
+
+TEST(SimpleDoacross, IntegerValuesWork) {
+  const index_t n = 256;
+  std::vector<long> y(static_cast<std::size_t>(n), 0);
+  core::DenseReadyTable ready(n);
+  core::simple_doacross(pool(), n, std::span<long>(y), ready, [](auto& it) {
+    const index_t i = it.index();
+    it.lhs() = (i > 0 ? it.read(i - 1) : 0L) + static_cast<long>(i);
+  });
+  // y[i] = sum_{k<=i} k
+  ASSERT_EQ(y[255], 255L * 256L / 2L);
+}

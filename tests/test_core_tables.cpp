@@ -1,0 +1,163 @@
+// Tests for the iter table and the three ready-table implementations.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "core/iter_table.hpp"
+#include "core/ready_table.hpp"
+
+namespace core = pdx::core;
+using pdx::index_t;
+
+TEST(IterTable, StartsPristine) {
+  core::IterTable t(100);
+  EXPECT_TRUE(t.pristine());
+  EXPECT_EQ(t[0], core::kNeverWritten);
+  EXPECT_EQ(t[99], core::kNeverWritten);
+}
+
+TEST(IterTable, RecordAndClearRoundTrip) {
+  core::IterTable t(10);
+  t.record(3, 7);
+  EXPECT_EQ(t[3], 7);
+  EXPECT_FALSE(t.pristine());
+  t.clear(3);
+  EXPECT_TRUE(t.pristine());
+}
+
+TEST(IterTable, RecordAllMatchesManualFill) {
+  const std::vector<index_t> writer = {4, 2, 9, 0, 7};
+  core::IterTable t(10);
+  t.record_all(writer);
+  for (index_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(t[writer[static_cast<std::size_t>(i)]], i);
+  }
+  EXPECT_EQ(t[1], core::kNeverWritten);
+  t.clear_all(writer);
+  EXPECT_TRUE(t.pristine());
+}
+
+TEST(IterTable, EnsureSizePreservesContents) {
+  core::IterTable t(4);
+  t.record(2, 1);
+  t.ensure_size(100);
+  EXPECT_EQ(t.size(), 100);
+  EXPECT_EQ(t[2], 1);
+  EXPECT_EQ(t[99], core::kNeverWritten);
+}
+
+TEST(IterTable, SentinelComparesGreaterThanAnyIteration) {
+  // The executor's "check > 0 means old value" branch relies on this.
+  EXPECT_GT(core::kNeverWritten, index_t{1} << 62);
+}
+
+TEST(WriterConflict, DetectsDuplicatesAndRangeErrors) {
+  using core::find_writer_conflict;
+  const std::vector<index_t> ok = {0, 2, 4};
+  EXPECT_EQ(find_writer_conflict(ok, 5), -1);
+  const std::vector<index_t> dup = {0, 2, 2};
+  EXPECT_EQ(find_writer_conflict(dup, 5), 2);
+  const std::vector<index_t> oob = {0, 9};
+  EXPECT_EQ(find_writer_conflict(oob, 5), 1);
+  const std::vector<index_t> neg = {-1};
+  EXPECT_EQ(find_writer_conflict(neg, 5), 0);
+}
+
+// ---------------------------------------------------------------------
+// Ready tables: the same behavioural contract for all three flavours.
+// ---------------------------------------------------------------------
+
+template <class Table>
+class ReadyTableTyped : public ::testing::Test {};
+
+using ReadyKinds = ::testing::Types<core::DenseReadyTable,
+                                    core::PaddedReadyTable,
+                                    core::EpochReadyTable>;
+TYPED_TEST_SUITE(ReadyTableTyped, ReadyKinds);
+
+TYPED_TEST(ReadyTableTyped, StartsAllNotDone) {
+  TypeParam t(64);
+  EXPECT_TRUE(t.pristine());
+  for (index_t i = 0; i < 64; ++i) EXPECT_FALSE(t.is_done(i));
+}
+
+TYPED_TEST(ReadyTableTyped, MarkDoneIsVisible) {
+  TypeParam t(16);
+  t.begin_epoch();
+  t.mark_done(5);
+  EXPECT_TRUE(t.is_done(5));
+  EXPECT_FALSE(t.is_done(4));
+  EXPECT_FALSE(t.is_done(6));
+}
+
+TYPED_TEST(ReadyTableTyped, WaitDoneReturnsZeroWhenAlreadyDone) {
+  TypeParam t(8);
+  t.begin_epoch();
+  t.mark_done(3);
+  EXPECT_EQ(t.wait_done(3), 0u);
+}
+
+TYPED_TEST(ReadyTableTyped, WaitDoneBlocksUntilProducerSignals) {
+  TypeParam t(8);
+  t.begin_epoch();
+  std::thread producer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    t.mark_done(2);
+  });
+  const auto rounds = t.wait_done(2);
+  producer.join();
+  EXPECT_GT(rounds, 0u);
+  EXPECT_TRUE(t.is_done(2));
+}
+
+TYPED_TEST(ReadyTableTyped, EpochOrClearResetsForReuse) {
+  // The engine's inter-loop protocol: begin_epoch at loop start, clear_all
+  // (the postprocessing sweep) at loop end. Dense tables reset in the
+  // sweep; epoch tables reset in begin_epoch. Either way, each new loop
+  // must observe all-NOTDONE.
+  TypeParam t(8);
+  std::vector<index_t> writer = {1, 3, 5};
+  for (int loop = 0; loop < 5; ++loop) {
+    t.begin_epoch();
+    for (index_t w : writer) {
+      EXPECT_FALSE(t.is_done(w)) << "loop " << loop << " offset " << w;
+      t.mark_done(w);
+    }
+    t.clear_all(writer);
+  }
+  t.begin_epoch();
+  EXPECT_TRUE(t.pristine());
+}
+
+TYPED_TEST(ReadyTableTyped, EnsureSizeGrows) {
+  TypeParam t(4);
+  EXPECT_EQ(t.size(), 4);
+  t.ensure_size(2);  // never shrinks
+  EXPECT_EQ(t.size(), 4);
+  t.ensure_size(128);
+  EXPECT_EQ(t.size(), 128);
+  EXPECT_TRUE(t.pristine());
+}
+
+TEST(EpochReadyTable, BeginEpochInvalidatesInConstantTimeSemantics) {
+  core::EpochReadyTable t(4);
+  t.begin_epoch();
+  t.mark_done(0);
+  t.mark_done(1);
+  EXPECT_TRUE(t.is_done(0));
+  t.begin_epoch();  // no per-entry clears
+  EXPECT_FALSE(t.is_done(0));
+  EXPECT_FALSE(t.is_done(1));
+  EXPECT_TRUE(t.pristine());
+}
+
+TEST(EpochReadyTable, SurvivesManyEpochs) {
+  core::EpochReadyTable t(2);
+  for (int i = 0; i < 10000; ++i) {
+    t.begin_epoch();
+    EXPECT_FALSE(t.is_done(0));
+    t.mark_done(0);
+    EXPECT_TRUE(t.is_done(0));
+  }
+}

@@ -1,0 +1,264 @@
+// Edge-case coverage across modules: degenerate sizes, guard paths, and
+// failure handling that the main suites don't reach.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/doacross.hpp"
+#include "core/doconsider.hpp"
+#include "gen/block_operator.hpp"
+#include "gen/stencil.hpp"
+#include "gen/testloop.hpp"
+#include "runtime/thread_pool.hpp"
+#include "solve/cg.hpp"
+#include "solve/gmres.hpp"
+#include "sparse/csr.hpp"
+#include "sparse/dense.hpp"
+#include "sparse/ilu0.hpp"
+#include "sparse/levels.hpp"
+#include "sparse/spmv.hpp"
+#include "sparse/trisolve.hpp"
+
+namespace core = pdx::core;
+namespace gen = pdx::gen;
+namespace rt = pdx::rt;
+namespace sp = pdx::sparse;
+namespace solve = pdx::solve;
+using pdx::index_t;
+
+// ---------------------------------------------------------------------
+// Sparse containers.
+// ---------------------------------------------------------------------
+
+TEST(EdgeCsr, OneByOneMatrix) {
+  sp::CsrBuilder b(1, 1);
+  b.add(0, 0, 3.0);
+  const sp::Csr m = b.build();
+  EXPECT_NO_THROW(m.validate());
+  EXPECT_TRUE(m.is_lower_triangular());
+  EXPECT_TRUE(m.is_upper_triangular());
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 3.0);
+
+  const sp::IluFactors f = sp::ilu0(m);
+  std::vector<double> rhs = {6.0}, y(1);
+  sp::trisolve_lower_seq(f.l, rhs, y);
+  EXPECT_DOUBLE_EQ(y[0], 6.0);  // unit diagonal
+  sp::trisolve_upper_seq(f.u, rhs, y);
+  EXPECT_DOUBLE_EQ(y[0], 2.0);
+}
+
+TEST(EdgeCsr, EmptyBuilderYieldsEmptyMatrix) {
+  sp::CsrBuilder b(3, 3);
+  const sp::Csr m = b.build();
+  EXPECT_EQ(m.nnz(), 0);
+  EXPECT_NO_THROW(m.validate());
+  const sp::Csr t = m.transposed();
+  EXPECT_EQ(t.nnz(), 0);
+  EXPECT_EQ(t.rows, 3);
+}
+
+TEST(EdgeCsr, AtOnEmptyRow) {
+  sp::CsrBuilder b(2, 2);
+  b.add(0, 0, 1.0);
+  const sp::Csr m = b.build();
+  EXPECT_DOUBLE_EQ(m.at(1, 0), 0.0);
+  EXPECT_EQ(m.find(1, 1), -1);
+}
+
+TEST(EdgeSpmv, SizeGuards) {
+  const sp::Csr m = gen::five_point(3, 3);
+  std::vector<double> small(2), y(static_cast<std::size_t>(m.rows));
+  EXPECT_THROW(sp::spmv(m, small, y), std::invalid_argument);
+  EXPECT_THROW(sp::spmv(m, y, small), std::invalid_argument);
+}
+
+TEST(EdgeDense, GuardsAndRoundTrip) {
+  sp::Dense d(2, 3);
+  d(0, 0) = 1.0;
+  d(1, 2) = -2.0;
+  EXPECT_THROW(d.matmul(sp::Dense(2, 2)), std::invalid_argument);
+  std::vector<double> x = {1.0, 0.0, 1.0};
+  const auto y = d.matvec(x);
+  EXPECT_DOUBLE_EQ(y[0], 1.0);
+  EXPECT_DOUBLE_EQ(y[1], -2.0);
+  EXPECT_THROW(sp::Dense::max_abs_diff(d, sp::Dense(3, 2)),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------
+// Triangular solves.
+// ---------------------------------------------------------------------
+
+TEST(EdgeTrisolve, NonSquareRejected) {
+  sp::CsrBuilder b(2, 3);
+  b.add(0, 0, 1.0);
+  b.add(1, 1, 1.0);
+  const sp::Csr m = b.build();
+  std::vector<double> rhs(2), y(2);
+  EXPECT_THROW(sp::trisolve_lower_seq(m, rhs, y), std::invalid_argument);
+  EXPECT_THROW(sp::trisolve_upper_seq(m, rhs, y), std::invalid_argument);
+}
+
+TEST(EdgeTrisolve, DiagonalOnlySystem) {
+  sp::CsrBuilder b(4, 4);
+  for (index_t i = 0; i < 4; ++i) b.add(i, i, static_cast<double>(i + 1));
+  const sp::Csr m = b.build();
+  std::vector<double> rhs = {1, 4, 9, 16}, y(4);
+  sp::trisolve_lower_seq(m, rhs, y);
+  for (index_t i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(y[static_cast<std::size_t>(i)],
+                     static_cast<double>(i + 1));
+  }
+  // Level analysis: one wavefront.
+  EXPECT_EQ(sp::lower_solve_reordering(m).critical_path(), 1);
+}
+
+TEST(EdgeTrisolve, MachineEmulationZeroRepsIsPlainSolve) {
+  const sp::Csr l = sp::ilu0(gen::five_point(6, 6)).l;
+  std::vector<double> rhs(static_cast<std::size_t>(l.rows), 1.0);
+  std::vector<double> y1(rhs.size()), y2(rhs.size());
+  sp::trisolve_lower_seq(l, rhs, y1);
+  sp::trisolve_lower_seq(l, rhs, y2, 0);
+  EXPECT_EQ(y1, y2);
+}
+
+// ---------------------------------------------------------------------
+// Krylov solvers.
+// ---------------------------------------------------------------------
+
+TEST(EdgeKrylov, CgReportsNonConvergenceOnIterationCap) {
+  const sp::Csr a = gen::five_point(30, 30);
+  std::vector<double> b(static_cast<std::size_t>(a.rows), 1.0);
+  std::vector<double> x(static_cast<std::size_t>(a.rows), 0.0);
+  const auto rep = solve::pcg(a, b, x, solve::IdentityPreconditioner{},
+                              {.max_iterations = 2, .rel_tolerance = 1e-14});
+  EXPECT_FALSE(rep.converged);
+  EXPECT_EQ(rep.iterations, 2);
+  EXPECT_GT(rep.final_relative_residual, 1e-14);
+}
+
+TEST(EdgeKrylov, GmresReportsNonConvergenceOnIterationCap) {
+  const sp::Csr a = gen::matrix_spe5(3);
+  std::vector<double> b(static_cast<std::size_t>(a.rows), 1.0);
+  std::vector<double> x(static_cast<std::size_t>(a.rows), 0.0);
+  const auto rep = solve::gmres(a, b, x, solve::IdentityPreconditioner{},
+                                {.restart = 5, .max_iterations = 3,
+                                 .rel_tolerance = 1e-14});
+  EXPECT_FALSE(rep.converged);
+  EXPECT_LE(rep.iterations, 3);
+}
+
+TEST(EdgeKrylov, HistoryDisabled) {
+  const sp::Csr a = gen::five_point(8, 8);
+  std::vector<double> b(static_cast<std::size_t>(a.rows), 1.0);
+  std::vector<double> x(static_cast<std::size_t>(a.rows), 0.0);
+  const auto rep = solve::pcg(a, b, x, solve::Ilu0Preconditioner{a},
+                              {.record_history = false});
+  EXPECT_TRUE(rep.converged);
+  EXPECT_TRUE(rep.residual_history.empty());
+}
+
+TEST(EdgeKrylov, GmresRejectsBadRestart) {
+  const sp::Csr a = gen::five_point(4, 4);
+  std::vector<double> b(static_cast<std::size_t>(a.rows), 1.0);
+  std::vector<double> x(static_cast<std::size_t>(a.rows), 0.0);
+  EXPECT_THROW(solve::gmres(a, b, x, solve::IdentityPreconditioner{},
+                            {.restart = 0}),
+               std::invalid_argument);
+}
+
+TEST(EdgeKrylov, WarmStartFromExactSolution) {
+  const sp::Csr a = gen::five_point(10, 10);
+  std::vector<double> x_true(static_cast<std::size_t>(a.rows), 0.5);
+  std::vector<double> b(static_cast<std::size_t>(a.rows));
+  sp::spmv(a, x_true, b);
+  std::vector<double> x = x_true;  // start at the answer
+  const auto rep = solve::pcg(a, b, x, solve::IdentityPreconditioner{});
+  EXPECT_TRUE(rep.converged);
+  EXPECT_EQ(rep.iterations, 0);
+}
+
+// ---------------------------------------------------------------------
+// Engine degenerate shapes.
+// ---------------------------------------------------------------------
+
+TEST(EdgeEngine, SingleIterationLoop) {
+  rt::ThreadPool pool(4);
+  std::vector<index_t> writer = {3};
+  std::vector<double> y(8, 1.0);
+  core::DoacrossEngine<double> eng(pool, 8);
+  eng.run(writer, std::span<double>(y), [](auto& it) {
+    it.lhs() = it.read(5) + 1.0;  // never-written offset
+  });
+  EXPECT_DOUBLE_EQ(y[3], 2.0);
+}
+
+TEST(EdgeEngine, BodyThatIgnoresLhsKeepsOldValue) {
+  rt::ThreadPool pool(4);
+  std::vector<index_t> writer = {0, 1, 2};
+  std::vector<double> y = {7.0, 8.0, 9.0};
+  core::DoacrossEngine<double> eng(pool, 3);
+  eng.run(writer, std::span<double>(y), [](auto&) {});
+  // lhs() initialized from the old value and committed unchanged.
+  EXPECT_EQ(y, (std::vector<double>{7.0, 8.0, 9.0}));
+}
+
+TEST(EdgeEngine, PoolWiderThanLoop) {
+  rt::ThreadPool pool(16);
+  std::vector<index_t> writer = {0, 1};
+  std::vector<double> y(2, 0.0);
+  core::DoacrossEngine<double> eng(pool, 2);
+  eng.run(writer, std::span<double>(y), [](auto& it) {
+    it.lhs() = static_cast<double>(it.index());
+  });
+  EXPECT_DOUBLE_EQ(y[0], 0.0);
+  EXPECT_DOUBLE_EQ(y[1], 1.0);
+}
+
+TEST(EdgeDoconsider, EmptyAndSingleton) {
+  const core::Reordering r0 = core::doconsider_order(
+      0, [](index_t, const core::DepVisitor&) {});
+  EXPECT_EQ(r0.iterations(), 0);
+  EXPECT_EQ(r0.num_levels(), 0);
+  EXPECT_DOUBLE_EQ(r0.average_parallelism(), 0.0);
+
+  const core::Reordering r1 = core::doconsider_order(
+      1, [](index_t, const core::DepVisitor&) {});
+  EXPECT_EQ(r1.iterations(), 1);
+  EXPECT_EQ(r1.num_levels(), 1);
+  EXPECT_EQ(r1.order[0], 0);
+}
+
+TEST(EdgeSchedule, SingleIterationAllPolicies) {
+  for (const auto& s :
+       {rt::Schedule::static_block(), rt::Schedule::static_cyclic(3),
+        rt::Schedule::dynamic(2)}) {
+    std::atomic<index_t> cursor{0};
+    int count = 0;
+    rt::schedule_run(s, 1, 0, 1, &cursor, [&](index_t i) {
+      EXPECT_EQ(i, 0);
+      ++count;
+    });
+    EXPECT_EQ(count, 1) << rt::to_string(s);
+  }
+}
+
+TEST(EdgeTestLoop, LargeLWithSmallM) {
+  // L = 14, M = 1: single read at distance 6 when even.
+  const gen::TestLoop tl = gen::make_test_loop({.n = 100, .m = 1, .l = 14});
+  const core::DepGraph g = gen::test_loop_deps(tl);
+  for (index_t i = 10; i < 90; ++i) {
+    ASSERT_EQ(g.deps_of(i).size(), 1u);
+    EXPECT_EQ(i - g.deps_of(i)[0], 6);  // L/2 - 1
+  }
+}
+
+TEST(EdgeTestLoop, MGreaterThanHalfLMixesAllThreeKinds) {
+  // L = 4, M = 5: j=1 -> true dep (distance 1), j=2 -> self, j>2 -> anti.
+  const gen::TestLoop tl = gen::make_test_loop({.n = 100, .m = 5, .l = 4});
+  const core::DepGraph g = gen::test_loop_deps(tl);
+  for (index_t i = 10; i < 90; ++i) {
+    ASSERT_EQ(g.deps_of(i).size(), 1u) << i;  // only the true dep counts
+    EXPECT_EQ(i - g.deps_of(i)[0], 1);
+  }
+}

@@ -1,0 +1,146 @@
+// Tests for the matrix generators: exact appendix sizes, stencil
+// structure, symmetry, and diagonal dominance of the block operators.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gen/block_operator.hpp"
+#include "gen/stencil.hpp"
+
+namespace gen = pdx::gen;
+namespace sp = pdx::sparse;
+using pdx::index_t;
+
+TEST(Stencil, FivePointAppendixSize) {
+  const sp::Csr a = gen::matrix_5pt();
+  EXPECT_EQ(a.rows, 3969);  // 63 x 63
+  EXPECT_NO_THROW(a.validate());
+}
+
+TEST(Stencil, SevenPointAppendixSize) {
+  const sp::Csr a = gen::matrix_7pt();
+  EXPECT_EQ(a.rows, 8000);  // 20^3
+  EXPECT_NO_THROW(a.validate());
+}
+
+TEST(Stencil, NinePointAppendixSize) {
+  const sp::Csr a = gen::matrix_9pt();
+  EXPECT_EQ(a.rows, 3969);
+  EXPECT_NO_THROW(a.validate());
+}
+
+TEST(Stencil, FivePointRowStructure) {
+  const sp::Csr a = gen::five_point(5, 4);
+  // Interior point: 5 entries; corner: 3; edge: 4.
+  EXPECT_EQ(a.row_nnz(0), 3);                  // corner (0,0)
+  EXPECT_EQ(a.row_nnz(2), 4);                  // top edge
+  EXPECT_EQ(a.row_nnz(1 * 5 + 2), 5);          // interior
+  EXPECT_DOUBLE_EQ(a.at(7, 7), 4.0);
+  EXPECT_DOUBLE_EQ(a.at(7, 6), -1.0);
+  EXPECT_DOUBLE_EQ(a.at(7, 12), -1.0);
+  EXPECT_DOUBLE_EQ(a.at(7, 9), 0.0);  // not a neighbour
+}
+
+TEST(Stencil, SevenPointRowStructure) {
+  const sp::Csr a = gen::seven_point(4, 4, 4);
+  const index_t interior = (1 * 4 + 1) * 4 + 1;  // (1,1,1)
+  EXPECT_EQ(a.row_nnz(interior), 7);
+  EXPECT_DOUBLE_EQ(a.at(interior, interior), 6.0);
+  EXPECT_EQ(a.row_nnz(0), 4);  // corner: self + 3 neighbours
+}
+
+TEST(Stencil, NinePointRowStructure) {
+  const sp::Csr a = gen::nine_point(5, 5);
+  const index_t interior = 2 * 5 + 2;
+  EXPECT_EQ(a.row_nnz(interior), 9);
+  EXPECT_DOUBLE_EQ(a.at(interior, interior), 8.0);
+  EXPECT_DOUBLE_EQ(a.at(interior, interior - 5 - 1), -1.0);  // diagonal nbr
+  EXPECT_EQ(a.row_nnz(0), 4);  // corner: self + 3
+}
+
+TEST(Stencil, OperatorsAreSymmetric) {
+  for (const sp::Csr& a :
+       {gen::five_point(7, 9), gen::seven_point(4, 5, 3), gen::nine_point(6, 6)}) {
+    const sp::Csr t = a.transposed();
+    ASSERT_EQ(t.nnz(), a.nnz());
+    for (index_t r = 0; r < a.rows; ++r) {
+      for (index_t k = a.row_begin(r); k < a.row_end(r); ++k) {
+        const index_t c = a.idx[static_cast<std::size_t>(k)];
+        ASSERT_DOUBLE_EQ(a.val[static_cast<std::size_t>(k)], t.at(r, c));
+      }
+    }
+  }
+}
+
+TEST(Stencil, RejectsDegenerateGrids) {
+  EXPECT_THROW(gen::five_point(0, 5), std::invalid_argument);
+  EXPECT_THROW(gen::seven_point(2, 0, 2), std::invalid_argument);
+  EXPECT_THROW(gen::nine_point(3, -1), std::invalid_argument);
+}
+
+TEST(BlockOperator, Spe2AppendixStructure) {
+  const sp::Csr a = gen::matrix_spe2();
+  EXPECT_EQ(a.rows, 1080);  // 6*6*5 points x 6 unknowns
+  EXPECT_NO_THROW(a.validate());
+  // Interior point couples to itself + 6 neighbours, each 6x6 dense:
+  // row nnz = 7 * 6 = 42 for interior block rows.
+  index_t max_nnz = 0;
+  for (index_t r = 0; r < a.rows; ++r) max_nnz = std::max(max_nnz, a.row_nnz(r));
+  EXPECT_EQ(max_nnz, 7 * 6);
+}
+
+TEST(BlockOperator, Spe5AppendixStructure) {
+  const sp::Csr a = gen::matrix_spe5();
+  EXPECT_EQ(a.rows, 3312);  // 16*23*3 points x 3 unknowns
+  EXPECT_NO_THROW(a.validate());
+  index_t max_nnz = 0;
+  for (index_t r = 0; r < a.rows; ++r) max_nnz = std::max(max_nnz, a.row_nnz(r));
+  EXPECT_EQ(max_nnz, 7 * 3);
+}
+
+TEST(BlockOperator, StrictDiagonalDominance) {
+  const sp::Csr a = gen::block_seven_point(
+      {.nx = 4, .ny = 3, .nz = 2, .block = 4, .seed = 99});
+  for (index_t r = 0; r < a.rows; ++r) {
+    double diag = 0.0, off = 0.0;
+    for (index_t k = a.row_begin(r); k < a.row_end(r); ++k) {
+      if (a.idx[static_cast<std::size_t>(k)] == r) {
+        diag = a.val[static_cast<std::size_t>(k)];
+      } else {
+        off += std::fabs(a.val[static_cast<std::size_t>(k)]);
+      }
+    }
+    EXPECT_GT(diag, off) << "row " << r;
+  }
+}
+
+TEST(BlockOperator, SeedChangesValuesNotStructure) {
+  const sp::Csr a = gen::matrix_spe5(1);
+  const sp::Csr b = gen::matrix_spe5(2);
+  ASSERT_EQ(a.nnz(), b.nnz());
+  EXPECT_EQ(a.idx, b.idx);
+  EXPECT_EQ(a.ptr, b.ptr);
+  bool any_diff = false;
+  for (std::size_t k = 0; k < a.val.size(); ++k) {
+    if (a.val[k] != b.val[k]) {
+      any_diff = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(BlockOperator, SameSeedReproducesExactly) {
+  const sp::Csr a = gen::matrix_spe2(77);
+  const sp::Csr b = gen::matrix_spe2(77);
+  EXPECT_EQ(a.val, b.val);
+}
+
+TEST(BlockOperator, RejectsBadParameters) {
+  EXPECT_THROW(
+      gen::block_seven_point({.nx = 0, .ny = 1, .nz = 1, .block = 1}),
+      std::invalid_argument);
+  EXPECT_THROW(
+      gen::block_seven_point({.nx = 1, .ny = 1, .nz = 1, .block = 0}),
+      std::invalid_argument);
+}

@@ -1,0 +1,193 @@
+// Tests for the workload generators: the Fig. 4 test loop's dependence
+// structure (the odd/even-L dichotomy Figure 6 rests on) and the random
+// irregular loop generator.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "core/iter_table.hpp"
+#include "gen/random_loop.hpp"
+#include "gen/rng.hpp"
+#include "gen/testloop.hpp"
+
+namespace gen = pdx::gen;
+namespace core = pdx::core;
+using pdx::index_t;
+
+TEST(SplitMix64, DeterministicAndSpread) {
+  gen::SplitMix64 a(7), b(7), c(8);
+  for (int i = 0; i < 100; ++i) {
+    const auto va = a.next();
+    EXPECT_EQ(va, b.next());
+    EXPECT_NE(va, c.next());  // different seed, different stream (w.h.p.)
+  }
+}
+
+TEST(SplitMix64, DoublesInUnitInterval) {
+  gen::SplitMix64 rng(99);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(SplitMix64, BoundedIntegersInRange) {
+  gen::SplitMix64 rng(5);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 3000; ++i) {
+    const auto v = rng.next_below(7);
+    EXPECT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all residues hit
+}
+
+TEST(RandomInjection, ProducesInjectiveInRangeMap) {
+  gen::SplitMix64 rng(11);
+  const auto m = gen::random_injection(100, 250, rng);
+  EXPECT_EQ(m.size(), 100u);
+  std::set<index_t> uniq(m.begin(), m.end());
+  EXPECT_EQ(uniq.size(), 100u);
+  for (index_t v : m) {
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 250);
+  }
+}
+
+TEST(RandomInjection, FullPermutationWhenTight) {
+  gen::SplitMix64 rng(12);
+  const auto m = gen::random_injection(50, 50, rng);
+  std::set<index_t> uniq(m.begin(), m.end());
+  EXPECT_EQ(uniq.size(), 50u);
+}
+
+TEST(TestLoop, MatchesPaperInitialization) {
+  const gen::TestLoop tl = gen::make_test_loop({.n = 100, .m = 5, .l = 3});
+  // a(i) = 2i (+ base), nbrs(j) = 2j - L in the paper's 1-based indexing.
+  for (index_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(tl.a[static_cast<std::size_t>(i)], 2 * i + tl.base);
+    EXPECT_EQ(tl.b[static_cast<std::size_t>(i)], 2 * i + tl.base);
+  }
+  for (int j = 0; j < 5; ++j) {
+    EXPECT_EQ(tl.nbrs[static_cast<std::size_t>(j)], 2 * (j + 1) - 3);
+  }
+  // Writer map must be injective and in range (no output dependences).
+  EXPECT_EQ(core::find_writer_conflict(tl.a, tl.value_space), -1);
+}
+
+TEST(TestLoop, AllOffsetsInBounds) {
+  for (int l = 1; l <= 14; ++l) {
+    const gen::TestLoop tl = gen::make_test_loop({.n = 50, .m = 5, .l = l});
+    for (index_t i = 0; i < tl.n(); ++i) {
+      for (int j = 0; j < tl.params.m; ++j) {
+        const index_t off = tl.b[static_cast<std::size_t>(i)] +
+                            tl.nbrs[static_cast<std::size_t>(j)];
+        EXPECT_GE(off, 0) << "L=" << l << " i=" << i << " j=" << j;
+        EXPECT_LT(off, tl.value_space);
+      }
+    }
+  }
+}
+
+TEST(TestLoop, OddLHasNoCrossIterationDependences) {
+  for (int l : {1, 3, 5, 7, 9, 11, 13}) {
+    const gen::TestLoop tl = gen::make_test_loop({.n = 400, .m = 5, .l = l});
+    EXPECT_EQ(gen::count_true_deps(tl), 0) << "L=" << l;
+  }
+}
+
+TEST(TestLoop, EvenLDependenceDistanceIsHalfLMinusJ) {
+  // For even L, iteration i truly depends on i - (L/2 - j) for each
+  // j = 1..min(M, L/2 - 1).
+  for (int l : {4, 8, 12}) {
+    const int m = 5;
+    const gen::TestLoop tl = gen::make_test_loop({.n = 300, .m = m, .l = l});
+    const core::DepGraph g = gen::test_loop_deps(tl);
+    const index_t half = l / 2;
+    std::set<index_t> want_dists;
+    for (int j = 1; j <= m && j < half; ++j) want_dists.insert(half - j);
+
+    // Check a mid-range iteration (boundary iterations clip).
+    const index_t i = 100;
+    std::set<index_t> got;
+    for (index_t d : g.deps_of(i)) got.insert(i - d);
+    EXPECT_EQ(got, want_dists) << "L=" << l;
+  }
+}
+
+TEST(TestLoop, L2IsPureSelfReference) {
+  // L=2, M=1: offset = b(i) + 2 - 2 = a(i): intra-iteration only.
+  const gen::TestLoop tl = gen::make_test_loop({.n = 200, .m = 1, .l = 2});
+  EXPECT_EQ(gen::count_true_deps(tl), 0);
+}
+
+TEST(TestLoop, SequentialExecutionIsDeterministic) {
+  const gen::TestLoop tl = gen::make_test_loop({.n = 500, .m = 4, .l = 6});
+  std::vector<double> y1 = gen::make_initial_y(tl);
+  std::vector<double> y2 = gen::make_initial_y(tl);
+  gen::run_test_loop_seq(tl, y1);
+  gen::run_test_loop_seq(tl, y2);
+  EXPECT_EQ(y1, y2);
+}
+
+TEST(TestLoop, WorkRepsChangeValuesNotDependences) {
+  const gen::TestLoop plain = gen::make_test_loop({.n = 100, .m = 2, .l = 4});
+  const gen::TestLoop heavy =
+      gen::make_test_loop({.n = 100, .m = 2, .l = 4, .work_reps = 8});
+  EXPECT_EQ(gen::test_loop_deps(plain).edges(),
+            gen::test_loop_deps(heavy).edges());
+}
+
+TEST(TestLoop, RejectsBadParameters) {
+  EXPECT_THROW(gen::make_test_loop({.n = 0, .m = 1, .l = 1}),
+               std::invalid_argument);
+  EXPECT_THROW(gen::make_test_loop({.n = 10, .m = 0, .l = 1}),
+               std::invalid_argument);
+  EXPECT_THROW(gen::make_test_loop({.n = 10, .m = 1, .l = 0}),
+               std::invalid_argument);
+}
+
+TEST(RandomLoop, RespectsShapeParameters) {
+  gen::RandomLoopParams p{.n = 300, .value_space = 600, .min_reads = 2,
+                          .max_reads = 5, .dep_bias = 0.5};
+  const gen::RandomLoop rl = gen::make_random_loop(p, 1);
+  EXPECT_EQ(rl.n(), 300);
+  EXPECT_EQ(rl.value_space, 600);
+  EXPECT_EQ(core::find_writer_conflict(rl.writer, rl.value_space), -1);
+  for (index_t i = 0; i < rl.n(); ++i) {
+    const index_t reads = rl.read_ptr[static_cast<std::size_t>(i) + 1] -
+                          rl.read_ptr[static_cast<std::size_t>(i)];
+    EXPECT_GE(reads, 2);
+    EXPECT_LE(reads, 5);
+  }
+  for (index_t off : rl.read_off) {
+    EXPECT_GE(off, 0);
+    EXPECT_LT(off, rl.value_space);
+  }
+}
+
+TEST(RandomLoop, FullDepBiasYieldsManyDependences) {
+  gen::RandomLoopParams p{.n = 500, .value_space = 500, .min_reads = 2,
+                          .max_reads = 2, .dep_bias = 1.0};
+  const gen::RandomLoop rl = gen::make_random_loop(p, 2);
+  const core::DepGraph g = gen::random_loop_deps(rl);
+  // All reads of iterations i >= 1 target earlier writers.
+  EXPECT_GT(g.edges(), rl.n());
+}
+
+TEST(RandomLoop, DefaultValueSpaceIsTwiceN) {
+  const gen::RandomLoop rl =
+      gen::make_random_loop({.n = 100, .value_space = 0}, 3);
+  EXPECT_EQ(rl.value_space, 200);
+}
+
+TEST(RandomLoop, RejectsImpossibleShapes) {
+  EXPECT_THROW(
+      gen::make_random_loop({.n = 100, .value_space = 50}, 1),
+      std::invalid_argument);
+  EXPECT_THROW(
+      gen::make_random_loop({.n = 10, .min_reads = 5, .max_reads = 2}, 1),
+      std::invalid_argument);
+}

@@ -1,0 +1,35 @@
+// Tests for the affinity helpers (best-effort on Linux, no-ops elsewhere).
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "runtime/affinity.hpp"
+
+namespace rt = pdx::rt;
+
+TEST(Affinity, AllowedCpusIsPositive) {
+  EXPECT_GE(rt::allowed_cpus(), 1u);
+}
+
+TEST(Affinity, PinningToCpuZeroFromScratchThread) {
+  // CPU 0 exists on every machine; pin a scratch thread, never the test
+  // runner itself. Failure is tolerated (containers may restrict masks),
+  // but the call must not crash or hang.
+  std::thread t([] {
+    const bool ok = rt::pin_this_thread(0);
+#if defined(__linux__)
+    EXPECT_TRUE(ok);
+    EXPECT_EQ(rt::allowed_cpus(), 1u);
+#else
+    (void)ok;
+#endif
+  });
+  t.join();
+}
+
+TEST(Affinity, PinningToAbsurdCpuFails) {
+  std::thread t([] {
+    EXPECT_FALSE(rt::pin_this_thread(100000));
+  });
+  t.join();
+}

@@ -1,0 +1,172 @@
+// Tests for the fork/join thread pool: region dispatch, participation,
+// nesting of sequential fallbacks, exception propagation, parallel_for.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "runtime/aligned.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace rt = pdx::rt;
+using pdx::index_t;
+
+TEST(ThreadPool, WidthDefaultsToHardware) {
+  rt::ThreadPool pool;
+  EXPECT_GE(pool.width(), 1u);
+}
+
+TEST(ThreadPool, WidthOneRunsInline) {
+  rt::ThreadPool pool(1);
+  const auto caller = std::this_thread::get_id();
+  std::thread::id seen;
+  pool.parallel_region(1, [&](unsigned tid, unsigned nth) {
+    EXPECT_EQ(tid, 0u);
+    EXPECT_EQ(nth, 1u);
+    seen = std::this_thread::get_id();
+  });
+  EXPECT_EQ(seen, caller);
+}
+
+TEST(ThreadPool, AllMembersParticipateExactlyOnce) {
+  rt::ThreadPool pool(8);
+  std::vector<std::atomic<int>> hits(8);
+  for (auto& h : hits) h.store(0);
+  pool.parallel_region(8, [&](unsigned tid, unsigned nth) {
+    EXPECT_EQ(nth, 8u);
+    hits[tid].fetch_add(1);
+  });
+  for (unsigned t = 0; t < 8; ++t) EXPECT_EQ(hits[t].load(), 1) << "tid " << t;
+}
+
+TEST(ThreadPool, NarrowerRegionUsesLowTids) {
+  rt::ThreadPool pool(8);
+  std::vector<std::atomic<int>> hits(8);
+  for (auto& h : hits) h.store(0);
+  pool.parallel_region(3, [&](unsigned tid, unsigned nth) {
+    EXPECT_EQ(nth, 3u);
+    EXPECT_LT(tid, 3u);
+    hits[tid].fetch_add(1);
+  });
+  EXPECT_EQ(hits[0].load(), 1);
+  EXPECT_EQ(hits[1].load(), 1);
+  EXPECT_EQ(hits[2].load(), 1);
+  for (unsigned t = 3; t < 8; ++t) EXPECT_EQ(hits[t].load(), 0);
+}
+
+TEST(ThreadPool, OversizedRequestClampsToWidth) {
+  rt::ThreadPool pool(4);
+  unsigned seen_width = 0;
+  pool.parallel_region(64, [&](unsigned tid, unsigned nth) {
+    if (tid == 0) seen_width = nth;
+  });
+  EXPECT_EQ(seen_width, 4u);
+}
+
+TEST(ThreadPool, ZeroThreadRequestMeansFullWidth) {
+  rt::ThreadPool pool(4);
+  unsigned seen_width = 0;
+  pool.parallel_region(0, [&](unsigned tid, unsigned nth) {
+    if (tid == 0) seen_width = nth;
+  });
+  EXPECT_EQ(seen_width, 4u);
+}
+
+TEST(ThreadPool, ManySequentialRegionsReuseWorkers) {
+  rt::ThreadPool pool(4);
+  std::atomic<long> total{0};
+  for (int round = 0; round < 200; ++round) {
+    pool.parallel_region(4, [&](unsigned, unsigned) { total.fetch_add(1); });
+  }
+  EXPECT_EQ(total.load(), 200 * 4);
+}
+
+TEST(ThreadPool, DistinctThreadsBackEachMember) {
+  rt::ThreadPool pool(4);
+  std::vector<std::thread::id> ids(4);
+  pool.parallel_region(4, [&](unsigned tid, unsigned) {
+    ids[tid] = std::this_thread::get_id();
+  });
+  std::set<std::thread::id> unique(ids.begin(), ids.end());
+  EXPECT_EQ(unique.size(), 4u);
+}
+
+TEST(ThreadPool, ExceptionFromWorkerPropagatesToCaller) {
+  rt::ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_region(4,
+                           [&](unsigned tid, unsigned) {
+                             if (tid == 2) throw std::runtime_error("boom");
+                           }),
+      std::runtime_error);
+  // Pool must remain usable afterwards.
+  std::atomic<int> ok{0};
+  pool.parallel_region(4, [&](unsigned, unsigned) { ok.fetch_add(1); });
+  EXPECT_EQ(ok.load(), 4);
+}
+
+TEST(ThreadPool, ExceptionFromCallerMemberPropagates) {
+  rt::ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_region(4,
+                           [&](unsigned tid, unsigned) {
+                             if (tid == 0) throw std::logic_error("caller");
+                           }),
+      std::logic_error);
+}
+
+TEST(ThreadPool, ParallelForCoversAllIterationsOnce) {
+  rt::ThreadPool pool(6);
+  constexpr index_t n = 10007;
+  std::vector<std::atomic<int>> hits(n);
+  for (auto& h : hits) h.store(0);
+  pool.parallel_for(n, 6, [&](index_t i) { hits[i].fetch_add(1); });
+  for (index_t i = 0; i < n; ++i) ASSERT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPool, ParallelForEmptyAndSingleton) {
+  rt::ThreadPool pool(4);
+  int count = 0;
+  pool.parallel_for(0, 4, [&](index_t) { ++count; });
+  EXPECT_EQ(count, 0);
+  pool.parallel_for(1, 4, [&](index_t i) {
+    EXPECT_EQ(i, 0);
+    ++count;
+  });
+  EXPECT_EQ(count, 1);
+}
+
+TEST(ThreadPool, ParallelForDynamicSchedule) {
+  rt::ThreadPool pool(4);
+  constexpr index_t n = 5000;
+  std::vector<std::atomic<int>> hits(n);
+  for (auto& h : hits) h.store(0);
+  pool.parallel_for(
+      n, 4, [&](index_t i) { hits[i].fetch_add(1); },
+      rt::Schedule::dynamic(16));
+  for (index_t i = 0; i < n; ++i) ASSERT_EQ(hits[i].load(), 1);
+}
+
+TEST(ThreadPool, GlobalPoolIsSingleton) {
+  rt::ThreadPool& a = rt::ThreadPool::global();
+  rt::ThreadPool& b = rt::ThreadPool::global();
+  EXPECT_EQ(&a, &b);
+}
+
+TEST(ThreadPool, ReductionAcrossMembersIsComplete) {
+  rt::ThreadPool pool(8);
+  constexpr index_t n = 100000;
+  std::vector<pdx::rt::Padded<long>> partial(8);
+  pool.parallel_region(8, [&](unsigned tid, unsigned nth) {
+    const rt::IterRange r = rt::static_block_range(n, tid, nth);
+    long s = 0;
+    for (index_t i = r.begin; i < r.end; ++i) s += i;
+    partial[tid].value = s;
+  });
+  long total = 0;
+  for (const auto& p : partial) total += p.value;
+  EXPECT_EQ(total, static_cast<long>(n) * (n - 1) / 2);
+}

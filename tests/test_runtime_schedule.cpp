@@ -1,0 +1,123 @@
+// Tests for the scheduling policies: full coverage, per-thread
+// monotonicity (the deadlock-freedom precondition), block layout, and
+// chunk handling, swept over policies and thread counts with TEST_P.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <numeric>
+#include <vector>
+
+#include "runtime/schedule.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace rt = pdx::rt;
+using pdx::index_t;
+
+TEST(StaticBlockRange, PartitionsExactly) {
+  for (index_t n : {0, 1, 7, 64, 1000, 10007}) {
+    for (unsigned p : {1u, 2u, 3u, 8u, 16u, 61u}) {
+      index_t covered = 0;
+      index_t prev_end = 0;
+      for (unsigned t = 0; t < p; ++t) {
+        const rt::IterRange r = rt::static_block_range(n, t, p);
+        EXPECT_EQ(r.begin, prev_end) << "gap at t=" << t;
+        EXPECT_LE(r.begin, r.end);
+        covered += r.size();
+        prev_end = r.end;
+      }
+      EXPECT_EQ(prev_end, n);
+      EXPECT_EQ(covered, n);
+    }
+  }
+}
+
+TEST(StaticBlockRange, BalancedWithinOne) {
+  const index_t n = 1003;
+  const unsigned p = 16;
+  index_t lo = n, hi = 0;
+  for (unsigned t = 0; t < p; ++t) {
+    const auto r = rt::static_block_range(n, t, p);
+    lo = std::min(lo, r.size());
+    hi = std::max(hi, r.size());
+  }
+  EXPECT_LE(hi - lo, 1);
+}
+
+struct SchedCase {
+  rt::Schedule sched;
+  unsigned nthreads;
+  index_t n;
+};
+
+class ScheduleSweep : public ::testing::TestWithParam<SchedCase> {};
+
+TEST_P(ScheduleSweep, CoversEveryIterationExactlyOnce) {
+  const SchedCase c = GetParam();
+  std::vector<std::atomic<int>> hits(static_cast<std::size_t>(c.n));
+  for (auto& h : hits) h.store(0);
+  std::atomic<index_t> cursor{0};
+
+  rt::ThreadPool pool(c.nthreads);
+  pool.parallel_region(c.nthreads, [&](unsigned tid, unsigned nth) {
+    rt::schedule_run(c.sched, c.n, tid, nth, &cursor,
+                     [&](index_t i) { hits[static_cast<std::size_t>(i)].fetch_add(1); });
+  });
+  for (index_t i = 0; i < c.n; ++i) {
+    ASSERT_EQ(hits[static_cast<std::size_t>(i)].load(), 1) << "iteration " << i;
+  }
+}
+
+TEST_P(ScheduleSweep, PerThreadOrderIsMonotone) {
+  const SchedCase c = GetParam();
+  std::vector<std::vector<index_t>> seen(c.nthreads);
+  std::atomic<index_t> cursor{0};
+
+  rt::ThreadPool pool(c.nthreads);
+  pool.parallel_region(c.nthreads, [&](unsigned tid, unsigned nth) {
+    rt::schedule_run(c.sched, c.n, tid, nth, &cursor,
+                     [&](index_t i) { seen[tid].push_back(i); });
+  });
+  for (unsigned t = 0; t < c.nthreads; ++t) {
+    EXPECT_TRUE(std::is_sorted(seen[t].begin(), seen[t].end()))
+        << "thread " << t << " retired iterations out of order";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Policies, ScheduleSweep,
+    ::testing::Values(
+        SchedCase{rt::Schedule::static_block(), 1, 100},
+        SchedCase{rt::Schedule::static_block(), 4, 1000},
+        SchedCase{rt::Schedule::static_block(), 7, 10},  // more threads than fit
+        SchedCase{rt::Schedule::static_cyclic(1), 4, 1001},
+        SchedCase{rt::Schedule::static_cyclic(8), 4, 1000},
+        SchedCase{rt::Schedule::static_cyclic(64), 3, 100},
+        SchedCase{rt::Schedule::dynamic(1), 4, 500},
+        SchedCase{rt::Schedule::dynamic(16), 8, 4096},
+        SchedCase{rt::Schedule::dynamic(0), 6, 2000},   // default chunk
+        SchedCase{rt::Schedule::dynamic(1000), 4, 100}  // chunk > n
+        ));
+
+TEST(ScheduleToString, NamesArePrintable) {
+  EXPECT_EQ(rt::to_string(rt::Schedule::static_block()), "static-block");
+  EXPECT_EQ(rt::to_string(rt::Schedule::static_cyclic(4)), "static-cyclic/4");
+  EXPECT_EQ(rt::to_string(rt::Schedule::dynamic(8)), "dynamic/8");
+}
+
+TEST(DefaultDynamicChunk, ReasonableBounds) {
+  EXPECT_GE(rt::default_dynamic_chunk(1, 16), 1);
+  EXPECT_EQ(rt::default_dynamic_chunk(0, 4), 1);
+  EXPECT_EQ(rt::default_dynamic_chunk(1 << 20, 4), (1 << 20) / 32);
+}
+
+TEST(ScheduleRun, CyclicDistributesRoundRobin) {
+  // chunk 2, 2 threads, n = 8: t0 -> {0,1,4,5}, t1 -> {2,3,6,7}
+  std::vector<std::vector<index_t>> got(2);
+  for (unsigned tid = 0; tid < 2; ++tid) {
+    rt::schedule_run(rt::Schedule::static_cyclic(2), 8, tid, 2, nullptr,
+                     [&](index_t i) { got[tid].push_back(i); });
+  }
+  EXPECT_EQ(got[0], (std::vector<index_t>{0, 1, 4, 5}));
+  EXPECT_EQ(got[1], (std::vector<index_t>{2, 3, 6, 7}));
+}

@@ -1,0 +1,96 @@
+// Tests for the synchronization primitives: spin wait, barrier, padding.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "runtime/aligned.hpp"
+#include "runtime/barrier.hpp"
+#include "runtime/spin_wait.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace rt = pdx::rt;
+
+TEST(SpinWait, EscalatesAndResets) {
+  rt::SpinWait sw;
+  EXPECT_EQ(sw.rounds(), 0u);
+  for (int i = 0; i < 10; ++i) sw.spin_once();
+  EXPECT_EQ(sw.rounds(), 10u);
+  sw.reset();
+  EXPECT_EQ(sw.rounds(), 0u);
+}
+
+TEST(SpinWait, SpinUntilImmediateTakesZeroRounds) {
+  EXPECT_EQ(rt::spin_until([] { return true; }), 0u);
+}
+
+TEST(SpinWait, SpinUntilObservesAsyncFlag) {
+  std::atomic<bool> flag{false};
+  std::thread setter([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    flag.store(true, std::memory_order_release);
+  });
+  const auto rounds =
+      rt::spin_until([&] { return flag.load(std::memory_order_acquire); });
+  setter.join();
+  EXPECT_GT(rounds, 0u);
+}
+
+TEST(Padded, OccupiesFullCacheLines) {
+  EXPECT_GE(sizeof(rt::Padded<int>), pdx::kCacheLineBytes);
+  EXPECT_EQ(alignof(rt::Padded<long>), pdx::kCacheLineBytes);
+  std::vector<rt::Padded<int>> v(4);
+  const auto a = reinterpret_cast<std::uintptr_t>(&v[0]);
+  const auto b = reinterpret_cast<std::uintptr_t>(&v[1]);
+  EXPECT_GE(b - a, pdx::kCacheLineBytes);
+}
+
+TEST(CacheAlignedAllocator, ReturnsAlignedStorage) {
+  std::vector<double, rt::CacheAlignedAllocator<double>> v(1000);
+  const auto p = reinterpret_cast<std::uintptr_t>(v.data());
+  EXPECT_EQ(p % pdx::kCacheLineBytes, 0u);
+}
+
+TEST(Barrier, SingleThreadPassesThrough) {
+  rt::Barrier b(1);
+  b.arrive_and_wait();
+  b.arrive_and_wait();
+  EXPECT_EQ(b.epochs(), 2u);
+}
+
+TEST(Barrier, SynchronizesWritesAcrossPhases) {
+  constexpr unsigned kThreads = 8;
+  constexpr int kRounds = 50;
+  rt::ThreadPool pool(kThreads);
+  rt::Barrier barrier(kThreads);
+  std::vector<int> data(kThreads, 0);
+
+  // Each round: everyone writes its slot, barrier, everyone checks all
+  // slots have the round value. Any missed synchronization fails fast.
+  pool.parallel_region(kThreads, [&](unsigned tid, unsigned nth) {
+    for (int round = 1; round <= kRounds; ++round) {
+      data[tid] = round;
+      barrier.arrive_and_wait();
+      for (unsigned t = 0; t < nth; ++t) {
+        ASSERT_EQ(data[t], round) << "round " << round << " slot " << t;
+      }
+      barrier.arrive_and_wait();  // keep writers out of the next round
+    }
+  });
+  EXPECT_EQ(barrier.epochs(), static_cast<std::uint32_t>(2 * kRounds));
+}
+
+TEST(Barrier, BackToBackBarriersDoNotDeadlock) {
+  constexpr unsigned kThreads = 4;
+  rt::ThreadPool pool(kThreads);
+  rt::Barrier barrier(kThreads);
+  std::atomic<int> counter{0};
+  pool.parallel_region(kThreads, [&](unsigned, unsigned) {
+    for (int i = 0; i < 1000; ++i) {
+      barrier.arrive_and_wait();
+    }
+    counter.fetch_add(1);
+  });
+  EXPECT_EQ(counter.load(), static_cast<int>(kThreads));
+}

@@ -1,0 +1,56 @@
+// Tests for the dense vector kernels under the Krylov solvers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "solve/vec.hpp"
+
+namespace solve = pdx::solve;
+
+TEST(Vec, DotBasics) {
+  const std::vector<double> a = {1, 2, 3};
+  const std::vector<double> b = {4, -5, 6};
+  EXPECT_DOUBLE_EQ(solve::dot(a, b), 4 - 10 + 18);
+  EXPECT_DOUBLE_EQ(solve::dot(a, a), 14.0);
+  const std::vector<double> empty;
+  EXPECT_DOUBLE_EQ(solve::dot(empty, empty), 0.0);
+}
+
+TEST(Vec, Norm2MatchesHandComputation) {
+  const std::vector<double> a = {3.0, 4.0};
+  EXPECT_DOUBLE_EQ(solve::norm2(a), 5.0);
+  const std::vector<double> zero(10, 0.0);
+  EXPECT_DOUBLE_EQ(solve::norm2(zero), 0.0);
+}
+
+TEST(Vec, AxpyAccumulates) {
+  const std::vector<double> x = {1, 2, 3};
+  std::vector<double> y = {10, 20, 30};
+  solve::axpy(2.0, x, y);
+  EXPECT_EQ(y, (std::vector<double>{12, 24, 36}));
+  solve::axpy(0.0, x, y);
+  EXPECT_EQ(y, (std::vector<double>{12, 24, 36}));
+  solve::axpy(-1.0, y, y);  // aliased self-cancel
+  EXPECT_EQ(y, (std::vector<double>{0, 0, 0}));
+}
+
+TEST(Vec, XpbyFormsCgDirectionUpdate) {
+  const std::vector<double> x = {1, 1};
+  std::vector<double> y = {4, 6};
+  solve::xpby(x, 0.5, y);  // y = x + 0.5 y
+  EXPECT_EQ(y, (std::vector<double>{3, 4}));
+}
+
+TEST(Vec, ScaleCopyFill) {
+  std::vector<double> v = {1, -2, 4};
+  solve::scale(-2.0, v);
+  EXPECT_EQ(v, (std::vector<double>{-2, 4, -8}));
+
+  std::vector<double> dst(3, 0.0);
+  solve::copy(v, dst);
+  EXPECT_EQ(dst, v);
+
+  solve::fill(dst, 7.5);
+  EXPECT_EQ(dst, (std::vector<double>{7.5, 7.5, 7.5}));
+}

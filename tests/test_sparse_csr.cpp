@@ -1,0 +1,180 @@
+// Tests for the CSR container, builder, transpose, SpMV, and permutation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "runtime/thread_pool.hpp"
+#include "sparse/csr.hpp"
+#include "sparse/dense.hpp"
+#include "sparse/permute.hpp"
+#include "sparse/spmv.hpp"
+
+namespace sp = pdx::sparse;
+using pdx::index_t;
+
+namespace {
+
+sp::Csr small_matrix() {
+  // [ 2 0 1 ]
+  // [ 0 3 0 ]
+  // [ 4 0 5 ]
+  sp::CsrBuilder b(3, 3);
+  b.add(0, 0, 2.0);
+  b.add(0, 2, 1.0);
+  b.add(1, 1, 3.0);
+  b.add(2, 0, 4.0);
+  b.add(2, 2, 5.0);
+  return b.build();
+}
+
+}  // namespace
+
+TEST(CsrBuilder, BuildsSortedValidatedMatrix) {
+  const sp::Csr m = small_matrix();
+  EXPECT_EQ(m.rows, 3);
+  EXPECT_EQ(m.cols, 3);
+  EXPECT_EQ(m.nnz(), 5);
+  EXPECT_NO_THROW(m.validate());
+  EXPECT_TRUE(m.rows_sorted());
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(m.at(0, 2), 1.0);
+  EXPECT_DOUBLE_EQ(m.at(0, 1), 0.0);  // absent entry
+  EXPECT_EQ(m.find(2, 2), 4);
+  EXPECT_EQ(m.find(1, 0), -1);
+}
+
+TEST(CsrBuilder, DuplicateEntriesAccumulate) {
+  sp::CsrBuilder b(2, 2);
+  b.add(0, 0, 1.0);
+  b.add(0, 0, 2.5);
+  b.add(1, 1, -1.0);
+  const sp::Csr m = b.build();
+  EXPECT_EQ(m.nnz(), 2);
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 3.5);
+}
+
+TEST(CsrBuilder, OutOfOrderInsertionSorts) {
+  sp::CsrBuilder b(2, 4);
+  b.add(1, 3, 1.0);
+  b.add(1, 0, 2.0);
+  b.add(0, 2, 3.0);
+  b.add(1, 1, 4.0);
+  const sp::Csr m = b.build();
+  EXPECT_NO_THROW(m.validate());
+  EXPECT_EQ(m.row_cols(1)[0], 0);
+  EXPECT_EQ(m.row_cols(1)[1], 1);
+  EXPECT_EQ(m.row_cols(1)[2], 3);
+}
+
+TEST(Csr, EmptyRowsAreHandled) {
+  sp::CsrBuilder b(4, 4);
+  b.add(0, 0, 1.0);
+  b.add(3, 3, 1.0);
+  const sp::Csr m = b.build();
+  EXPECT_EQ(m.row_nnz(1), 0);
+  EXPECT_EQ(m.row_nnz(2), 0);
+  EXPECT_NO_THROW(m.validate());
+}
+
+TEST(Csr, TriangularPredicates) {
+  sp::CsrBuilder lo(3, 3);
+  lo.add(0, 0, 1.0);
+  lo.add(1, 0, 1.0);
+  lo.add(1, 1, 1.0);
+  lo.add(2, 2, 1.0);
+  const sp::Csr l = lo.build();
+  EXPECT_TRUE(l.is_lower_triangular());
+  EXPECT_FALSE(l.is_upper_triangular());
+  const sp::Csr u = l.transposed();
+  EXPECT_TRUE(u.is_upper_triangular());
+  EXPECT_FALSE(u.is_lower_triangular());
+}
+
+TEST(Csr, TransposeRoundTrip) {
+  const sp::Csr m = small_matrix();
+  const sp::Csr tt = m.transposed().transposed();
+  ASSERT_EQ(tt.nnz(), m.nnz());
+  for (index_t r = 0; r < m.rows; ++r) {
+    for (index_t c = 0; c < m.cols; ++c) {
+      EXPECT_DOUBLE_EQ(tt.at(r, c), m.at(r, c));
+    }
+  }
+}
+
+TEST(Spmv, MatchesDenseReference) {
+  const sp::Csr m = small_matrix();
+  const sp::Dense d = sp::Dense::from_csr(m);
+  const std::vector<double> x = {1.0, 2.0, 3.0};
+  std::vector<double> y(3);
+  sp::spmv(m, x, y);
+  const std::vector<double> want = d.matvec(x);
+  for (int i = 0; i < 3; ++i) EXPECT_DOUBLE_EQ(y[static_cast<std::size_t>(i)], want[static_cast<std::size_t>(i)]);
+}
+
+TEST(Spmv, ParallelMatchesSequential) {
+  // A banded matrix big enough to split across threads.
+  const index_t n = 3000;
+  sp::CsrBuilder b(n, n);
+  for (index_t i = 0; i < n; ++i) {
+    b.add(i, i, 2.0 + static_cast<double>(i % 7));
+    if (i > 0) b.add(i, i - 1, -1.0);
+    if (i + 1 < n) b.add(i, i + 1, -0.5);
+  }
+  const sp::Csr m = b.build();
+  std::vector<double> x(n);
+  for (index_t i = 0; i < n; ++i) x[static_cast<std::size_t>(i)] = std::sin(static_cast<double>(i));
+
+  std::vector<double> y_seq(n), y_par(n);
+  sp::spmv(m, x, y_seq);
+  pdx::rt::ThreadPool pool(8);
+  sp::spmv_parallel(pool, m, x, y_par);
+  for (index_t i = 0; i < n; ++i) {
+    ASSERT_DOUBLE_EQ(y_seq[static_cast<std::size_t>(i)],
+                     y_par[static_cast<std::size_t>(i)]);
+  }
+}
+
+TEST(Permute, SymmetricPermutationPreservesEntries) {
+  const sp::Csr m = small_matrix();
+  const std::vector<index_t> perm = {2, 0, 1};  // new k <- old perm[k]
+  const sp::Csr p = sp::permute_symmetric(m, perm);
+  EXPECT_NO_THROW(p.validate());
+  const auto inv = sp::invert_permutation(perm);
+  for (index_t r = 0; r < 3; ++r) {
+    for (index_t c = 0; c < 3; ++c) {
+      EXPECT_DOUBLE_EQ(p.at(inv[static_cast<std::size_t>(r)],
+                            inv[static_cast<std::size_t>(c)]),
+                       m.at(r, c))
+          << r << "," << c;
+    }
+  }
+}
+
+TEST(Permute, VectorGatherScatterRoundTrip) {
+  const std::vector<double> v = {10, 20, 30, 40};
+  const std::vector<index_t> perm = {3, 1, 0, 2};
+  const auto g = sp::permute_vector(v, perm);
+  EXPECT_EQ(g, (std::vector<double>{40, 20, 10, 30}));
+  const auto back = sp::unpermute_vector(g, perm);
+  EXPECT_EQ(back, v);
+}
+
+TEST(Permute, InvertRejectsNonPermutation) {
+  const std::vector<index_t> dup = {0, 0, 1};
+  EXPECT_THROW(sp::invert_permutation(dup), std::invalid_argument);
+  const std::vector<index_t> oob = {0, 5, 1};
+  EXPECT_THROW(sp::invert_permutation(oob), std::invalid_argument);
+}
+
+TEST(CsrValidate, CatchesBrokenStructures) {
+  sp::Csr m(2, 2);
+  m.ptr = {0, 1, 2};
+  m.idx = {0, 5};  // out of range
+  m.val = {1.0, 2.0};
+  EXPECT_THROW(m.validate(), std::invalid_argument);
+  m.idx = {0, 0};
+  EXPECT_NO_THROW(m.validate());
+  m.ptr = {0, 2, 2};
+  EXPECT_THROW(m.validate(), std::invalid_argument);  // row 0 has cols {0,0}: dup
+}

@@ -1,0 +1,137 @@
+// Tests for ILU(0): exactness on the stored pattern, structural shape of
+// the factors, and behaviour on the paper's matrix families.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "gen/block_operator.hpp"
+#include "gen/stencil.hpp"
+#include "sparse/dense.hpp"
+#include "sparse/ilu0.hpp"
+
+namespace sp = pdx::sparse;
+namespace gen = pdx::gen;
+using pdx::index_t;
+
+namespace {
+
+/// (L*U)(i,j) must equal A(i,j) at every STORED position of A — the
+/// defining property of ILU(0).
+void expect_pattern_exact(const sp::Csr& a, const sp::IluFactors& f,
+                          double tol) {
+  const sp::Dense dl = sp::Dense::from_csr(f.l);
+  const sp::Dense du = sp::Dense::from_csr(f.u);
+  const sp::Dense lu = dl.matmul(du);
+  for (index_t r = 0; r < a.rows; ++r) {
+    for (index_t k = a.row_begin(r); k < a.row_end(r); ++k) {
+      const index_t c = a.idx[static_cast<std::size_t>(k)];
+      EXPECT_NEAR(lu(r, c), a.val[static_cast<std::size_t>(k)], tol)
+          << "entry (" << r << "," << c << ")";
+    }
+  }
+}
+
+}  // namespace
+
+TEST(Ilu0, ExactOnTriangularInput) {
+  // A lower-triangular A factors as L = A (unit-scaled) exactly.
+  sp::CsrBuilder b(3, 3);
+  b.add(0, 0, 2.0);
+  b.add(1, 0, 1.0);
+  b.add(1, 1, 4.0);
+  b.add(2, 1, 2.0);
+  b.add(2, 2, 8.0);
+  const sp::Csr a = b.build();
+  const sp::IluFactors f = sp::ilu0(a);
+  expect_pattern_exact(a, f, 1e-12);
+  // U must be diagonal here.
+  for (index_t r = 0; r < 3; ++r) {
+    EXPECT_EQ(f.u.row_nnz(r), 1);
+  }
+}
+
+TEST(Ilu0, FactorsOfDenseSmallMatrixMatchFullLU) {
+  // With a fully dense pattern, ILU(0) IS complete LU.
+  sp::CsrBuilder b(3, 3);
+  const double vals[3][3] = {{4, 1, 2}, {1, 5, 1}, {2, 1, 6}};
+  for (index_t r = 0; r < 3; ++r) {
+    for (index_t c = 0; c < 3; ++c) b.add(r, c, vals[r][c]);
+  }
+  const sp::Csr a = b.build();
+  const sp::IluFactors f = sp::ilu0(a);
+  expect_pattern_exact(a, f, 1e-12);
+  // And the product matches everywhere, not just on the pattern.
+  const sp::Dense lu =
+      sp::Dense::from_csr(f.l).matmul(sp::Dense::from_csr(f.u));
+  const sp::Dense da = sp::Dense::from_csr(a);
+  EXPECT_LT(sp::Dense::max_abs_diff(lu, da), 1e-12);
+}
+
+TEST(Ilu0, StructuralShapeOfFactors) {
+  const sp::Csr a = gen::five_point(8, 8);
+  const sp::IluFactors f = sp::ilu0(a);
+  EXPECT_TRUE(f.l.is_lower_triangular());
+  EXPECT_TRUE(f.u.is_upper_triangular());
+  EXPECT_NO_THROW(f.l.validate());
+  EXPECT_NO_THROW(f.u.validate());
+  for (index_t i = 0; i < f.l.rows; ++i) {
+    // Unit diagonal stored last in each L row.
+    const index_t last = f.l.row_end(i) - 1;
+    EXPECT_EQ(f.l.idx[static_cast<std::size_t>(last)], i);
+    EXPECT_DOUBLE_EQ(f.l.val[static_cast<std::size_t>(last)], 1.0);
+    // U diagonal first and nonzero.
+    const index_t first = f.u.row_begin(i);
+    EXPECT_EQ(f.u.idx[static_cast<std::size_t>(first)], i);
+    EXPECT_NE(f.u.val[static_cast<std::size_t>(first)], 0.0);
+  }
+  // Pattern split: |L| + |U| == |A| + n (the added unit diagonal).
+  EXPECT_EQ(f.l.nnz() + f.u.nnz(), a.nnz() + a.rows);
+}
+
+TEST(Ilu0, PatternExactOnPoisson) {
+  const sp::Csr a = gen::five_point(10, 10);
+  expect_pattern_exact(a, sp::ilu0(a), 1e-10);
+}
+
+TEST(Ilu0, PatternExactOnBlockOperator) {
+  const sp::Csr a = gen::block_seven_point(
+      {.nx = 3, .ny = 3, .nz = 2, .block = 3, .seed = 7});
+  expect_pattern_exact(a, sp::ilu0(a), 1e-9);
+}
+
+TEST(Ilu0, RejectsMissingDiagonal) {
+  sp::CsrBuilder b(2, 2);
+  b.add(0, 0, 1.0);
+  b.add(1, 0, 1.0);  // no (1,1)
+  const sp::Csr a = b.build();
+  EXPECT_THROW(sp::ilu0(a), std::invalid_argument);
+}
+
+TEST(Ilu0, RejectsNonSquare) {
+  sp::CsrBuilder b(2, 3);
+  b.add(0, 0, 1.0);
+  b.add(1, 1, 1.0);
+  const sp::Csr a = b.build();
+  EXPECT_THROW(sp::ilu0(a), std::invalid_argument);
+}
+
+TEST(Ilu0, ThrowsOnZeroPivot) {
+  sp::CsrBuilder b(2, 2);
+  b.add(0, 0, 0.0);  // zero pivot immediately
+  b.add(0, 1, 1.0);
+  b.add(1, 0, 1.0);
+  b.add(1, 1, 1.0);
+  const sp::Csr a = b.build();
+  EXPECT_THROW(sp::ilu0(a), std::runtime_error);
+}
+
+TEST(Ilu0, DeterministicAcrossCalls) {
+  const sp::Csr a = gen::matrix_spe5(123);
+  const sp::IluFactors f1 = sp::ilu0(a);
+  const sp::IluFactors f2 = sp::ilu0(a);
+  ASSERT_EQ(f1.l.val.size(), f2.l.val.size());
+  for (std::size_t i = 0; i < f1.l.val.size(); ++i) {
+    EXPECT_EQ(f1.l.val[i], f2.l.val[i]);
+  }
+}

@@ -1,0 +1,103 @@
+// Tests for the wavefront/level analysis of triangular dependence DAGs.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "gen/block_operator.hpp"
+#include "gen/stencil.hpp"
+#include "sparse/ilu0.hpp"
+#include "sparse/levels.hpp"
+
+namespace sp = pdx::sparse;
+namespace gen = pdx::gen;
+namespace core = pdx::core;
+using pdx::index_t;
+
+TEST(LowerSolveLevels, DiagonalMatrixIsOneWavefront) {
+  sp::CsrBuilder b(5, 5);
+  for (index_t i = 0; i < 5; ++i) b.add(i, i, 2.0);
+  const sp::Csr l = b.build();
+  const auto lv = sp::lower_solve_levels(l);
+  for (index_t v : lv) EXPECT_EQ(v, 0);
+  const core::Reordering r = sp::lower_solve_reordering(l);
+  EXPECT_EQ(r.critical_path(), 1);
+  EXPECT_DOUBLE_EQ(r.average_parallelism(), 5.0);
+}
+
+TEST(LowerSolveLevels, BidiagonalIsFullySerial) {
+  const index_t n = 10;
+  sp::CsrBuilder b(n, n);
+  for (index_t i = 0; i < n; ++i) {
+    if (i > 0) b.add(i, i - 1, -1.0);
+    b.add(i, i, 2.0);
+  }
+  const sp::Csr l = b.build();
+  const auto lv = sp::lower_solve_levels(l);
+  for (index_t i = 0; i < n; ++i) EXPECT_EQ(lv[static_cast<std::size_t>(i)], i);
+  EXPECT_EQ(sp::lower_solve_reordering(l).critical_path(), n);
+}
+
+TEST(LowerSolveLevels, LevelAlwaysExceedsDependencies) {
+  const sp::Csr l = sp::ilu0(gen::five_point(17, 13)).l;
+  const auto lv = sp::lower_solve_levels(l);
+  for (index_t i = 0; i < l.rows; ++i) {
+    for (index_t c : l.row_cols(i)) {
+      if (c < i) {
+        EXPECT_GT(lv[static_cast<std::size_t>(i)],
+                  lv[static_cast<std::size_t>(c)])
+            << "row " << i << " dep " << c;
+      }
+    }
+  }
+}
+
+TEST(LowerSolveLevels, FivePointGridWavefrontsAreAntiDiagonals) {
+  // For the 5-pt ILU(0) L factor on an nx-by-ny grid, row (x, y) depends
+  // on (x-1, y) and (x, y-1): level = x + y, the classic anti-diagonal
+  // wavefront. Critical path = nx + ny - 1.
+  const index_t nx = 9, ny = 7;
+  const sp::Csr l = sp::ilu0(gen::five_point(nx, ny)).l;
+  const auto lv = sp::lower_solve_levels(l);
+  for (index_t y = 0; y < ny; ++y) {
+    for (index_t x = 0; x < nx; ++x) {
+      EXPECT_EQ(lv[static_cast<std::size_t>(y * nx + x)], x + y);
+    }
+  }
+  EXPECT_EQ(sp::lower_solve_reordering(l).critical_path(), nx + ny - 1);
+}
+
+TEST(LowerSolveLevels, SevenPointGridCriticalPath) {
+  const index_t nx = 6, ny = 5, nz = 4;
+  const sp::Csr l = sp::ilu0(gen::seven_point(nx, ny, nz)).l;
+  EXPECT_EQ(sp::lower_solve_reordering(l).critical_path(), nx + ny + nz - 2);
+}
+
+TEST(ProfileLowerSolve, ReportsConsistentNumbers) {
+  const sp::Csr l = sp::ilu0(gen::matrix_spe5()).l;
+  const sp::DagProfile p = sp::profile_lower_solve(l);
+  EXPECT_EQ(p.n, 3312);
+  EXPECT_GT(p.edges, 0);
+  EXPECT_GT(p.critical_path, 0);
+  EXPECT_GT(p.avg_parallelism, 1.0);
+  EXPECT_GE(p.max_level_size,
+            static_cast<index_t>(p.avg_parallelism));
+  EXPECT_NEAR(p.avg_parallelism,
+              static_cast<double>(p.n) / static_cast<double>(p.critical_path),
+              1e-9);
+}
+
+TEST(LowerSolveReordering, WavefrontPointersPartitionOrder) {
+  const sp::Csr l = sp::ilu0(gen::nine_point(12, 12)).l;
+  const core::Reordering r = sp::lower_solve_reordering(l);
+  EXPECT_EQ(r.level_ptr.front(), 0);
+  EXPECT_EQ(r.level_ptr.back(), l.rows);
+  for (index_t lvl = 0; lvl < r.num_levels(); ++lvl) {
+    EXPECT_GT(r.level_size(lvl), 0) << "empty wavefront " << lvl;
+    for (index_t k = r.level_ptr[static_cast<std::size_t>(lvl)];
+         k < r.level_ptr[static_cast<std::size_t>(lvl) + 1]; ++k) {
+      EXPECT_EQ(r.level_of[static_cast<std::size_t>(
+                    r.order[static_cast<std::size_t>(k)])],
+                lvl);
+    }
+  }
+}
