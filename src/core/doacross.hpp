@@ -115,9 +115,15 @@ class DoacrossEngine {
     const unsigned nth = pool_->clamp_threads(opts.nthreads);
     ready_.begin_epoch();
 
-    rt::Barrier barrier(nth);
-    std::atomic<index_t> cursor{0};
-    std::vector<rt::Padded<std::uint64_t>> episodes(nth), rounds(nth);
+    // Engine-owned synchronization state, reused across calls just like
+    // the iter/ready/ynew arenas: no per-run Barrier construction or
+    // episodes/rounds allocation (they grow only when the region widens).
+    barrier_.reset(nth);
+    cursor_.store(0, std::memory_order_relaxed);
+    if (episodes_.size() < nth) {
+      episodes_.resize(nth);
+      rounds_.resize(nth);
+    }
 
     using clock = std::chrono::steady_clock;
     clock::time_point t0, t1, t2, t3;
@@ -131,7 +137,7 @@ class DoacrossEngine {
       // Rendezvous before the clock starts: phase timings measure the
       // algorithm, not the pool's wake-up latency (the Multimax's
       // persistent workers had none to speak of either).
-      barrier.arrive_and_wait();
+      barrier_.arrive_and_wait();
       if (tid == 0) t0 = clock::now();
 
       // ---- Phase 1: inspector (paper Fig. 3, preprocessing) ----------
@@ -139,7 +145,7 @@ class DoacrossEngine {
       for (index_t i = pre.begin; i < pre.end; ++i) {
         iter_.record(wr[i], i);
       }
-      barrier.arrive_and_wait();
+      barrier_.arrive_and_wait();
       if (tid == 0) t1 = clock::now();
 
       // ---- Phase 2: executor (paper Fig. 5) --------------------------
@@ -156,10 +162,10 @@ class DoacrossEngine {
         ynp[wr[i]] = it.lhs();
         ready_.mark_done(wr[i]);  // release: publishes the ynew store
       };
-      rt::schedule_run(opts.schedule, n, tid, nthreads, &cursor, run_one);
-      episodes[tid].value = my_episodes;
-      rounds[tid].value = my_rounds;
-      barrier.arrive_and_wait();
+      rt::schedule_run(opts.schedule, n, tid, nthreads, &cursor_, run_one);
+      episodes_[tid].value = my_episodes;
+      rounds_[tid].value = my_rounds;
+      barrier_.arrive_and_wait();
       if (tid == 0) t2 = clock::now();
 
       // ---- Phase 3: postprocessor (paper Fig. 3) ---------------------
@@ -170,7 +176,7 @@ class DoacrossEngine {
         iter_.clear(off);    // iter(a(i)) = MAXINT
         ready_.clear(off);   // ready(a(i)) = NOTDONE
       }
-      barrier.arrive_and_wait();
+      barrier_.arrive_and_wait();
       if (tid == 0) t3 = clock::now();
     });
 
@@ -181,8 +187,8 @@ class DoacrossEngine {
     stats.execute_seconds = secs(t1, t2);
     stats.post_seconds = secs(t2, t3);
     for (unsigned t = 0; t < nth; ++t) {
-      stats.wait_episodes += episodes[t].value;
-      stats.wait_rounds += rounds[t].value;
+      stats.wait_episodes += episodes_[t].value;
+      stats.wait_rounds += rounds_[t].value;
     }
     return stats;
   }
@@ -197,6 +203,11 @@ class DoacrossEngine {
   IterTable iter_;
   Ready ready_;
   std::vector<T, rt::CacheAlignedAllocator<T>> ynew_;
+  // Reusable per-run synchronization state (run() is single-caller, like
+  // the arenas above; concurrent run() on one engine was never legal).
+  rt::Barrier barrier_{1};
+  std::atomic<index_t> cursor_{0};
+  std::vector<rt::Padded<std::uint64_t>> episodes_, rounds_;
 };
 
 /// Reference semantics: execute the same loop sequentially, in source

@@ -176,6 +176,11 @@ class PaddedReadyTable {
 /// fresh table is all-NOTDONE.
 class EpochReadyTable {
  public:
+  /// Epoch-reset marker (see kEpochResetV): begin_epoch() alone already
+  /// invalidates every DONE mark, so per-entry postprocessing clears are
+  /// dead and executors elide that whole phase at compile time.
+  static constexpr bool kEpochReset = true;
+
   EpochReadyTable() = default;
   explicit EpochReadyTable(index_t size) { ensure_size(size); }
 
@@ -246,6 +251,14 @@ class EpochReadyTable {
   std::unique_ptr<std::atomic<std::uint32_t>[]> flags_;
   index_t size_ = 0;
   std::uint32_t epoch_ = 1;
+};
+
+/// True for tables (like EpochReadyTable) whose begin_epoch() is a full
+/// O(1) reset, making the postprocessing flag sweep — and the barrier that
+/// fences it — dead code the executor can drop at compile time.
+template <class R>
+inline constexpr bool kEpochResetV = requires {
+  requires static_cast<bool>(R::kEpochReset);
 };
 
 }  // namespace pdx::core

@@ -45,6 +45,17 @@ class Barrier {
 
   unsigned participants() const noexcept { return nthreads_; }
 
+  /// Reconfigure for a new participant count. Only legal while the barrier
+  /// is idle (no thread inside arrive_and_wait); the epoch counter is kept,
+  /// so waiters from completed episodes are unaffected. Lets engines own
+  /// one barrier for their lifetime instead of constructing one per run.
+  void reset(unsigned nthreads) noexcept {
+    assert(nthreads >= 1);
+    assert(arrived_.value.load(std::memory_order_acquire) == 0 &&
+           "Barrier::reset while in use");
+    nthreads_ = nthreads;
+  }
+
   /// Number of full barrier episodes completed so far.
   std::uint32_t epochs() const noexcept {
     return epoch_.value.load(std::memory_order_acquire);

@@ -59,6 +59,7 @@ void ThreadPool::worker_main(unsigned tid) {
 
 void ThreadPool::parallel_region(unsigned nthreads, const RegionFn& fn) {
   nthreads = clamp_threads(nthreads);
+  dispatches_.fetch_add(1, std::memory_order_relaxed);
   if (nthreads <= 1) {
     fn(0, 1);
     return;

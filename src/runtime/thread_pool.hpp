@@ -65,6 +65,14 @@ class ThreadPool {
   /// Process-wide default pool, created on first use with hardware width.
   static ThreadPool& global();
 
+  /// Number of parallel_region dispatches so far (width-1 inline runs
+  /// included). A fork/join is the unit of pool overhead, so fused
+  /// executors assert on deltas of this counter: one preconditioner
+  /// application through a TrisolvePlan must cost exactly one dispatch.
+  std::uint64_t dispatch_count() const noexcept {
+    return dispatches_.load(std::memory_order_relaxed);
+  }
+
   unsigned clamp_threads(unsigned nthreads) const noexcept {
     if (nthreads == 0 || nthreads > width_) return width_;
     return nthreads;
@@ -88,6 +96,8 @@ class ThreadPool {
 
   std::mutex exc_mu_;
   std::exception_ptr first_exception_;
+
+  std::atomic<std::uint64_t> dispatches_{0};
 };
 
 }  // namespace pdx::rt

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "sparse/permute.hpp"
+#include "sparse/trisolve.hpp"
 #include "solve/vec.hpp"
 
 namespace pdx::solve {
@@ -38,28 +39,13 @@ DoacrossIlu0Preconditioner::DoacrossIlu0Preconditioner(rt::ThreadPool& pool,
                                                        const sparse::Csr& a,
                                                        bool reorder,
                                                        unsigned nthreads)
-    : pool_(&pool),
-      f_(sparse::ilu0(a)),
-      nthreads_(nthreads),
-      tmp_(static_cast<std::size_t>(a.rows)),
-      ready_(a.rows) {
-  if (reorder) {
-    l_order_ = std::make_unique<core::Reordering>(
-        sparse::lower_solve_reordering(f_.l));
-    u_order_ = std::make_unique<core::Reordering>(
-        sparse::upper_solve_reordering(f_.u));
-  }
-}
+    : f_(sparse::ilu0(a)),
+      plan_(pool, f_.l, f_.u,
+            sparse::PlanOptions{.nthreads = nthreads, .reorder = reorder}) {}
 
 void DoacrossIlu0Preconditioner::apply(std::span<const double> r,
                                        std::span<double> z) const {
-  sparse::TrisolveOptions opts;
-  opts.nthreads = nthreads_;
-  opts.order = l_order_ ? l_order_->order.data() : nullptr;
-  sparse::trisolve_doacross(*pool_, f_.l, r, tmp_, ready_, opts);
-
-  opts.order = u_order_ ? u_order_->order.data() : nullptr;
-  sparse::trisolve_upper_doacross(*pool_, f_.u, tmp_, z, ready_, opts);
+  plan_.solve(r, z);
 }
 
 }  // namespace pdx::solve

@@ -9,18 +9,13 @@
 // doacross executor.
 #pragma once
 
-#include <memory>
 #include <span>
 #include <vector>
 
-#include "core/doconsider.hpp"
-#include "core/ready_table.hpp"
 #include "runtime/thread_pool.hpp"
 #include "sparse/csr.hpp"
 #include "sparse/ilu0.hpp"
-#include "sparse/levels.hpp"
-#include "sparse/par_trisolve.hpp"
-#include "sparse/trisolve.hpp"
+#include "sparse/trisolve_plan.hpp"
 
 namespace pdx::solve {
 
@@ -66,9 +61,13 @@ class Ilu0Preconditioner final : public Preconditioner {
   mutable std::vector<double> tmp_;
 };
 
-/// ILU(0) with both triangular solves executed by the preprocessed
-/// doacross (optionally doconsider-reordered) on a thread pool. Results
-/// are bitwise identical to Ilu0Preconditioner.
+/// ILU(0) with both triangular solves executed by a persistent
+/// TrisolvePlan: doconsider reorderings, epoch-reset flag tables, barrier,
+/// wait counters and region functors are built once per factorization, so
+/// every apply() — i.e. every Krylov iteration — is ONE fused pool
+/// fork/join (forward solve flowing into the backward solve through a
+/// single in-region barrier) with zero heap allocation and an O(1) flag
+/// reset. Results are bitwise identical to Ilu0Preconditioner.
 class DoacrossIlu0Preconditioner final : public Preconditioner {
  public:
   DoacrossIlu0Preconditioner(rt::ThreadPool& pool, const sparse::Csr& a,
@@ -77,15 +76,11 @@ class DoacrossIlu0Preconditioner final : public Preconditioner {
   const char* name() const override { return "ilu0-doacross"; }
 
   const sparse::IluFactors& factors() const { return f_; }
+  const sparse::TrisolvePlan& plan() const { return plan_; }
 
  private:
-  rt::ThreadPool* pool_;
-  sparse::IluFactors f_;
-  std::unique_ptr<core::Reordering> l_order_;
-  std::unique_ptr<core::Reordering> u_order_;
-  unsigned nthreads_;
-  mutable std::vector<double> tmp_;
-  mutable core::DenseReadyTable ready_;
+  sparse::IluFactors f_;        // must outlive plan_ (declared first)
+  mutable sparse::TrisolvePlan plan_;
 };
 
 }  // namespace pdx::solve

@@ -123,10 +123,14 @@ core::DoacrossStats trisolve_doacross(rt::ThreadPool& pool, const Csr& l,
     barrier.arrive_and_wait();
     if (tid == 0) t1 = clock::now();
 
-    // Postprocessing (paper Fig. 3): reset the flags for reuse.
-    const rt::IterRange post = rt::static_block_range(n, tid, nthreads);
-    for (index_t i = post.begin; i < post.end; ++i) ready.clear(i);
-    barrier.arrive_and_wait();
+    // Postprocessing (paper Fig. 3): reset the flags for reuse. An
+    // epoch-reset table already invalidated everything in begin_epoch(),
+    // so the sweep and the barrier fencing it are elided at compile time.
+    if constexpr (!core::kEpochResetV<Ready>) {
+      const rt::IterRange post = rt::static_block_range(n, tid, nthreads);
+      for (index_t i = post.begin; i < post.end; ++i) ready.clear(i);
+      barrier.arrive_and_wait();
+    }
     if (tid == 0) t2 = clock::now();
   });
 
@@ -218,9 +222,12 @@ core::DoacrossStats trisolve_doacross_multi(rt::ThreadPool& pool,
     barrier.arrive_and_wait();
     if (tid == 0) t1 = clock::now();
 
-    const rt::IterRange post = rt::static_block_range(n, tid, nthreads);
-    for (index_t i = post.begin; i < post.end; ++i) ready.clear(i);
-    barrier.arrive_and_wait();
+    // Postprocessing flag sweep — dead (and elided) for epoch-reset tables.
+    if constexpr (!core::kEpochResetV<Ready>) {
+      const rt::IterRange post = rt::static_block_range(n, tid, nthreads);
+      for (index_t i = post.begin; i < post.end; ++i) ready.clear(i);
+      barrier.arrive_and_wait();
+    }
     if (tid == 0) t2 = clock::now();
   });
 
@@ -306,9 +313,12 @@ core::DoacrossStats trisolve_upper_doacross(rt::ThreadPool& pool,
     barrier.arrive_and_wait();
     if (tid == 0) t1 = clock::now();
 
-    const rt::IterRange post = rt::static_block_range(n, tid, nthreads);
-    for (index_t i = post.begin; i < post.end; ++i) ready.clear(i);
-    barrier.arrive_and_wait();
+    // Postprocessing flag sweep — dead (and elided) for epoch-reset tables.
+    if constexpr (!core::kEpochResetV<Ready>) {
+      const rt::IterRange post = rt::static_block_range(n, tid, nthreads);
+      for (index_t i = post.begin; i < post.end; ++i) ready.clear(i);
+      barrier.arrive_and_wait();
+    }
     if (tid == 0) t2 = clock::now();
   });
 

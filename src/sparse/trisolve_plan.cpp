@@ -1,0 +1,226 @@
+#include "sparse/trisolve_plan.hpp"
+
+#include <chrono>
+#include <stdexcept>
+
+#include "runtime/schedule.hpp"
+#include "sparse/levels.hpp"
+#include "sparse/trisolve.hpp"
+
+namespace pdx::sparse {
+
+namespace {
+
+void check_factor(const Csr& m, const char* what) {
+  if (m.rows != m.cols) {
+    throw std::invalid_argument(std::string("TrisolvePlan: ") + what +
+                                " factor is not square");
+  }
+}
+
+}  // namespace
+
+TrisolvePlan::TrisolvePlan(rt::ThreadPool& pool, const Csr& l,
+                           const PlanOptions& opts)
+    : pool_(&pool),
+      l_(&l),
+      u_(nullptr),
+      opts_(opts),
+      n_(l.rows),
+      nth_(pool.clamp_threads(opts.nthreads)),
+      barrier_(nth_ == 0 ? 1 : nth_) {
+  check_factor(l, "lower");
+  ready_l_.ensure_size(n_);
+  episodes_.resize(nth_);
+  rounds_.resize(nth_);
+  if (opts_.reorder) {
+    l_order_ = std::make_unique<core::Reordering>(lower_solve_reordering(l));
+  }
+  // Region functors are bound once, here; per-call inputs travel through
+  // the lo_/up_ pointer members. This is what makes solve_* allocation
+  // free: a fresh capturing lambda would not fit std::function's small
+  // buffer and would heap-allocate on every call.
+  lower_region_ = [this](unsigned tid, unsigned nthreads) {
+    std::uint64_t eps = 0, rds = 0;
+    lower_kernel(tid, nthreads, eps, rds);
+    episodes_[tid].value = eps;
+    rounds_[tid].value = rds;
+  };
+}
+
+TrisolvePlan::TrisolvePlan(rt::ThreadPool& pool, const Csr& l, const Csr& u,
+                           const PlanOptions& opts)
+    : TrisolvePlan(pool, l, opts) {  // all lower-solve state
+  check_factor(u, "upper");
+  if (u.rows != l.rows) {
+    throw std::invalid_argument("TrisolvePlan: L/U dimension mismatch");
+  }
+  u_ = &u;
+  ready_u_.ensure_size(n_);
+  tmp_.resize(static_cast<std::size_t>(n_));
+  if (opts_.reorder) {
+    u_order_ = std::make_unique<core::Reordering>(upper_solve_reordering(u));
+  }
+  upper_region_ = [this](unsigned tid, unsigned nthreads) {
+    std::uint64_t eps = 0, rds = 0;
+    upper_kernel(tid, nthreads, eps, rds);
+    episodes_[tid].value = eps;
+    rounds_[tid].value = rds;
+  };
+  fused_region_ = [this](unsigned tid, unsigned nthreads) {
+    std::uint64_t eps = 0, rds = 0;
+    lower_kernel(tid, nthreads, eps, rds);
+    // The one synchronization point of a fused preconditioner
+    // application: every tmp_ element is published before any thread
+    // starts consuming it in the backward solve. The busy-wait flags
+    // handle everything else on both sides.
+    barrier_.arrive_and_wait();
+    upper_kernel(tid, nthreads, eps, rds);
+    episodes_[tid].value = eps;
+    rounds_[tid].value = rds;
+  };
+}
+
+void TrisolvePlan::lower_kernel(unsigned tid, unsigned nthreads,
+                                std::uint64_t& episodes,
+                                std::uint64_t& rounds) noexcept {
+  const Csr& l = *l_;
+  const index_t* order = l_order_ ? l_order_->order.data() : nullptr;
+  const double* rhs_p = lo_rhs_;
+  double* yp = lo_y_;
+  const int work_reps = opts_.work_reps;
+  std::uint64_t my_episodes = 0, my_rounds = 0;
+  // Identical arithmetic (term order, division) to trisolve_lower_seq —
+  // results are bitwise equal; the ready flags only sequence the reads.
+  auto solve_row = [&](index_t k) noexcept {
+    const index_t i = order ? order[k] : k;
+    double acc = rhs_p[i];
+    const index_t k_end = l.row_end(i) - 1;  // diagonal last
+    for (index_t kk = l.row_begin(i); kk < k_end; ++kk) {
+      const index_t c = l.idx[static_cast<std::size_t>(kk)];
+      const std::uint64_t r = ready_l_.wait_done(c);
+      if (r != 0) {
+        ++my_episodes;
+        my_rounds += r;
+      }
+      acc -= l.val[static_cast<std::size_t>(kk)] * yp[c];
+      if (work_reps > 0) acc = machine_emulation_work(acc, work_reps);
+    }
+    yp[i] = acc / l.val[static_cast<std::size_t>(k_end)];
+    ready_l_.mark_done(i);  // release-publishes the y store
+  };
+  rt::schedule_run(opts_.schedule, n_, tid, nthreads, &cursor_l_, solve_row);
+  episodes += my_episodes;
+  rounds += my_rounds;
+}
+
+void TrisolvePlan::upper_kernel(unsigned tid, unsigned nthreads,
+                                std::uint64_t& episodes,
+                                std::uint64_t& rounds) noexcept {
+  const Csr& u = *u_;
+  const index_t* order = u_order_ ? u_order_->order.data() : nullptr;
+  const double* rhs_p = up_rhs_;
+  double* yp = up_y_;
+  std::uint64_t my_episodes = 0, my_rounds = 0;
+  auto solve_row = [&](index_t k) noexcept {
+    const index_t i = order ? order[k] : n_ - 1 - k;
+    double acc = rhs_p[i];
+    const index_t k_diag = u.row_begin(i);  // diagonal first
+    for (index_t kk = k_diag + 1; kk < u.row_end(i); ++kk) {
+      const index_t c = u.idx[static_cast<std::size_t>(kk)];
+      const std::uint64_t r = ready_u_.wait_done(c);
+      if (r != 0) {
+        ++my_episodes;
+        my_rounds += r;
+      }
+      acc -= u.val[static_cast<std::size_t>(kk)] * yp[c];
+    }
+    yp[i] = acc / u.val[static_cast<std::size_t>(k_diag)];
+    ready_u_.mark_done(i);
+  };
+  rt::schedule_run(opts_.schedule, n_, tid, nthreads, &cursor_u_, solve_row);
+  episodes += my_episodes;
+  rounds += my_rounds;
+}
+
+void TrisolvePlan::reset_for_call(bool lower, bool upper) noexcept {
+  // The whole per-call reset: two O(1) epoch bumps and two counter
+  // stores. Compare trisolve_doacross's per-call Barrier + two vector
+  // allocations + O(n/p) flag sweep + extra barrier.
+  if (lower) {
+    ready_l_.begin_epoch();
+    cursor_l_.store(0, std::memory_order_relaxed);
+  }
+  if (upper) {
+    ready_u_.begin_epoch();
+    cursor_u_.store(0, std::memory_order_relaxed);
+  }
+}
+
+core::DoacrossStats TrisolvePlan::dispatch(
+    const rt::ThreadPool::RegionFn& region) {
+  using clock = std::chrono::steady_clock;
+  const clock::time_point t0 = clock::now();
+  pool_->parallel_region(nth_, region);
+  const clock::time_point t1 = clock::now();
+  core::DoacrossStats stats;
+  // Preprocessing was amortized at plan build and the postprocessing
+  // sweep no longer exists, so the whole call is executor time (pool
+  // wake-up included — the number a repeated caller actually pays).
+  stats.execute_seconds = std::chrono::duration<double>(t1 - t0).count();
+  for (unsigned t = 0; t < nth_; ++t) {
+    stats.wait_episodes += episodes_[t].value;
+    stats.wait_rounds += rounds_[t].value;
+  }
+  ++solves_;
+  return stats;
+}
+
+core::DoacrossStats TrisolvePlan::solve_lower(std::span<const double> rhs,
+                                              std::span<double> y) {
+  if (static_cast<index_t>(rhs.size()) < n_ ||
+      static_cast<index_t>(y.size()) < n_) {
+    throw std::invalid_argument("TrisolvePlan::solve_lower: size mismatch");
+  }
+  if (n_ == 0) return {};
+  reset_for_call(/*lower=*/true, /*upper=*/false);
+  lo_rhs_ = rhs.data();
+  lo_y_ = y.data();
+  return dispatch(lower_region_);
+}
+
+core::DoacrossStats TrisolvePlan::solve_upper(std::span<const double> rhs,
+                                              std::span<double> z) {
+  if (!u_) {
+    throw std::logic_error("TrisolvePlan::solve_upper: lower-only plan");
+  }
+  if (static_cast<index_t>(rhs.size()) < n_ ||
+      static_cast<index_t>(z.size()) < n_) {
+    throw std::invalid_argument("TrisolvePlan::solve_upper: size mismatch");
+  }
+  if (n_ == 0) return {};
+  reset_for_call(/*lower=*/false, /*upper=*/true);
+  up_rhs_ = rhs.data();
+  up_y_ = z.data();
+  return dispatch(upper_region_);
+}
+
+core::DoacrossStats TrisolvePlan::solve(std::span<const double> rhs,
+                                        std::span<double> z) {
+  if (!u_) {
+    throw std::logic_error("TrisolvePlan::solve: lower-only plan");
+  }
+  if (static_cast<index_t>(rhs.size()) < n_ ||
+      static_cast<index_t>(z.size()) < n_) {
+    throw std::invalid_argument("TrisolvePlan::solve: size mismatch");
+  }
+  if (n_ == 0) return {};
+  reset_for_call(/*lower=*/true, /*upper=*/true);
+  lo_rhs_ = rhs.data();
+  lo_y_ = tmp_.data();
+  up_rhs_ = tmp_.data();
+  up_y_ = z.data();
+  return dispatch(fused_region_);
+}
+
+}  // namespace pdx::sparse

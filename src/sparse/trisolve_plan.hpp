@@ -1,0 +1,144 @@
+// trisolve_plan.hpp — persistent solve plans for repeated triangular
+// solves (the paper's amortization premise, applied to our own runtime).
+//
+// The paper's whole argument is that execution-time preprocessing pays off
+// because "the same loop is executed many times" (§1): the inspector runs
+// once, the executor many times. Our hottest repeated path — the ILU(0)
+// preconditioner inside Krylov iterations — was still re-paying per-call
+// setup on every trisolve_doacross call: a fresh rt::Barrier, two
+// std::vector<rt::Padded<...>> allocations, a full flag-reset sweep plus
+// the barrier fencing it, and two separate pool fork/joins per
+// preconditioner application.
+//
+// A TrisolvePlan is built once per factorization and hoists all of that
+// out of the run loop:
+//
+//   build time (once)          solve time (every Krylov iteration)
+//   -----------------          -----------------------------------
+//   doconsider reorderings     zero heap allocation
+//   EpochReadyTables (L, U)    O(1) begin_epoch() flag reset
+//   padded wait-stat slots     no postprocessing sweep, no extra barrier
+//   reusable barrier           ONE pool fork/join for L⁻¹ then U⁻¹
+//   pre-bound region functors  (threads flow from the forward solve into
+//                               the backward solve through one in-region
+//                               barrier)
+//
+// Lifetime: the plan keeps references to the pool and the factor matrices;
+// both must outlive it. One plan serves one caller at a time (solve
+// members mutate plan-owned scratch state), exactly like DoacrossEngine.
+// Epoch semantics and the deadlock-freedom argument are in DESIGN.md.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/doacross_stats.hpp"
+#include "core/doconsider.hpp"
+#include "core/ready_table.hpp"
+#include "runtime/aligned.hpp"
+#include "runtime/barrier.hpp"
+#include "runtime/thread_pool.hpp"
+#include "sparse/csr.hpp"
+
+namespace pdx::sparse {
+
+struct PlanOptions {
+  /// Region width; 0 → the pool's full width. Fixed at build time (the
+  /// plan's barrier and wait-stat slots are sized once).
+  unsigned nthreads = 0;
+  /// Executor schedule for both solves.
+  rt::Schedule schedule = rt::Schedule::dynamic();
+  /// Build doconsider (level-order) reorderings for both factors.
+  bool reorder = true;
+  /// Machine-emulation knob for the lower solve (see sparse/trisolve.hpp).
+  int work_reps = 0;
+};
+
+/// Persistent execution plan for L y = rhs / U z = y triangular solves.
+/// Every solve_* call runs with zero per-call heap allocation and resets
+/// synchronization state in O(1); results are bitwise identical to
+/// trisolve_lower_seq / trisolve_upper_seq.
+class TrisolvePlan {
+ public:
+  /// Full plan over an L/U factor pair (e.g. IluFactors::l / ::u). L must
+  /// be lower triangular with the diagonal last in each sorted row, U
+  /// upper triangular with the diagonal first.
+  TrisolvePlan(rt::ThreadPool& pool, const Csr& l, const Csr& u,
+               const PlanOptions& opts = {});
+
+  /// Lower-only plan: solve() and solve_upper() are unavailable.
+  TrisolvePlan(rt::ThreadPool& pool, const Csr& l,
+               const PlanOptions& opts = {});
+
+  // The pre-bound region functors capture `this`.
+  TrisolvePlan(const TrisolvePlan&) = delete;
+  TrisolvePlan& operator=(const TrisolvePlan&) = delete;
+
+  /// y = L⁻¹ rhs. One pool fork/join, no allocation.
+  core::DoacrossStats solve_lower(std::span<const double> rhs,
+                                  std::span<double> y);
+
+  /// z = U⁻¹ rhs. One pool fork/join, no allocation.
+  core::DoacrossStats solve_upper(std::span<const double> rhs,
+                                  std::span<double> z);
+
+  /// z = U⁻¹ (L⁻¹ rhs): one fused preconditioner application in a single
+  /// parallel region — the forward solve flows into the backward solve
+  /// through one in-region barrier instead of two pool fork/joins.
+  core::DoacrossStats solve(std::span<const double> rhs,
+                            std::span<double> z);
+
+  index_t rows() const noexcept { return n_; }
+  unsigned nthreads() const noexcept { return nth_; }
+  bool has_upper() const noexcept { return u_ != nullptr; }
+  /// Completed solve_* calls (each one epoch per table touched).
+  std::uint64_t solves() const noexcept { return solves_; }
+  std::uint32_t lower_epoch() const noexcept { return ready_l_.epoch(); }
+
+  /// Build-time reorderings (nullptr when opts.reorder was false).
+  const core::Reordering* lower_reordering() const noexcept {
+    return l_order_.get();
+  }
+  const core::Reordering* upper_reordering() const noexcept {
+    return u_order_.get();
+  }
+
+ private:
+  void lower_kernel(unsigned tid, unsigned nthreads, std::uint64_t& episodes,
+                    std::uint64_t& rounds) noexcept;
+  void upper_kernel(unsigned tid, unsigned nthreads, std::uint64_t& episodes,
+                    std::uint64_t& rounds) noexcept;
+  void reset_for_call(bool lower, bool upper) noexcept;
+  core::DoacrossStats dispatch(const rt::ThreadPool::RegionFn& region);
+
+  rt::ThreadPool* pool_;
+  const Csr* l_;
+  const Csr* u_;  // nullptr for a lower-only plan
+  PlanOptions opts_;
+  index_t n_;
+  unsigned nth_;
+
+  std::unique_ptr<core::Reordering> l_order_, u_order_;
+  core::EpochReadyTable ready_l_, ready_u_;
+  rt::Barrier barrier_;
+  std::atomic<index_t> cursor_l_{0}, cursor_u_{0};
+  std::vector<rt::Padded<std::uint64_t>> episodes_, rounds_;
+  std::vector<double, rt::CacheAlignedAllocator<double>> tmp_;
+
+  // Per-call vector endpoints, published to the pre-bound region functors
+  // through members so the std::function is constructed exactly once (a
+  // capturing lambda wider than the small-buffer would otherwise allocate
+  // on every call).
+  const double* lo_rhs_ = nullptr;
+  double* lo_y_ = nullptr;
+  const double* up_rhs_ = nullptr;
+  double* up_y_ = nullptr;
+
+  rt::ThreadPool::RegionFn lower_region_, upper_region_, fused_region_;
+  std::uint64_t solves_ = 0;
+};
+
+}  // namespace pdx::sparse

@@ -1,0 +1,211 @@
+// Tests for TrisolvePlan: repeated solves across epochs stay bitwise
+// identical to the sequential Fig. 7 loops under every schedule and
+// thread count, the fused L+U application costs exactly one pool
+// fork/join, and the O(1) epoch reset really replaces the flag sweep.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "gen/rng.hpp"
+#include "gen/stencil.hpp"
+#include "runtime/thread_pool.hpp"
+#include "solve/cg.hpp"
+#include "solve/precond.hpp"
+#include "sparse/ilu0.hpp"
+#include "sparse/trisolve.hpp"
+#include "sparse/trisolve_plan.hpp"
+
+namespace sp = pdx::sparse;
+namespace gen = pdx::gen;
+namespace solve = pdx::solve;
+namespace rt = pdx::rt;
+using pdx::index_t;
+
+namespace {
+
+rt::ThreadPool& pool() {
+  static rt::ThreadPool p(8);
+  return p;
+}
+
+std::vector<double> random_rhs(index_t n, std::uint64_t seed) {
+  gen::SplitMix64 rng(seed);
+  std::vector<double> rhs(static_cast<std::size_t>(n));
+  for (auto& v : rhs) v = rng.next_double(-1.0, 1.0);
+  return rhs;
+}
+
+}  // namespace
+
+TEST(TrisolvePlan, RepeatedLowerSolvesBitwiseAcrossEpochs) {
+  const sp::Csr l = sp::ilu0(gen::five_point(18, 18)).l;
+
+  // Thread counts {1, 2, hardware-width pool}; static and dynamic
+  // schedules; reordered and source order. Every combination must stay
+  // bitwise equal to the sequential solve on every reuse epoch.
+  for (unsigned nth : {1u, 2u, 0u}) {
+    for (bool reorder : {false, true}) {
+      for (const auto& sched :
+           {rt::Schedule::static_block(), rt::Schedule::dynamic(8)}) {
+        sp::PlanOptions opts;
+        opts.nthreads = nth;
+        opts.schedule = sched;
+        opts.reorder = reorder;
+        sp::TrisolvePlan plan(pool(), l, opts);
+        for (int epoch = 0; epoch < 4; ++epoch) {
+          const auto rhs = random_rhs(l.rows, 100 + epoch);
+          std::vector<double> y_seq(static_cast<std::size_t>(l.rows));
+          sp::trisolve_lower_seq(l, rhs, y_seq);
+          std::vector<double> y(static_cast<std::size_t>(l.rows));
+          plan.solve_lower(rhs, y);
+          for (index_t i = 0; i < l.rows; ++i) {
+            ASSERT_EQ(y_seq[static_cast<std::size_t>(i)],
+                      y[static_cast<std::size_t>(i)])
+                << "nth=" << nth << " reorder=" << reorder << " "
+                << rt::to_string(sched) << " epoch " << epoch << " row " << i;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(TrisolvePlan, FusedSolveBitwiseAcrossEpochs) {
+  const sp::IluFactors f = sp::ilu0(gen::seven_point(7, 7, 7));
+
+  for (unsigned nth : {1u, 2u, 0u}) {
+    for (const auto& sched :
+         {rt::Schedule::static_block(), rt::Schedule::dynamic(8)}) {
+      sp::PlanOptions opts;
+      opts.nthreads = nth;
+      opts.schedule = sched;
+      sp::TrisolvePlan plan(pool(), f.l, f.u, opts);
+      for (int epoch = 0; epoch < 4; ++epoch) {
+        const auto rhs = random_rhs(f.l.rows, 200 + epoch);
+        std::vector<double> t(static_cast<std::size_t>(f.l.rows)),
+            z_seq(static_cast<std::size_t>(f.l.rows));
+        sp::trisolve_lower_seq(f.l, rhs, t);
+        sp::trisolve_upper_seq(f.u, t, z_seq);
+
+        std::vector<double> z(static_cast<std::size_t>(f.l.rows));
+        plan.solve(rhs, z);
+        for (index_t i = 0; i < f.l.rows; ++i) {
+          ASSERT_EQ(z_seq[static_cast<std::size_t>(i)],
+                    z[static_cast<std::size_t>(i)])
+              << "nth=" << nth << " " << rt::to_string(sched) << " epoch "
+              << epoch << " row " << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(TrisolvePlan, UpperSolveBitwiseAcrossEpochs) {
+  const sp::IluFactors f = sp::ilu0(gen::nine_point(14, 14));
+  sp::TrisolvePlan plan(pool(), f.l, f.u, {});
+  for (int epoch = 0; epoch < 3; ++epoch) {
+    const auto rhs = random_rhs(f.u.rows, 300 + epoch);
+    std::vector<double> z_seq(static_cast<std::size_t>(f.u.rows));
+    sp::trisolve_upper_seq(f.u, rhs, z_seq);
+    std::vector<double> z(static_cast<std::size_t>(f.u.rows));
+    plan.solve_upper(rhs, z);
+    for (index_t i = 0; i < f.u.rows; ++i) {
+      ASSERT_EQ(z_seq[static_cast<std::size_t>(i)],
+                z[static_cast<std::size_t>(i)])
+          << "epoch " << epoch << " row " << i;
+    }
+  }
+}
+
+TEST(TrisolvePlan, FusedApplicationCostsExactlyOneDispatch) {
+  const sp::IluFactors f = sp::ilu0(gen::five_point(12, 12));
+  sp::TrisolvePlan plan(pool(), f.l, f.u, {});
+  const auto rhs = random_rhs(f.l.rows, 42);
+  std::vector<double> z(static_cast<std::size_t>(f.l.rows));
+
+  const std::uint64_t before = pool().dispatch_count();
+  plan.solve(rhs, z);
+  EXPECT_EQ(pool().dispatch_count() - before, 1u)
+      << "fused L+U must be one pool fork/join";
+
+  // Ten more applications: still one dispatch each.
+  const std::uint64_t before10 = pool().dispatch_count();
+  for (int rep = 0; rep < 10; ++rep) plan.solve(rhs, z);
+  EXPECT_EQ(pool().dispatch_count() - before10, 10u);
+}
+
+TEST(TrisolvePlan, PreconditionerApplyCostsExactlyOneDispatch) {
+  const sp::Csr a = gen::five_point(12, 12);
+  const solve::DoacrossIlu0Preconditioner m(pool(), a);
+  const auto r = random_rhs(a.rows, 43);
+  std::vector<double> z(static_cast<std::size_t>(a.rows));
+
+  const std::uint64_t before = pool().dispatch_count();
+  m.apply(r, z);
+  EXPECT_EQ(pool().dispatch_count() - before, 1u);
+}
+
+TEST(TrisolvePlan, EpochResetIsCounterBumpNotSweep) {
+  const sp::IluFactors f = sp::ilu0(gen::five_point(10, 10));
+  sp::TrisolvePlan plan(pool(), f.l, f.u, {});
+  const auto rhs = random_rhs(f.l.rows, 44);
+  std::vector<double> z(static_cast<std::size_t>(f.l.rows));
+
+  const std::uint32_t e0 = plan.lower_epoch();
+  for (int rep = 0; rep < 3; ++rep) plan.solve(rhs, z);
+  EXPECT_EQ(plan.lower_epoch(), e0 + 3) << "one epoch bump per solve";
+  EXPECT_EQ(plan.solves(), 3u);
+}
+
+TEST(TrisolvePlan, PlanInsidePcgMatchesSequentialPath) {
+  // The preconditioner holds the plan across all Krylov iterations; the
+  // iteration path must coincide exactly with the sequential ILU(0).
+  const sp::Csr a = gen::five_point(25, 25);
+  gen::SplitMix64 rng(45);
+  std::vector<double> b(static_cast<std::size_t>(a.rows));
+  for (auto& v : b) v = rng.next_double(-1.0, 1.0);
+
+  std::vector<double> x_seq(static_cast<std::size_t>(a.rows), 0.0);
+  const auto rep_seq = solve::pcg(a, b, x_seq, solve::Ilu0Preconditioner{a});
+  std::vector<double> x_par(static_cast<std::size_t>(a.rows), 0.0);
+  const auto rep_par =
+      solve::pcg(a, b, x_par, solve::DoacrossIlu0Preconditioner{pool(), a});
+
+  EXPECT_TRUE(rep_seq.converged);
+  EXPECT_TRUE(rep_par.converged);
+  EXPECT_EQ(rep_seq.iterations, rep_par.iterations);
+  for (std::size_t i = 0; i < x_seq.size(); ++i) {
+    ASSERT_EQ(x_seq[i], x_par[i]) << i;
+  }
+}
+
+TEST(TrisolvePlan, RejectsBadArgumentsAndLowerOnlyMisuse) {
+  const sp::IluFactors f = sp::ilu0(gen::five_point(6, 6));
+  sp::TrisolvePlan lower_only(pool(), f.l, sp::PlanOptions{});
+  std::vector<double> rhs(static_cast<std::size_t>(f.l.rows)), z = rhs;
+  EXPECT_THROW(lower_only.solve(rhs, z), std::logic_error);
+  EXPECT_THROW(lower_only.solve_upper(rhs, z), std::logic_error);
+
+  sp::TrisolvePlan plan(pool(), f.l, f.u, {});
+  std::vector<double> small(3);
+  EXPECT_THROW(plan.solve(small, z), std::invalid_argument);
+  EXPECT_THROW(plan.solve_lower(rhs, small), std::invalid_argument);
+}
+
+TEST(TrisolvePlan, WorkRepsMatchesSequentialKnob) {
+  const sp::Csr l = sp::ilu0(gen::five_point(9, 9)).l;
+  const int work = 13;
+  sp::PlanOptions opts;
+  opts.work_reps = work;
+  sp::TrisolvePlan plan(pool(), l, opts);
+  const auto rhs = random_rhs(l.rows, 46);
+  std::vector<double> y_seq(static_cast<std::size_t>(l.rows)),
+      y(static_cast<std::size_t>(l.rows));
+  sp::trisolve_lower_seq(l, rhs, y_seq, work);
+  plan.solve_lower(rhs, y);
+  for (index_t i = 0; i < l.rows; ++i) {
+    ASSERT_EQ(y_seq[static_cast<std::size_t>(i)],
+              y[static_cast<std::size_t>(i)]);
+  }
+}
