@@ -1,0 +1,211 @@
+// batch_solve — measures the batched multi-RHS execution layer.
+//
+// Serving many right-hand sides against one factorization is the repeated
+// case the batched layer exists for. This harness compares, per (threads,
+// k) configuration, three ways of pushing k RHS through the same
+// TrisolvePlan:
+//
+//   sequential  — k solve() calls: k pool dispatches, k full fused L+U
+//                 doacrosses (the PR 1 baseline a server would run today).
+//   batch-cols  — solve_batch kColumnSequential: ONE dispatch; thread 0
+//                 re-arms the epoch tables between columns in-region.
+//   batch-ilv   — solve_batch kWavefrontInterleaved: ONE dispatch, ONE
+//                 doacross per factor; each row carries all k columns, so
+//                 synchronization is amortized k-fold and each matrix row
+//                 is read once per batch.
+//
+// Every batched result is verified bitwise against the sequential solves
+// before timing. `--json <path>` additionally writes the table as a JSON
+// artifact (CI publishes it as BENCH_batch.json).
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "benchsupport/env.hpp"
+#include "benchsupport/table.hpp"
+#include "benchsupport/timer.hpp"
+#include "gen/rng.hpp"
+#include "gen/stencil.hpp"
+#include "runtime/thread_pool.hpp"
+#include "sparse/ilu0.hpp"
+#include "sparse/trisolve_plan.hpp"
+
+namespace bench = pdx::bench;
+namespace gen = pdx::gen;
+namespace rt = pdx::rt;
+namespace sp = pdx::sparse;
+using pdx::index_t;
+
+namespace {
+
+struct Row {
+  unsigned threads;
+  index_t k;
+  double us_seq;   // per RHS
+  double us_cols;  // per RHS
+  double us_ilv;   // per RHS
+  std::uint64_t disp_seq;
+  std::uint64_t disp_batch;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    }
+  }
+
+  std::cout << bench::environment_banner("batch_solve (multi-RHS batching)")
+            << "\n";
+  const unsigned max_procs = bench::default_procs();
+  const int reps = bench::default_reps();
+  const int grid = bench::quick_mode() ? 40 : 80;
+
+  const sp::Csr a = gen::five_point(grid, grid);
+  const sp::IluFactors f = sp::ilu0(a);
+  const index_t n = f.l.rows;
+
+  rt::ThreadPool pool(max_procs);
+  std::vector<unsigned> thread_counts{1};
+  if (max_procs >= 2) thread_counts.push_back(2);
+  if (max_procs > 2) thread_counts.push_back(max_procs);
+
+  const index_t ks[] = {1, 4, 8, 16, 32};
+  const index_t max_k = 32;
+
+  gen::SplitMix64 rng(11);
+  std::vector<double> b(static_cast<std::size_t>(n * max_k));
+  for (auto& v : b) v = rng.next_double(-1.0, 1.0);
+  std::vector<double> x_seq(b.size()), x_batch(b.size());
+
+  bench::Table table({"threads", "k", "seq(us/rhs)", "batch-cols(us/rhs)",
+                      "batch-ilv(us/rhs)", "speedup-cols", "speedup-ilv",
+                      "dispatches seq", "dispatches batch"});
+  std::vector<Row> rows;
+  bool all_exact = true;
+
+  for (unsigned nth : thread_counts) {
+    sp::PlanOptions popts;
+    popts.nthreads = nth;
+    sp::TrisolvePlan plan(pool, f.l, f.u, popts);
+    plan.reserve_batch(max_k);
+
+    for (index_t k : ks) {
+      auto seq_apply = [&] {
+        for (index_t c = 0; c < k; ++c) {
+          plan.solve(std::span<const double>(b.data() + c * n,
+                                             static_cast<std::size_t>(n)),
+                     std::span<double>(x_seq.data() + c * n,
+                                       static_cast<std::size_t>(n)));
+        }
+      };
+      auto batch_apply = [&](sp::BatchMode mode) {
+        plan.solve_batch(std::span<const double>(b.data(),
+                                                 static_cast<std::size_t>(n * k)),
+                         std::span<double>(x_batch.data(),
+                                           static_cast<std::size_t>(n * k)),
+                         k, mode);
+      };
+
+      // Correctness gate: both batch modes bitwise-match the k sequential
+      // solves before any timing is trusted.
+      seq_apply();
+      for (sp::BatchMode mode : {sp::BatchMode::kColumnSequential,
+                                 sp::BatchMode::kWavefrontInterleaved}) {
+        std::fill(x_batch.begin(),
+                  x_batch.begin() + static_cast<std::ptrdiff_t>(n * k), 0.0);
+        batch_apply(mode);
+        for (index_t i = 0; i < n * k; ++i) {
+          if (x_seq[static_cast<std::size_t>(i)] !=
+              x_batch[static_cast<std::size_t>(i)]) {
+            all_exact = false;
+            std::fprintf(stderr,
+                         "MISMATCH nth=%u k=%lld mode=%d at %lld\n", nth,
+                         static_cast<long long>(k), static_cast<int>(mode),
+                         static_cast<long long>(i));
+            break;
+          }
+        }
+      }
+
+      rt::DispatchProbe probe(pool);
+      seq_apply();
+      const std::uint64_t disp_seq = probe.delta();
+      probe.rebase();
+      batch_apply(sp::BatchMode::kWavefrontInterleaved);
+      const std::uint64_t disp_batch = probe.delta();
+
+      const auto t_seq = bench::time_samples(reps, 1, seq_apply);
+      const auto t_cols = bench::time_samples(reps, 1, [&] {
+        batch_apply(sp::BatchMode::kColumnSequential);
+      });
+      const auto t_ilv = bench::time_samples(reps, 1, [&] {
+        batch_apply(sp::BatchMode::kWavefrontInterleaved);
+      });
+
+      const double kd = static_cast<double>(k);
+      Row r;
+      r.threads = nth;
+      r.k = k;
+      r.us_seq =
+          *std::min_element(t_seq.begin(), t_seq.end()) / kd * 1e6;
+      r.us_cols =
+          *std::min_element(t_cols.begin(), t_cols.end()) / kd * 1e6;
+      r.us_ilv =
+          *std::min_element(t_ilv.begin(), t_ilv.end()) / kd * 1e6;
+      r.disp_seq = disp_seq;
+      r.disp_batch = disp_batch;
+      rows.push_back(r);
+
+      table.row()
+          .cell(nth)
+          .cell(static_cast<long long>(k))
+          .cell(r.us_seq, 1)
+          .cell(r.us_cols, 1)
+          .cell(r.us_ilv, 1)
+          .cell(r.us_seq / (r.us_cols > 0 ? r.us_cols : 1e-300), 2)
+          .cell(r.us_seq / (r.us_ilv > 0 ? r.us_ilv : 1e-300), 2)
+          .cell(static_cast<unsigned>(disp_seq))
+          .cell(static_cast<unsigned>(disp_batch));
+    }
+  }
+  table.print();
+  std::printf(
+      "\nPer-RHS wall time; 'speedup-*' is sequential/batched throughput. A "
+      "batch is ONE pool dispatch in either mode (k for sequential). "
+      "Bitwise check vs sequential solves: %s.\n",
+      all_exact ? "exact" : "FAILED");
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    out << "{\n  \"bench\": \"batch_solve\",\n"
+        << "  \"grid\": " << grid << ",\n  \"rows\": " << n << ",\n"
+        << "  \"bitwise_exact\": " << (all_exact ? "true" : "false")
+        << ",\n  \"results\": [\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const Row& r = rows[i];
+      out << "    {\"threads\": " << r.threads << ", \"k\": " << r.k
+          << ", \"us_per_rhs_seq\": " << r.us_seq
+          << ", \"us_per_rhs_batch_cols\": " << r.us_cols
+          << ", \"us_per_rhs_batch_ilv\": " << r.us_ilv
+          << ", \"speedup_cols\": "
+          << r.us_seq / (r.us_cols > 0 ? r.us_cols : 1e-300)
+          << ", \"speedup_ilv\": "
+          << r.us_seq / (r.us_ilv > 0 ? r.us_ilv : 1e-300)
+          << ", \"dispatches_seq\": " << r.disp_seq
+          << ", \"dispatches_batch\": " << r.disp_batch << "}"
+          << (i + 1 < rows.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return all_exact ? 0 : 1;
+}

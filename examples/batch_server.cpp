@@ -1,0 +1,109 @@
+// batch_server — the serving loop the batched execution layer exists for.
+//
+// One matrix is factored once; solve requests then arrive continuously.
+// This example simulates that traffic in waves: each wave's (b, x) pairs
+// are queued on a solve::BatchDriver and drained together — the initial
+// residuals of the whole wave are screened with one batched SpMV, and
+// every Krylov iteration of every request reuses the same fused L+U
+// TrisolvePlan. Repeat requests (a client retrying an already-answered
+// system) are answered by the screen without any Krylov work.
+//
+// Build & run:  ./examples/batch_server
+#include <cstdio>
+#include <vector>
+
+#include "benchsupport/timer.hpp"
+#include "gen/rng.hpp"
+#include "gen/stencil.hpp"
+#include "runtime/thread_pool.hpp"
+#include "solve/batch_driver.hpp"
+
+namespace gen = pdx::gen;
+namespace rt = pdx::rt;
+namespace solve = pdx::solve;
+namespace sp = pdx::sparse;
+using pdx::index_t;
+
+int main() {
+  const sp::Csr a = gen::five_point(48, 48);
+  const index_t n = a.rows;
+
+  rt::ThreadPool pool;  // hardware width
+  solve::BatchDriverOptions opts;
+  opts.rel_tolerance = 1e-10;
+  pdx::bench::WallTimer build_timer;
+  solve::BatchDriver driver(pool, a, opts);  // ILU(0) + plan, built once
+  const double build_ms = build_timer.millis();
+
+  std::printf("batch_server: %lld equations, %u threads, setup %.1f ms\n",
+              static_cast<long long>(n), pool.width(), build_ms);
+  std::printf("%-6s %-9s %-9s %-10s %-9s %-12s %-10s\n", "wave", "requests",
+              "screened", "iterations", "M-solves", "dispatches", "ms");
+
+  gen::SplitMix64 rng(2026);
+  const int waves = 4;
+  const int per_wave = 8;
+  std::vector<std::vector<double>> b(waves * per_wave), x(waves * per_wave);
+
+  for (int w = 0; w < waves; ++w) {
+    for (int j = 0; j < per_wave; ++j) {
+      auto& bj = b[static_cast<std::size_t>(w * per_wave + j)];
+      auto& xj = x[static_cast<std::size_t>(w * per_wave + j)];
+      bj.resize(static_cast<std::size_t>(n));
+      for (auto& v : bj) v = rng.next_double(-1.0, 1.0);
+      xj.assign(static_cast<std::size_t>(n), 0.0);
+      driver.enqueue(bj, xj);
+    }
+    if (w == waves - 1) {
+      // Last wave also carries retries of wave 0's (already solved)
+      // systems: the batched screen answers them for one SpMV dispatch.
+      for (int j = 0; j < per_wave; ++j) {
+        driver.enqueue(b[static_cast<std::size_t>(j)],
+                       x[static_cast<std::size_t>(j)]);
+      }
+    }
+
+    pdx::bench::WallTimer drain_timer;
+    const solve::BatchReport rep = driver.drain();
+    const double ms = drain_timer.millis();
+    std::printf("%-6d %-9zu %-9zu %-10llu %-9llu %-12llu %-10.1f\n", w,
+                rep.jobs, rep.screened,
+                static_cast<unsigned long long>(rep.total_iterations),
+                static_cast<unsigned long long>(rep.precond_solves),
+                static_cast<unsigned long long>(rep.pool_dispatches), ms);
+    if (rep.converged != rep.jobs) {
+      std::printf("wave %d: %zu/%zu converged — FAIL\n", w, rep.converged,
+                  rep.jobs);
+      return 1;
+    }
+  }
+
+  // The raw batched primitive, for callers below the Krylov layer: apply
+  // M⁻¹ to a whole wave of vectors in ONE pool dispatch (e.g. smoothing,
+  // residual preprocessing). One dispatch, eight columns.
+  const auto& m = driver.preconditioner();
+  m.reserve_batch(per_wave);
+  std::vector<const double*> r_cols(per_wave);
+  std::vector<std::vector<double>> z(per_wave);
+  std::vector<double*> z_cols(per_wave);
+  for (int j = 0; j < per_wave; ++j) {
+    r_cols[static_cast<std::size_t>(j)] = b[static_cast<std::size_t>(j)].data();
+    z[static_cast<std::size_t>(j)].assign(static_cast<std::size_t>(n), 0.0);
+    z_cols[static_cast<std::size_t>(j)] = z[static_cast<std::size_t>(j)].data();
+  }
+  rt::DispatchProbe probe(pool);
+  pdx::bench::WallTimer batch_timer;
+  m.apply_batch(r_cols.data(), z_cols.data(), per_wave);
+  std::printf(
+      "\napply_batch: M⁻¹ over %d vectors in %llu pool dispatch(es), "
+      "%.1f ms\n",
+      per_wave, static_cast<unsigned long long>(probe.delta()),
+      batch_timer.millis());
+
+  std::printf(
+      "plan amortization: %llu preconditioner applications and %llu batch "
+      "columns ran through one plan built at setup.\n",
+      static_cast<unsigned long long>(m.plan().solves()),
+      static_cast<unsigned long long>(m.plan().batch_columns()));
+  return 0;
+}

@@ -17,6 +17,7 @@
 //     keys for the next strip; per-entry `clear` is a no-op.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <bit>
 #include <cassert>
@@ -37,12 +38,20 @@ class HashIterTable {
 
   /// Size the table for up to `expected_writes` insertions per epoch at a
   /// load factor <= 0.5. Existing contents are discarded.
+  ///
+  /// The hint is checked against reality: if any prior epoch inserted more
+  /// keys than the load-factor budget (capacity/2), the table records an
+  /// overflow and remembers a larger capacity floor — so a caller passing
+  /// the same (too small) estimate every strip gets a grown table here
+  /// instead of silently keeping the stale capacity forever.
   void reserve_writes(index_t expected_writes) {
+    fold_epoch_stats();
     const std::uint64_t wanted =
-        std::bit_ceil(static_cast<std::uint64_t>(
-            expected_writes > 0 ? 2 * expected_writes : 2));
+        std::max(std::bit_ceil(static_cast<std::uint64_t>(
+                     expected_writes > 0 ? 2 * expected_writes : 2)),
+                 min_capacity_);
     if (wanted == capacity_ && slots_) {
-      begin_epoch();
+      wipe_slots();
       return;
     }
     capacity_ = wanted;
@@ -60,12 +69,37 @@ class HashIterTable {
     return static_cast<std::size_t>(capacity_) * sizeof(Slot);
   }
 
-  /// Wipe all entries (O(capacity), which is O(strip)).
+  /// Wipe all entries (O(capacity), which is O(strip)). Capacity is kept
+  /// — this runs single-threaded between barriers, where reallocation is
+  /// not allowed; an overflowed epoch is recorded here and the growth is
+  /// applied at the next reserve_writes call. One fused sweep counts the
+  /// epoch's occupied slots while clearing them (this is the per-strip
+  /// serialized postprocess path, so no second scan).
   void begin_epoch() noexcept {
+    std::uint64_t used = 0;
     for (std::uint64_t s = 0; s < capacity_; ++s) {
+      if (slots_[s].key.load(std::memory_order_relaxed) != kEmpty) ++used;
       slots_[s].key.store(kEmpty, std::memory_order_relaxed);
       slots_[s].value = kNeverWritten;
     }
+    note_overflow(used);
+  }
+
+  /// Epochs (so far) whose insert count exceeded the load-factor budget of
+  /// capacity/2. Nonzero means some reserve_writes hint was too small; the
+  /// table has already scheduled itself to grow past the hint.
+  std::uint64_t overflow_epochs() const noexcept { return overflow_epochs_; }
+
+  /// Insertions present in the current epoch (occupied slots — new keys
+  /// only, not overwrites). O(capacity) scan, like pristine(): overflow
+  /// detection is paid at the epoch boundaries that already sweep the
+  /// slots, keeping record() free of shared-counter contention.
+  std::uint64_t epoch_writes() const noexcept {
+    std::uint64_t used = 0;
+    for (std::uint64_t s = 0; s < capacity_; ++s) {
+      if (slots_[s].key.load(std::memory_order_relaxed) != kEmpty) ++used;
+    }
+    return used;
   }
 
   /// Inspector step: iter(offset) = i. Thread-safe for distinct offsets.
@@ -129,6 +163,29 @@ class HashIterTable {
     index_t value = kNeverWritten;
   };
 
+  void wipe_slots() noexcept {
+    for (std::uint64_t s = 0; s < capacity_; ++s) {
+      slots_[s].key.store(kEmpty, std::memory_order_relaxed);
+      slots_[s].value = kNeverWritten;
+    }
+  }
+
+  /// Close out the current epoch's insert count (an occupied-slot scan,
+  /// without wiping — reserve_writes may realloc instead).
+  void fold_epoch_stats() noexcept {
+    if (!slots_) return;
+    note_overflow(epoch_writes());
+  }
+
+  /// Past the load-factor budget: remember both the overflow and a
+  /// capacity floor that covers the observed count at load factor <= 0.5.
+  void note_overflow(std::uint64_t used) noexcept {
+    if (slots_ && used > capacity_ / 2) {
+      ++overflow_epochs_;
+      min_capacity_ = std::max(min_capacity_, std::bit_ceil(2 * used));
+    }
+  }
+
   std::uint64_t probe_start(index_t offset) const noexcept {
     // splitmix-style finalizer scatters dense offset ranges.
     std::uint64_t z = static_cast<std::uint64_t>(offset);
@@ -140,6 +197,8 @@ class HashIterTable {
   std::unique_ptr<Slot[]> slots_;
   std::uint64_t capacity_ = 0;
   std::uint64_t mask_ = 0;
+  std::uint64_t min_capacity_ = 0;    // learned floor after overflow epochs
+  std::uint64_t overflow_epochs_ = 0;
 };
 
 }  // namespace pdx::core

@@ -100,4 +100,26 @@ class ThreadPool {
   std::atomic<std::uint64_t> dispatches_{0};
 };
 
+/// Snapshot of a pool's dispatch counter for asserting fork/join budgets.
+/// Batched executors promise "one dispatch per batch" — tests, benches and
+/// drivers verify the promise by reading `delta()` around the region(s)
+/// under test instead of hand-subtracting raw dispatch_count() values.
+class DispatchProbe {
+ public:
+  explicit DispatchProbe(const ThreadPool& pool) noexcept
+      : pool_(&pool), start_(pool.dispatch_count()) {}
+
+  /// Dispatches consumed since construction (or the last rebase()).
+  std::uint64_t delta() const noexcept {
+    return pool_->dispatch_count() - start_;
+  }
+
+  /// Restart the count from the pool's current value.
+  void rebase() noexcept { start_ = pool_->dispatch_count(); }
+
+ private:
+  const ThreadPool* pool_;
+  std::uint64_t start_;
+};
+
 }  // namespace pdx::rt

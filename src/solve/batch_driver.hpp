@@ -1,0 +1,104 @@
+// batch_driver.hpp — queueing front-end for many solves against one matrix.
+//
+// The serving shape of the ROADMAP north star: one factorization (and its
+// TrisolvePlan) is built once while right-hand sides keep arriving.
+// BatchDriver queues (b, x) pairs and drains them in one sweep:
+//
+//   * the initial residuals of ALL queued systems are computed with one
+//     batched SpMV pass (sparse::spmv_batch_parallel — a single pool
+//     dispatch), so already-converged systems are answered without
+//     entering a Krylov loop at all;
+//   * the rest run through PCG or BiCGSTAB sharing ONE
+//     DoacrossIlu0Preconditioner, so every Krylov iteration of every
+//     queued system reuses the same zero-allocation fused L+U plan.
+//
+// Results are bitwise identical to solving each system alone with
+// pcg/bicgstab over a DoacrossIlu0Preconditioner (which is itself bitwise
+// identical to the sequential ILU(0) path) — batching changes cost, never
+// answers.
+//
+// Single caller at a time, like the plan it wraps. Spans handed to
+// enqueue() must stay alive until the next drain() returns; the matrix
+// must outlive the driver.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "runtime/thread_pool.hpp"
+#include "solve/bicgstab.hpp"
+#include "solve/cg.hpp"
+#include "solve/precond.hpp"
+#include "sparse/csr.hpp"
+
+namespace pdx::solve {
+
+enum class KrylovMethod : std::uint8_t { kCg, kBicgstab };
+
+struct BatchDriverOptions {
+  KrylovMethod method = KrylovMethod::kCg;
+  int max_iterations = 1000;
+  double rel_tolerance = 1e-10;
+  bool record_history = false;
+  /// Doconsider orderings for the shared plan (PlanOptions::reorder).
+  bool reorder = true;
+  /// Width of the plan's batched region and the SpMV screen; 0 = pool
+  /// width.
+  unsigned nthreads = 0;
+};
+
+/// What one drain() did, plus per-job reports in enqueue order.
+struct BatchReport {
+  std::size_t jobs = 0;
+  std::size_t converged = 0;
+  /// Jobs answered by the batched residual screen (initial guess already
+  /// within tolerance) without entering a Krylov loop.
+  std::size_t screened = 0;
+  std::uint64_t total_iterations = 0;
+  /// Plan solves consumed by this drain — the preconditioner
+  /// applications the shared TrisolvePlan amortized.
+  std::uint64_t precond_solves = 0;
+  /// Pool fork/joins consumed by this drain (rt::DispatchProbe delta).
+  std::uint64_t pool_dispatches = 0;
+  std::vector<SolveReport> reports;
+};
+
+class BatchDriver {
+ public:
+  /// Factors `a` (ILU(0)) and builds the shared plan once.
+  BatchDriver(rt::ThreadPool& pool, const sparse::Csr& a,
+              const BatchDriverOptions& opts = {});
+
+  /// Queue one system A x = b. `x` carries the initial guess on entry and
+  /// receives the solution at drain(). Both spans must hold >= rows()
+  /// elements and outlive the next drain().
+  void enqueue(std::span<const double> b, std::span<double> x);
+
+  std::size_t pending() const noexcept { return queue_.size(); }
+
+  /// Solve everything queued (clearing the queue) and report.
+  BatchReport drain();
+
+  const DoacrossIlu0Preconditioner& preconditioner() const { return m_; }
+  index_t rows() const noexcept { return a_->rows; }
+
+ private:
+  struct Job {
+    std::span<const double> b;
+    std::span<double> x;
+  };
+
+  rt::ThreadPool* pool_;
+  const sparse::Csr* a_;
+  BatchDriverOptions opts_;
+  DoacrossIlu0Preconditioner m_;
+  std::vector<Job> queue_;
+  // Screen scratch, grown once to the largest wave seen so repeated
+  // drains of steady traffic allocate nothing for the screen itself.
+  std::vector<double> screen_r_;
+  std::vector<const double*> screen_x_cols_;
+  std::vector<double*> screen_r_cols_;
+};
+
+}  // namespace pdx::solve

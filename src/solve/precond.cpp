@@ -48,4 +48,16 @@ void DoacrossIlu0Preconditioner::apply(std::span<const double> r,
   plan_.solve(r, z);
 }
 
+void DoacrossIlu0Preconditioner::apply_batch(std::span<const double> r,
+                                             std::span<double> z, index_t k,
+                                             sparse::BatchMode mode) const {
+  plan_.solve_batch(r, z, k, mode);
+}
+
+void DoacrossIlu0Preconditioner::apply_batch(const double* const* r_cols,
+                                             double* const* z_cols, index_t k,
+                                             sparse::BatchMode mode) const {
+  plan_.solve_batch(r_cols, z_cols, k, mode);
+}
+
 }  // namespace pdx::solve

@@ -75,6 +75,19 @@ class DoacrossIlu0Preconditioner final : public Preconditioner {
   void apply(std::span<const double> r, std::span<double> z) const override;
   const char* name() const override { return "ilu0-doacross"; }
 
+  /// Batched application: Z[c] = M⁻¹ R[c] for k column-major columns in
+  /// ONE pool dispatch through the shared plan (TrisolvePlan::solve_batch).
+  void apply_batch(std::span<const double> r, std::span<double> z, index_t k,
+                   sparse::BatchMode mode =
+                       sparse::BatchMode::kWavefrontInterleaved) const;
+  /// Pointer-per-column batched application for non-contiguous columns.
+  void apply_batch(const double* const* r_cols, double* const* z_cols,
+                   index_t k,
+                   sparse::BatchMode mode =
+                       sparse::BatchMode::kWavefrontInterleaved) const;
+  /// Pre-size the plan's batch scratch so serving loops allocate nothing.
+  void reserve_batch(index_t max_k) const { plan_.reserve_batch(max_k); }
+
   const sparse::IluFactors& factors() const { return f_; }
   const sparse::TrisolvePlan& plan() const { return plan_; }
 

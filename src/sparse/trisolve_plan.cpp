@@ -1,5 +1,6 @@
 #include "sparse/trisolve_plan.hpp"
 
+#include <cassert>
 #include <chrono>
 #include <stdexcept>
 
@@ -42,7 +43,7 @@ TrisolvePlan::TrisolvePlan(rt::ThreadPool& pool, const Csr& l,
   // buffer and would heap-allocate on every call.
   lower_region_ = [this](unsigned tid, unsigned nthreads) {
     std::uint64_t eps = 0, rds = 0;
-    lower_kernel(tid, nthreads, eps, rds);
+    lower_kernel(lo_rhs_, lo_y_, tid, nthreads, eps, rds);
     episodes_[tid].value = eps;
     rounds_[tid].value = rds;
   };
@@ -63,31 +64,57 @@ TrisolvePlan::TrisolvePlan(rt::ThreadPool& pool, const Csr& l, const Csr& u,
   }
   upper_region_ = [this](unsigned tid, unsigned nthreads) {
     std::uint64_t eps = 0, rds = 0;
-    upper_kernel(tid, nthreads, eps, rds);
+    upper_kernel(up_rhs_, up_y_, tid, nthreads, eps, rds);
     episodes_[tid].value = eps;
     rounds_[tid].value = rds;
   };
   fused_region_ = [this](unsigned tid, unsigned nthreads) {
     std::uint64_t eps = 0, rds = 0;
-    lower_kernel(tid, nthreads, eps, rds);
+    lower_kernel(lo_rhs_, lo_y_, tid, nthreads, eps, rds);
     // The one synchronization point of a fused preconditioner
     // application: every tmp_ element is published before any thread
     // starts consuming it in the backward solve. The busy-wait flags
     // handle everything else on both sides.
     barrier_.arrive_and_wait();
-    upper_kernel(tid, nthreads, eps, rds);
+    upper_kernel(up_rhs_, up_y_, tid, nthreads, eps, rds);
+    episodes_[tid].value = eps;
+    rounds_[tid].value = rds;
+  };
+  batch_region_ = [this](unsigned tid, unsigned nthreads) {
+    std::uint64_t eps = 0, rds = 0;
+    if (batch_mode_ == BatchMode::kWavefrontInterleaved) {
+      // One doacross pass per factor; every row carries all k columns.
+      lower_kernel_multi(tid, nthreads, eps, rds);
+      barrier_.arrive_and_wait();
+      upper_kernel_multi(tid, nthreads, eps, rds);
+    } else {
+      for (index_t c = 0; c < batch_k_; ++c) {
+        if (c > 0) {
+          // Column boundary: the first barrier guarantees every thread is
+          // done with column c-1's flags; thread 0 re-arms both epoch
+          // tables and cursors; the second barrier publishes the new
+          // epoch before any thread of column c waits on a flag.
+          barrier_.arrive_and_wait();
+          if (tid == 0) reset_for_call(/*lower=*/true, /*upper=*/true);
+          barrier_.arrive_and_wait();
+        }
+        lower_kernel(batch_b_[static_cast<std::size_t>(c)], tmp_.data(),
+                     tid, nthreads, eps, rds);
+        barrier_.arrive_and_wait();
+        upper_kernel(tmp_.data(), batch_x_[static_cast<std::size_t>(c)],
+                     tid, nthreads, eps, rds);
+      }
+    }
     episodes_[tid].value = eps;
     rounds_[tid].value = rds;
   };
 }
 
-void TrisolvePlan::lower_kernel(unsigned tid, unsigned nthreads,
-                                std::uint64_t& episodes,
+void TrisolvePlan::lower_kernel(const double* rhs_p, double* yp, unsigned tid,
+                                unsigned nthreads, std::uint64_t& episodes,
                                 std::uint64_t& rounds) noexcept {
   const Csr& l = *l_;
   const index_t* order = l_order_ ? l_order_->order.data() : nullptr;
-  const double* rhs_p = lo_rhs_;
-  double* yp = lo_y_;
   const int work_reps = opts_.work_reps;
   std::uint64_t my_episodes = 0, my_rounds = 0;
   // Identical arithmetic (term order, division) to trisolve_lower_seq —
@@ -114,13 +141,11 @@ void TrisolvePlan::lower_kernel(unsigned tid, unsigned nthreads,
   rounds += my_rounds;
 }
 
-void TrisolvePlan::upper_kernel(unsigned tid, unsigned nthreads,
-                                std::uint64_t& episodes,
+void TrisolvePlan::upper_kernel(const double* rhs_p, double* yp, unsigned tid,
+                                unsigned nthreads, std::uint64_t& episodes,
                                 std::uint64_t& rounds) noexcept {
   const Csr& u = *u_;
   const index_t* order = u_order_ ? u_order_->order.data() : nullptr;
-  const double* rhs_p = up_rhs_;
-  double* yp = up_y_;
   std::uint64_t my_episodes = 0, my_rounds = 0;
   auto solve_row = [&](index_t k) noexcept {
     const index_t i = order ? order[k] : n_ - 1 - k;
@@ -136,6 +161,90 @@ void TrisolvePlan::upper_kernel(unsigned tid, unsigned nthreads,
       acc -= u.val[static_cast<std::size_t>(kk)] * yp[c];
     }
     yp[i] = acc / u.val[static_cast<std::size_t>(k_diag)];
+    ready_u_.mark_done(i);
+  };
+  rt::schedule_run(opts_.schedule, n_, tid, nthreads, &cursor_u_, solve_row);
+  episodes += my_episodes;
+  rounds += my_rounds;
+}
+
+void TrisolvePlan::lower_kernel_multi(unsigned tid, unsigned nthreads,
+                                      std::uint64_t& episodes,
+                                      std::uint64_t& rounds) noexcept {
+  const Csr& l = *l_;
+  const index_t* order = l_order_ ? l_order_->order.data() : nullptr;
+  const index_t k = batch_k_;
+  const double* const* b_cols = batch_b_.data();
+  double* tp = batch_tmp_.data();
+  const int work_reps = opts_.work_reps;
+  std::uint64_t my_episodes = 0, my_rounds = 0;
+  // Column c runs the exact arithmetic of lower_kernel on b_cols[c] (term
+  // order, division) — bitwise equal per column. One ready flag per row
+  // covers all k columns: a dependence is waited on once, not k times,
+  // and the row's indices/values are read once for the whole batch.
+  // Row i's k results accumulate in place in the row-major strip, where
+  // consumers read them contiguously.
+  auto solve_row = [&](index_t pos) noexcept {
+    const index_t i = order ? order[pos] : pos;
+    double* ti = tp + i * k;
+    for (index_t c = 0; c < k; ++c) ti[c] = b_cols[c][i];
+    const index_t k_end = l.row_end(i) - 1;  // diagonal last
+    for (index_t kk = l.row_begin(i); kk < k_end; ++kk) {
+      const index_t col = l.idx[static_cast<std::size_t>(kk)];
+      const std::uint64_t r = ready_l_.wait_done(col);
+      if (r != 0) {
+        ++my_episodes;
+        my_rounds += r;
+      }
+      const double a = l.val[static_cast<std::size_t>(kk)];
+      const double* tc = tp + col * k;
+      for (index_t c = 0; c < k; ++c) {
+        ti[c] -= a * tc[c];
+        if (work_reps > 0) ti[c] = machine_emulation_work(ti[c], work_reps);
+      }
+    }
+    const double d = l.val[static_cast<std::size_t>(k_end)];
+    for (index_t c = 0; c < k; ++c) ti[c] /= d;
+    ready_l_.mark_done(i);  // release-publishes all k stores of this row
+  };
+  rt::schedule_run(opts_.schedule, n_, tid, nthreads, &cursor_l_, solve_row);
+  episodes += my_episodes;
+  rounds += my_rounds;
+}
+
+void TrisolvePlan::upper_kernel_multi(unsigned tid, unsigned nthreads,
+                                      std::uint64_t& episodes,
+                                      std::uint64_t& rounds) noexcept {
+  const Csr& u = *u_;
+  const index_t* order = u_order_ ? u_order_->order.data() : nullptr;
+  const index_t k = batch_k_;
+  double* const* x_cols = batch_x_.data();
+  double* tp = batch_tmp_.data();
+  std::uint64_t my_episodes = 0, my_rounds = 0;
+  // Row i's strip holds the forward-solve results on entry and is updated
+  // in place into the backward-solve solution; the solution stays
+  // resident in the strip (consumers read it contiguously) and is
+  // mirrored into the caller's column vectors before the row is marked.
+  auto solve_row = [&](index_t pos) noexcept {
+    const index_t i = order ? order[pos] : n_ - 1 - pos;
+    double* ti = tp + i * k;
+    const index_t k_diag = u.row_begin(i);  // diagonal first
+    for (index_t kk = k_diag + 1; kk < u.row_end(i); ++kk) {
+      const index_t col = u.idx[static_cast<std::size_t>(kk)];
+      const std::uint64_t r = ready_u_.wait_done(col);
+      if (r != 0) {
+        ++my_episodes;
+        my_rounds += r;
+      }
+      const double a = u.val[static_cast<std::size_t>(kk)];
+      const double* tc = tp + col * k;
+      for (index_t c = 0; c < k; ++c) ti[c] -= a * tc[c];
+    }
+    const double d = u.val[static_cast<std::size_t>(k_diag)];
+    for (index_t c = 0; c < k; ++c) {
+      ti[c] /= d;
+      x_cols[c][i] = ti[c];
+    }
     ready_u_.mark_done(i);
   };
   rt::schedule_run(opts_.schedule, n_, tid, nthreads, &cursor_u_, solve_row);
@@ -221,6 +330,78 @@ core::DoacrossStats TrisolvePlan::solve(std::span<const double> rhs,
   up_rhs_ = tmp_.data();
   up_y_ = z.data();
   return dispatch(fused_region_);
+}
+
+void TrisolvePlan::reserve_batch(index_t max_k, BatchMode mode) {
+  if (max_k < 1) {
+    throw std::invalid_argument("TrisolvePlan::reserve_batch: max_k < 1");
+  }
+  const std::size_t k = static_cast<std::size_t>(max_k);
+  if (batch_b_.size() < k) {
+    batch_b_.resize(k);
+    batch_x_.resize(k);
+  }
+  // The n-by-k strip backs only the interleaved mode; column-sequential
+  // batches keep the documented O(n) scratch (the plan's tmp_).
+  if (mode == BatchMode::kWavefrontInterleaved) {
+    const std::size_t strip = static_cast<std::size_t>(n_) * k;
+    if (batch_tmp_.size() < strip) batch_tmp_.resize(strip);
+  }
+}
+
+core::DoacrossStats TrisolvePlan::run_batch(index_t k, BatchMode mode) {
+  if (n_ == 0) return {};
+  batch_k_ = k;
+  batch_mode_ = mode;
+  reset_for_call(/*lower=*/true, /*upper=*/true);
+#ifndef NDEBUG
+  const rt::DispatchProbe probe(*pool_);
+#endif
+  const core::DoacrossStats stats = dispatch(batch_region_);
+#ifndef NDEBUG
+  assert(probe.delta() == 1 &&
+         "solve_batch must cost exactly one pool dispatch");
+#endif
+  batch_columns_ += static_cast<std::uint64_t>(k);
+  return stats;
+}
+
+core::DoacrossStats TrisolvePlan::solve_batch(std::span<const double> b,
+                                              std::span<double> x, index_t k,
+                                              BatchMode mode) {
+  if (!u_) {
+    throw std::logic_error("TrisolvePlan::solve_batch: lower-only plan");
+  }
+  if (k < 1) {
+    throw std::invalid_argument("TrisolvePlan::solve_batch: k must be >= 1");
+  }
+  if (static_cast<index_t>(b.size()) < n_ * k ||
+      static_cast<index_t>(x.size()) < n_ * k) {
+    throw std::invalid_argument("TrisolvePlan::solve_batch: size mismatch");
+  }
+  reserve_batch(k, mode);
+  for (index_t c = 0; c < k; ++c) {
+    batch_b_[static_cast<std::size_t>(c)] = b.data() + c * n_;
+    batch_x_[static_cast<std::size_t>(c)] = x.data() + c * n_;
+  }
+  return run_batch(k, mode);
+}
+
+core::DoacrossStats TrisolvePlan::solve_batch(const double* const* b_cols,
+                                              double* const* x_cols,
+                                              index_t k, BatchMode mode) {
+  if (!u_) {
+    throw std::logic_error("TrisolvePlan::solve_batch: lower-only plan");
+  }
+  if (k < 1) {
+    throw std::invalid_argument("TrisolvePlan::solve_batch: k must be >= 1");
+  }
+  reserve_batch(k, mode);
+  for (index_t c = 0; c < k; ++c) {
+    batch_b_[static_cast<std::size_t>(c)] = b_cols[c];
+    batch_x_[static_cast<std::size_t>(c)] = x_cols[c];
+  }
+  return run_batch(k, mode);
 }
 
 }  // namespace pdx::sparse

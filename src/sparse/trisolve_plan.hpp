@@ -57,6 +57,20 @@ struct PlanOptions {
   int work_reps = 0;
 };
 
+/// How solve_batch walks its k right-hand-side columns inside the single
+/// parallel region (DESIGN.md §8; bench/batch_solve.cpp measures both).
+enum class BatchMode : std::uint8_t {
+  /// One fused L+U doacross per column, columns back-to-back. Thread 0
+  /// re-arms the epoch tables between columns (two barrier episodes per
+  /// column boundary). Scratch stays O(n).
+  kColumnSequential,
+  /// One doacross over rows; each row carries all k columns, so one ready
+  /// flag — and at most one busy wait — per dependence covers k values:
+  /// synchronization cost is amortized k-fold and each L/U row's indices
+  /// and values are read once per batch. Scratch is O(n*k).
+  kWavefrontInterleaved,
+};
+
 /// Persistent execution plan for L y = rhs / U z = y triangular solves.
 /// Every solve_* call runs with zero per-call heap allocation and resets
 /// synchronization state in O(1); results are bitwise identical to
@@ -91,11 +105,39 @@ class TrisolvePlan {
   core::DoacrossStats solve(std::span<const double> rhs,
                             std::span<double> z);
 
+  /// Batched fused solve: X[c] = U⁻¹ (L⁻¹ B[c]) for k right-hand-side
+  /// columns in ONE pool dispatch. B and X are column-major n-by-k
+  /// (column c contiguous at data() + c * rows()); each column's result
+  /// is bitwise identical to solve() on that column. Scratch grows on the
+  /// first call with a larger k — pre-size with reserve_batch for a
+  /// zero-allocation hot path.
+  core::DoacrossStats solve_batch(
+      std::span<const double> b, std::span<double> x, index_t k,
+      BatchMode mode = BatchMode::kWavefrontInterleaved);
+
+  /// Pointer-per-column batched solve for columns that are not contiguous
+  /// (e.g. a queue of caller-owned vectors): x_cols[c] = U⁻¹ L⁻¹
+  /// b_cols[c]. Every column must hold at least rows() elements; columns
+  /// must not alias each other or the plan's scratch.
+  core::DoacrossStats solve_batch(
+      const double* const* b_cols, double* const* x_cols, index_t k,
+      BatchMode mode = BatchMode::kWavefrontInterleaved);
+
+  /// Pre-size batch scratch so subsequent solve_batch calls with
+  /// k <= max_k in the given mode allocate nothing. Column pointer tables
+  /// are always sized; the n-by-max_k interleaved strip is only allocated
+  /// for kWavefrontInterleaved (column-sequential scratch stays O(n)).
+  void reserve_batch(index_t max_k,
+                     BatchMode mode = BatchMode::kWavefrontInterleaved);
+
   index_t rows() const noexcept { return n_; }
   unsigned nthreads() const noexcept { return nth_; }
   bool has_upper() const noexcept { return u_ != nullptr; }
-  /// Completed solve_* calls (each one epoch per table touched).
+  /// Completed solve_* calls (one per pool dispatch; a whole solve_batch
+  /// counts once).
   std::uint64_t solves() const noexcept { return solves_; }
+  /// Total right-hand-side columns completed through solve_batch.
+  std::uint64_t batch_columns() const noexcept { return batch_columns_; }
   std::uint32_t lower_epoch() const noexcept { return ready_l_.epoch(); }
 
   /// Build-time reorderings (nullptr when opts.reorder was false).
@@ -107,11 +149,20 @@ class TrisolvePlan {
   }
 
  private:
-  void lower_kernel(unsigned tid, unsigned nthreads, std::uint64_t& episodes,
+  void lower_kernel(const double* rhs, double* y, unsigned tid,
+                    unsigned nthreads, std::uint64_t& episodes,
                     std::uint64_t& rounds) noexcept;
-  void upper_kernel(unsigned tid, unsigned nthreads, std::uint64_t& episodes,
+  void upper_kernel(const double* rhs, double* y, unsigned tid,
+                    unsigned nthreads, std::uint64_t& episodes,
                     std::uint64_t& rounds) noexcept;
+  void lower_kernel_multi(unsigned tid, unsigned nthreads,
+                          std::uint64_t& episodes,
+                          std::uint64_t& rounds) noexcept;
+  void upper_kernel_multi(unsigned tid, unsigned nthreads,
+                          std::uint64_t& episodes,
+                          std::uint64_t& rounds) noexcept;
   void reset_for_call(bool lower, bool upper) noexcept;
+  core::DoacrossStats run_batch(index_t k, BatchMode mode);
   core::DoacrossStats dispatch(const rt::ThreadPool::RegionFn& region);
 
   rt::ThreadPool* pool_;
@@ -137,8 +188,19 @@ class TrisolvePlan {
   const double* up_rhs_ = nullptr;
   double* up_y_ = nullptr;
 
-  rt::ThreadPool::RegionFn lower_region_, upper_region_, fused_region_;
+  // Batch state: per-call column pointer tables and the row-major n-by-k
+  // mid-value strip of the interleaved mode. Published to the pre-bound
+  // batch region functor through members, like the single-RHS endpoints.
+  index_t batch_k_ = 0;
+  BatchMode batch_mode_ = BatchMode::kWavefrontInterleaved;
+  std::vector<const double*> batch_b_;
+  std::vector<double*> batch_x_;
+  std::vector<double, rt::CacheAlignedAllocator<double>> batch_tmp_;
+
+  rt::ThreadPool::RegionFn lower_region_, upper_region_, fused_region_,
+      batch_region_;
   std::uint64_t solves_ = 0;
+  std::uint64_t batch_columns_ = 0;
 };
 
 }  // namespace pdx::sparse

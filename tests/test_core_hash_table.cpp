@@ -96,6 +96,42 @@ TEST(HashIterTable, ReserveKeepsCapacityWhenPossible) {
   EXPECT_GT(t.capacity(), cap);
 }
 
+TEST(HashIterTable, ReserveGrowsAfterOverflowedEpochDespiteStaleHint) {
+  // Regression: reserve_writes used to keep the existing capacity whenever
+  // the hint mapped to the same power of two — even after an epoch had
+  // inserted more keys than the load-factor budget (capacity/2), i.e. the
+  // hint was proven wrong. The table now counts per-epoch inserts, records
+  // the overflow, and grows past the stale hint at the next reserve.
+  core::HashIterTable t(8);  // capacity 16, insert budget 8
+  const index_t cap = t.capacity();
+  ASSERT_EQ(cap, 16);
+  for (index_t i = 0; i < 12; ++i) t.record(i * 31 + 7, i);  // 12 > 8
+  EXPECT_EQ(t.epoch_writes(), 12u);
+  EXPECT_EQ(t.overflow_epochs(), 0u) << "folded at the next epoch boundary";
+
+  t.reserve_writes(8);  // identical stale hint
+  EXPECT_EQ(t.overflow_epochs(), 1u);
+  EXPECT_GT(t.capacity(), cap) << "stale capacity must not survive overflow";
+  EXPECT_TRUE(t.pristine());
+  // The learned floor covers the observed write count at load <= 0.5 and
+  // sticks: repeating the stale hint later must not shrink back.
+  EXPECT_GE(t.capacity(), 32);
+  const index_t grown = t.capacity();
+  for (index_t i = 0; i < 12; ++i) t.record(i * 31 + 7, i);  // fits now
+  t.reserve_writes(8);
+  EXPECT_EQ(t.overflow_epochs(), 1u) << "12 of 16 budget: no new overflow";
+  EXPECT_EQ(t.capacity(), grown);
+
+  // begin_epoch also folds the overflow record (engine postprocess path).
+  core::HashIterTable u(4);  // capacity 8, budget 4
+  for (index_t i = 0; i < 7; ++i) u.record(i * 13 + 1, i);
+  u.begin_epoch();
+  EXPECT_EQ(u.overflow_epochs(), 1u);
+  EXPECT_EQ(u.capacity(), 8) << "wipe cannot realloc between barriers";
+  u.reserve_writes(4);
+  EXPECT_GE(u.capacity(), 16) << "growth applied at the next reserve point";
+}
+
 TEST(CompactBlockedDoacross, MatchesReferenceOnPaperLoop) {
   const gen::TestLoop tl = gen::make_test_loop({.n = 1200, .m = 5, .l = 8});
   std::vector<double> y_ref = gen::make_initial_y(tl);
