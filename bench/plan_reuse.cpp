@@ -16,10 +16,15 @@
 // thread counts, with plan build cost amortized into the planned column so
 // the crossover point is visible, plus the pool-dispatch counts proving
 // the fusion.
+// `--json <path>` additionally writes the table as a JSON artifact (CI
+// publishes it as BENCH_plan.json, alongside batch_solve's).
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <iostream>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "benchsupport/env.hpp"
@@ -41,7 +46,28 @@ namespace rt = pdx::rt;
 namespace sp = pdx::sparse;
 using pdx::index_t;
 
-int main() {
+namespace {
+
+struct Row {
+  unsigned threads;
+  int solves;
+  double us_unplanned;
+  double us_planned;
+  double us_amortized;
+  std::uint64_t disp_unplanned;
+  std::uint64_t disp_planned;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    }
+  }
+
   std::cout << bench::environment_banner("plan_reuse (persistent solve plans)")
             << "\n";
   const unsigned max_procs = bench::default_procs();
@@ -73,6 +99,7 @@ int main() {
                       "planned(us/solve)", "planned+build(us/solve)",
                       "speedup", "dispatches/solve unplanned",
                       "dispatches/solve planned"});
+  std::vector<Row> rows;
 
   for (unsigned nth : thread_counts) {
     // The historical per-call path (what DoacrossIlu0Preconditioner::apply
@@ -119,6 +146,8 @@ int main() {
           solves * 1e6;
       const double us_amortized = us_planned + build_seconds * 1e6 / solves;
 
+      rows.push_back({nth, solves, us_unplanned, us_planned, us_amortized,
+                      unplanned_dispatches, planned_dispatches});
       table.row()
           .cell(nth)
           .cell(solves)
@@ -136,5 +165,27 @@ int main() {
       "'speedup' is unplanned/planned per-solve wall time. A planned "
       "application is one pool fork/join (fused L+U), the unplanned path "
       "two.\n");
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    out << "{\n  \"bench\": \"plan_reuse\",\n"
+        << "  \"grid\": " << grid << ",\n  \"rows\": " << n
+        << ",\n  \"results\": [\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const Row& r = rows[i];
+      out << "    {\"threads\": " << r.threads
+          << ", \"solves\": " << r.solves
+          << ", \"us_per_solve_unplanned\": " << r.us_unplanned
+          << ", \"us_per_solve_planned\": " << r.us_planned
+          << ", \"us_per_solve_planned_amortized\": " << r.us_amortized
+          << ", \"speedup\": "
+          << (r.us_planned > 0 ? r.us_unplanned / r.us_planned : 0.0)
+          << ", \"dispatches_per_solve_unplanned\": " << r.disp_unplanned
+          << ", \"dispatches_per_solve_planned\": " << r.disp_planned
+          << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    std::printf("wrote %s\n", json_path.c_str());
+  }
   return 0;
 }

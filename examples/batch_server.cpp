@@ -37,6 +37,9 @@ int main() {
 
   std::printf("batch_server: %lld equations, %u threads, setup %.1f ms\n",
               static_cast<long long>(n), pool.width(), build_ms);
+  const sp::PlanTelemetry& tel = driver.preconditioner().plan().telemetry();
+  std::printf("plan strategy: %s (%s)\n", pdx::core::to_string(tel.strategy),
+              tel.rationale.c_str());
   std::printf("%-6s %-9s %-9s %-10s %-9s %-12s %-10s\n", "wave", "requests",
               "screened", "iterations", "M-solves", "dispatches", "ms");
 

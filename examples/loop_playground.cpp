@@ -45,7 +45,8 @@ int main(int argc, char** argv) {
 
   // Let the dependence-aware advisor pick the executor configuration.
   const core::ScheduleAdvice advice = core::advise_schedule(deps, threads);
-  std::printf("advisor: %s schedule, %s — %s\n",
+  std::printf("advisor: %s strategy, %s schedule, %s — %s\n",
+              core::to_string(advice.strategy),
               pdx::rt::to_string(advice.schedule).c_str(),
               advice.use_reordering ? "doconsider order" : "source order",
               advice.rationale.c_str());

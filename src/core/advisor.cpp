@@ -1,22 +1,32 @@
 #include "core/advisor.hpp"
 
 #include <algorithm>
-#include <stdexcept>
+#include <thread>
 
 #include "core/analysis.hpp"
 
 namespace pdx::core {
 
+namespace {
+
+/// procs == 0 means "hardware width", the ThreadPool(width = 0) /
+/// DoacrossOptions::nthreads = 0 convention used everywhere else.
+unsigned normalize_procs(unsigned procs) noexcept {
+  if (procs != 0) return procs;
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+}  // namespace
+
 ScheduleAdvice advise_schedule(const DepGraph& g, unsigned procs) {
-  if (procs == 0) {
-    throw std::invalid_argument("advise_schedule: procs must be >= 1");
-  }
+  procs = normalize_procs(procs);
   const index_t n = g.iterations();
   ScheduleAdvice a;
 
   if (n == 0 || g.edges() == 0) {
     a.schedule = rt::Schedule::static_block();
     a.use_reordering = false;
+    a.strategy = ExecStrategy::kLevelBarrier;  // one wavefront: a doall
     a.avg_parallelism = static_cast<double>(n);
     a.rationale =
         "no cross-iteration dependences: doall semantics, block split "
@@ -39,6 +49,7 @@ ScheduleAdvice advise_schedule(const DepGraph& g, unsigned procs) {
     a.schedule = rt::Schedule::static_block();
     a.use_reordering = false;
     a.worth_parallelizing = false;
+    a.strategy = ExecStrategy::kSerial;
     a.rationale =
         "average parallelism < 1.5: dependence chain is effectively "
         "serial; run sequentially";
@@ -53,6 +64,7 @@ ScheduleAdvice advise_schedule(const DepGraph& g, unsigned procs) {
     // (bench E6: static-block beat every alternative on the Fig. 4 loop).
     a.schedule = rt::Schedule::static_block();
     a.use_reordering = false;
+    a.strategy = ExecStrategy::kBlockedHybrid;
     a.rationale =
         "max dependence distance is small versus the per-processor block: "
         "static-block keeps dependences intra-thread";
@@ -63,9 +75,91 @@ ScheduleAdvice advise_schedule(const DepGraph& g, unsigned procs) {
   // and Table 1: dynamic/1 + doconsider order on every sparse factor).
   a.schedule = rt::Schedule::dynamic(1);
   a.use_reordering = true;
+  a.strategy = ExecStrategy::kDoacross;
   a.rationale =
       "long-distance dependences: execute in doconsider (wavefront) order "
       "with dynamic single-iteration issue";
+  return a;
+}
+
+ScheduleAdvice advise_schedule(const TrisolveStructure& s, unsigned procs) {
+  procs = normalize_procs(procs);
+  ScheduleAdvice a;
+  a.critical_path = s.levels;
+  a.avg_parallelism = s.avg_level_width;
+  a.max_distance = s.max_distance;
+
+  if (s.n == 0) {
+    a.schedule = rt::Schedule::static_block();
+    a.worth_parallelizing = false;
+    a.strategy = ExecStrategy::kSerial;
+    a.rationale = "empty system: nothing to schedule";
+    return a;
+  }
+
+  if (procs == 1) {
+    a.schedule = rt::Schedule::static_block();
+    a.worth_parallelizing = false;
+    a.strategy = ExecStrategy::kSerial;
+    a.rationale =
+        "single processor: every parallel executor only adds "
+        "synchronization; run the plain sequential solve";
+    return a;
+  }
+
+  if (s.avg_level_width < 1.5) {
+    // Chain-like factor (bidiagonal shapes, heavily sequential bands):
+    // the critical path is the whole loop; flags or barriers only slow
+    // the one thread doing real work.
+    a.schedule = rt::Schedule::static_block();
+    a.worth_parallelizing = false;
+    a.strategy = ExecStrategy::kSerial;
+    a.rationale =
+        "average wavefront width < 1.5: the dependence chain is "
+        "effectively serial; run sequentially";
+    return a;
+  }
+
+  // Wide, shallow level structure: every barrier is amortized over at
+  // least ~2 rows per processor, and dropping the per-row flag traffic
+  // (one release store + acquire spin per dependence) wins outright —
+  // the bulk-synchronous wavefront executor needs no flags at all.
+  const double wide = std::max(4.0, 2.0 * static_cast<double>(procs));
+  if (s.avg_level_width >= wide) {
+    a.schedule = rt::Schedule::static_block();  // within each wavefront
+    a.use_reordering = true;                    // level order IS the order
+    a.strategy = ExecStrategy::kLevelBarrier;
+    a.rationale =
+        "wide shallow wavefronts (avg width >= 2 rows/processor): "
+        "bulk-synchronous level execution, no per-row flags";
+    return a;
+  }
+
+  // Short-distance dependences: a static block split keeps almost every
+  // dependence inside one thread's contiguous range, where program order
+  // resolves it for free; only the few boundary-crossing edges need
+  // flags (the core/blocked_doacross.hpp realization).
+  const index_t block =
+      std::max<index_t>(1, s.n / static_cast<index_t>(procs));
+  if (s.max_distance * 8 <= block) {
+    a.schedule = rt::Schedule::static_block();
+    a.use_reordering = false;  // source order keeps blocks contiguous
+    a.strategy = ExecStrategy::kBlockedHybrid;
+    a.rationale =
+        "short-distance dependences versus the per-processor block: "
+        "static blocks with flags only across block boundaries";
+    return a;
+  }
+
+  // Long-distance sparse dependences with moderate level widths: the
+  // flag-based doacross in doconsider order pipelines across wavefronts
+  // where barriers would serialize on the narrow levels (Table 1).
+  a.schedule = rt::Schedule::dynamic(1);
+  a.use_reordering = true;
+  a.strategy = ExecStrategy::kDoacross;
+  a.rationale =
+      "long-distance dependences and narrow wavefronts: flag-based "
+      "doacross in doconsider order with dynamic single-iteration issue";
   return a;
 }
 

@@ -12,8 +12,14 @@
 //                                  only block boundaries chain);
 //   * otherwise                 -> doconsider reordering + dynamic/1
 //                                  (spread each wavefront; paper ref [4]).
+//
+// Beyond schedules, the advisor names a whole *executor strategy*
+// (ExecStrategy): the triangular-solve stack instantiates one of four
+// execution schemes per plan from the same measured structure — the seam
+// sparse::TrisolvePlan selects through at build time (DESIGN.md §9).
 #pragma once
 
+#include <cstdint>
 #include <string>
 
 #include "core/doconsider.hpp"
@@ -21,12 +27,49 @@
 
 namespace pdx::core {
 
+/// Executor strategy families the trisolve stack can instantiate. kAuto
+/// is a *request* (measure, then decide); the advisor only ever returns
+/// one of the four concrete strategies.
+enum class ExecStrategy : std::uint8_t {
+  kAuto,           ///< decide from inspector-measured structure
+  kDoacross,       ///< busy-wait flags, doconsider order (paper executor)
+  kLevelBarrier,   ///< bulk-synchronous wavefronts, no per-row flags
+  kSerial,         ///< sequential chain — parallelism would only add cost
+  kBlockedHybrid,  ///< static blocks; flags only across block boundaries
+};
+
+inline const char* to_string(ExecStrategy s) noexcept {
+  switch (s) {
+    case ExecStrategy::kAuto: return "auto";
+    case ExecStrategy::kDoacross: return "doacross";
+    case ExecStrategy::kLevelBarrier: return "level-barrier";
+    case ExecStrategy::kSerial: return "serial";
+    case ExecStrategy::kBlockedHybrid: return "blocked-hybrid";
+  }
+  return "?";
+}
+
+/// Inspector-measured dependence structure of a triangular solve — the
+/// facts the strategy decision uses, all O(n + nnz) to collect (the level
+/// analysis already exists for the doconsider reordering).
+struct TrisolveStructure {
+  index_t n = 0;
+  index_t nnz = 0;              ///< stored entries including the diagonal
+  index_t levels = 0;           ///< wavefront count == critical path
+  index_t max_level_size = 0;   ///< widest wavefront
+  index_t max_distance = 0;     ///< max |i - c| over off-diagonal deps
+  double avg_level_width = 0.0; ///< n / levels — the available parallelism
+  double nnz_per_row = 0.0;     ///< per-row work the synchronization buys
+};
+
 struct ScheduleAdvice {
   rt::Schedule schedule;
   /// Recommend executing in doconsider (level) order.
   bool use_reordering = false;
   /// Whether parallel execution is expected to beat sequential at all.
   bool worth_parallelizing = true;
+  /// Which executor scheme to instantiate (never kAuto on output).
+  ExecStrategy strategy = ExecStrategy::kDoacross;
   /// Human-readable reason, for logs and reports.
   std::string rationale;
   /// Structural facts the decision used.
@@ -36,7 +79,13 @@ struct ScheduleAdvice {
 };
 
 /// Analyze the true-dependence graph of a loop and recommend an executor
-/// configuration for `procs` processors.
+/// configuration for `procs` processors. procs == 0 means "the hardware
+/// width", matching the rt::ThreadPool(width = 0) convention.
 ScheduleAdvice advise_schedule(const DepGraph& g, unsigned procs);
+
+/// Strategy advice from a triangular solve's measured structure (the
+/// TrisolvePlan build path — sparse::measure_lower_solve produces the
+/// input). Same procs convention: 0 -> hardware width.
+ScheduleAdvice advise_schedule(const TrisolveStructure& s, unsigned procs);
 
 }  // namespace pdx::core

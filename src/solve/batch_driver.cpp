@@ -12,7 +12,7 @@ BatchDriver::BatchDriver(rt::ThreadPool& pool, const sparse::Csr& a,
     : pool_(&pool),
       a_(&a),
       opts_(opts),
-      m_(pool, a, opts.reorder, opts.nthreads) {
+      m_(pool, a, opts.reorder, opts.nthreads, opts.strategy) {
   if (opts.max_iterations < 1) {
     throw std::invalid_argument("BatchDriver: max_iterations must be >= 1");
   }
@@ -29,6 +29,8 @@ void BatchDriver::enqueue(std::span<const double> b, std::span<double> x) {
 BatchReport BatchDriver::drain() {
   BatchReport rep;
   rep.jobs = queue_.size();
+  rep.strategy = m_.plan().strategy();
+  rep.strategy_rationale = m_.plan().telemetry().rationale;
   rep.reports.resize(queue_.size());
   if (queue_.empty()) return rep;
 

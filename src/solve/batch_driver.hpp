@@ -24,6 +24,7 @@
 
 #include <cstdint>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "runtime/thread_pool.hpp"
@@ -46,6 +47,10 @@ struct BatchDriverOptions {
   /// Width of the plan's batched region and the SpMV screen; 0 = pool
   /// width.
   unsigned nthreads = 0;
+  /// Trisolve strategy of the shared plan. Auto measures the factor's
+  /// dependence structure at build time and follows core::advise_schedule
+  /// (the chosen strategy and rationale appear in every BatchReport).
+  sparse::ExecutionStrategy strategy = sparse::ExecutionStrategy::kAuto;
 };
 
 /// What one drain() did, plus per-job reports in enqueue order.
@@ -61,6 +66,10 @@ struct BatchReport {
   std::uint64_t precond_solves = 0;
   /// Pool fork/joins consumed by this drain (rt::DispatchProbe delta).
   std::uint64_t pool_dispatches = 0;
+  /// Execution strategy the shared plan resolved to, and why (the plan's
+  /// PlanTelemetry — serving reports carry the decision with the data).
+  sparse::ExecutionStrategy strategy = sparse::ExecutionStrategy::kDoacross;
+  std::string strategy_rationale;
   std::vector<SolveReport> reports;
 };
 

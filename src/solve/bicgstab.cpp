@@ -105,4 +105,12 @@ SolveReport bicgstab(const sparse::Csr& a, std::span<const double> b,
   return rep;
 }
 
+SolveReport bicgstab(rt::ThreadPool& pool, const sparse::Csr& a,
+                     std::span<const double> b, std::span<double> x,
+                     const BicgstabOptions& opts) {
+  const DoacrossIlu0Preconditioner m(pool, a, /*reorder=*/true,
+                                     /*nthreads=*/0, opts.strategy);
+  return bicgstab(a, b, x, m, opts);
+}
+
 }  // namespace pdx::solve

@@ -19,12 +19,22 @@ struct BicgstabOptions {
   int max_iterations = 1000;
   double rel_tolerance = 1e-10;
   bool record_history = true;
+  /// Trisolve strategy of the ILU(0) preconditioner built by the
+  /// pool-taking overload (ignored when a Preconditioner is supplied).
+  sparse::ExecutionStrategy strategy = sparse::ExecutionStrategy::kAuto;
 };
 
 /// Solve A x = b; x holds the initial guess on entry, the solution on
 /// exit. Reports convergence against ||b||.
 SolveReport bicgstab(const sparse::Csr& a, std::span<const double> b,
                      std::span<double> x, const Preconditioner& m,
+                     const BicgstabOptions& opts = {});
+
+/// Convenience entry point owning its preconditioner: ILU(0) applied
+/// through a strategy-polymorphic TrisolvePlan (opts.strategy, default
+/// Auto).
+SolveReport bicgstab(rt::ThreadPool& pool, const sparse::Csr& a,
+                     std::span<const double> b, std::span<double> x,
                      const BicgstabOptions& opts = {});
 
 }  // namespace pdx::solve

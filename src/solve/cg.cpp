@@ -70,4 +70,12 @@ SolveReport pcg(const sparse::Csr& a, std::span<const double> b,
   return rep;
 }
 
+SolveReport pcg(rt::ThreadPool& pool, const sparse::Csr& a,
+                std::span<const double> b, std::span<double> x,
+                const CgOptions& opts) {
+  const DoacrossIlu0Preconditioner m(pool, a, /*reorder=*/true,
+                                     /*nthreads=*/0, opts.strategy);
+  return pcg(a, b, x, m, opts);
+}
+
 }  // namespace pdx::solve

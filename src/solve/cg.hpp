@@ -25,12 +25,24 @@ struct CgOptions {
   int max_iterations = 1000;
   double rel_tolerance = 1e-10;
   bool record_history = true;
+  /// Trisolve strategy of the ILU(0) preconditioner built by the
+  /// pool-taking overload (ignored when a Preconditioner is supplied).
+  /// Auto lets the plan measure the factor and pick (DESIGN.md §9).
+  sparse::ExecutionStrategy strategy = sparse::ExecutionStrategy::kAuto;
 };
 
 /// Solve A x = b for SPD A; x holds the initial guess on entry and the
 /// solution on exit.
 SolveReport pcg(const sparse::Csr& a, std::span<const double> b,
                 std::span<double> x, const Preconditioner& m,
+                const CgOptions& opts = {});
+
+/// Convenience entry point owning its preconditioner: factors `a` with
+/// ILU(0) and applies it through a strategy-polymorphic TrisolvePlan
+/// (opts.strategy, default Auto). Bitwise identical to calling pcg with a
+/// DoacrossIlu0Preconditioner built the same way.
+SolveReport pcg(rt::ThreadPool& pool, const sparse::Csr& a,
+                std::span<const double> b, std::span<double> x,
                 const CgOptions& opts = {});
 
 }  // namespace pdx::solve

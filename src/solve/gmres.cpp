@@ -142,4 +142,12 @@ SolveReport gmres(const sparse::Csr& a, std::span<const double> b,
   return rep;
 }
 
+SolveReport gmres(rt::ThreadPool& pool, const sparse::Csr& a,
+                  std::span<const double> b, std::span<double> x,
+                  const GmresOptions& opts) {
+  const DoacrossIlu0Preconditioner m(pool, a, /*reorder=*/true,
+                                     /*nthreads=*/0, opts.strategy);
+  return gmres(a, b, x, m, opts);
+}
+
 }  // namespace pdx::solve

@@ -35,13 +35,14 @@ void Ilu0Preconditioner::apply(std::span<const double> r,
   sparse::trisolve_upper_seq(f_.u, tmp_, z);
 }
 
-DoacrossIlu0Preconditioner::DoacrossIlu0Preconditioner(rt::ThreadPool& pool,
-                                                       const sparse::Csr& a,
-                                                       bool reorder,
-                                                       unsigned nthreads)
+DoacrossIlu0Preconditioner::DoacrossIlu0Preconditioner(
+    rt::ThreadPool& pool, const sparse::Csr& a, bool reorder,
+    unsigned nthreads, sparse::ExecutionStrategy strategy)
     : f_(sparse::ilu0(a)),
       plan_(pool, f_.l, f_.u,
-            sparse::PlanOptions{.nthreads = nthreads, .reorder = reorder}) {}
+            sparse::PlanOptions{.nthreads = nthreads,
+                                .reorder = reorder,
+                                .strategy = strategy}) {}
 
 void DoacrossIlu0Preconditioner::apply(std::span<const double> r,
                                        std::span<double> z) const {

@@ -62,16 +62,25 @@ class Ilu0Preconditioner final : public Preconditioner {
 };
 
 /// ILU(0) with both triangular solves executed by a persistent
-/// TrisolvePlan: doconsider reorderings, epoch-reset flag tables, barrier,
-/// wait counters and region functors are built once per factorization, so
-/// every apply() — i.e. every Krylov iteration — is ONE fused pool
-/// fork/join (forward solve flowing into the backward solve through a
-/// single in-region barrier) with zero heap allocation and an O(1) flag
-/// reset. Results are bitwise identical to Ilu0Preconditioner.
+/// TrisolvePlan: strategy selection, doconsider reorderings, epoch-reset
+/// flag tables, barrier, wait counters and region functors are built once
+/// per factorization, so every apply() — i.e. every Krylov iteration — is
+/// at most ONE fused pool fork/join (zero for a serial-strategy plan)
+/// with zero heap allocation and an O(1) flag reset. The default strategy
+/// is Auto: the plan measures the factor's dependence structure and asks
+/// core::advise_schedule which executor to instantiate (DESIGN.md §9).
+/// Results are bitwise identical to Ilu0Preconditioner under every
+/// strategy.
 class DoacrossIlu0Preconditioner final : public Preconditioner {
  public:
-  DoacrossIlu0Preconditioner(rt::ThreadPool& pool, const sparse::Csr& a,
-                             bool reorder = true, unsigned nthreads = 0);
+  /// `reorder` steers the flag-based doacross executor only; under the
+  /// default kAuto the advisor owns schedule and ordering, so pass an
+  /// explicit strategy (e.g. kDoacross) when the reorder knob must be
+  /// honored literally.
+  DoacrossIlu0Preconditioner(
+      rt::ThreadPool& pool, const sparse::Csr& a, bool reorder = true,
+      unsigned nthreads = 0,
+      sparse::ExecutionStrategy strategy = sparse::ExecutionStrategy::kAuto);
   void apply(std::span<const double> r, std::span<double> z) const override;
   const char* name() const override { return "ilu0-doacross"; }
 

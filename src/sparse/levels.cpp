@@ -84,6 +84,31 @@ core::Reordering upper_solve_reordering(const Csr& u) {
   return r;
 }
 
+core::TrisolveStructure measure_lower_solve(const Csr& l,
+                                            const core::Reordering& r) {
+  core::TrisolveStructure s;
+  s.n = l.rows;
+  s.nnz = l.nnz();
+  s.levels = r.num_levels();
+  s.avg_level_width = r.average_parallelism();
+  s.nnz_per_row =
+      l.rows > 0 ? static_cast<double>(l.nnz()) / static_cast<double>(l.rows)
+                 : 0.0;
+  for (index_t lvl = 0; lvl < r.num_levels(); ++lvl) {
+    s.max_level_size = std::max(s.max_level_size, r.level_size(lvl));
+  }
+  for (index_t i = 0; i < l.rows; ++i) {
+    for (index_t c : l.row_cols(i)) {
+      if (c < i) s.max_distance = std::max(s.max_distance, i - c);
+    }
+  }
+  return s;
+}
+
+core::TrisolveStructure measure_lower_solve(const Csr& l) {
+  return measure_lower_solve(l, lower_solve_reordering(l));
+}
+
 DagProfile profile_lower_solve(const Csr& l) {
   const core::Reordering r = lower_solve_reordering(l);
   DagProfile p;

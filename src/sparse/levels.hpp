@@ -7,6 +7,7 @@
 // and packages the result as a core::Reordering.
 #pragma once
 
+#include "core/advisor.hpp"
 #include "core/doconsider.hpp"
 #include "sparse/csr.hpp"
 
@@ -40,5 +41,13 @@ struct DagProfile {
 };
 
 DagProfile profile_lower_solve(const Csr& l);
+
+/// Inspector-measured structure of a lower-triangular solve — the input
+/// of the strategy advisor (core::advise_schedule's TrisolveStructure
+/// overload). The reordering variant reuses an already-built doconsider
+/// analysis so the plan-build path measures for free.
+core::TrisolveStructure measure_lower_solve(const Csr& l);
+core::TrisolveStructure measure_lower_solve(const Csr& l,
+                                            const core::Reordering& r);
 
 }  // namespace pdx::sparse

@@ -434,4 +434,15 @@ core::DoacrossStats trisolve_levelsched(rt::ThreadPool& pool, const Csr& l,
                                         unsigned nthreads = 0,
                                         int work_reps = 0);
 
+/// Level-scheduled *upper* (backward) solve, the standalone counterpart of
+/// the plan's level-barrier strategy: wavefronts from
+/// upper_solve_reordering, one barrier per level, no flags. Bitwise equal
+/// to trisolve_upper_seq.
+core::DoacrossStats trisolve_levelsched_upper(rt::ThreadPool& pool,
+                                              const Csr& u,
+                                              std::span<const double> rhs,
+                                              std::span<double> y,
+                                              const core::Reordering& reorder,
+                                              unsigned nthreads = 0);
+
 }  // namespace pdx::sparse

@@ -21,6 +21,228 @@ void check_factor(const Csr& m, const char* what) {
 
 }  // namespace
 
+bool TrisolvePlan::needs_reordering() const noexcept {
+  // Both factors build (or skip) their doconsider analyses by the same
+  // rule: level-barrier executes the levels themselves; doacross uses
+  // the order only when asked to.
+  return telemetry_.strategy == ExecutionStrategy::kLevelBarrier ||
+         (telemetry_.strategy == ExecutionStrategy::kDoacross &&
+          opts_.reorder);
+}
+
+void TrisolvePlan::resolve_strategy() {
+  telemetry_.requested = opts_.strategy;
+  telemetry_.procs = nth_;
+  if (opts_.strategy == ExecutionStrategy::kAuto) {
+    // The inspector pass of the strategy decision: the doconsider
+    // analysis (levels, widths) plus an O(nnz) distance scan. The
+    // reordering is kept — if the advisor lands on doacross or
+    // level-barrier it is the execution order.
+    l_order_ =
+        std::make_unique<core::Reordering>(lower_solve_reordering(*l_));
+    telemetry_.structure = measure_lower_solve(*l_, *l_order_);
+    core::ScheduleAdvice advice =
+        core::advise_schedule(telemetry_.structure, nth_);
+    telemetry_.strategy = advice.strategy;
+    telemetry_.rationale = std::move(advice.rationale);
+    if (advice.strategy == ExecutionStrategy::kDoacross) {
+      // Auto owns the executor configuration: adopt the advised schedule
+      // and ordering for the flag-based path.
+      opts_.schedule = advice.schedule;
+      opts_.reorder = advice.use_reordering;
+    }
+  } else {
+    telemetry_.strategy = opts_.strategy;
+    telemetry_.rationale = "strategy fixed by caller";
+  }
+}
+
+void TrisolvePlan::bind_lower_region() {
+  // Region functors are bound once, here; per-call inputs travel through
+  // the lo_/up_ pointer members. This is what makes solve_* allocation
+  // free: a fresh capturing lambda would not fit std::function's small
+  // buffer and would heap-allocate on every call.
+  switch (telemetry_.strategy) {
+    case ExecutionStrategy::kDoacross:
+      lower_region_ = [this](unsigned tid, unsigned nthreads) {
+        std::uint64_t eps = 0, rds = 0;
+        lower_kernel(lo_rhs_, lo_y_, tid, nthreads, eps, rds);
+        episodes_[tid].value = eps;
+        rounds_[tid].value = rds;
+      };
+      break;
+    case ExecutionStrategy::kLevelBarrier:
+      lower_region_ = [this](unsigned tid, unsigned nthreads) {
+        lower_levels_kernel(lo_rhs_, lo_y_, tid, nthreads);
+        episodes_[tid].value = 0;
+        rounds_[tid].value = 0;
+      };
+      break;
+    case ExecutionStrategy::kBlockedHybrid:
+      lower_region_ = [this](unsigned tid, unsigned nthreads) {
+        std::uint64_t eps = 0, rds = 0;
+        lower_blocked_kernel(lo_rhs_, lo_y_, tid, nthreads, eps, rds);
+        episodes_[tid].value = eps;
+        rounds_[tid].value = rds;
+      };
+      break;
+    case ExecutionStrategy::kSerial:
+      lower_region_ = [this](unsigned, unsigned) {
+        serial_lower(lo_rhs_, lo_y_);
+      };
+      break;
+    case ExecutionStrategy::kAuto:
+      break;  // unreachable: resolve_strategy() never leaves kAuto
+  }
+}
+
+void TrisolvePlan::bind_upper_regions() {
+  switch (telemetry_.strategy) {
+    case ExecutionStrategy::kDoacross:
+      upper_region_ = [this](unsigned tid, unsigned nthreads) {
+        std::uint64_t eps = 0, rds = 0;
+        upper_kernel(up_rhs_, up_y_, tid, nthreads, eps, rds);
+        episodes_[tid].value = eps;
+        rounds_[tid].value = rds;
+      };
+      fused_region_ = [this](unsigned tid, unsigned nthreads) {
+        std::uint64_t eps = 0, rds = 0;
+        lower_kernel(lo_rhs_, lo_y_, tid, nthreads, eps, rds);
+        // The one synchronization point of a fused preconditioner
+        // application: every tmp_ element is published before any thread
+        // starts consuming it in the backward solve. The busy-wait flags
+        // handle everything else on both sides.
+        barrier_.arrive_and_wait();
+        upper_kernel(up_rhs_, up_y_, tid, nthreads, eps, rds);
+        episodes_[tid].value = eps;
+        rounds_[tid].value = rds;
+      };
+      batch_region_ = [this](unsigned tid, unsigned nthreads) {
+        std::uint64_t eps = 0, rds = 0;
+        if (batch_mode_ == BatchMode::kWavefrontInterleaved) {
+          // One doacross pass per factor; every row carries all k columns.
+          lower_kernel_multi(tid, nthreads, eps, rds);
+          barrier_.arrive_and_wait();
+          upper_kernel_multi(tid, nthreads, eps, rds);
+        } else {
+          for (index_t c = 0; c < batch_k_; ++c) {
+            if (c > 0) {
+              // Column boundary: the first barrier guarantees every
+              // thread is done with column c-1's flags; thread 0 re-arms
+              // both epoch tables and cursors; the second barrier
+              // publishes the new epoch before any thread of column c
+              // waits on a flag.
+              barrier_.arrive_and_wait();
+              if (tid == 0) reset_for_call(/*lower=*/true, /*upper=*/true);
+              barrier_.arrive_and_wait();
+            }
+            lower_kernel(batch_b_[static_cast<std::size_t>(c)], tmp_.data(),
+                         tid, nthreads, eps, rds);
+            barrier_.arrive_and_wait();
+            upper_kernel(tmp_.data(),
+                         batch_x_[static_cast<std::size_t>(c)], tid,
+                         nthreads, eps, rds);
+          }
+        }
+        episodes_[tid].value = eps;
+        rounds_[tid].value = rds;
+      };
+      break;
+    case ExecutionStrategy::kLevelBarrier:
+      // No flags anywhere: the trailing barrier of each level loop is
+      // also the L→U handoff and the column boundary, so neither the
+      // fused nor the batched region needs any extra synchronization or
+      // epoch re-arming.
+      upper_region_ = [this](unsigned tid, unsigned nthreads) {
+        upper_levels_kernel(up_rhs_, up_y_, tid, nthreads);
+        episodes_[tid].value = 0;
+        rounds_[tid].value = 0;
+      };
+      fused_region_ = [this](unsigned tid, unsigned nthreads) {
+        lower_levels_kernel(lo_rhs_, lo_y_, tid, nthreads);
+        upper_levels_kernel(up_rhs_, up_y_, tid, nthreads);
+        episodes_[tid].value = 0;
+        rounds_[tid].value = 0;
+      };
+      batch_region_ = [this](unsigned tid, unsigned nthreads) {
+        if (batch_mode_ == BatchMode::kWavefrontInterleaved) {
+          lower_levels_multi(tid, nthreads);
+          upper_levels_multi(tid, nthreads);
+        } else {
+          for (index_t c = 0; c < batch_k_; ++c) {
+            lower_levels_kernel(batch_b_[static_cast<std::size_t>(c)],
+                                tmp_.data(), tid, nthreads);
+            upper_levels_kernel(tmp_.data(),
+                                batch_x_[static_cast<std::size_t>(c)], tid,
+                                nthreads);
+          }
+        }
+        episodes_[tid].value = 0;
+        rounds_[tid].value = 0;
+      };
+      break;
+    case ExecutionStrategy::kBlockedHybrid:
+      upper_region_ = [this](unsigned tid, unsigned nthreads) {
+        std::uint64_t eps = 0, rds = 0;
+        upper_blocked_kernel(up_rhs_, up_y_, tid, nthreads, eps, rds);
+        episodes_[tid].value = eps;
+        rounds_[tid].value = rds;
+      };
+      fused_region_ = [this](unsigned tid, unsigned nthreads) {
+        std::uint64_t eps = 0, rds = 0;
+        lower_blocked_kernel(lo_rhs_, lo_y_, tid, nthreads, eps, rds);
+        barrier_.arrive_and_wait();
+        upper_blocked_kernel(up_rhs_, up_y_, tid, nthreads, eps, rds);
+        episodes_[tid].value = eps;
+        rounds_[tid].value = rds;
+      };
+      batch_region_ = [this](unsigned tid, unsigned nthreads) {
+        std::uint64_t eps = 0, rds = 0;
+        if (batch_mode_ == BatchMode::kWavefrontInterleaved) {
+          lower_blocked_multi(tid, nthreads, eps, rds);
+          barrier_.arrive_and_wait();
+          upper_blocked_multi(tid, nthreads, eps, rds);
+        } else {
+          for (index_t c = 0; c < batch_k_; ++c) {
+            if (c > 0) {
+              barrier_.arrive_and_wait();
+              if (tid == 0) reset_for_call(/*lower=*/true, /*upper=*/true);
+              barrier_.arrive_and_wait();
+            }
+            lower_blocked_kernel(batch_b_[static_cast<std::size_t>(c)],
+                                 tmp_.data(), tid, nthreads, eps, rds);
+            barrier_.arrive_and_wait();
+            upper_blocked_kernel(tmp_.data(),
+                                 batch_x_[static_cast<std::size_t>(c)], tid,
+                                 nthreads, eps, rds);
+          }
+        }
+        episodes_[tid].value = eps;
+        rounds_[tid].value = rds;
+      };
+      break;
+    case ExecutionStrategy::kSerial:
+      // These run inline on the calling thread (dispatch() never enters
+      // the pool for a serial plan); tid/nthreads are (0, 1).
+      upper_region_ = [this](unsigned, unsigned) {
+        serial_upper(up_rhs_, up_y_);
+      };
+      fused_region_ = [this](unsigned, unsigned) {
+        serial_lower(lo_rhs_, lo_y_);
+        serial_upper(up_rhs_, up_y_);
+      };
+      batch_region_ = [this](unsigned, unsigned) {
+        for (index_t c = 0; c < batch_k_; ++c) {
+          serial_lower(batch_b_[static_cast<std::size_t>(c)], tmp_.data());
+          serial_upper(tmp_.data(), batch_x_[static_cast<std::size_t>(c)]);
+        }
+      };
+      break;
+    case ExecutionStrategy::kAuto:
+      break;  // unreachable
+  }
+}
+
 TrisolvePlan::TrisolvePlan(rt::ThreadPool& pool, const Csr& l,
                            const PlanOptions& opts)
     : pool_(&pool),
@@ -34,19 +256,14 @@ TrisolvePlan::TrisolvePlan(rt::ThreadPool& pool, const Csr& l,
   ready_l_.ensure_size(n_);
   episodes_.resize(nth_);
   rounds_.resize(nth_);
-  if (opts_.reorder) {
+  resolve_strategy();
+  if (needs_reordering() && !l_order_) {
     l_order_ = std::make_unique<core::Reordering>(lower_solve_reordering(l));
   }
-  // Region functors are bound once, here; per-call inputs travel through
-  // the lo_/up_ pointer members. This is what makes solve_* allocation
-  // free: a fresh capturing lambda would not fit std::function's small
-  // buffer and would heap-allocate on every call.
-  lower_region_ = [this](unsigned tid, unsigned nthreads) {
-    std::uint64_t eps = 0, rds = 0;
-    lower_kernel(lo_rhs_, lo_y_, tid, nthreads, eps, rds);
-    episodes_[tid].value = eps;
-    rounds_[tid].value = rds;
-  };
+  if (!needs_reordering()) {
+    l_order_.reset();  // kSerial / kBlockedHybrid run in source order
+  }
+  bind_lower_region();
 }
 
 TrisolvePlan::TrisolvePlan(rt::ThreadPool& pool, const Csr& l, const Csr& u,
@@ -59,55 +276,10 @@ TrisolvePlan::TrisolvePlan(rt::ThreadPool& pool, const Csr& l, const Csr& u,
   u_ = &u;
   ready_u_.ensure_size(n_);
   tmp_.resize(static_cast<std::size_t>(n_));
-  if (opts_.reorder) {
+  if (needs_reordering()) {
     u_order_ = std::make_unique<core::Reordering>(upper_solve_reordering(u));
   }
-  upper_region_ = [this](unsigned tid, unsigned nthreads) {
-    std::uint64_t eps = 0, rds = 0;
-    upper_kernel(up_rhs_, up_y_, tid, nthreads, eps, rds);
-    episodes_[tid].value = eps;
-    rounds_[tid].value = rds;
-  };
-  fused_region_ = [this](unsigned tid, unsigned nthreads) {
-    std::uint64_t eps = 0, rds = 0;
-    lower_kernel(lo_rhs_, lo_y_, tid, nthreads, eps, rds);
-    // The one synchronization point of a fused preconditioner
-    // application: every tmp_ element is published before any thread
-    // starts consuming it in the backward solve. The busy-wait flags
-    // handle everything else on both sides.
-    barrier_.arrive_and_wait();
-    upper_kernel(up_rhs_, up_y_, tid, nthreads, eps, rds);
-    episodes_[tid].value = eps;
-    rounds_[tid].value = rds;
-  };
-  batch_region_ = [this](unsigned tid, unsigned nthreads) {
-    std::uint64_t eps = 0, rds = 0;
-    if (batch_mode_ == BatchMode::kWavefrontInterleaved) {
-      // One doacross pass per factor; every row carries all k columns.
-      lower_kernel_multi(tid, nthreads, eps, rds);
-      barrier_.arrive_and_wait();
-      upper_kernel_multi(tid, nthreads, eps, rds);
-    } else {
-      for (index_t c = 0; c < batch_k_; ++c) {
-        if (c > 0) {
-          // Column boundary: the first barrier guarantees every thread is
-          // done with column c-1's flags; thread 0 re-arms both epoch
-          // tables and cursors; the second barrier publishes the new
-          // epoch before any thread of column c waits on a flag.
-          barrier_.arrive_and_wait();
-          if (tid == 0) reset_for_call(/*lower=*/true, /*upper=*/true);
-          barrier_.arrive_and_wait();
-        }
-        lower_kernel(batch_b_[static_cast<std::size_t>(c)], tmp_.data(),
-                     tid, nthreads, eps, rds);
-        barrier_.arrive_and_wait();
-        upper_kernel(tmp_.data(), batch_x_[static_cast<std::size_t>(c)],
-                     tid, nthreads, eps, rds);
-      }
-    }
-    episodes_[tid].value = eps;
-    rounds_[tid].value = rds;
-  };
+  bind_upper_regions();
 }
 
 void TrisolvePlan::lower_kernel(const double* rhs_p, double* yp, unsigned tid,
@@ -252,10 +424,291 @@ void TrisolvePlan::upper_kernel_multi(unsigned tid, unsigned nthreads,
   rounds += my_rounds;
 }
 
+void TrisolvePlan::lower_levels_kernel(const double* rhs_p, double* yp,
+                                       unsigned tid,
+                                       unsigned nthreads) noexcept {
+  // Bulk-synchronous wavefronts: every producer of level l finished
+  // before the barrier that opens level l+1, so no flags are consulted
+  // or published. Row arithmetic is identical to lower_kernel.
+  const Csr& l = *l_;
+  const core::Reordering& ord = *l_order_;
+  const int work_reps = opts_.work_reps;
+  for (index_t lvl = 0; lvl < ord.num_levels(); ++lvl) {
+    const index_t lo = ord.level_ptr[static_cast<std::size_t>(lvl)];
+    const index_t hi = ord.level_ptr[static_cast<std::size_t>(lvl) + 1];
+    const rt::IterRange r = rt::static_block_range(hi - lo, tid, nthreads);
+    for (index_t k = lo + r.begin; k < lo + r.end; ++k) {
+      const index_t i = ord.order[static_cast<std::size_t>(k)];
+      double acc = rhs_p[i];
+      const index_t k_end = l.row_end(i) - 1;  // diagonal last
+      for (index_t kk = l.row_begin(i); kk < k_end; ++kk) {
+        acc -= l.val[static_cast<std::size_t>(kk)] *
+               yp[l.idx[static_cast<std::size_t>(kk)]];
+        if (work_reps > 0) acc = machine_emulation_work(acc, work_reps);
+      }
+      yp[i] = acc / l.val[static_cast<std::size_t>(k_end)];
+    }
+    // The trailing episode doubles as the L→U handoff of a fused solve.
+    barrier_.arrive_and_wait();
+  }
+}
+
+void TrisolvePlan::upper_levels_kernel(const double* rhs_p, double* yp,
+                                       unsigned tid,
+                                       unsigned nthreads) noexcept {
+  const Csr& u = *u_;
+  const core::Reordering& ord = *u_order_;
+  for (index_t lvl = 0; lvl < ord.num_levels(); ++lvl) {
+    const index_t lo = ord.level_ptr[static_cast<std::size_t>(lvl)];
+    const index_t hi = ord.level_ptr[static_cast<std::size_t>(lvl) + 1];
+    const rt::IterRange r = rt::static_block_range(hi - lo, tid, nthreads);
+    for (index_t k = lo + r.begin; k < lo + r.end; ++k) {
+      const index_t i = ord.order[static_cast<std::size_t>(k)];
+      double acc = rhs_p[i];
+      const index_t k_diag = u.row_begin(i);  // diagonal first
+      for (index_t kk = k_diag + 1; kk < u.row_end(i); ++kk) {
+        acc -= u.val[static_cast<std::size_t>(kk)] *
+               yp[u.idx[static_cast<std::size_t>(kk)]];
+      }
+      yp[i] = acc / u.val[static_cast<std::size_t>(k_diag)];
+    }
+    barrier_.arrive_and_wait();
+  }
+}
+
+void TrisolvePlan::lower_levels_multi(unsigned tid,
+                                      unsigned nthreads) noexcept {
+  const Csr& l = *l_;
+  const core::Reordering& ord = *l_order_;
+  const index_t k = batch_k_;
+  const double* const* b_cols = batch_b_.data();
+  double* tp = batch_tmp_.data();
+  const int work_reps = opts_.work_reps;
+  for (index_t lvl = 0; lvl < ord.num_levels(); ++lvl) {
+    const index_t lo = ord.level_ptr[static_cast<std::size_t>(lvl)];
+    const index_t hi = ord.level_ptr[static_cast<std::size_t>(lvl) + 1];
+    const rt::IterRange r = rt::static_block_range(hi - lo, tid, nthreads);
+    for (index_t pos = lo + r.begin; pos < lo + r.end; ++pos) {
+      const index_t i = ord.order[static_cast<std::size_t>(pos)];
+      double* ti = tp + i * k;
+      for (index_t c = 0; c < k; ++c) ti[c] = b_cols[c][i];
+      const index_t k_end = l.row_end(i) - 1;
+      for (index_t kk = l.row_begin(i); kk < k_end; ++kk) {
+        const double a = l.val[static_cast<std::size_t>(kk)];
+        const double* tc =
+            tp + l.idx[static_cast<std::size_t>(kk)] * k;
+        for (index_t c = 0; c < k; ++c) {
+          ti[c] -= a * tc[c];
+          if (work_reps > 0) ti[c] = machine_emulation_work(ti[c], work_reps);
+        }
+      }
+      const double d = l.val[static_cast<std::size_t>(k_end)];
+      for (index_t c = 0; c < k; ++c) ti[c] /= d;
+    }
+    barrier_.arrive_and_wait();
+  }
+}
+
+void TrisolvePlan::upper_levels_multi(unsigned tid,
+                                      unsigned nthreads) noexcept {
+  const Csr& u = *u_;
+  const core::Reordering& ord = *u_order_;
+  const index_t k = batch_k_;
+  double* const* x_cols = batch_x_.data();
+  double* tp = batch_tmp_.data();
+  for (index_t lvl = 0; lvl < ord.num_levels(); ++lvl) {
+    const index_t lo = ord.level_ptr[static_cast<std::size_t>(lvl)];
+    const index_t hi = ord.level_ptr[static_cast<std::size_t>(lvl) + 1];
+    const rt::IterRange r = rt::static_block_range(hi - lo, tid, nthreads);
+    for (index_t pos = lo + r.begin; pos < lo + r.end; ++pos) {
+      const index_t i = ord.order[static_cast<std::size_t>(pos)];
+      double* ti = tp + i * k;
+      const index_t k_diag = u.row_begin(i);
+      for (index_t kk = k_diag + 1; kk < u.row_end(i); ++kk) {
+        const double a = u.val[static_cast<std::size_t>(kk)];
+        const double* tc =
+            tp + u.idx[static_cast<std::size_t>(kk)] * k;
+        for (index_t c = 0; c < k; ++c) ti[c] -= a * tc[c];
+      }
+      const double d = u.val[static_cast<std::size_t>(k_diag)];
+      for (index_t c = 0; c < k; ++c) {
+        ti[c] /= d;
+        x_cols[c][i] = ti[c];
+      }
+    }
+    barrier_.arrive_and_wait();
+  }
+}
+
+void TrisolvePlan::lower_blocked_kernel(const double* rhs_p, double* yp,
+                                        unsigned tid, unsigned nthreads,
+                                        std::uint64_t& episodes,
+                                        std::uint64_t& rounds) noexcept {
+  // Static contiguous blocks in source order: a dependence on a row this
+  // thread owns was already retired (rows run in increasing order), so
+  // only boundary-crossing dependences — c before my block's first row —
+  // consult a flag. Every row is still published — marking is one release
+  // store, and whether a consumer exists in another block is not worth a
+  // build-time scan to know.
+  const Csr& l = *l_;
+  const int work_reps = opts_.work_reps;
+  std::uint64_t my_episodes = 0, my_rounds = 0;
+  const rt::IterRange range = rt::static_block_range(n_, tid, nthreads);
+  for (index_t i = range.begin; i < range.end; ++i) {
+    double acc = rhs_p[i];
+    const index_t k_end = l.row_end(i) - 1;  // diagonal last
+    for (index_t kk = l.row_begin(i); kk < k_end; ++kk) {
+      const index_t c = l.idx[static_cast<std::size_t>(kk)];
+      if (c < range.begin) {  // cross-block: the only flag traffic
+        const std::uint64_t r = ready_l_.wait_done(c);
+        if (r != 0) {
+          ++my_episodes;
+          my_rounds += r;
+        }
+      }
+      acc -= l.val[static_cast<std::size_t>(kk)] * yp[c];
+      if (work_reps > 0) acc = machine_emulation_work(acc, work_reps);
+    }
+    yp[i] = acc / l.val[static_cast<std::size_t>(k_end)];
+    ready_l_.mark_done(i);
+  }
+  episodes += my_episodes;
+  rounds += my_rounds;
+}
+
+void TrisolvePlan::upper_blocked_kernel(const double* rhs_p, double* yp,
+                                        unsigned tid, unsigned nthreads,
+                                        std::uint64_t& episodes,
+                                        std::uint64_t& rounds) noexcept {
+  const Csr& u = *u_;
+  std::uint64_t my_episodes = 0, my_rounds = 0;
+  // Position space of the backward solve: position k is row n-1-k, so
+  // this thread's block is a contiguous run of *descending* rows topped
+  // by row n-1-range.begin; every intra-block dependence (c > i up to
+  // that top row) is already retired, only rows above it need the flag.
+  const rt::IterRange range = rt::static_block_range(n_, tid, nthreads);
+  const index_t top = n_ - 1 - range.begin;
+  for (index_t k = range.begin; k < range.end; ++k) {
+    const index_t i = n_ - 1 - k;
+    double acc = rhs_p[i];
+    const index_t k_diag = u.row_begin(i);  // diagonal first
+    for (index_t kk = k_diag + 1; kk < u.row_end(i); ++kk) {
+      const index_t c = u.idx[static_cast<std::size_t>(kk)];
+      if (c > top) {
+        const std::uint64_t r = ready_u_.wait_done(c);
+        if (r != 0) {
+          ++my_episodes;
+          my_rounds += r;
+        }
+      }
+      acc -= u.val[static_cast<std::size_t>(kk)] * yp[c];
+    }
+    yp[i] = acc / u.val[static_cast<std::size_t>(k_diag)];
+    ready_u_.mark_done(i);
+  }
+  episodes += my_episodes;
+  rounds += my_rounds;
+}
+
+void TrisolvePlan::lower_blocked_multi(unsigned tid, unsigned nthreads,
+                                       std::uint64_t& episodes,
+                                       std::uint64_t& rounds) noexcept {
+  const Csr& l = *l_;
+  const index_t k = batch_k_;
+  const double* const* b_cols = batch_b_.data();
+  double* tp = batch_tmp_.data();
+  const int work_reps = opts_.work_reps;
+  std::uint64_t my_episodes = 0, my_rounds = 0;
+  const rt::IterRange range = rt::static_block_range(n_, tid, nthreads);
+  for (index_t i = range.begin; i < range.end; ++i) {
+    double* ti = tp + i * k;
+    for (index_t c = 0; c < k; ++c) ti[c] = b_cols[c][i];
+    const index_t k_end = l.row_end(i) - 1;
+    for (index_t kk = l.row_begin(i); kk < k_end; ++kk) {
+      const index_t col = l.idx[static_cast<std::size_t>(kk)];
+      if (col < range.begin) {
+        const std::uint64_t r = ready_l_.wait_done(col);
+        if (r != 0) {
+          ++my_episodes;
+          my_rounds += r;
+        }
+      }
+      const double a = l.val[static_cast<std::size_t>(kk)];
+      const double* tc = tp + col * k;
+      for (index_t c = 0; c < k; ++c) {
+        ti[c] -= a * tc[c];
+        if (work_reps > 0) ti[c] = machine_emulation_work(ti[c], work_reps);
+      }
+    }
+    const double d = l.val[static_cast<std::size_t>(k_end)];
+    for (index_t c = 0; c < k; ++c) ti[c] /= d;
+    ready_l_.mark_done(i);
+  }
+  episodes += my_episodes;
+  rounds += my_rounds;
+}
+
+void TrisolvePlan::upper_blocked_multi(unsigned tid, unsigned nthreads,
+                                       std::uint64_t& episodes,
+                                       std::uint64_t& rounds) noexcept {
+  const Csr& u = *u_;
+  const index_t k = batch_k_;
+  double* const* x_cols = batch_x_.data();
+  double* tp = batch_tmp_.data();
+  std::uint64_t my_episodes = 0, my_rounds = 0;
+  const rt::IterRange range = rt::static_block_range(n_, tid, nthreads);
+  const index_t top = n_ - 1 - range.begin;
+  for (index_t pos = range.begin; pos < range.end; ++pos) {
+    const index_t i = n_ - 1 - pos;
+    double* ti = tp + i * k;
+    const index_t k_diag = u.row_begin(i);
+    for (index_t kk = k_diag + 1; kk < u.row_end(i); ++kk) {
+      const index_t col = u.idx[static_cast<std::size_t>(kk)];
+      if (col > top) {
+        const std::uint64_t r = ready_u_.wait_done(col);
+        if (r != 0) {
+          ++my_episodes;
+          my_rounds += r;
+        }
+      }
+      const double a = u.val[static_cast<std::size_t>(kk)];
+      const double* tc = tp + col * k;
+      for (index_t c = 0; c < k; ++c) ti[c] -= a * tc[c];
+    }
+    const double d = u.val[static_cast<std::size_t>(k_diag)];
+    for (index_t c = 0; c < k; ++c) {
+      ti[c] /= d;
+      x_cols[c][i] = ti[c];
+    }
+    ready_u_.mark_done(i);
+  }
+  episodes += my_episodes;
+  rounds += my_rounds;
+}
+
+void TrisolvePlan::serial_lower(const double* rhs_p, double* yp) noexcept {
+  // The strategy for chains is to pay NOTHING — no flags, no barrier, no
+  // pool wake-up: exactly the sequential reference the bitwise contract
+  // is defined against.
+  trisolve_lower_seq(*l_,
+                     std::span<const double>(rhs_p,
+                                             static_cast<std::size_t>(n_)),
+                     std::span<double>(yp, static_cast<std::size_t>(n_)),
+                     opts_.work_reps);
+}
+
+void TrisolvePlan::serial_upper(const double* rhs_p, double* yp) noexcept {
+  trisolve_upper_seq(*u_,
+                     std::span<const double>(rhs_p,
+                                             static_cast<std::size_t>(n_)),
+                     std::span<double>(yp, static_cast<std::size_t>(n_)));
+}
+
 void TrisolvePlan::reset_for_call(bool lower, bool upper) noexcept {
   // The whole per-call reset: two O(1) epoch bumps and two counter
   // stores. Compare trisolve_doacross's per-call Barrier + two vector
-  // allocations + O(n/p) flag sweep + extra barrier.
+  // allocations + O(n/p) flag sweep + extra barrier. (Flag-free
+  // strategies pay the bumps too — they are two relaxed stores.)
   if (lower) {
     ready_l_.begin_epoch();
     cursor_l_.store(0, std::memory_order_relaxed);
@@ -269,10 +722,21 @@ void TrisolvePlan::reset_for_call(bool lower, bool upper) noexcept {
 core::DoacrossStats TrisolvePlan::dispatch(
     const rt::ThreadPool::RegionFn& region) {
   using clock = std::chrono::steady_clock;
+  core::DoacrossStats stats;
+  if (telemetry_.strategy == ExecutionStrategy::kSerial) {
+    // The serial strategy's entire value is paying zero parallel
+    // overhead: the region runs inline on the calling thread, the pool
+    // is never woken, and there are no wait episodes to sum.
+    const clock::time_point t0 = clock::now();
+    region(0, 1);
+    const clock::time_point t1 = clock::now();
+    stats.execute_seconds = std::chrono::duration<double>(t1 - t0).count();
+    ++solves_;
+    return stats;
+  }
   const clock::time_point t0 = clock::now();
   pool_->parallel_region(nth_, region);
   const clock::time_point t1 = clock::now();
-  core::DoacrossStats stats;
   // Preprocessing was amortized at plan build and the postprocessing
   // sweep no longer exists, so the whole call is executor time (pool
   // wake-up included — the number a repeated caller actually pays).
@@ -342,8 +806,10 @@ void TrisolvePlan::reserve_batch(index_t max_k, BatchMode mode) {
     batch_x_.resize(k);
   }
   // The n-by-k strip backs only the interleaved mode; column-sequential
-  // batches keep the documented O(n) scratch (the plan's tmp_).
-  if (mode == BatchMode::kWavefrontInterleaved) {
+  // batches keep the documented O(n) scratch (the plan's tmp_). A serial
+  // plan runs every batch column-sequentially and never needs the strip.
+  if (mode == BatchMode::kWavefrontInterleaved &&
+      telemetry_.strategy != ExecutionStrategy::kSerial) {
     const std::size_t strip = static_cast<std::size_t>(n_) * k;
     if (batch_tmp_.size() < strip) batch_tmp_.resize(strip);
   }
@@ -359,8 +825,10 @@ core::DoacrossStats TrisolvePlan::run_batch(index_t k, BatchMode mode) {
 #endif
   const core::DoacrossStats stats = dispatch(batch_region_);
 #ifndef NDEBUG
-  assert(probe.delta() == 1 &&
-         "solve_batch must cost exactly one pool dispatch");
+  assert(probe.delta() == (telemetry_.strategy == ExecutionStrategy::kSerial
+                               ? 0u
+                               : 1u) &&
+         "solve_batch must cost exactly one pool dispatch (zero serial)");
 #endif
   batch_columns_ += static_cast<std::uint64_t>(k);
   return stats;

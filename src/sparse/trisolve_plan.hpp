@@ -15,13 +15,22 @@
 //
 //   build time (once)          solve time (every Krylov iteration)
 //   -----------------          -----------------------------------
-//   doconsider reorderings     zero heap allocation
-//   EpochReadyTables (L, U)    O(1) begin_epoch() flag reset
-//   padded wait-stat slots     no postprocessing sweep, no extra barrier
-//   reusable barrier           ONE pool fork/join for L⁻¹ then U⁻¹
-//   pre-bound region functors  (threads flow from the forward solve into
-//                               the backward solve through one in-region
+//   strategy selection         zero heap allocation
+//   doconsider reorderings     O(1) begin_epoch() flag reset
+//   EpochReadyTables (L, U)    no postprocessing sweep, no extra barrier
+//   padded wait-stat slots     ONE pool fork/join for L⁻¹ then U⁻¹
+//   reusable barrier           (threads flow from the forward solve into
+//   pre-bound region functors   the backward solve through one in-region
 //                               barrier)
+//
+// Plans are *strategy-polymorphic* (DESIGN.md §9): the same build-time
+// analysis that makes the dependence structure measurable also selects
+// the execution scheme. Four strategies share the plan's state and
+// invariants; `ExecutionStrategy::kAuto` measures the factor's structure
+// at build time and asks core::advise_schedule which to instantiate.
+// Every strategy is bitwise identical to the sequential Fig. 7 solves;
+// the parallel strategies keep the one-dispatch-per-solve budget, and the
+// serial strategy costs zero dispatches (the whole point of choosing it).
 //
 // Lifetime: the plan keeps references to the pool and the factor matrices;
 // both must outlive it. One plan serves one caller at a time (solve
@@ -33,8 +42,10 @@
 #include <cstdint>
 #include <memory>
 #include <span>
+#include <string>
 #include <vector>
 
+#include "core/advisor.hpp"
 #include "core/doacross_stats.hpp"
 #include "core/doconsider.hpp"
 #include "core/ready_table.hpp"
@@ -45,36 +56,82 @@
 
 namespace pdx::sparse {
 
+/// Execution scheme of a plan. The vocabulary lives in core (the advisor
+/// names a strategy from measured structure); the sparse layer implements
+/// it:
+///
+///   kDoacross      — busy-wait ready flags, optional doconsider order,
+///                    any rt::Schedule (the paper's executor).
+///   kLevelBarrier  — bulk-synchronous wavefronts: rows of one level run
+///                    as a doall, a barrier separates levels, NO per-row
+///                    flags at all (the level order already proves every
+///                    producer finished).
+///   kSerial        — the plain sequential solves on the calling thread:
+///                    zero pool dispatches, zero synchronization. Chosen
+///                    when the dependence chain leaves nothing to overlap.
+///   kBlockedHybrid — static contiguous blocks in source order; a
+///                    dependence inside a block is resolved by program
+///                    order for free, flags are consulted only across
+///                    block boundaries (core/blocked_doacross.hpp's idea
+///                    applied to the triangular solve).
+///   kAuto          — measure the factor at build time and let
+///                    core::advise_schedule pick one of the above.
+using ExecutionStrategy = core::ExecStrategy;
+
+/// What the plan decided and why — reported by benches and BatchDriver.
+struct PlanTelemetry {
+  ExecutionStrategy requested = ExecutionStrategy::kDoacross;
+  /// The resolved strategy (never kAuto).
+  ExecutionStrategy strategy = ExecutionStrategy::kDoacross;
+  /// The advisor's reason under kAuto; "strategy fixed by caller"
+  /// otherwise. Never empty after construction.
+  std::string rationale;
+  /// Inspector-measured structure of L (populated under kAuto).
+  core::TrisolveStructure structure;
+  /// Processor count the decision assumed (the plan's region width).
+  unsigned procs = 0;
+};
+
 struct PlanOptions {
   /// Region width; 0 → the pool's full width. Fixed at build time (the
   /// plan's barrier and wait-stat slots are sized once).
   unsigned nthreads = 0;
-  /// Executor schedule for both solves.
+  /// Executor schedule for both solves (kDoacross only; kLevelBarrier and
+  /// kBlockedHybrid are static-block by construction).
   rt::Schedule schedule = rt::Schedule::dynamic();
-  /// Build doconsider (level-order) reorderings for both factors.
+  /// Build doconsider (level-order) reorderings for both factors
+  /// (kDoacross; kLevelBarrier builds them regardless — the levels ARE
+  /// its schedule).
   bool reorder = true;
   /// Machine-emulation knob for the lower solve (see sparse/trisolve.hpp).
   int work_reps = 0;
+  /// Execution scheme. kAuto measures the LOWER factor's dependence
+  /// structure at build time and follows core::advise_schedule (which
+  /// may also override `schedule`/`reorder` for the strategy it picks) —
+  /// one decision covers both solves, which is right for ILU-style pairs
+  /// whose U mirrors L's structure; callers pairing structurally
+  /// unrelated factors should pick a strategy explicitly. The default
+  /// preserves the historical flag-based plan behavior.
+  ExecutionStrategy strategy = ExecutionStrategy::kDoacross;
 };
 
 /// How solve_batch walks its k right-hand-side columns inside the single
 /// parallel region (DESIGN.md §8; bench/batch_solve.cpp measures both).
 enum class BatchMode : std::uint8_t {
-  /// One fused L+U doacross per column, columns back-to-back. Thread 0
-  /// re-arms the epoch tables between columns (two barrier episodes per
-  /// column boundary). Scratch stays O(n).
+  /// One fused L+U solve per column, columns back-to-back. Flag-based
+  /// strategies re-arm the epoch tables between columns (two barrier
+  /// episodes per column boundary). Scratch stays O(n).
   kColumnSequential,
-  /// One doacross over rows; each row carries all k columns, so one ready
-  /// flag — and at most one busy wait — per dependence covers k values:
-  /// synchronization cost is amortized k-fold and each L/U row's indices
-  /// and values are read once per batch. Scratch is O(n*k).
+  /// One pass over rows per factor; each row carries all k columns, so
+  /// per-dependence synchronization covers all k values via a row-major
+  /// n×k strip: sync cost amortized k-fold. Scratch is O(n*k).
   kWavefrontInterleaved,
 };
 
 /// Persistent execution plan for L y = rhs / U z = y triangular solves.
 /// Every solve_* call runs with zero per-call heap allocation and resets
 /// synchronization state in O(1); results are bitwise identical to
-/// trisolve_lower_seq / trisolve_upper_seq.
+/// trisolve_lower_seq / trisolve_upper_seq under every strategy.
 class TrisolvePlan {
  public:
   /// Full plan over an L/U factor pair (e.g. IluFactors::l / ::u). L must
@@ -91,17 +148,18 @@ class TrisolvePlan {
   TrisolvePlan(const TrisolvePlan&) = delete;
   TrisolvePlan& operator=(const TrisolvePlan&) = delete;
 
-  /// y = L⁻¹ rhs. One pool fork/join, no allocation.
+  /// y = L⁻¹ rhs. At most one pool fork/join (zero for kSerial), no
+  /// allocation.
   core::DoacrossStats solve_lower(std::span<const double> rhs,
                                   std::span<double> y);
 
-  /// z = U⁻¹ rhs. One pool fork/join, no allocation.
+  /// z = U⁻¹ rhs. Same budget as solve_lower.
   core::DoacrossStats solve_upper(std::span<const double> rhs,
                                   std::span<double> z);
 
   /// z = U⁻¹ (L⁻¹ rhs): one fused preconditioner application in a single
   /// parallel region — the forward solve flows into the backward solve
-  /// through one in-region barrier instead of two pool fork/joins.
+  /// without returning to the pool.
   core::DoacrossStats solve(std::span<const double> rhs,
                             std::span<double> z);
 
@@ -133,6 +191,10 @@ class TrisolvePlan {
   index_t rows() const noexcept { return n_; }
   unsigned nthreads() const noexcept { return nth_; }
   bool has_upper() const noexcept { return u_ != nullptr; }
+  /// The resolved execution strategy (never kAuto).
+  ExecutionStrategy strategy() const noexcept { return telemetry_.strategy; }
+  /// Chosen strategy, rationale and the measured structure behind it.
+  const PlanTelemetry& telemetry() const noexcept { return telemetry_; }
   /// Completed solve_* calls (one per pool dispatch; a whole solve_batch
   /// counts once).
   std::uint64_t solves() const noexcept { return solves_; }
@@ -140,7 +202,8 @@ class TrisolvePlan {
   std::uint64_t batch_columns() const noexcept { return batch_columns_; }
   std::uint32_t lower_epoch() const noexcept { return ready_l_.epoch(); }
 
-  /// Build-time reorderings (nullptr when opts.reorder was false).
+  /// Build-time reorderings (nullptr when the strategy does not use
+  /// them — kSerial and kBlockedHybrid run in source order).
   const core::Reordering* lower_reordering() const noexcept {
     return l_order_.get();
   }
@@ -149,6 +212,7 @@ class TrisolvePlan {
   }
 
  private:
+  // --- flag-based doacross kernels (ExecutionStrategy::kDoacross) ---
   void lower_kernel(const double* rhs, double* y, unsigned tid,
                     unsigned nthreads, std::uint64_t& episodes,
                     std::uint64_t& rounds) noexcept;
@@ -161,6 +225,34 @@ class TrisolvePlan {
   void upper_kernel_multi(unsigned tid, unsigned nthreads,
                           std::uint64_t& episodes,
                           std::uint64_t& rounds) noexcept;
+  // --- bulk-synchronous wavefront kernels (kLevelBarrier) ---
+  void lower_levels_kernel(const double* rhs, double* y, unsigned tid,
+                           unsigned nthreads) noexcept;
+  void upper_levels_kernel(const double* rhs, double* y, unsigned tid,
+                           unsigned nthreads) noexcept;
+  void lower_levels_multi(unsigned tid, unsigned nthreads) noexcept;
+  void upper_levels_multi(unsigned tid, unsigned nthreads) noexcept;
+  // --- static-block hybrid kernels (kBlockedHybrid) ---
+  void lower_blocked_kernel(const double* rhs, double* y, unsigned tid,
+                            unsigned nthreads, std::uint64_t& episodes,
+                            std::uint64_t& rounds) noexcept;
+  void upper_blocked_kernel(const double* rhs, double* y, unsigned tid,
+                            unsigned nthreads, std::uint64_t& episodes,
+                            std::uint64_t& rounds) noexcept;
+  void lower_blocked_multi(unsigned tid, unsigned nthreads,
+                           std::uint64_t& episodes,
+                           std::uint64_t& rounds) noexcept;
+  void upper_blocked_multi(unsigned tid, unsigned nthreads,
+                           std::uint64_t& episodes,
+                           std::uint64_t& rounds) noexcept;
+  // --- sequential kernels (kSerial; run on the calling thread) ---
+  void serial_lower(const double* rhs, double* y) noexcept;
+  void serial_upper(const double* rhs, double* y) noexcept;
+
+  bool needs_reordering() const noexcept;
+  void resolve_strategy();
+  void bind_lower_region();
+  void bind_upper_regions();
   void reset_for_call(bool lower, bool upper) noexcept;
   core::DoacrossStats run_batch(index_t k, BatchMode mode);
   core::DoacrossStats dispatch(const rt::ThreadPool::RegionFn& region);
@@ -171,6 +263,7 @@ class TrisolvePlan {
   PlanOptions opts_;
   index_t n_;
   unsigned nth_;
+  PlanTelemetry telemetry_;
 
   std::unique_ptr<core::Reordering> l_order_, u_order_;
   core::EpochReadyTable ready_l_, ready_u_;

@@ -1,6 +1,7 @@
 // Tests for the dependence-aware schedule advisor.
 #include <gtest/gtest.h>
 
+#include <thread>
 #include <vector>
 
 #include "core/advisor.hpp"
@@ -120,9 +121,93 @@ TEST(Advisor, SparseFactorGetsReorderedDynamic) {
   EXPECT_GT(a.avg_parallelism, 10.0);
 }
 
-TEST(Advisor, RejectsZeroProcs) {
-  const core::DepGraph g = graph_from_lists({{}});
-  EXPECT_THROW(core::advise_schedule(g, 0), std::invalid_argument);
+TEST(Advisor, ZeroProcsMeansHardwareWidth) {
+  // procs == 0 follows the ThreadPool(width = 0) convention everywhere
+  // else: normalize to the hardware width instead of throwing.
+  std::vector<std::vector<index_t>> deps(256);
+  for (index_t i = 1; i < 256; ++i) deps[static_cast<std::size_t>(i)] = {i - 1};
+  const core::DepGraph g = graph_from_lists(std::move(deps));
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  const auto a0 = core::advise_schedule(g, 0);
+  const auto ahw = core::advise_schedule(g, hw);
+  EXPECT_EQ(a0.schedule.kind, ahw.schedule.kind);
+  EXPECT_EQ(a0.strategy, ahw.strategy);
+  EXPECT_EQ(a0.worth_parallelizing, ahw.worth_parallelizing);
+}
+
+TEST(Advisor, DepGraphAdviceNamesAStrategy) {
+  // The DepGraph overload's four outcomes map onto the executor
+  // strategies the trisolve stack instantiates.
+  const auto doall = core::advise_schedule(
+      graph_from_lists(
+          std::vector<std::vector<index_t>>(64, std::vector<index_t>{})),
+      4);
+  EXPECT_EQ(doall.strategy, core::ExecStrategy::kLevelBarrier);
+
+  std::vector<std::vector<index_t>> chain(64);
+  for (index_t i = 1; i < 64; ++i) chain[static_cast<std::size_t>(i)] = {i - 1};
+  EXPECT_EQ(core::advise_schedule(graph_from_lists(std::move(chain)), 4)
+                .strategy,
+            core::ExecStrategy::kSerial);
+
+  std::vector<std::vector<index_t>> shortd(10000);
+  for (index_t i = 3; i < 10000; i += 2) {
+    shortd[static_cast<std::size_t>(i)] = {i - 3};
+  }
+  EXPECT_EQ(core::advise_schedule(graph_from_lists(std::move(shortd)), 8)
+                .strategy,
+            core::ExecStrategy::kBlockedHybrid);
+
+  std::vector<std::vector<index_t>> longd(1024);
+  for (index_t i = 256; i < 1024; ++i) {
+    longd[static_cast<std::size_t>(i)] = {i - 256};
+  }
+  EXPECT_EQ(core::advise_schedule(graph_from_lists(std::move(longd)), 8)
+                .strategy,
+            core::ExecStrategy::kDoacross);
+}
+
+TEST(Advisor, TrisolveStructureOverload) {
+  // Wide, shallow wavefronts -> level-barrier; no flags needed.
+  core::TrisolveStructure wide;
+  wide.n = 1000;
+  wide.nnz = 4000;
+  wide.levels = 20;
+  wide.avg_level_width = 50.0;
+  wide.max_level_size = 80;
+  wide.max_distance = 400;
+  const auto lb = core::advise_schedule(wide, 8);
+  EXPECT_EQ(lb.strategy, core::ExecStrategy::kLevelBarrier);
+  EXPECT_TRUE(lb.worth_parallelizing);
+  EXPECT_FALSE(lb.rationale.empty());
+
+  // Chain: serial, not worth parallelizing.
+  core::TrisolveStructure chain = wide;
+  chain.levels = 1000;
+  chain.avg_level_width = 1.0;
+  const auto ser = core::advise_schedule(chain, 8);
+  EXPECT_EQ(ser.strategy, core::ExecStrategy::kSerial);
+  EXPECT_FALSE(ser.worth_parallelizing);
+
+  // Moderate width, short distances: blocked-hybrid.
+  core::TrisolveStructure banded = wide;
+  banded.levels = 250;
+  banded.avg_level_width = 4.0;
+  banded.max_distance = 4;
+  const auto bh = core::advise_schedule(banded, 4);
+  EXPECT_EQ(bh.strategy, core::ExecStrategy::kBlockedHybrid);
+
+  // Moderate width, long distances: flag-based doacross.
+  core::TrisolveStructure scattered = banded;
+  scattered.max_distance = 700;
+  const auto da = core::advise_schedule(scattered, 4);
+  EXPECT_EQ(da.strategy, core::ExecStrategy::kDoacross);
+  EXPECT_EQ(da.schedule.kind, rt::SchedKind::Dynamic);
+  EXPECT_TRUE(da.use_reordering);
+
+  // Single processor: nothing to overlap, serial regardless of shape.
+  EXPECT_EQ(core::advise_schedule(wide, 1).strategy,
+            core::ExecStrategy::kSerial);
 }
 
 TEST(Advisor, EmptyLoop) {

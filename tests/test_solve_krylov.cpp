@@ -138,9 +138,15 @@ TEST(Gmres, RestartOneStillConverges) {
 TEST(Preconditioners, DoacrossIluMatchesSequentialIluApplication) {
   const sp::Csr a = gen::matrix_spe2(9);
   const solve::Ilu0Preconditioner seq(a);
-  const solve::DoacrossIlu0Preconditioner par(pool(), a, /*reorder=*/true);
-  const solve::DoacrossIlu0Preconditioner par_src(pool(), a,
-                                                  /*reorder=*/false);
+  // Explicit kDoacross: the reorder knob only steers the flag-based
+  // executor (under the default kAuto the advisor owns the ordering), so
+  // pin the strategy to keep source-order doacross coverage meaningful.
+  const solve::DoacrossIlu0Preconditioner par(
+      pool(), a, /*reorder=*/true, /*nthreads=*/0,
+      pdx::sparse::ExecutionStrategy::kDoacross);
+  const solve::DoacrossIlu0Preconditioner par_src(
+      pool(), a, /*reorder=*/false, /*nthreads=*/0,
+      pdx::sparse::ExecutionStrategy::kDoacross);
 
   gen::SplitMix64 rng(10);
   std::vector<double> r(static_cast<std::size_t>(a.rows));

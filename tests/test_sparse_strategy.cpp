@@ -1,0 +1,398 @@
+// Tests for strategy-polymorphic TrisolvePlans (DESIGN.md §9): every
+// strategy (doacross, level-barrier, serial, blocked-hybrid, Auto) is
+// bitwise identical to the sequential Fig. 7 solves across thread counts
+// and batch shapes, parallel strategies keep the one-dispatch-per-solve
+// budget (serial costs zero), and Auto's build-time measurement lands on
+// the right strategy for generated workloads: level-barrier for
+// wide/shallow stencil factors, doacross for scattered long-distance
+// dependences, blocked-hybrid for short-distance gapped bands, and serial
+// for chain-like matrices (e.g. an RCM-recovered tridiagonal band).
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "core/advisor.hpp"
+#include "gen/random_loop.hpp"
+#include "gen/rng.hpp"
+#include "gen/stencil.hpp"
+#include "runtime/thread_pool.hpp"
+#include "solve/batch_driver.hpp"
+#include "solve/cg.hpp"
+#include "solve/precond.hpp"
+#include "sparse/ilu0.hpp"
+#include "sparse/levels.hpp"
+#include "sparse/par_trisolve.hpp"
+#include "sparse/permute.hpp"
+#include "sparse/rcm.hpp"
+#include "sparse/trisolve.hpp"
+#include "sparse/trisolve_plan.hpp"
+
+namespace sp = pdx::sparse;
+namespace gen = pdx::gen;
+namespace solve = pdx::solve;
+namespace core = pdx::core;
+namespace rt = pdx::rt;
+using pdx::index_t;
+using sp::ExecutionStrategy;
+
+namespace {
+
+rt::ThreadPool& pool() {
+  static rt::ThreadPool p(8);
+  return p;
+}
+
+std::vector<double> random_rhs(index_t n, std::uint64_t seed) {
+  gen::SplitMix64 rng(seed);
+  std::vector<double> rhs(static_cast<std::size_t>(n));
+  for (auto& v : rhs) v = rng.next_double(-1.0, 1.0);
+  return rhs;
+}
+
+/// Symmetric band operator coupling i to i±gap only: the lower ILU(0)
+/// factor is `gap` interleaved chains — moderate width, distance == gap.
+sp::Csr gapped_band(index_t n, index_t gap) {
+  sp::CsrBuilder b(n, n);
+  for (index_t i = 0; i < n; ++i) {
+    if (i >= gap) b.add(i, i - gap, -1.0);
+    b.add(i, i, 8.0);
+    if (i + gap < n) b.add(i, i + gap, -1.0);
+  }
+  return b.build();
+}
+
+/// Symmetric tridiagonal-ish band (couplings at ±1 and ±2): chain-like —
+/// the lower factor's wavefronts have width 1.
+sp::Csr tight_band(index_t n) {
+  sp::CsrBuilder b(n, n);
+  for (index_t i = 0; i < n; ++i) {
+    if (i >= 2) b.add(i, i - 2, -1.0);
+    if (i >= 1) b.add(i, i - 1, -1.0);
+    b.add(i, i, 8.0);
+    if (i + 1 < n) b.add(i, i + 1, -1.0);
+    if (i + 2 < n) b.add(i, i + 2, -1.0);
+  }
+  return b.build();
+}
+
+/// Deterministic random symmetric permutation.
+std::vector<index_t> shuffled_perm(index_t n, std::uint64_t seed) {
+  std::vector<index_t> perm(static_cast<std::size_t>(n));
+  std::iota(perm.begin(), perm.end(), 0);
+  gen::SplitMix64 rng(seed);
+  for (index_t i = n - 1; i > 0; --i) {
+    const index_t j = static_cast<index_t>(
+        rng.next() % static_cast<std::uint64_t>(i + 1));
+    std::swap(perm[static_cast<std::size_t>(i)],
+              perm[static_cast<std::size_t>(j)]);
+  }
+  return perm;
+}
+
+/// Synthetic L/U pair whose dependence DAG is `width` interleaved chains
+/// (deep, narrow wavefronts) with an extra scattered LONG-distance edge
+/// per row — the shape where flags pipeline and barriers would serialize.
+struct ScatteredChains {
+  sp::Csr l, u;
+};
+
+ScatteredChains scattered_chains(index_t n, index_t width) {
+  sp::CsrBuilder bl(n, n), bu(n, n);
+  for (index_t i = 0; i < n; ++i) {
+    if (i >= width) bl.add(i, i - width, -0.25);
+    if (i >= 64) {
+      // Deterministic long edge: distance in [64, 64 + n/2).
+      const index_t d = 64 + (i * 97) % (n / 2);
+      if (i >= d) bl.add(i, i - d, -0.125);
+    }
+    bl.add(i, i, 1.0);  // unit diagonal, stored last like an ILU(0) L
+    bu.add(i, i, 2.0);  // diagonal first
+    if (i + width < n) bu.add(i, i + width, -0.25);
+    if (i + 64 < n) {
+      const index_t d = 64 + (i * 61) % (n / 2);
+      if (i + d < n) bu.add(i, i + d, -0.125);
+    }
+  }
+  return {bl.build(), bu.build()};
+}
+
+void expect_bitwise_fused(sp::TrisolvePlan& plan, const sp::Csr& l,
+                          const sp::Csr& u, std::uint64_t seed,
+                          const char* what) {
+  const index_t n = l.rows;
+  const auto rhs = random_rhs(n, seed);
+  std::vector<double> t(static_cast<std::size_t>(n)),
+      z_seq(static_cast<std::size_t>(n)), z(static_cast<std::size_t>(n));
+  sp::trisolve_lower_seq(l, rhs, t);
+  sp::trisolve_upper_seq(u, t, z_seq);
+  plan.solve(rhs, z);
+  for (index_t i = 0; i < n; ++i) {
+    ASSERT_EQ(z_seq[static_cast<std::size_t>(i)],
+              z[static_cast<std::size_t>(i)])
+        << what << " row " << i;
+  }
+}
+
+}  // namespace
+
+TEST(StrategySelection, AutoPicksLevelBarrierForWideStencilFactor) {
+  // 24x24 five-point ILU(0): ~47 wavefronts of average width ~12 — wide
+  // and shallow at 4 processors, so barriers beat flags.
+  const sp::IluFactors f = sp::ilu0(gen::five_point(24, 24));
+  sp::PlanOptions opts;
+  opts.nthreads = 4;
+  opts.strategy = ExecutionStrategy::kAuto;
+  sp::TrisolvePlan plan(pool(), f.l, f.u, opts);
+  EXPECT_EQ(plan.strategy(), ExecutionStrategy::kLevelBarrier);
+  EXPECT_EQ(plan.telemetry().requested, ExecutionStrategy::kAuto);
+  EXPECT_FALSE(plan.telemetry().rationale.empty());
+  EXPECT_GT(plan.telemetry().structure.levels, 0);
+  EXPECT_EQ(plan.telemetry().procs, 4u);
+
+  rt::DispatchProbe probe(pool());
+  expect_bitwise_fused(plan, f.l, f.u, 11, "stencil/level-barrier");
+  EXPECT_EQ(probe.delta(), 1u) << "level-barrier fused solve: one dispatch";
+}
+
+TEST(StrategySelection, AutoPicksDoacrossForScatteredLongDistanceDeps) {
+  // Deep narrow DAG (4 interleaved chains) with scattered long edges:
+  // too narrow for cheap barriers, too long-range for static blocks.
+  const ScatteredChains m = scattered_chains(2048, 4);
+  sp::PlanOptions opts;
+  opts.nthreads = 4;
+  opts.strategy = ExecutionStrategy::kAuto;
+  sp::TrisolvePlan plan(pool(), m.l, m.u, opts);
+  EXPECT_EQ(plan.strategy(), ExecutionStrategy::kDoacross);
+  EXPECT_FALSE(plan.telemetry().rationale.empty());
+  EXPECT_GT(plan.telemetry().structure.max_distance, 64);
+
+  rt::DispatchProbe probe(pool());
+  expect_bitwise_fused(plan, m.l, m.u, 12, "scattered/doacross");
+  EXPECT_EQ(probe.delta(), 1u);
+}
+
+TEST(StrategySelection, AutoPicksBlockedHybridForGappedBand) {
+  // Couplings at ±4 only: width-4 wavefronts, max distance 4 — almost
+  // every dependence stays inside a static block.
+  const sp::IluFactors f = sp::ilu0(gapped_band(600, 4));
+  sp::PlanOptions opts;
+  opts.nthreads = 4;
+  opts.strategy = ExecutionStrategy::kAuto;
+  sp::TrisolvePlan plan(pool(), f.l, f.u, opts);
+  EXPECT_EQ(plan.strategy(), ExecutionStrategy::kBlockedHybrid);
+  EXPECT_FALSE(plan.telemetry().rationale.empty());
+  EXPECT_EQ(plan.telemetry().structure.max_distance, 4);
+
+  rt::DispatchProbe probe(pool());
+  expect_bitwise_fused(plan, f.l, f.u, 13, "gapped-band/blocked");
+  EXPECT_EQ(probe.delta(), 1u);
+}
+
+TEST(StrategySelection, RcmRecoveredBandIsChainLikeAndGoesSerial) {
+  // A shuffled tight band hides its chain: scattered numbering gives a
+  // shallow-looking DAG. RCM recovers the band; the recovered factor's
+  // wavefronts have width ~1 and Auto correctly refuses to parallelize.
+  const index_t n = 400;
+  const sp::Csr band = tight_band(n);
+  const sp::Csr shuffled =
+      sp::permute_symmetric(band, shuffled_perm(n, 99));
+  const sp::Csr recovered =
+      sp::permute_symmetric(shuffled, sp::rcm_order(shuffled));
+  EXPECT_LE(sp::bandwidth(recovered), 4);
+
+  const sp::IluFactors f_shuf = sp::ilu0(shuffled);
+  const sp::IluFactors f_rcm = sp::ilu0(recovered);
+  const auto s_shuf = sp::measure_lower_solve(f_shuf.l);
+  const auto s_rcm = sp::measure_lower_solve(f_rcm.l);
+  EXPECT_LT(s_rcm.max_distance, s_shuf.max_distance)
+      << "RCM must shorten dependence distances";
+  EXPECT_LT(s_rcm.avg_level_width, 1.5) << "recovered band is a chain";
+
+  sp::PlanOptions opts;
+  opts.nthreads = 4;
+  opts.strategy = ExecutionStrategy::kAuto;
+  sp::TrisolvePlan plan(pool(), f_rcm.l, f_rcm.u, opts);
+  EXPECT_EQ(plan.strategy(), ExecutionStrategy::kSerial);
+  EXPECT_FALSE(plan.telemetry().rationale.empty());
+
+  // Serial strategy: bitwise identical AND zero pool dispatches.
+  rt::DispatchProbe probe(pool());
+  expect_bitwise_fused(plan, f_rcm.l, f_rcm.u, 14, "rcm-band/serial");
+  EXPECT_EQ(probe.delta(), 0u) << "serial plan must never wake the pool";
+
+  // The shuffled twin still has exploitable structure.
+  sp::TrisolvePlan plan_shuf(pool(), f_shuf.l, f_shuf.u, opts);
+  EXPECT_NE(plan_shuf.strategy(), ExecutionStrategy::kSerial);
+  expect_bitwise_fused(plan_shuf, f_shuf.l, f_shuf.u, 15, "shuffled band");
+}
+
+TEST(StrategySelection, SingleThreadAutoGoesSerial) {
+  const sp::IluFactors f = sp::ilu0(gen::five_point(12, 12));
+  sp::PlanOptions opts;
+  opts.nthreads = 1;
+  opts.strategy = ExecutionStrategy::kAuto;
+  sp::TrisolvePlan plan(pool(), f.l, f.u, opts);
+  EXPECT_EQ(plan.strategy(), ExecutionStrategy::kSerial);
+  rt::DispatchProbe probe(pool());
+  expect_bitwise_fused(plan, f.l, f.u, 16, "1-thread/serial");
+  EXPECT_EQ(probe.delta(), 0u);
+}
+
+TEST(StrategySelection, RandomLoopDepsGetConcreteAdviceWithRationale) {
+  // The general-loop workload generator feeds the DepGraph overload; the
+  // advisor must always land on a concrete strategy with a reason.
+  for (std::uint64_t seed : {1u, 7u, 23u}) {
+    const gen::RandomLoop rl = gen::make_random_loop({.n = 800}, seed);
+    const auto a = core::advise_schedule(gen::random_loop_deps(rl), 4);
+    EXPECT_NE(a.strategy, core::ExecStrategy::kAuto);
+    EXPECT_FALSE(a.rationale.empty()) << "seed " << seed;
+  }
+}
+
+TEST(StrategyExecution, EveryStrategyBitwiseAcrossThreadsAndBatchShapes) {
+  // The acceptance matrix: all five strategy knobs x thread counts 1/2/4
+  // x {fused solve, solve_batch k in {1, 8} in both modes}, every result
+  // bitwise identical to the sequential path, with the dispatch budget
+  // asserted (1 for parallel strategies, 0 for serial).
+  const sp::IluFactors f = sp::ilu0(gen::five_point(16, 16));
+  const index_t n = f.l.rows;
+
+  for (ExecutionStrategy req :
+       {ExecutionStrategy::kDoacross, ExecutionStrategy::kLevelBarrier,
+        ExecutionStrategy::kSerial, ExecutionStrategy::kBlockedHybrid,
+        ExecutionStrategy::kAuto}) {
+    for (unsigned nth : {1u, 2u, 4u}) {
+      sp::PlanOptions opts;
+      opts.nthreads = nth;
+      opts.strategy = req;
+      sp::TrisolvePlan plan(pool(), f.l, f.u, opts);
+      ASSERT_NE(plan.strategy(), ExecutionStrategy::kAuto);
+      ASSERT_FALSE(plan.telemetry().rationale.empty());
+      const std::uint64_t per_solve =
+          plan.strategy() == ExecutionStrategy::kSerial ? 0u : 1u;
+      const char* sname = core::to_string(plan.strategy());
+
+      // Fused single solve (also covers solve_lower/solve_upper paths).
+      rt::DispatchProbe probe(pool());
+      expect_bitwise_fused(plan, f.l, f.u,
+                           400 + nth + static_cast<unsigned>(req), sname);
+      EXPECT_EQ(probe.delta(), per_solve) << sname << " nth=" << nth;
+
+      const auto rhs = random_rhs(n, 500 + nth);
+      std::vector<double> y_seq(static_cast<std::size_t>(n)),
+          y(static_cast<std::size_t>(n));
+      sp::trisolve_lower_seq(f.l, rhs, y_seq);
+      plan.solve_lower(rhs, y);
+      for (index_t i = 0; i < n; ++i) {
+        ASSERT_EQ(y_seq[static_cast<std::size_t>(i)],
+                  y[static_cast<std::size_t>(i)])
+            << sname << " lower row " << i;
+      }
+      sp::trisolve_upper_seq(f.u, rhs, y_seq);
+      plan.solve_upper(rhs, y);
+      for (index_t i = 0; i < n; ++i) {
+        ASSERT_EQ(y_seq[static_cast<std::size_t>(i)],
+                  y[static_cast<std::size_t>(i)])
+            << sname << " upper row " << i;
+      }
+
+      // Batched solves, both modes, k in {1, 8}.
+      for (index_t k : {1, 8}) {
+        const auto b = random_rhs(n * k, 600 + static_cast<unsigned>(k));
+        std::vector<double> x_ref(static_cast<std::size_t>(n * k));
+        for (index_t c = 0; c < k; ++c) {
+          std::vector<double> t(static_cast<std::size_t>(n));
+          sp::trisolve_lower_seq(
+              f.l,
+              std::span<const double>(b.data() + c * n,
+                                      static_cast<std::size_t>(n)),
+              t);
+          sp::trisolve_upper_seq(
+              f.u, t,
+              std::span<double>(x_ref.data() + c * n,
+                                static_cast<std::size_t>(n)));
+        }
+        for (sp::BatchMode mode : {sp::BatchMode::kColumnSequential,
+                                   sp::BatchMode::kWavefrontInterleaved}) {
+          std::vector<double> x(static_cast<std::size_t>(n * k), 0.0);
+          probe.rebase();
+          plan.solve_batch(b, x, k, mode);
+          EXPECT_EQ(probe.delta(), per_solve)
+              << sname << " nth=" << nth << " k=" << k;
+          for (index_t i = 0; i < n * k; ++i) {
+            ASSERT_EQ(x_ref[static_cast<std::size_t>(i)],
+                      x[static_cast<std::size_t>(i)])
+                << sname << " nth=" << nth << " k=" << k << " mode "
+                << static_cast<int>(mode) << " elem " << i;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(StrategyExecution, StandaloneLevelschedUpperMatchesSequential) {
+  // The standalone counterpart of the plan's level-barrier upper kernel
+  // (par_trisolve.hpp), for ablations against the planned path.
+  const sp::IluFactors f = sp::ilu0(gen::nine_point(13, 13));
+  const index_t n = f.u.rows;
+  const core::Reordering u_ord = sp::upper_solve_reordering(f.u);
+  const auto rhs = random_rhs(n, 314);
+  std::vector<double> z_seq(static_cast<std::size_t>(n));
+  sp::trisolve_upper_seq(f.u, rhs, z_seq);
+  for (unsigned nth : {1u, 2u, 4u}) {
+    std::vector<double> z(static_cast<std::size_t>(n), 0.0);
+    sp::trisolve_levelsched_upper(pool(), f.u, rhs, z, u_ord, nth);
+    for (index_t i = 0; i < n; ++i) {
+      ASSERT_EQ(z_seq[static_cast<std::size_t>(i)],
+                z[static_cast<std::size_t>(i)])
+          << "nth=" << nth << " row " << i;
+    }
+  }
+  std::vector<double> small(3);
+  EXPECT_THROW(
+      sp::trisolve_levelsched_upper(pool(), f.u, small, small, u_ord, 2),
+      std::invalid_argument);
+}
+
+TEST(StrategyExecution, ExplicitStrategyWorksInsidePcg) {
+  // Every strategy knob of the pool-taking entry point converges on the
+  // same iteration path as the sequential ILU(0) preconditioner.
+  const sp::Csr a = gen::five_point(20, 20);
+  const auto b = random_rhs(a.rows, 77);
+  std::vector<double> x_seq(static_cast<std::size_t>(a.rows), 0.0);
+  const auto rep_seq = solve::pcg(a, b, x_seq, solve::Ilu0Preconditioner{a});
+  ASSERT_TRUE(rep_seq.converged);
+
+  for (ExecutionStrategy s :
+       {ExecutionStrategy::kAuto, ExecutionStrategy::kDoacross,
+        ExecutionStrategy::kLevelBarrier, ExecutionStrategy::kSerial,
+        ExecutionStrategy::kBlockedHybrid}) {
+    std::vector<double> x(static_cast<std::size_t>(a.rows), 0.0);
+    solve::CgOptions opts;
+    opts.strategy = s;
+    const auto rep = solve::pcg(pool(), a, b, x, opts);
+    EXPECT_TRUE(rep.converged) << core::to_string(s);
+    EXPECT_EQ(rep.iterations, rep_seq.iterations) << core::to_string(s);
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      ASSERT_EQ(x_seq[i], x[i]) << core::to_string(s) << " " << i;
+    }
+  }
+}
+
+TEST(StrategyExecution, BatchDriverReportsStrategyTelemetry) {
+  const sp::Csr a = gen::five_point(14, 14);
+  solve::BatchDriverOptions opts;  // strategy defaults to kAuto
+  solve::BatchDriver driver(pool(), a, opts);
+
+  const auto b = random_rhs(a.rows, 88);
+  std::vector<double> x(static_cast<std::size_t>(a.rows), 0.0);
+  driver.enqueue(b, x);
+  const auto rep = driver.drain();
+  EXPECT_EQ(rep.converged, 1u);
+  EXPECT_NE(rep.strategy, ExecutionStrategy::kAuto);
+  EXPECT_FALSE(rep.strategy_rationale.empty());
+  EXPECT_EQ(rep.strategy, driver.preconditioner().plan().strategy());
+}
