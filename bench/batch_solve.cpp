@@ -91,12 +91,14 @@ int main(int argc, char** argv) {
                       "dispatches seq", "dispatches batch"});
   std::vector<Row> rows;
   bool all_exact = true;
+  sp::PlanLayout layout = sp::PlanLayout::kPacked;  // resolved below
 
   for (unsigned nth : thread_counts) {
     sp::PlanOptions popts;
     popts.nthreads = nth;
     sp::TrisolvePlan plan(pool, f.l, f.u, popts);
     plan.reserve_batch(max_k);
+    layout = plan.layout();
 
     for (index_t k : ks) {
       auto seq_apply = [&] {
@@ -189,7 +191,8 @@ int main(int argc, char** argv) {
     out << "{\n  \"bench\": \"batch_solve\",\n"
         << "  \"grid\": " << grid << ",\n  \"rows\": " << n << ",\n"
         << "  \"bitwise_exact\": " << (all_exact ? "true" : "false")
-        << ",\n  \"results\": [\n";
+        << ",\n  \"layout\": \"" << sp::to_string(layout)
+        << "\",\n  \"results\": [\n";
     for (std::size_t i = 0; i < rows.size(); ++i) {
       const Row& r = rows[i];
       out << "    {\"threads\": " << r.threads << ", \"k\": " << r.k

@@ -9,15 +9,22 @@
 //               fresh rt::Barrier + two padded stat vectors per solve, a
 //               full flag-reset sweep fenced by an extra barrier, and TWO
 //               pool fork/joins per application.
-//   planned   — TrisolvePlan::solve: all setup hoisted to build time, O(1)
-//               epoch reset, zero per-call allocation, ONE fork/join.
+//   planned   — TrisolvePlan::solve under the packed layout (the default):
+//               all setup hoisted to build time, O(1) epoch reset, zero
+//               per-call allocation, ONE fork/join, and both factors read
+//               as plan-owned execution-ordered record streams.
+//   csr-view  — the same plan under PlanOptions::layout = kCsrView: the
+//               kernels read the caller's CSR in original row order, so
+//               the planned-vs-csr-view gap isolates what the packed
+//               memory layout alone buys (DESIGN.md §10).
 //
 // Per-solve wall time is reported across iteration counts (1, 10, 100) and
 // thread counts, with plan build cost amortized into the planned column so
 // the crossover point is visible, plus the pool-dispatch counts proving
 // the fusion.
 // `--json <path>` additionally writes the table as a JSON artifact (CI
-// publishes it as BENCH_plan.json, alongside batch_solve's).
+// publishes it as BENCH_plan.json, alongside batch_solve's); the layout
+// speedups feed ci/perf_gate.py.
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -52,7 +59,8 @@ struct Row {
   unsigned threads;
   int solves;
   double us_unplanned;
-  double us_planned;
+  double us_planned;      // packed layout (the default)
+  double us_planned_csr;  // kCsrView layout
   double us_amortized;
   std::uint64_t disp_unplanned;
   std::uint64_t disp_planned;
@@ -72,7 +80,11 @@ int main(int argc, char** argv) {
             << "\n";
   const unsigned max_procs = bench::default_procs();
   const int reps = bench::default_reps();
-  const int grid = bench::quick_mode() ? 40 : 80;
+  // Large enough that the ILU factors spill the last-level cache: the
+  // layout comparison is about *memory behavior*, and a cache-resident
+  // factor hides it (a 40x40 grid shows ~1.0x where this size shows the
+  // real packed-stream gain).
+  const int grid = bench::quick_mode() ? 128 : 160;
 
   const sp::Csr a = gen::five_point(grid, grid);
   const sp::IluFactors f = sp::ilu0(a);
@@ -96,8 +108,9 @@ int main(int argc, char** argv) {
   if (max_procs > 2) thread_counts.push_back(max_procs);
 
   bench::Table table({"threads", "solves", "unplanned(us/solve)",
-                      "planned(us/solve)", "planned+build(us/solve)",
-                      "speedup", "dispatches/solve unplanned",
+                      "planned(us/solve)", "csr-view(us/solve)",
+                      "planned+build(us/solve)", "speedup", "layout-speedup",
+                      "dispatches/solve unplanned",
                       "dispatches/solve planned"});
   std::vector<Row> rows;
 
@@ -120,6 +133,9 @@ int main(int argc, char** argv) {
     std::optional<sp::TrisolvePlan> plan;
     const double build_seconds =
         bench::time_call([&] { plan.emplace(pool, f.l, f.u, popts); });
+    sp::PlanOptions copts = popts;
+    copts.layout = sp::PlanLayout::kCsrView;
+    sp::TrisolvePlan plan_csr(pool, f.l, f.u, copts);
 
     for (int solves : {1, 10, 100}) {
       auto run_batch = [&](auto&& one) {
@@ -137,6 +153,7 @@ int main(int argc, char** argv) {
       const auto t_planned = run_batch([&] { plan->solve(rhs, z); });
       const std::uint64_t planned_dispatches =
           (pool.dispatch_count() - dp0) / batch_calls;
+      const auto t_planned_csr = run_batch([&] { plan_csr.solve(rhs, z); });
 
       const double us_unplanned =
           *std::min_element(t_unplanned.begin(), t_unplanned.end()) /
@@ -144,17 +161,23 @@ int main(int argc, char** argv) {
       const double us_planned =
           *std::min_element(t_planned.begin(), t_planned.end()) /
           solves * 1e6;
+      const double us_planned_csr =
+          *std::min_element(t_planned_csr.begin(), t_planned_csr.end()) /
+          solves * 1e6;
       const double us_amortized = us_planned + build_seconds * 1e6 / solves;
 
-      rows.push_back({nth, solves, us_unplanned, us_planned, us_amortized,
-                      unplanned_dispatches, planned_dispatches});
+      rows.push_back({nth, solves, us_unplanned, us_planned, us_planned_csr,
+                      us_amortized, unplanned_dispatches,
+                      planned_dispatches});
       table.row()
           .cell(nth)
           .cell(solves)
           .cell(us_unplanned, 1)
           .cell(us_planned, 1)
+          .cell(us_planned_csr, 1)
           .cell(us_amortized, 1)
           .cell(us_unplanned / (us_planned > 0 ? us_planned : 1e-300), 2)
+          .cell(us_planned_csr / (us_planned > 0 ? us_planned : 1e-300), 2)
           .cell(static_cast<unsigned>(unplanned_dispatches))
           .cell(static_cast<unsigned>(planned_dispatches));
     }
@@ -162,9 +185,21 @@ int main(int argc, char** argv) {
   table.print();
   std::printf(
       "\n'planned+build' amortizes plan construction over the batch; "
-      "'speedup' is unplanned/planned per-solve wall time. A planned "
-      "application is one pool fork/join (fused L+U), the unplanned path "
-      "two.\n");
+      "'speedup' is unplanned/planned per-solve wall time and "
+      "'layout-speedup' csr-view/packed (what the execution-ordered "
+      "packed streams alone buy). A planned application is one pool "
+      "fork/join (fused L+U), the unplanned path two.\n");
+  {
+    sp::PlanOptions popts2;
+    popts2.nthreads = max_procs;
+    const sp::TrisolvePlan probe_plan(pool, f.l, f.u, popts2);
+    std::printf(
+        "packed streams: %zu bytes (factors' CSR: %zu bytes); ready flags "
+        "are stride-hashed EpochReadyTables (one line per 16 neighboring "
+        "rows' flags before, distinct lines after — see "
+        "bench/ablation_flags for the before/after timing).\n",
+        probe_plan.packed_bytes(), f.l.memory_bytes() + f.u.memory_bytes());
+  }
 
   if (!json_path.empty()) {
     std::ofstream out(json_path);
@@ -177,9 +212,12 @@ int main(int argc, char** argv) {
           << ", \"solves\": " << r.solves
           << ", \"us_per_solve_unplanned\": " << r.us_unplanned
           << ", \"us_per_solve_planned\": " << r.us_planned
+          << ", \"us_per_solve_planned_csrview\": " << r.us_planned_csr
           << ", \"us_per_solve_planned_amortized\": " << r.us_amortized
           << ", \"speedup\": "
           << (r.us_planned > 0 ? r.us_unplanned / r.us_planned : 0.0)
+          << ", \"layout_speedup\": "
+          << (r.us_planned > 0 ? r.us_planned_csr / r.us_planned : 0.0)
           << ", \"dispatches_per_solve_unplanned\": " << r.disp_unplanned
           << ", \"dispatches_per_solve_planned\": " << r.disp_planned
           << "}" << (i + 1 < rows.size() ? "," : "") << "\n";

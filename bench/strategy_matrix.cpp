@@ -9,7 +9,10 @@
 // all four concrete strategies, verifies each is bitwise identical to
 // the sequential solves before any timing is trusted, and prints the
 // Auto decision (chosen strategy + rationale) next to the measurements —
-// so a reader can check the advisor against the stopwatch.
+// so a reader can check the advisor against the stopwatch. The Auto
+// strategy is additionally timed under PlanOptions::layout = kCsrView so
+// the packed-stream contribution (DESIGN.md §10) is separated from the
+// strategy choice; ci/perf_gate.py watches both.
 //
 // `--json <path>` writes the table as a JSON artifact (CI publishes it
 // as BENCH_strategy.json).
@@ -56,7 +59,9 @@ struct Row {
   ExecutionStrategy strategy;
   double us_per_solve;
   bool chosen_by_auto;
-  std::string rationale;  // only for the auto row
+  std::string rationale;   // only for the auto row
+  double us_csrview = 0;   // auto row: same strategy under kCsrView
+  double layout_speedup = 0;  // auto row: csr-view / packed
 };
 
 std::vector<index_t> random_perm(index_t n, std::uint64_t seed) {
@@ -128,7 +133,7 @@ int main(int argc, char** argv) {
 
   bench::Table table({"matrix", "threads", "serial(us)", "doacross(us)",
                       "level-barrier(us)", "blocked(us)", "auto picks",
-                      "auto(us)"});
+                      "auto(us)", "auto csr-view(us)", "layout speedup"});
   std::vector<Row> rows;
   bool all_exact = true;
 
@@ -178,8 +183,25 @@ int main(int argc, char** argv) {
           bench::time_samples(reps, 1, [&] { autoplan.solve(rhs, z); });
       const double us_auto =
           *std::min_element(auto_samples.begin(), auto_samples.end()) * 1e6;
-      rows.push_back({w.name, nth, autoplan.strategy(), us_auto, true,
-                      autoplan.telemetry().rationale});
+      // Same auto-chosen strategy through the caller's CSR instead of
+      // the packed streams: the strategy/layout contributions separate.
+      sp::PlanOptions vopts = aopts;
+      vopts.layout = sp::PlanLayout::kCsrView;
+      sp::TrisolvePlan viewplan(pool, f.l, f.u, vopts);
+      const auto view_samples =
+          bench::time_samples(reps, 1, [&] { viewplan.solve(rhs, z); });
+      const double us_view =
+          *std::min_element(view_samples.begin(), view_samples.end()) * 1e6;
+      Row auto_row{w.name,  nth,  autoplan.strategy(),
+                   us_auto, true, autoplan.telemetry().rationale};
+      // Both plans run the same deterministic advisor on the same
+      // structure; if they ever diverge the layout comparison would be
+      // across strategies, so it is dropped rather than reported.
+      if (viewplan.strategy() == autoplan.strategy()) {
+        auto_row.us_csrview = us_view;
+        auto_row.layout_speedup = us_auto > 0 ? us_view / us_auto : 0.0;
+      }
+      rows.push_back(auto_row);
       for (Row& r : rows) {
         if (r.matrix == w.name && r.threads == nth && !r.chosen_by_auto &&
             r.strategy == autoplan.strategy()) {
@@ -195,7 +217,9 @@ int main(int argc, char** argv) {
           .cell(us[2], 1)
           .cell(us[3], 1)
           .cell(core::to_string(autoplan.strategy()))
-          .cell(us_auto, 1);
+          .cell(us_auto, 1)
+          .cell(us_view, 1)
+          .cell(auto_row.layout_speedup, 2);
     }
   }
   table.print();
@@ -218,6 +242,10 @@ int main(int argc, char** argv) {
           << ", \"chosen_by_auto\": " << (r.chosen_by_auto ? "true" : "false");
       if (!r.rationale.empty()) {
         out << ", \"rationale\": \"" << r.rationale << "\"";
+      }
+      if (r.chosen_by_auto && r.us_csrview > 0) {
+        out << ", \"us_per_solve_csrview\": " << r.us_csrview
+            << ", \"layout_speedup\": " << r.layout_speedup;
       }
       out << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
     }

@@ -22,8 +22,14 @@
 //     The paper's shape must hold here: doconsider-rearranged beats plain
 //     doacross on every matrix (paper: eff 0.63-0.75 vs 0.32-0.46), both
 //     beat 1/p scaling of the sequential loop.
+//
+// `--json <path>` writes every section's rows as a JSON artifact (CI
+// publishes it as BENCH_table1.json, alongside the other benches').
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <iostream>
+#include <string>
 #include <vector>
 
 #include "benchsupport/env.hpp"
@@ -56,6 +62,20 @@ struct Case {
   core::Reordering reorder;
 };
 
+struct JsonRow {
+  std::string section;
+  std::string problem;
+  index_t n;
+  index_t crit_path;
+  double avg_par;
+  double us_doacross;
+  double us_rearranged;
+  double us_sequential;
+  double eff_dx;
+  double eff_rearr;
+  double rearr_speedup;
+};
+
 std::vector<Case> make_cases() {
   std::vector<Case> cases;
   auto add = [&cases](const char* name, const sp::Csr& a) {
@@ -72,7 +92,8 @@ std::vector<Case> make_cases() {
 }
 
 void run_section(rt::ThreadPool& pool, std::vector<Case>& cases,
-                 index_t nrhs, int work_reps, unsigned procs, int reps) {
+                 index_t nrhs, int work_reps, unsigned procs, int reps,
+                 const char* section, std::vector<JsonRow>& json_rows) {
   bench::Table table({"Problem", "n", "crit.path", "avg.par", "Doacross",
                       "Rearranged", "Sequential", "eff(dx)", "eff(rearr)",
                       "rearr speedup"});
@@ -115,6 +136,12 @@ void run_section(rt::ThreadPool& pool, std::vector<Case>& cases,
     dc.order = c.reorder.order.data();
     const double t_dc = run_par(dc);
 
+    json_rows.push_back({section, c.name, n, c.reorder.critical_path(),
+                         c.reorder.average_parallelism(), t_dx * 1e6,
+                         t_dc * 1e6, t_seq * 1e6,
+                         bench::parallel_efficiency(t_seq, t_dx, procs),
+                         bench::parallel_efficiency(t_seq, t_dc, procs),
+                         t_dx / t_dc});
     table.row()
         .cell(c.name)
         .cell(static_cast<long long>(n))
@@ -132,7 +159,14 @@ void run_section(rt::ThreadPool& pool, std::vector<Case>& cases,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    }
+  }
+
   std::cout << bench::environment_banner("table1_trisolve (paper Table 1)")
             << "\n";
   const unsigned procs = bench::default_procs();
@@ -140,24 +174,27 @@ int main() {
   rt::ThreadPool pool(procs);
 
   std::vector<Case> cases = make_cases();
+  std::vector<JsonRow> json_rows;
 
   std::printf("\n[RAW] single RHS, native per-entry cost — the 1990 "
               "problems at modern speed (times in us):\n");
-  run_section(pool, cases, 1, /*work_reps=*/0, procs, reps);
+  run_section(pool, cases, 1, /*work_reps=*/0, procs, reps, "raw", json_rows);
 
   const int work = bench::quick_mode() ? 100 : 400;
   std::printf("\n[MULTIMAX-EMULATED] single RHS, work_reps=%d — per-entry "
               "cost restored to the paper's work/synchronization ratio "
               "(times in us). This is the headline Table 1 comparison:\n",
               work);
-  run_section(pool, cases, 1, work, procs, reps);
+  run_section(pool, cases, 1, work, procs, reps, "multimax-emulated",
+              json_rows);
 
   const index_t nrhs = bench::quick_mode() ? 16 : 64;
   std::printf("\n[MULTI-RHS] %lld simultaneous right-hand sides — a real "
               "workload with the same dependence DAG and a %lldx work/sync "
               "ratio (times in us):\n",
               static_cast<long long>(nrhs), static_cast<long long>(nrhs));
-  run_section(pool, cases, nrhs, /*work_reps=*/0, procs, reps);
+  run_section(pool, cases, nrhs, /*work_reps=*/0, procs, reps, "multi-rhs",
+              json_rows);
 
   // DAG-limit analysis: what a zero-overhead runtime that executes whole
   // rows atomically could reach with each iteration order (greedy list
@@ -216,5 +253,27 @@ int main() {
   std::printf("\nPaper reference points (16-proc Multimax): doacross eff "
               "0.32-0.46, rearranged 0.63-0.75; rearranged faster on every "
               "matrix.\n");
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    out << "{\n  \"bench\": \"table1_trisolve\",\n"
+        << "  \"procs\": " << procs << ",\n  \"results\": [\n";
+    for (std::size_t i = 0; i < json_rows.size(); ++i) {
+      const JsonRow& r = json_rows[i];
+      out << "    {\"section\": \"" << r.section << "\", \"problem\": \""
+          << r.problem << "\", \"n\": " << r.n
+          << ", \"critical_path\": " << r.crit_path
+          << ", \"avg_parallelism\": " << r.avg_par
+          << ", \"us_doacross\": " << r.us_doacross
+          << ", \"us_rearranged\": " << r.us_rearranged
+          << ", \"us_sequential\": " << r.us_sequential
+          << ", \"eff_doacross\": " << r.eff_dx
+          << ", \"eff_rearranged\": " << r.eff_rearr
+          << ", \"rearranged_speedup\": " << r.rearr_speedup << "}"
+          << (i + 1 < json_rows.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    std::printf("wrote %s\n", json_path.c_str());
+  }
   return 0;
 }

@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""Perf-regression gate over the bench JSON artifacts.
+
+Compares a fresh BENCH_plan.json / BENCH_strategy.json against the
+committed baselines in ci/baselines/ and fails (exit 1) when
+planned-solve throughput regressed by more than the tolerance
+(default 15%, override with --tolerance or PDX_PERF_GATE_TOLERANCE).
+
+CI runners differ wildly in absolute speed, so the gate never compares
+microseconds. It compares *ratios measured within one run* — numbers
+that already divide out the machine:
+
+  plan.speedup          unplanned / planned per-solve time (plan_reuse)
+  plan.layout_speedup   csr-view / packed per-solve time (plan_reuse)
+  strategy.layout_speedup   csr-view / packed for the Auto pick
+                            (strategy_matrix, auto rows)
+  strategy.auto_vs_serial   serial / auto per-solve time per (matrix,
+                            threads) — how much the chosen strategy
+                            beats the in-run serial reference
+
+Per-row jitter is absorbed by aggregating each metric class with a
+geometric mean before comparing; rows present only on one side (e.g. a
+different thread-count sweep on a wider runner) contribute nothing
+rather than failing the gate.
+
+Usage:
+  python3 ci/perf_gate.py \
+      --plan BENCH_plan.json ci/baselines/BENCH_plan.json \
+      --strategy BENCH_strategy.json ci/baselines/BENCH_strategy.json
+"""
+
+import argparse
+import json
+import math
+import os
+import sys
+
+
+def geomean(values):
+    vals = [v for v in values if v > 0]
+    if not vals:
+        return None
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def plan_metrics(doc):
+    """Metric-class -> {row_key: ratio} for a plan_reuse artifact."""
+    speed, layout = {}, {}
+    for row in doc.get("results", []):
+        key = (row.get("threads"), row.get("solves"))
+        if row.get("speedup", 0) > 0:
+            speed[key] = row["speedup"]
+        if row.get("layout_speedup", 0) > 0:
+            layout[key] = row["layout_speedup"]
+    return {"plan.speedup": speed, "plan.layout_speedup": layout}
+
+
+def strategy_metrics(doc):
+    """Metric-class -> {row_key: ratio} for a strategy_matrix artifact."""
+    rows = doc.get("results", [])
+    serial_us = {}
+    for row in rows:
+        if row.get("strategy") == "serial" and row.get("us_per_solve", 0) > 0:
+            serial_us[(row.get("matrix"), row.get("threads"))] = row[
+                "us_per_solve"]
+    layout, auto_vs_serial = {}, {}
+    for row in rows:
+        key = (row.get("matrix"), row.get("threads"))
+        if "layout_speedup" in row and row["layout_speedup"] > 0:
+            layout[key] = row["layout_speedup"]
+        if (row.get("rationale") and row.get("us_per_solve", 0) > 0
+                and key in serial_us):
+            auto_vs_serial[key] = serial_us[key] / row["us_per_solve"]
+    return {
+        "strategy.layout_speedup": layout,
+        "strategy.auto_vs_serial": auto_vs_serial,
+    }
+
+
+def compare(name, fresh, baseline, tolerance):
+    """Return (ok, message) for one metric class."""
+    shared = sorted(set(fresh) & set(baseline))
+    if not shared:
+        return True, f"{name}: no shared rows — skipped"
+    f = geomean(fresh[k] for k in shared)
+    b = geomean(baseline[k] for k in shared)
+    if f is None or b is None:
+        return True, f"{name}: no positive samples — skipped"
+    ratio = f / b
+    verdict = "OK" if ratio >= 1.0 - tolerance else "REGRESSED"
+    msg = (f"{name}: geomean fresh {f:.3f} vs baseline {b:.3f} over "
+           f"{len(shared)} rows -> {ratio:.3f}x ({verdict})")
+    return ratio >= 1.0 - tolerance, msg
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--plan", nargs=2, metavar=("FRESH", "BASELINE"))
+    ap.add_argument("--strategy", nargs=2, metavar=("FRESH", "BASELINE"))
+    ap.add_argument(
+        "--tolerance",
+        type=float,
+        default=float(os.environ.get("PDX_PERF_GATE_TOLERANCE", "0.15")),
+        help="allowed fractional slowdown (default 0.15)")
+    args = ap.parse_args()
+    if not args.plan and not args.strategy:
+        ap.error("nothing to gate: pass --plan and/or --strategy")
+
+    classes = {}
+    if args.plan:
+        fresh = plan_metrics(load(args.plan[0]))
+        baseline = plan_metrics(load(args.plan[1]))
+        for name, m in fresh.items():
+            classes[name] = (m, baseline.get(name, {}))
+    if args.strategy:
+        fresh = strategy_metrics(load(args.strategy[0]))
+        baseline = strategy_metrics(load(args.strategy[1]))
+        for name, m in fresh.items():
+            classes[name] = (m, baseline.get(name, {}))
+
+    ok = True
+    for name, (fresh, baseline) in sorted(classes.items()):
+        good, msg = compare(name, fresh, baseline, args.tolerance)
+        print(msg)
+        ok = ok and good
+    if not ok:
+        print(f"perf gate FAILED (tolerance {args.tolerance:.0%})")
+        return 1
+    print(f"perf gate passed (tolerance {args.tolerance:.0%})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

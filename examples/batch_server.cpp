@@ -40,6 +40,8 @@ int main() {
   const sp::PlanTelemetry& tel = driver.preconditioner().plan().telemetry();
   std::printf("plan strategy: %s (%s)\n", pdx::core::to_string(tel.strategy),
               tel.rationale.c_str());
+  std::printf("plan layout: %s (%zu packed stream bytes)\n",
+              sp::to_string(tel.layout), tel.packed_bytes);
   std::printf("%-6s %-9s %-9s %-10s %-9s %-12s %-10s\n", "wave", "requests",
               "screened", "iterations", "M-solves", "dispatches", "ms");
 

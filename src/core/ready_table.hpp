@@ -174,28 +174,72 @@ class PaddedReadyTable {
 /// whole-table reset is a single counter increment instead of the paper's
 /// postprocessing sweep. The stamp starts at 0 and epochs start at 1, so a
 /// fresh table is all-NOTDONE.
-class EpochReadyTable {
+///
+/// Slot placement is a template knob. With `Strided` (the production
+/// alias EpochReadyTable), logical offsets are stride-hashed across cache
+/// lines: 16 stamps share a 64-byte line, and in a triangular solve the
+/// offsets touched concurrently are *neighboring rows* — under a linear
+/// layout a producer's release store to row i invalidates the line every
+/// spinner on rows i±15 is polling, an invalidation storm per wavefront.
+/// The strided map sends logical offset `off` to physical slot
+///
+///     ((off mod lines) * 16) + (off div lines),      lines = 2^ceil(...)
+///
+/// so consecutive offsets land on consecutive *lines* and a line is only
+/// shared by offsets `lines` apart — farther than any dense wavefront
+/// neighborhood. Cost: two shifts and a mask on the spin path, and up to
+/// 2x slack capacity from rounding `lines` to a power of two (which is
+/// what keeps the map shift-only). `StridedEpoch = false` keeps the
+/// linear layout — the measured "before" of bench/ablation_flags.
+template <bool Strided>
+class BasicEpochReadyTable {
  public:
   /// Epoch-reset marker (see kEpochResetV): begin_epoch() alone already
   /// invalidates every DONE mark, so per-entry postprocessing clears are
   /// dead and executors elide that whole phase at compile time.
   static constexpr bool kEpochReset = true;
 
-  EpochReadyTable() = default;
-  explicit EpochReadyTable(index_t size) { ensure_size(size); }
+  /// 32-bit stamps sharing one destructive-interference block.
+  static constexpr index_t kFlagsPerLine =
+      static_cast<index_t>(kCacheLineBytes / sizeof(std::uint32_t));
+
+  BasicEpochReadyTable() = default;
+  explicit BasicEpochReadyTable(index_t size) { ensure_size(size); }
 
   index_t size() const noexcept { return size_; }
 
   void ensure_size(index_t size) {
     if (size <= size_) return;
+    index_t cap = size;
+    if constexpr (Strided) {
+      lines_shift_ = 0;
+      while ((index_t{1} << lines_shift_) * kFlagsPerLine < size) {
+        ++lines_shift_;
+      }
+      cap = (index_t{1} << lines_shift_) * kFlagsPerLine;
+    }
     auto bigger = std::make_unique<std::atomic<std::uint32_t>[]>(
-        static_cast<std::size_t>(size));
-    for (index_t i = 0; i < size; ++i) {
+        static_cast<std::size_t>(cap));
+    for (index_t i = 0; i < cap; ++i) {
       bigger[static_cast<std::size_t>(i)].store(0, std::memory_order_relaxed);
     }
-    flags_ = std::move(bigger);
+    flags_ = std::move(bigger);  // table must be idle when resized
     size_ = size;
     epoch_ = 1;
+  }
+
+  /// Physical slot of logical offset `off` — identity for the linear
+  /// layout, the line-spreading permutation for the strided one.
+  /// Exposed for layout tests/diagnostics; the mapping is otherwise an
+  /// internal detail.
+  index_t slot_index(index_t off) const noexcept {
+    assert(off >= 0 && off < size_);
+    if constexpr (Strided) {
+      const index_t line_mask = (index_t{1} << lines_shift_) - 1;
+      return ((off & line_mask) * kFlagsPerLine) + (off >> lines_shift_);
+    } else {
+      return off;
+    }
   }
 
   /// Invalidate every DONE mark from the previous loop. O(1). Wraps after
@@ -204,22 +248,18 @@ class EpochReadyTable {
     ++epoch_;
     if (epoch_ == 0) {  // wrapped: stamps from 2^32 loops ago could alias
       for (index_t i = 0; i < size_; ++i) {
-        flags_[static_cast<std::size_t>(i)].store(0, std::memory_order_relaxed);
+        slot(i).store(0, std::memory_order_relaxed);
       }
       epoch_ = 1;
     }
   }
 
   void mark_done(index_t off) noexcept {
-    assert(off >= 0 && off < size_);
-    flags_[static_cast<std::size_t>(off)].store(epoch_,
-                                                std::memory_order_release);
+    slot(off).store(epoch_, std::memory_order_release);
   }
 
   bool is_done(index_t off) const noexcept {
-    assert(off >= 0 && off < size_);
-    return flags_[static_cast<std::size_t>(off)].load(
-               std::memory_order_acquire) == epoch_;
+    return slot(off).load(std::memory_order_acquire) == epoch_;
   }
 
   std::uint64_t wait_done(index_t off) const noexcept {
@@ -248,10 +288,25 @@ class EpochReadyTable {
   std::uint32_t epoch() const noexcept { return epoch_; }
 
  private:
+  std::atomic<std::uint32_t>& slot(index_t off) noexcept {
+    return flags_[static_cast<std::size_t>(slot_index(off))];
+  }
+  const std::atomic<std::uint32_t>& slot(index_t off) const noexcept {
+    return flags_[static_cast<std::size_t>(slot_index(off))];
+  }
+
   std::unique_ptr<std::atomic<std::uint32_t>[]> flags_;
   index_t size_ = 0;
+  unsigned lines_shift_ = 0;  // log2(lines), strided layout only
   std::uint32_t epoch_ = 1;
 };
+
+/// The production epoch table: stride-hashed slots (no false sharing
+/// between neighboring rows' flags).
+using EpochReadyTable = BasicEpochReadyTable<true>;
+/// The pre-stride linear layout, kept as the measured baseline of
+/// bench/ablation_flags' before/after comparison.
+using LinearEpochReadyTable = BasicEpochReadyTable<false>;
 
 /// True for tables (like EpochReadyTable) whose begin_epoch() is a full
 /// O(1) reset, making the postprocessing flag sweep — and the barrier that

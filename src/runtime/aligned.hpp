@@ -9,6 +9,7 @@
 
 #include <cstddef>
 #include <cstdlib>
+#include <memory>
 #include <new>
 #include <utility>
 
@@ -64,6 +65,40 @@ class CacheAlignedAllocator {
   bool operator!=(const CacheAlignedAllocator<U>&) const noexcept {
     return false;
   }
+};
+
+/// Cache-line aligned raw byte buffer whose pages are NOT touched at
+/// allocation: `operator new` reserves address space but (for buffers
+/// beyond the allocator's recycling pools) does not fault the pages in,
+/// so the first *write* decides NUMA page placement. This is what lets
+/// a build-time packing pass first-touch each thread's slab from the
+/// thread that will execute it — a std::vector resize would zero-fill
+/// (and place) every page on the calling thread instead.
+class FirstTouchBuffer {
+ public:
+  FirstTouchBuffer() = default;
+  explicit FirstTouchBuffer(std::size_t bytes) : bytes_(bytes) {
+    if (bytes_ > 0) {
+      p_.reset(static_cast<std::byte*>(::operator new(
+          bytes_, std::align_val_t{kCacheLineBytes})));
+    }
+  }
+
+  FirstTouchBuffer(FirstTouchBuffer&&) noexcept = default;
+  FirstTouchBuffer& operator=(FirstTouchBuffer&&) noexcept = default;
+
+  std::byte* data() noexcept { return p_.get(); }
+  const std::byte* data() const noexcept { return p_.get(); }
+  std::size_t size() const noexcept { return bytes_; }
+
+ private:
+  struct Deleter {
+    void operator()(std::byte* p) const noexcept {
+      ::operator delete(p, std::align_val_t{kCacheLineBytes});
+    }
+  };
+  std::unique_ptr<std::byte, Deleter> p_;
+  std::size_t bytes_ = 0;
 };
 
 }  // namespace pdx::rt

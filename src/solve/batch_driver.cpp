@@ -12,7 +12,7 @@ BatchDriver::BatchDriver(rt::ThreadPool& pool, const sparse::Csr& a,
     : pool_(&pool),
       a_(&a),
       opts_(opts),
-      m_(pool, a, opts.reorder, opts.nthreads, opts.strategy) {
+      m_(pool, a, opts.reorder, opts.nthreads, opts.strategy, opts.layout) {
   if (opts.max_iterations < 1) {
     throw std::invalid_argument("BatchDriver: max_iterations must be >= 1");
   }
@@ -31,6 +31,8 @@ BatchReport BatchDriver::drain() {
   rep.jobs = queue_.size();
   rep.strategy = m_.plan().strategy();
   rep.strategy_rationale = m_.plan().telemetry().rationale;
+  rep.layout = m_.plan().layout();
+  rep.packed_bytes = m_.plan().packed_bytes();
   rep.reports.resize(queue_.size());
   if (queue_.empty()) return rep;
 

@@ -51,6 +51,10 @@ struct BatchDriverOptions {
   /// dependence structure at build time and follows core::advise_schedule
   /// (the chosen strategy and rationale appear in every BatchReport).
   sparse::ExecutionStrategy strategy = sparse::ExecutionStrategy::kAuto;
+  /// Factor layout of the shared plan (PlanOptions::layout): packed
+  /// execution-ordered streams by default, kCsrView to serve out of the
+  /// factorization's own CSR arrays.
+  sparse::PlanLayout layout = sparse::PlanLayout::kPacked;
 };
 
 /// What one drain() did, plus per-job reports in enqueue order.
@@ -70,6 +74,10 @@ struct BatchReport {
   /// PlanTelemetry — serving reports carry the decision with the data).
   sparse::ExecutionStrategy strategy = sparse::ExecutionStrategy::kDoacross;
   std::string strategy_rationale;
+  /// Factor layout the shared plan resolved to, and the packed stream
+  /// bytes it owns (0 under kCsrView) — also from PlanTelemetry.
+  sparse::PlanLayout layout = sparse::PlanLayout::kCsrView;
+  std::size_t packed_bytes = 0;
   std::vector<SolveReport> reports;
 };
 

@@ -37,12 +37,14 @@ void Ilu0Preconditioner::apply(std::span<const double> r,
 
 DoacrossIlu0Preconditioner::DoacrossIlu0Preconditioner(
     rt::ThreadPool& pool, const sparse::Csr& a, bool reorder,
-    unsigned nthreads, sparse::ExecutionStrategy strategy)
+    unsigned nthreads, sparse::ExecutionStrategy strategy,
+    sparse::PlanLayout layout)
     : f_(sparse::ilu0(a)),
       plan_(pool, f_.l, f_.u,
             sparse::PlanOptions{.nthreads = nthreads,
                                 .reorder = reorder,
-                                .strategy = strategy}) {}
+                                .strategy = strategy,
+                                .layout = layout}) {}
 
 void DoacrossIlu0Preconditioner::apply(std::span<const double> r,
                                        std::span<double> z) const {

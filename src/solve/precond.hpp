@@ -76,11 +76,15 @@ class DoacrossIlu0Preconditioner final : public Preconditioner {
   /// `reorder` steers the flag-based doacross executor only; under the
   /// default kAuto the advisor owns schedule and ordering, so pass an
   /// explicit strategy (e.g. kDoacross) when the reorder knob must be
-  /// honored literally.
+  /// honored literally. `layout` is the plan's factor layout: the packed
+  /// default re-streams both ILU factors into execution-ordered,
+  /// first-touched slabs at build; kCsrView keeps the zero-copy read of
+  /// the factors (DESIGN.md §10).
   DoacrossIlu0Preconditioner(
       rt::ThreadPool& pool, const sparse::Csr& a, bool reorder = true,
       unsigned nthreads = 0,
-      sparse::ExecutionStrategy strategy = sparse::ExecutionStrategy::kAuto);
+      sparse::ExecutionStrategy strategy = sparse::ExecutionStrategy::kAuto,
+      sparse::PlanLayout layout = sparse::PlanLayout::kPacked);
   void apply(std::span<const double> r, std::span<double> z) const override;
   const char* name() const override { return "ilu0-doacross"; }
 

@@ -28,6 +28,13 @@ struct Csr {
 
   index_t nnz() const noexcept { return static_cast<index_t>(idx.size()); }
 
+  /// Heap bytes of the three arrays — what a plan's packed factor stream
+  /// (sparse/packed_stream.hpp) is traded against when choosing a layout.
+  std::size_t memory_bytes() const noexcept {
+    return ptr.size() * sizeof(index_t) + idx.size() * sizeof(index_t) +
+           val.size() * sizeof(double);
+  }
+
   index_t row_begin(index_t r) const noexcept {
     return ptr[static_cast<std::size_t>(r)];
   }

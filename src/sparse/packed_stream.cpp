@@ -1,0 +1,85 @@
+#include "sparse/packed_stream.hpp"
+
+#include <cassert>
+
+namespace pdx::sparse {
+
+namespace {
+
+/// Round a slab up to whole cache lines so adjacent slabs (separate
+/// allocations anyway) and whatever the allocator places next never
+/// share a line with the stream's tail record.
+std::size_t pad_to_line(std::size_t bytes) noexcept {
+  const std::size_t line = kCacheLineBytes;
+  return (bytes + line - 1) / line * line;
+}
+
+}  // namespace
+
+std::size_t PackedFactorStream::bytes() const noexcept {
+  std::size_t total = 0;
+  for (const Slab& s : slabs_) total += s.mem.size();
+  return total;
+}
+
+void PackedFactorStream::clear() noexcept {
+  m_ = nullptr;
+  seq_.clear();
+  slabs_.clear();
+  addr_.clear();
+}
+
+void PackedFactorStream::prepare(const Csr& m, bool diag_first,
+                                 std::vector<std::vector<index_t>> sequences,
+                                 bool build_position_index) {
+  clear();
+  m_ = &m;
+  diag_first_ = diag_first;
+  seq_ = std::move(sequences);
+  slabs_.reserve(seq_.size());
+  for (const std::vector<index_t>& rows : seq_) {
+    std::size_t slab_bytes = 0;
+    for (index_t i : rows) {
+      assert(m.row_nnz(i) >= 1 && "factor rows carry an explicit diagonal");
+      slab_bytes += record_bytes(m.row_nnz(i) - 1);
+    }
+    slabs_.emplace_back();
+    slabs_.back().mem = rt::FirstTouchBuffer(pad_to_line(slab_bytes));
+  }
+  if (build_position_index) {
+    // Record addresses are pure arithmetic over the (untouched) slab
+    // bases — building the index faults no stream page.
+    addr_.reserve(static_cast<std::size_t>(m.rows));
+    for (std::size_t s = 0; s < seq_.size(); ++s) {
+      const std::byte* p = slabs_[s].mem.data();
+      for (index_t i : seq_[s]) {
+        addr_.push_back(p);
+        p += record_bytes(m.row_nnz(i) - 1);
+      }
+    }
+  }
+}
+
+void PackedFactorStream::pack(unsigned s) noexcept {
+  const Csr& m = *m_;
+  std::byte* p = slabs_[s].mem.data();
+  for (index_t i : seq_[s]) {
+    const index_t b = m.row_begin(i);
+    const index_t e = m.row_end(i);
+    const index_t cnt = e - b - 1;
+    const index_t off = diag_first_ ? b + 1 : b;  // off-diagonal run
+    const index_t dia = diag_first_ ? b : e - 1;
+    index_t* h = reinterpret_cast<index_t*>(p);
+    h[0] = i;
+    h[1] = cnt;
+    reinterpret_cast<double*>(p)[2] = m.val[static_cast<std::size_t>(dia)];
+    std::memcpy(h + 3, m.idx.data() + off,
+                static_cast<std::size_t>(cnt) * sizeof(index_t));
+    std::memcpy(reinterpret_cast<double*>(p) + 3 + cnt,
+                m.val.data() + off,
+                static_cast<std::size_t>(cnt) * sizeof(double));
+    p += record_bytes(cnt);
+  }
+}
+
+}  // namespace pdx::sparse

@@ -1,0 +1,156 @@
+// packed_stream.hpp — plan-owned packed factor streams (DESIGN.md §10).
+//
+// The inspector-executor systems this library descends from fix the
+// *schedule* at preprocessing time; this module lets the inspector fix
+// the *data layout* too. A triangular factor that will be solved
+// thousands of times through one TrisolvePlan is re-streamed, once at
+// plan build, into slabs of fused per-row records laid out in the exact
+// order the executor will walk them:
+//
+//   record  := [row][cnt][diag][cols: cnt words][vals: cnt doubles]
+//
+// so the hot loop is a single forward walk — no row_ptr indirection, no
+// separate idx/val arrays a reordered schedule would stride through, and
+// every byte a row needs arrives on the cache lines the previous row
+// already pulled in. The diagonal is stored as-is (NOT its reciprocal):
+// the plan's bitwise-identity contract with the sequential Fig. 7 solves
+// pins the division.
+//
+// Build is two-phase so memory lands on the right NUMA node:
+//
+//   prepare(...)  sizes and allocates every slab WITHOUT touching its
+//                 pages (raw aligned operator new — a vector resize
+//                 would zero-fill on the calling thread and decide page
+//                 placement there);
+//   pack(s)       copies slab s's records out of the CSR — the first
+//                 touch. The plan calls it from the thread that will
+//                 execute the slab, inside one pool dispatch.
+//
+// Slabs are cache-line aligned and padded so adjacent threads' streams
+// never share a line. Streams are written once and read-only at solve
+// time.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <vector>
+
+#include "runtime/aligned.hpp"
+#include "runtime/types.hpp"
+#include "sparse/csr.hpp"
+
+namespace pdx::sparse {
+
+/// One row of a packed stream (or a CSR row viewed through the same
+/// lens — the layout-generic plan kernels consume only this shape).
+/// `cols`/`vals` hold the `cnt` off-diagonal entries in stored (sorted)
+/// order; `diag` is the divisor.
+struct PackedRow {
+  index_t row = 0;
+  index_t cnt = 0;
+  double diag = 0.0;
+  const index_t* cols = nullptr;
+  const double* vals = nullptr;
+};
+
+/// A triangular factor packed into execution-ordered record slabs.
+/// Slab s holds the rows thread s will execute, in its execution order;
+/// seekable streams additionally index records by global execution
+/// position for schedules whose per-thread order is decided at run time
+/// (the dynamic doacross).
+class PackedFactorStream {
+ public:
+  /// Record wire format is 8-byte words throughout.
+  static_assert(sizeof(index_t) == sizeof(double) &&
+                    sizeof(double) == 8,
+                "packed records assume 8-byte index/value words");
+
+  /// Forward walk over one slab. next() parses the record under the
+  /// cursor and advances past it; callers must not read past the slab's
+  /// row count (the stream carries no terminator).
+  class Cursor {
+   public:
+    Cursor() = default;
+    explicit Cursor(const std::byte* p) : p_(p) {}
+
+    PackedRow next() noexcept {
+      PackedRow r;
+      const index_t* h = reinterpret_cast<const index_t*>(p_);
+      r.row = h[0];
+      r.cnt = h[1];
+      r.diag = reinterpret_cast<const double*>(p_)[2];
+      r.cols = h + 3;
+      r.vals = reinterpret_cast<const double*>(p_) + 3 + r.cnt;
+      p_ += record_bytes(r.cnt);
+      return r;
+    }
+
+   private:
+    const std::byte* p_ = nullptr;
+  };
+
+  PackedFactorStream() = default;
+  PackedFactorStream(const PackedFactorStream&) = delete;
+  PackedFactorStream& operator=(const PackedFactorStream&) = delete;
+
+  /// True once prepare() has laid out slabs (records may not be filled
+  /// yet — pack() does that).
+  bool packed() const noexcept { return !slabs_.empty(); }
+  unsigned slab_count() const noexcept {
+    return static_cast<unsigned>(slabs_.size());
+  }
+  /// Total plan-owned stream bytes (all slabs, padding included).
+  std::size_t bytes() const noexcept;
+
+  /// Phase 1: lay out one slab per entry of `sequences` (slab s will
+  /// hold sequences[s]'s rows in that order) over factor `m`, which must
+  /// outlive pack(). `diag_first` selects the upper-factor row split
+  /// (diagonal stored first in the sorted row) versus lower (diagonal
+  /// last). With `build_position_index`, records are also addressable by
+  /// global execution position — position p is the p-th row of the
+  /// concatenated sequences — through at(p). Allocates slab memory
+  /// without touching it.
+  void prepare(const Csr& m, bool diag_first,
+               std::vector<std::vector<index_t>> sequences,
+               bool build_position_index);
+
+  /// Phase 2: fill slab s from the CSR — the first touch of its pages.
+  /// Call exactly once per slab, on the thread that will execute it.
+  /// Thread-safe across distinct slabs.
+  void pack(unsigned s) noexcept;
+
+  /// Drop the build-time row sequences once every slab is packed.
+  void finish_build() noexcept { seq_.clear(); seq_.shrink_to_fit(); }
+
+  /// Linear walk over slab s.
+  Cursor cursor(unsigned s) const noexcept {
+    return Cursor(slabs_[s].mem.data());
+  }
+
+  /// Record at global execution position `pos` (requires the position
+  /// index). One predictable pointer load — the schedule-agnostic access
+  /// for dynamically claimed positions.
+  PackedRow at(index_t pos) const noexcept {
+    return Cursor(addr_[static_cast<std::size_t>(pos)]).next();
+  }
+  bool has_position_index() const noexcept { return !addr_.empty(); }
+
+  void clear() noexcept;
+
+ private:
+  static constexpr std::size_t record_bytes(index_t cnt) noexcept {
+    return static_cast<std::size_t>(3 + 2 * cnt) * 8;
+  }
+
+  struct Slab {
+    rt::FirstTouchBuffer mem;
+  };
+
+  const Csr* m_ = nullptr;
+  bool diag_first_ = false;
+  std::vector<std::vector<index_t>> seq_;  // build-time row sequences
+  std::vector<Slab> slabs_;
+  std::vector<const std::byte*> addr_;  // per global position (optional)
+};
+
+}  // namespace pdx::sparse

@@ -2,6 +2,7 @@
 
 #include <cassert>
 #include <chrono>
+#include <numeric>
 #include <stdexcept>
 
 #include "runtime/schedule.hpp"
@@ -18,6 +19,68 @@ void check_factor(const Csr& m, const char* what) {
                                 " factor is not square");
   }
 }
+
+// --- row sources -----------------------------------------------------
+//
+// The layout-generic kernels read rows only through src.at(position);
+// these adapters supply the two layouts. The CSR views reproduce the
+// historical access path exactly (position -> row via the order array,
+// row -> entries via row_ptr); the packed sources walk the plan-owned
+// execution-ordered record streams of DESIGN.md §10.
+
+/// kCsrView, lower factor: diagonal last in the sorted row. A null
+/// order means position == row (source order).
+struct CsrLowerSrc {
+  const Csr* m;
+  const index_t* order;
+  PackedRow at(index_t k) const noexcept {
+    const index_t i = order ? order[k] : k;
+    const index_t b = m->row_begin(i);
+    const index_t e = m->row_end(i) - 1;  // diagonal last
+    return {i, e - b, m->val[static_cast<std::size_t>(e)],
+            m->idx.data() + b, m->val.data() + b};
+  }
+};
+
+/// kCsrView, upper factor: diagonal first. A null order means the
+/// backward solve's natural order, position k == row n-1-k.
+struct CsrUpperSrc {
+  const Csr* m;
+  const index_t* order;
+  index_t n;
+  PackedRow at(index_t k) const noexcept {
+    const index_t i = order ? order[k] : n - 1 - k;
+    const index_t b = m->row_begin(i);  // diagonal first
+    return {i, m->row_end(i) - b - 1, m->val[static_cast<std::size_t>(b)],
+            m->idx.data() + b + 1, m->val.data() + b + 1};
+  }
+};
+
+CsrLowerSrc csr_lower(const Csr& m, const core::Reordering* ord) noexcept {
+  return {&m, ord ? ord->order.data() : nullptr};
+}
+
+CsrUpperSrc csr_upper(const Csr& m, const core::Reordering* ord,
+                      index_t n) noexcept {
+  return {&m, ord ? ord->order.data() : nullptr, n};
+}
+
+/// kPacked, statically owned slab: positions arrive consecutively, so
+/// the position argument is implicit in the cursor — the pure linear
+/// walk (serial, level-barrier, blocked-hybrid).
+struct PackedWalkSrc {
+  PackedFactorStream::Cursor c;
+  PackedRow at(index_t) noexcept { return c.next(); }
+};
+
+/// kPacked, dynamically claimed positions (the doacross schedules): one
+/// predictable pointer load into the position index, then the record is
+/// a single contiguous read. Consecutive positions of a claimed chunk
+/// are adjacent records, so the walk stays linear per chunk.
+struct PackedSeekSrc {
+  const PackedFactorStream* s;
+  PackedRow at(index_t k) const noexcept { return s->at(k); }
+};
 
 }  // namespace
 
@@ -57,23 +120,128 @@ void TrisolvePlan::resolve_strategy() {
   }
 }
 
+void TrisolvePlan::build_packed() {
+  if (opts_.layout != PlanLayout::kPacked || n_ == 0) return;
+  const unsigned width = nth_ == 0 ? 1 : nth_;
+  const unsigned slabs =
+      telemetry_.strategy == ExecutionStrategy::kSerial ? 1 : width;
+  const index_t* lord = l_order_ ? l_order_->order.data() : nullptr;
+  const index_t* uord = u_order_ ? u_order_->order.data() : nullptr;
+
+  // Per-slab row sequences: the exact order each thread's kernel walks.
+  std::vector<std::vector<index_t>> lseq, useq;
+  bool position_index = false;
+  switch (telemetry_.strategy) {
+    case ExecutionStrategy::kSerial: {
+      lseq.resize(1);
+      lseq[0].resize(static_cast<std::size_t>(n_));
+      std::iota(lseq[0].begin(), lseq[0].end(), index_t{0});
+      if (u_) {
+        useq.resize(1);
+        useq[0].reserve(static_cast<std::size_t>(n_));
+        for (index_t i = n_ - 1; i >= 0; --i) useq[0].push_back(i);
+      }
+      break;
+    }
+    case ExecutionStrategy::kBlockedHybrid: {
+      lseq.resize(slabs);
+      if (u_) useq.resize(slabs);
+      for (unsigned t = 0; t < slabs; ++t) {
+        const rt::IterRange r = rt::static_block_range(n_, t, slabs);
+        lseq[t].reserve(static_cast<std::size_t>(r.size()));
+        for (index_t i = r.begin; i < r.end; ++i) lseq[t].push_back(i);
+        if (u_) {
+          useq[t].reserve(static_cast<std::size_t>(r.size()));
+          for (index_t k = r.begin; k < r.end; ++k) {
+            useq[t].push_back(n_ - 1 - k);
+          }
+        }
+      }
+      break;
+    }
+    case ExecutionStrategy::kLevelBarrier: {
+      lseq = level_schedule_sequences(*l_order_, slabs);
+      if (u_) useq = level_schedule_sequences(*u_order_, slabs);
+      break;
+    }
+    case ExecutionStrategy::kDoacross: {
+      // Any schedule may claim any position at run time, so the stream
+      // carries a position index; the slab split mirrors the static-
+      // block assignment, which is also where dynamic chunks of a
+      // steady-state solve tend to land.
+      position_index = true;
+      lseq.resize(slabs);
+      if (u_) useq.resize(slabs);
+      for (unsigned t = 0; t < slabs; ++t) {
+        const rt::IterRange r = rt::static_block_range(n_, t, slabs);
+        lseq[t].reserve(static_cast<std::size_t>(r.size()));
+        if (u_) useq[t].reserve(static_cast<std::size_t>(r.size()));
+        for (index_t pos = r.begin; pos < r.end; ++pos) {
+          lseq[t].push_back(lord ? lord[pos] : pos);
+          if (u_) useq[t].push_back(uord ? uord[pos] : n_ - 1 - pos);
+        }
+      }
+      break;
+    }
+    case ExecutionStrategy::kAuto:
+      return;  // unreachable: resolve_strategy() never leaves kAuto
+  }
+
+  packed_l_.prepare(*l_, /*diag_first=*/false, std::move(lseq),
+                    position_index);
+  if (u_) {
+    packed_u_.prepare(*u_, /*diag_first=*/true, std::move(useq),
+                      position_index);
+  }
+  // First-touch packing: every slab is written — page-placed — by the
+  // thread that will execute it, in ONE pool dispatch covering both
+  // factors. Serial plans pack inline: the calling thread IS the
+  // executor, and waking the pool would first-touch nothing useful.
+  if (slabs <= 1) {
+    packed_l_.pack(0);
+    if (u_) packed_u_.pack(0);
+  } else {
+    pool_->parallel_region(nth_, [this](unsigned tid, unsigned) {
+      packed_l_.pack(tid);
+      if (u_) packed_u_.pack(tid);
+    });
+  }
+  packed_l_.finish_build();
+  if (u_) packed_u_.finish_build();
+  telemetry_.layout = PlanLayout::kPacked;
+  telemetry_.packed_bytes = packed_l_.bytes() + packed_u_.bytes();
+}
+
 void TrisolvePlan::bind_lower_region() {
   // Region functors are bound once, here; per-call inputs travel through
   // the lo_/up_ pointer members. This is what makes solve_* allocation
   // free: a fresh capturing lambda would not fit std::function's small
-  // buffer and would heap-allocate on every call.
+  // buffer and would heap-allocate on every call. The layout branch runs
+  // once per kernel invocation, not per row.
   switch (telemetry_.strategy) {
     case ExecutionStrategy::kDoacross:
       lower_region_ = [this](unsigned tid, unsigned nthreads) {
         std::uint64_t eps = 0, rds = 0;
-        lower_kernel(lo_rhs_, lo_y_, tid, nthreads, eps, rds);
+        if (packed_l_.packed()) {
+          lower_flags_k(PackedSeekSrc{&packed_l_}, lo_rhs_, lo_y_, tid,
+                        nthreads, eps, rds);
+        } else {
+          lower_flags_k(csr_lower(*l_, l_order_.get()), lo_rhs_, lo_y_, tid,
+                        nthreads, eps, rds);
+        }
         episodes_[tid].value = eps;
         rounds_[tid].value = rds;
       };
       break;
     case ExecutionStrategy::kLevelBarrier:
       lower_region_ = [this](unsigned tid, unsigned nthreads) {
-        lower_levels_kernel(lo_rhs_, lo_y_, tid, nthreads);
+        if (packed_l_.packed()) {
+          lower_levels_k(PackedWalkSrc{packed_l_.cursor(tid)}, lo_rhs_,
+                         lo_y_, tid, nthreads);
+        } else {
+          lower_levels_k(csr_lower(*l_, l_order_.get()), lo_rhs_, lo_y_,
+                         tid, nthreads);
+        }
         episodes_[tid].value = 0;
         rounds_[tid].value = 0;
       };
@@ -81,14 +249,24 @@ void TrisolvePlan::bind_lower_region() {
     case ExecutionStrategy::kBlockedHybrid:
       lower_region_ = [this](unsigned tid, unsigned nthreads) {
         std::uint64_t eps = 0, rds = 0;
-        lower_blocked_kernel(lo_rhs_, lo_y_, tid, nthreads, eps, rds);
+        if (packed_l_.packed()) {
+          lower_blocked_k(PackedWalkSrc{packed_l_.cursor(tid)}, lo_rhs_,
+                          lo_y_, tid, nthreads, eps, rds);
+        } else {
+          lower_blocked_k(csr_lower(*l_, nullptr), lo_rhs_, lo_y_, tid,
+                          nthreads, eps, rds);
+        }
         episodes_[tid].value = eps;
         rounds_[tid].value = rds;
       };
       break;
     case ExecutionStrategy::kSerial:
       lower_region_ = [this](unsigned, unsigned) {
-        serial_lower(lo_rhs_, lo_y_);
+        if (packed_l_.packed()) {
+          serial_lower_k(PackedWalkSrc{packed_l_.cursor(0)}, lo_rhs_, lo_y_);
+        } else {
+          serial_lower_k(csr_lower(*l_, nullptr), lo_rhs_, lo_y_);
+        }
       };
       break;
     case ExecutionStrategy::kAuto:
@@ -101,29 +279,56 @@ void TrisolvePlan::bind_upper_regions() {
     case ExecutionStrategy::kDoacross:
       upper_region_ = [this](unsigned tid, unsigned nthreads) {
         std::uint64_t eps = 0, rds = 0;
-        upper_kernel(up_rhs_, up_y_, tid, nthreads, eps, rds);
+        if (packed_u_.packed()) {
+          upper_flags_k(PackedSeekSrc{&packed_u_}, up_rhs_, up_y_, tid,
+                        nthreads, eps, rds);
+        } else {
+          upper_flags_k(csr_upper(*u_, u_order_.get(), n_), up_rhs_, up_y_,
+                        tid, nthreads, eps, rds);
+        }
         episodes_[tid].value = eps;
         rounds_[tid].value = rds;
       };
       fused_region_ = [this](unsigned tid, unsigned nthreads) {
         std::uint64_t eps = 0, rds = 0;
-        lower_kernel(lo_rhs_, lo_y_, tid, nthreads, eps, rds);
-        // The one synchronization point of a fused preconditioner
-        // application: every tmp_ element is published before any thread
-        // starts consuming it in the backward solve. The busy-wait flags
-        // handle everything else on both sides.
-        barrier_.arrive_and_wait();
-        upper_kernel(up_rhs_, up_y_, tid, nthreads, eps, rds);
+        if (packed_l_.packed()) {
+          lower_flags_k(PackedSeekSrc{&packed_l_}, lo_rhs_, lo_y_, tid,
+                        nthreads, eps, rds);
+          // The one synchronization point of a fused preconditioner
+          // application: every tmp_ element is published before any
+          // thread starts consuming it in the backward solve. The
+          // busy-wait flags handle everything else on both sides.
+          barrier_.arrive_and_wait();
+          upper_flags_k(PackedSeekSrc{&packed_u_}, up_rhs_, up_y_, tid,
+                        nthreads, eps, rds);
+        } else {
+          lower_flags_k(csr_lower(*l_, l_order_.get()), lo_rhs_, lo_y_, tid,
+                        nthreads, eps, rds);
+          barrier_.arrive_and_wait();
+          upper_flags_k(csr_upper(*u_, u_order_.get(), n_), up_rhs_, up_y_,
+                        tid, nthreads, eps, rds);
+        }
         episodes_[tid].value = eps;
         rounds_[tid].value = rds;
       };
       batch_region_ = [this](unsigned tid, unsigned nthreads) {
         std::uint64_t eps = 0, rds = 0;
+        const bool packed = packed_l_.packed();
         if (batch_mode_ == BatchMode::kWavefrontInterleaved) {
           // One doacross pass per factor; every row carries all k columns.
-          lower_kernel_multi(tid, nthreads, eps, rds);
-          barrier_.arrive_and_wait();
-          upper_kernel_multi(tid, nthreads, eps, rds);
+          if (packed) {
+            lower_flags_multi_k(PackedSeekSrc{&packed_l_}, tid, nthreads,
+                                eps, rds);
+            barrier_.arrive_and_wait();
+            upper_flags_multi_k(PackedSeekSrc{&packed_u_}, tid, nthreads,
+                                eps, rds);
+          } else {
+            lower_flags_multi_k(csr_lower(*l_, l_order_.get()), tid,
+                                nthreads, eps, rds);
+            barrier_.arrive_and_wait();
+            upper_flags_multi_k(csr_upper(*u_, u_order_.get(), n_), tid,
+                                nthreads, eps, rds);
+          }
         } else {
           for (index_t c = 0; c < batch_k_; ++c) {
             if (c > 0) {
@@ -136,12 +341,21 @@ void TrisolvePlan::bind_upper_regions() {
               if (tid == 0) reset_for_call(/*lower=*/true, /*upper=*/true);
               barrier_.arrive_and_wait();
             }
-            lower_kernel(batch_b_[static_cast<std::size_t>(c)], tmp_.data(),
-                         tid, nthreads, eps, rds);
-            barrier_.arrive_and_wait();
-            upper_kernel(tmp_.data(),
-                         batch_x_[static_cast<std::size_t>(c)], tid,
-                         nthreads, eps, rds);
+            const double* bc = batch_b_[static_cast<std::size_t>(c)];
+            double* xc = batch_x_[static_cast<std::size_t>(c)];
+            if (packed) {
+              lower_flags_k(PackedSeekSrc{&packed_l_}, bc, tmp_.data(), tid,
+                            nthreads, eps, rds);
+              barrier_.arrive_and_wait();
+              upper_flags_k(PackedSeekSrc{&packed_u_}, tmp_.data(), xc, tid,
+                            nthreads, eps, rds);
+            } else {
+              lower_flags_k(csr_lower(*l_, l_order_.get()), bc, tmp_.data(),
+                            tid, nthreads, eps, rds);
+              barrier_.arrive_and_wait();
+              upper_flags_k(csr_upper(*u_, u_order_.get(), n_), tmp_.data(),
+                            xc, tid, nthreads, eps, rds);
+            }
           }
         }
         episodes_[tid].value = eps;
@@ -154,27 +368,60 @@ void TrisolvePlan::bind_upper_regions() {
       // fused nor the batched region needs any extra synchronization or
       // epoch re-arming.
       upper_region_ = [this](unsigned tid, unsigned nthreads) {
-        upper_levels_kernel(up_rhs_, up_y_, tid, nthreads);
+        if (packed_u_.packed()) {
+          upper_levels_k(PackedWalkSrc{packed_u_.cursor(tid)}, up_rhs_,
+                         up_y_, tid, nthreads);
+        } else {
+          upper_levels_k(csr_upper(*u_, u_order_.get(), n_), up_rhs_, up_y_,
+                         tid, nthreads);
+        }
         episodes_[tid].value = 0;
         rounds_[tid].value = 0;
       };
       fused_region_ = [this](unsigned tid, unsigned nthreads) {
-        lower_levels_kernel(lo_rhs_, lo_y_, tid, nthreads);
-        upper_levels_kernel(up_rhs_, up_y_, tid, nthreads);
+        if (packed_l_.packed()) {
+          lower_levels_k(PackedWalkSrc{packed_l_.cursor(tid)}, lo_rhs_,
+                         lo_y_, tid, nthreads);
+          upper_levels_k(PackedWalkSrc{packed_u_.cursor(tid)}, up_rhs_,
+                         up_y_, tid, nthreads);
+        } else {
+          lower_levels_k(csr_lower(*l_, l_order_.get()), lo_rhs_, lo_y_,
+                         tid, nthreads);
+          upper_levels_k(csr_upper(*u_, u_order_.get(), n_), up_rhs_, up_y_,
+                         tid, nthreads);
+        }
         episodes_[tid].value = 0;
         rounds_[tid].value = 0;
       };
       batch_region_ = [this](unsigned tid, unsigned nthreads) {
+        const bool packed = packed_l_.packed();
         if (batch_mode_ == BatchMode::kWavefrontInterleaved) {
-          lower_levels_multi(tid, nthreads);
-          upper_levels_multi(tid, nthreads);
+          if (packed) {
+            lower_levels_multi_k(PackedWalkSrc{packed_l_.cursor(tid)}, tid,
+                                 nthreads);
+            upper_levels_multi_k(PackedWalkSrc{packed_u_.cursor(tid)}, tid,
+                                 nthreads);
+          } else {
+            lower_levels_multi_k(csr_lower(*l_, l_order_.get()), tid,
+                                 nthreads);
+            upper_levels_multi_k(csr_upper(*u_, u_order_.get(), n_), tid,
+                                 nthreads);
+          }
         } else {
           for (index_t c = 0; c < batch_k_; ++c) {
-            lower_levels_kernel(batch_b_[static_cast<std::size_t>(c)],
-                                tmp_.data(), tid, nthreads);
-            upper_levels_kernel(tmp_.data(),
-                                batch_x_[static_cast<std::size_t>(c)], tid,
-                                nthreads);
+            const double* bc = batch_b_[static_cast<std::size_t>(c)];
+            double* xc = batch_x_[static_cast<std::size_t>(c)];
+            if (packed) {
+              lower_levels_k(PackedWalkSrc{packed_l_.cursor(tid)}, bc,
+                             tmp_.data(), tid, nthreads);
+              upper_levels_k(PackedWalkSrc{packed_u_.cursor(tid)},
+                             tmp_.data(), xc, tid, nthreads);
+            } else {
+              lower_levels_k(csr_lower(*l_, l_order_.get()), bc,
+                             tmp_.data(), tid, nthreads);
+              upper_levels_k(csr_upper(*u_, u_order_.get(), n_),
+                             tmp_.data(), xc, tid, nthreads);
+            }
           }
         }
         episodes_[tid].value = 0;
@@ -184,24 +431,51 @@ void TrisolvePlan::bind_upper_regions() {
     case ExecutionStrategy::kBlockedHybrid:
       upper_region_ = [this](unsigned tid, unsigned nthreads) {
         std::uint64_t eps = 0, rds = 0;
-        upper_blocked_kernel(up_rhs_, up_y_, tid, nthreads, eps, rds);
+        if (packed_u_.packed()) {
+          upper_blocked_k(PackedWalkSrc{packed_u_.cursor(tid)}, up_rhs_,
+                          up_y_, tid, nthreads, eps, rds);
+        } else {
+          upper_blocked_k(csr_upper(*u_, nullptr, n_), up_rhs_, up_y_, tid,
+                          nthreads, eps, rds);
+        }
         episodes_[tid].value = eps;
         rounds_[tid].value = rds;
       };
       fused_region_ = [this](unsigned tid, unsigned nthreads) {
         std::uint64_t eps = 0, rds = 0;
-        lower_blocked_kernel(lo_rhs_, lo_y_, tid, nthreads, eps, rds);
-        barrier_.arrive_and_wait();
-        upper_blocked_kernel(up_rhs_, up_y_, tid, nthreads, eps, rds);
+        if (packed_l_.packed()) {
+          lower_blocked_k(PackedWalkSrc{packed_l_.cursor(tid)}, lo_rhs_,
+                          lo_y_, tid, nthreads, eps, rds);
+          barrier_.arrive_and_wait();
+          upper_blocked_k(PackedWalkSrc{packed_u_.cursor(tid)}, up_rhs_,
+                          up_y_, tid, nthreads, eps, rds);
+        } else {
+          lower_blocked_k(csr_lower(*l_, nullptr), lo_rhs_, lo_y_, tid,
+                          nthreads, eps, rds);
+          barrier_.arrive_and_wait();
+          upper_blocked_k(csr_upper(*u_, nullptr, n_), up_rhs_, up_y_, tid,
+                          nthreads, eps, rds);
+        }
         episodes_[tid].value = eps;
         rounds_[tid].value = rds;
       };
       batch_region_ = [this](unsigned tid, unsigned nthreads) {
         std::uint64_t eps = 0, rds = 0;
+        const bool packed = packed_l_.packed();
         if (batch_mode_ == BatchMode::kWavefrontInterleaved) {
-          lower_blocked_multi(tid, nthreads, eps, rds);
-          barrier_.arrive_and_wait();
-          upper_blocked_multi(tid, nthreads, eps, rds);
+          if (packed) {
+            lower_blocked_multi_k(PackedWalkSrc{packed_l_.cursor(tid)}, tid,
+                                  nthreads, eps, rds);
+            barrier_.arrive_and_wait();
+            upper_blocked_multi_k(PackedWalkSrc{packed_u_.cursor(tid)}, tid,
+                                  nthreads, eps, rds);
+          } else {
+            lower_blocked_multi_k(csr_lower(*l_, nullptr), tid, nthreads,
+                                  eps, rds);
+            barrier_.arrive_and_wait();
+            upper_blocked_multi_k(csr_upper(*u_, nullptr, n_), tid,
+                                  nthreads, eps, rds);
+          }
         } else {
           for (index_t c = 0; c < batch_k_; ++c) {
             if (c > 0) {
@@ -209,12 +483,21 @@ void TrisolvePlan::bind_upper_regions() {
               if (tid == 0) reset_for_call(/*lower=*/true, /*upper=*/true);
               barrier_.arrive_and_wait();
             }
-            lower_blocked_kernel(batch_b_[static_cast<std::size_t>(c)],
-                                 tmp_.data(), tid, nthreads, eps, rds);
-            barrier_.arrive_and_wait();
-            upper_blocked_kernel(tmp_.data(),
-                                 batch_x_[static_cast<std::size_t>(c)], tid,
-                                 nthreads, eps, rds);
+            const double* bc = batch_b_[static_cast<std::size_t>(c)];
+            double* xc = batch_x_[static_cast<std::size_t>(c)];
+            if (packed) {
+              lower_blocked_k(PackedWalkSrc{packed_l_.cursor(tid)}, bc,
+                              tmp_.data(), tid, nthreads, eps, rds);
+              barrier_.arrive_and_wait();
+              upper_blocked_k(PackedWalkSrc{packed_u_.cursor(tid)},
+                              tmp_.data(), xc, tid, nthreads, eps, rds);
+            } else {
+              lower_blocked_k(csr_lower(*l_, nullptr), bc, tmp_.data(), tid,
+                              nthreads, eps, rds);
+              barrier_.arrive_and_wait();
+              upper_blocked_k(csr_upper(*u_, nullptr, n_), tmp_.data(), xc,
+                              tid, nthreads, eps, rds);
+            }
           }
         }
         episodes_[tid].value = eps;
@@ -225,16 +508,35 @@ void TrisolvePlan::bind_upper_regions() {
       // These run inline on the calling thread (dispatch() never enters
       // the pool for a serial plan); tid/nthreads are (0, 1).
       upper_region_ = [this](unsigned, unsigned) {
-        serial_upper(up_rhs_, up_y_);
+        if (packed_u_.packed()) {
+          serial_upper_k(PackedWalkSrc{packed_u_.cursor(0)}, up_rhs_, up_y_);
+        } else {
+          serial_upper_k(csr_upper(*u_, nullptr, n_), up_rhs_, up_y_);
+        }
       };
       fused_region_ = [this](unsigned, unsigned) {
-        serial_lower(lo_rhs_, lo_y_);
-        serial_upper(up_rhs_, up_y_);
+        if (packed_l_.packed()) {
+          serial_lower_k(PackedWalkSrc{packed_l_.cursor(0)}, lo_rhs_, lo_y_);
+          serial_upper_k(PackedWalkSrc{packed_u_.cursor(0)}, up_rhs_, up_y_);
+        } else {
+          serial_lower_k(csr_lower(*l_, nullptr), lo_rhs_, lo_y_);
+          serial_upper_k(csr_upper(*u_, nullptr, n_), up_rhs_, up_y_);
+        }
       };
       batch_region_ = [this](unsigned, unsigned) {
+        const bool packed = packed_l_.packed();
         for (index_t c = 0; c < batch_k_; ++c) {
-          serial_lower(batch_b_[static_cast<std::size_t>(c)], tmp_.data());
-          serial_upper(tmp_.data(), batch_x_[static_cast<std::size_t>(c)]);
+          const double* bc = batch_b_[static_cast<std::size_t>(c)];
+          double* xc = batch_x_[static_cast<std::size_t>(c)];
+          if (packed) {
+            serial_lower_k(PackedWalkSrc{packed_l_.cursor(0)}, bc,
+                           tmp_.data());
+            serial_upper_k(PackedWalkSrc{packed_u_.cursor(0)}, tmp_.data(),
+                           xc);
+          } else {
+            serial_lower_k(csr_lower(*l_, nullptr), bc, tmp_.data());
+            serial_upper_k(csr_upper(*u_, nullptr, n_), tmp_.data(), xc);
+          }
         }
       };
       break;
@@ -243,16 +545,22 @@ void TrisolvePlan::bind_upper_regions() {
   }
 }
 
-TrisolvePlan::TrisolvePlan(rt::ThreadPool& pool, const Csr& l,
+TrisolvePlan::TrisolvePlan(rt::ThreadPool& pool, const Csr& l, const Csr* u,
                            const PlanOptions& opts)
     : pool_(&pool),
       l_(&l),
-      u_(nullptr),
+      u_(u),
       opts_(opts),
       n_(l.rows),
       nth_(pool.clamp_threads(opts.nthreads)),
       barrier_(nth_ == 0 ? 1 : nth_) {
   check_factor(l, "lower");
+  if (u) {
+    check_factor(*u, "upper");
+    if (u->rows != l.rows) {
+      throw std::invalid_argument("TrisolvePlan: L/U dimension mismatch");
+    }
+  }
   ready_l_.ensure_size(n_);
   episodes_.resize(nth_);
   rounds_.resize(nth_);
@@ -263,132 +571,130 @@ TrisolvePlan::TrisolvePlan(rt::ThreadPool& pool, const Csr& l,
   if (!needs_reordering()) {
     l_order_.reset();  // kSerial / kBlockedHybrid run in source order
   }
+  if (u) {
+    ready_u_.ensure_size(n_);
+    tmp_.resize(static_cast<std::size_t>(n_));
+    if (needs_reordering()) {
+      u_order_ =
+          std::make_unique<core::Reordering>(upper_solve_reordering(*u));
+    }
+  }
+  build_packed();
   bind_lower_region();
+  if (u) bind_upper_regions();
 }
+
+TrisolvePlan::TrisolvePlan(rt::ThreadPool& pool, const Csr& l,
+                           const PlanOptions& opts)
+    : TrisolvePlan(pool, l, nullptr, opts) {}
 
 TrisolvePlan::TrisolvePlan(rt::ThreadPool& pool, const Csr& l, const Csr& u,
                            const PlanOptions& opts)
-    : TrisolvePlan(pool, l, opts) {  // all lower-solve state
-  check_factor(u, "upper");
-  if (u.rows != l.rows) {
-    throw std::invalid_argument("TrisolvePlan: L/U dimension mismatch");
-  }
-  u_ = &u;
-  ready_u_.ensure_size(n_);
-  tmp_.resize(static_cast<std::size_t>(n_));
-  if (needs_reordering()) {
-    u_order_ = std::make_unique<core::Reordering>(upper_solve_reordering(u));
-  }
-  bind_upper_regions();
-}
+    : TrisolvePlan(pool, l, &u, opts) {}
 
-void TrisolvePlan::lower_kernel(const double* rhs_p, double* yp, unsigned tid,
-                                unsigned nthreads, std::uint64_t& episodes,
-                                std::uint64_t& rounds) noexcept {
-  const Csr& l = *l_;
-  const index_t* order = l_order_ ? l_order_->order.data() : nullptr;
+template <class Src>
+void TrisolvePlan::lower_flags_k(Src src, const double* rhs_p, double* yp,
+                                 unsigned tid, unsigned nthreads,
+                                 std::uint64_t& episodes,
+                                 std::uint64_t& rounds) noexcept {
   const int work_reps = opts_.work_reps;
   std::uint64_t my_episodes = 0, my_rounds = 0;
   // Identical arithmetic (term order, division) to trisolve_lower_seq —
   // results are bitwise equal; the ready flags only sequence the reads.
   auto solve_row = [&](index_t k) noexcept {
-    const index_t i = order ? order[k] : k;
-    double acc = rhs_p[i];
-    const index_t k_end = l.row_end(i) - 1;  // diagonal last
-    for (index_t kk = l.row_begin(i); kk < k_end; ++kk) {
-      const index_t c = l.idx[static_cast<std::size_t>(kk)];
-      const std::uint64_t r = ready_l_.wait_done(c);
-      if (r != 0) {
+    const PackedRow r = src.at(k);
+    double acc = rhs_p[r.row];
+    for (index_t j = 0; j < r.cnt; ++j) {
+      const index_t c = r.cols[j];
+      const std::uint64_t w = ready_l_.wait_done(c);
+      if (w != 0) {
         ++my_episodes;
-        my_rounds += r;
+        my_rounds += w;
       }
-      acc -= l.val[static_cast<std::size_t>(kk)] * yp[c];
+      acc -= r.vals[j] * yp[c];
       if (work_reps > 0) acc = machine_emulation_work(acc, work_reps);
     }
-    yp[i] = acc / l.val[static_cast<std::size_t>(k_end)];
-    ready_l_.mark_done(i);  // release-publishes the y store
+    yp[r.row] = acc / r.diag;
+    ready_l_.mark_done(r.row);  // release-publishes the y store
   };
   rt::schedule_run(opts_.schedule, n_, tid, nthreads, &cursor_l_, solve_row);
   episodes += my_episodes;
   rounds += my_rounds;
 }
 
-void TrisolvePlan::upper_kernel(const double* rhs_p, double* yp, unsigned tid,
-                                unsigned nthreads, std::uint64_t& episodes,
-                                std::uint64_t& rounds) noexcept {
-  const Csr& u = *u_;
-  const index_t* order = u_order_ ? u_order_->order.data() : nullptr;
+template <class Src>
+void TrisolvePlan::upper_flags_k(Src src, const double* rhs_p, double* yp,
+                                 unsigned tid, unsigned nthreads,
+                                 std::uint64_t& episodes,
+                                 std::uint64_t& rounds) noexcept {
   std::uint64_t my_episodes = 0, my_rounds = 0;
   auto solve_row = [&](index_t k) noexcept {
-    const index_t i = order ? order[k] : n_ - 1 - k;
-    double acc = rhs_p[i];
-    const index_t k_diag = u.row_begin(i);  // diagonal first
-    for (index_t kk = k_diag + 1; kk < u.row_end(i); ++kk) {
-      const index_t c = u.idx[static_cast<std::size_t>(kk)];
-      const std::uint64_t r = ready_u_.wait_done(c);
-      if (r != 0) {
+    const PackedRow r = src.at(k);
+    double acc = rhs_p[r.row];
+    for (index_t j = 0; j < r.cnt; ++j) {
+      const index_t c = r.cols[j];
+      const std::uint64_t w = ready_u_.wait_done(c);
+      if (w != 0) {
         ++my_episodes;
-        my_rounds += r;
+        my_rounds += w;
       }
-      acc -= u.val[static_cast<std::size_t>(kk)] * yp[c];
+      acc -= r.vals[j] * yp[c];
     }
-    yp[i] = acc / u.val[static_cast<std::size_t>(k_diag)];
-    ready_u_.mark_done(i);
+    yp[r.row] = acc / r.diag;
+    ready_u_.mark_done(r.row);
   };
   rt::schedule_run(opts_.schedule, n_, tid, nthreads, &cursor_u_, solve_row);
   episodes += my_episodes;
   rounds += my_rounds;
 }
 
-void TrisolvePlan::lower_kernel_multi(unsigned tid, unsigned nthreads,
-                                      std::uint64_t& episodes,
-                                      std::uint64_t& rounds) noexcept {
-  const Csr& l = *l_;
-  const index_t* order = l_order_ ? l_order_->order.data() : nullptr;
+template <class Src>
+void TrisolvePlan::lower_flags_multi_k(Src src, unsigned tid,
+                                       unsigned nthreads,
+                                       std::uint64_t& episodes,
+                                       std::uint64_t& rounds) noexcept {
   const index_t k = batch_k_;
   const double* const* b_cols = batch_b_.data();
   double* tp = batch_tmp_.data();
   const int work_reps = opts_.work_reps;
   std::uint64_t my_episodes = 0, my_rounds = 0;
-  // Column c runs the exact arithmetic of lower_kernel on b_cols[c] (term
-  // order, division) — bitwise equal per column. One ready flag per row
-  // covers all k columns: a dependence is waited on once, not k times,
-  // and the row's indices/values are read once for the whole batch.
-  // Row i's k results accumulate in place in the row-major strip, where
-  // consumers read them contiguously.
+  // Column c runs the exact arithmetic of the single-RHS kernel on
+  // b_cols[c] (term order, division) — bitwise equal per column. One
+  // ready flag per row covers all k columns: a dependence is waited on
+  // once, not k times, and the row's record is read once for the whole
+  // batch. Row i's k results accumulate in place in the row-major strip,
+  // where consumers read them contiguously.
   auto solve_row = [&](index_t pos) noexcept {
-    const index_t i = order ? order[pos] : pos;
-    double* ti = tp + i * k;
-    for (index_t c = 0; c < k; ++c) ti[c] = b_cols[c][i];
-    const index_t k_end = l.row_end(i) - 1;  // diagonal last
-    for (index_t kk = l.row_begin(i); kk < k_end; ++kk) {
-      const index_t col = l.idx[static_cast<std::size_t>(kk)];
-      const std::uint64_t r = ready_l_.wait_done(col);
-      if (r != 0) {
+    const PackedRow r = src.at(pos);
+    double* ti = tp + r.row * k;
+    for (index_t c = 0; c < k; ++c) ti[c] = b_cols[c][r.row];
+    for (index_t j = 0; j < r.cnt; ++j) {
+      const index_t col = r.cols[j];
+      const std::uint64_t w = ready_l_.wait_done(col);
+      if (w != 0) {
         ++my_episodes;
-        my_rounds += r;
+        my_rounds += w;
       }
-      const double a = l.val[static_cast<std::size_t>(kk)];
+      const double a = r.vals[j];
       const double* tc = tp + col * k;
       for (index_t c = 0; c < k; ++c) {
         ti[c] -= a * tc[c];
         if (work_reps > 0) ti[c] = machine_emulation_work(ti[c], work_reps);
       }
     }
-    const double d = l.val[static_cast<std::size_t>(k_end)];
-    for (index_t c = 0; c < k; ++c) ti[c] /= d;
-    ready_l_.mark_done(i);  // release-publishes all k stores of this row
+    for (index_t c = 0; c < k; ++c) ti[c] /= r.diag;
+    ready_l_.mark_done(r.row);  // release-publishes all k stores of this row
   };
   rt::schedule_run(opts_.schedule, n_, tid, nthreads, &cursor_l_, solve_row);
   episodes += my_episodes;
   rounds += my_rounds;
 }
 
-void TrisolvePlan::upper_kernel_multi(unsigned tid, unsigned nthreads,
-                                      std::uint64_t& episodes,
-                                      std::uint64_t& rounds) noexcept {
-  const Csr& u = *u_;
-  const index_t* order = u_order_ ? u_order_->order.data() : nullptr;
+template <class Src>
+void TrisolvePlan::upper_flags_multi_k(Src src, unsigned tid,
+                                       unsigned nthreads,
+                                       std::uint64_t& episodes,
+                                       std::uint64_t& rounds) noexcept {
   const index_t k = batch_k_;
   double* const* x_cols = batch_x_.data();
   double* tp = batch_tmp_.data();
@@ -398,87 +704,79 @@ void TrisolvePlan::upper_kernel_multi(unsigned tid, unsigned nthreads,
   // resident in the strip (consumers read it contiguously) and is
   // mirrored into the caller's column vectors before the row is marked.
   auto solve_row = [&](index_t pos) noexcept {
-    const index_t i = order ? order[pos] : n_ - 1 - pos;
-    double* ti = tp + i * k;
-    const index_t k_diag = u.row_begin(i);  // diagonal first
-    for (index_t kk = k_diag + 1; kk < u.row_end(i); ++kk) {
-      const index_t col = u.idx[static_cast<std::size_t>(kk)];
-      const std::uint64_t r = ready_u_.wait_done(col);
-      if (r != 0) {
+    const PackedRow r = src.at(pos);
+    double* ti = tp + r.row * k;
+    for (index_t j = 0; j < r.cnt; ++j) {
+      const index_t col = r.cols[j];
+      const std::uint64_t w = ready_u_.wait_done(col);
+      if (w != 0) {
         ++my_episodes;
-        my_rounds += r;
+        my_rounds += w;
       }
-      const double a = u.val[static_cast<std::size_t>(kk)];
+      const double a = r.vals[j];
       const double* tc = tp + col * k;
       for (index_t c = 0; c < k; ++c) ti[c] -= a * tc[c];
     }
-    const double d = u.val[static_cast<std::size_t>(k_diag)];
     for (index_t c = 0; c < k; ++c) {
-      ti[c] /= d;
-      x_cols[c][i] = ti[c];
+      ti[c] /= r.diag;
+      x_cols[c][r.row] = ti[c];
     }
-    ready_u_.mark_done(i);
+    ready_u_.mark_done(r.row);
   };
   rt::schedule_run(opts_.schedule, n_, tid, nthreads, &cursor_u_, solve_row);
   episodes += my_episodes;
   rounds += my_rounds;
 }
 
-void TrisolvePlan::lower_levels_kernel(const double* rhs_p, double* yp,
-                                       unsigned tid,
-                                       unsigned nthreads) noexcept {
+template <class Src>
+void TrisolvePlan::lower_levels_k(Src src, const double* rhs_p, double* yp,
+                                  unsigned tid, unsigned nthreads) noexcept {
   // Bulk-synchronous wavefronts: every producer of level l finished
   // before the barrier that opens level l+1, so no flags are consulted
-  // or published. Row arithmetic is identical to lower_kernel.
-  const Csr& l = *l_;
+  // or published. Row arithmetic is identical to the flag kernels.
   const core::Reordering& ord = *l_order_;
   const int work_reps = opts_.work_reps;
   for (index_t lvl = 0; lvl < ord.num_levels(); ++lvl) {
     const index_t lo = ord.level_ptr[static_cast<std::size_t>(lvl)];
     const index_t hi = ord.level_ptr[static_cast<std::size_t>(lvl) + 1];
     const rt::IterRange r = rt::static_block_range(hi - lo, tid, nthreads);
-    for (index_t k = lo + r.begin; k < lo + r.end; ++k) {
-      const index_t i = ord.order[static_cast<std::size_t>(k)];
-      double acc = rhs_p[i];
-      const index_t k_end = l.row_end(i) - 1;  // diagonal last
-      for (index_t kk = l.row_begin(i); kk < k_end; ++kk) {
-        acc -= l.val[static_cast<std::size_t>(kk)] *
-               yp[l.idx[static_cast<std::size_t>(kk)]];
+    for (index_t pos = lo + r.begin; pos < lo + r.end; ++pos) {
+      const PackedRow row = src.at(pos);
+      double acc = rhs_p[row.row];
+      for (index_t j = 0; j < row.cnt; ++j) {
+        acc -= row.vals[j] * yp[row.cols[j]];
         if (work_reps > 0) acc = machine_emulation_work(acc, work_reps);
       }
-      yp[i] = acc / l.val[static_cast<std::size_t>(k_end)];
+      yp[row.row] = acc / row.diag;
     }
     // The trailing episode doubles as the L→U handoff of a fused solve.
     barrier_.arrive_and_wait();
   }
 }
 
-void TrisolvePlan::upper_levels_kernel(const double* rhs_p, double* yp,
-                                       unsigned tid,
-                                       unsigned nthreads) noexcept {
-  const Csr& u = *u_;
+template <class Src>
+void TrisolvePlan::upper_levels_k(Src src, const double* rhs_p, double* yp,
+                                  unsigned tid, unsigned nthreads) noexcept {
   const core::Reordering& ord = *u_order_;
   for (index_t lvl = 0; lvl < ord.num_levels(); ++lvl) {
     const index_t lo = ord.level_ptr[static_cast<std::size_t>(lvl)];
     const index_t hi = ord.level_ptr[static_cast<std::size_t>(lvl) + 1];
     const rt::IterRange r = rt::static_block_range(hi - lo, tid, nthreads);
-    for (index_t k = lo + r.begin; k < lo + r.end; ++k) {
-      const index_t i = ord.order[static_cast<std::size_t>(k)];
-      double acc = rhs_p[i];
-      const index_t k_diag = u.row_begin(i);  // diagonal first
-      for (index_t kk = k_diag + 1; kk < u.row_end(i); ++kk) {
-        acc -= u.val[static_cast<std::size_t>(kk)] *
-               yp[u.idx[static_cast<std::size_t>(kk)]];
+    for (index_t pos = lo + r.begin; pos < lo + r.end; ++pos) {
+      const PackedRow row = src.at(pos);
+      double acc = rhs_p[row.row];
+      for (index_t j = 0; j < row.cnt; ++j) {
+        acc -= row.vals[j] * yp[row.cols[j]];
       }
-      yp[i] = acc / u.val[static_cast<std::size_t>(k_diag)];
+      yp[row.row] = acc / row.diag;
     }
     barrier_.arrive_and_wait();
   }
 }
 
-void TrisolvePlan::lower_levels_multi(unsigned tid,
-                                      unsigned nthreads) noexcept {
-  const Csr& l = *l_;
+template <class Src>
+void TrisolvePlan::lower_levels_multi_k(Src src, unsigned tid,
+                                        unsigned nthreads) noexcept {
   const core::Reordering& ord = *l_order_;
   const index_t k = batch_k_;
   const double* const* b_cols = batch_b_.data();
@@ -489,29 +787,26 @@ void TrisolvePlan::lower_levels_multi(unsigned tid,
     const index_t hi = ord.level_ptr[static_cast<std::size_t>(lvl) + 1];
     const rt::IterRange r = rt::static_block_range(hi - lo, tid, nthreads);
     for (index_t pos = lo + r.begin; pos < lo + r.end; ++pos) {
-      const index_t i = ord.order[static_cast<std::size_t>(pos)];
-      double* ti = tp + i * k;
-      for (index_t c = 0; c < k; ++c) ti[c] = b_cols[c][i];
-      const index_t k_end = l.row_end(i) - 1;
-      for (index_t kk = l.row_begin(i); kk < k_end; ++kk) {
-        const double a = l.val[static_cast<std::size_t>(kk)];
-        const double* tc =
-            tp + l.idx[static_cast<std::size_t>(kk)] * k;
+      const PackedRow row = src.at(pos);
+      double* ti = tp + row.row * k;
+      for (index_t c = 0; c < k; ++c) ti[c] = b_cols[c][row.row];
+      for (index_t j = 0; j < row.cnt; ++j) {
+        const double a = row.vals[j];
+        const double* tc = tp + row.cols[j] * k;
         for (index_t c = 0; c < k; ++c) {
           ti[c] -= a * tc[c];
           if (work_reps > 0) ti[c] = machine_emulation_work(ti[c], work_reps);
         }
       }
-      const double d = l.val[static_cast<std::size_t>(k_end)];
-      for (index_t c = 0; c < k; ++c) ti[c] /= d;
+      for (index_t c = 0; c < k; ++c) ti[c] /= row.diag;
     }
     barrier_.arrive_and_wait();
   }
 }
 
-void TrisolvePlan::upper_levels_multi(unsigned tid,
-                                      unsigned nthreads) noexcept {
-  const Csr& u = *u_;
+template <class Src>
+void TrisolvePlan::upper_levels_multi_k(Src src, unsigned tid,
+                                        unsigned nthreads) noexcept {
   const core::Reordering& ord = *u_order_;
   const index_t k = batch_k_;
   double* const* x_cols = batch_x_.data();
@@ -521,66 +816,63 @@ void TrisolvePlan::upper_levels_multi(unsigned tid,
     const index_t hi = ord.level_ptr[static_cast<std::size_t>(lvl) + 1];
     const rt::IterRange r = rt::static_block_range(hi - lo, tid, nthreads);
     for (index_t pos = lo + r.begin; pos < lo + r.end; ++pos) {
-      const index_t i = ord.order[static_cast<std::size_t>(pos)];
-      double* ti = tp + i * k;
-      const index_t k_diag = u.row_begin(i);
-      for (index_t kk = k_diag + 1; kk < u.row_end(i); ++kk) {
-        const double a = u.val[static_cast<std::size_t>(kk)];
-        const double* tc =
-            tp + u.idx[static_cast<std::size_t>(kk)] * k;
+      const PackedRow row = src.at(pos);
+      double* ti = tp + row.row * k;
+      for (index_t j = 0; j < row.cnt; ++j) {
+        const double a = row.vals[j];
+        const double* tc = tp + row.cols[j] * k;
         for (index_t c = 0; c < k; ++c) ti[c] -= a * tc[c];
       }
-      const double d = u.val[static_cast<std::size_t>(k_diag)];
       for (index_t c = 0; c < k; ++c) {
-        ti[c] /= d;
-        x_cols[c][i] = ti[c];
+        ti[c] /= row.diag;
+        x_cols[c][row.row] = ti[c];
       }
     }
     barrier_.arrive_and_wait();
   }
 }
 
-void TrisolvePlan::lower_blocked_kernel(const double* rhs_p, double* yp,
-                                        unsigned tid, unsigned nthreads,
-                                        std::uint64_t& episodes,
-                                        std::uint64_t& rounds) noexcept {
+template <class Src>
+void TrisolvePlan::lower_blocked_k(Src src, const double* rhs_p, double* yp,
+                                   unsigned tid, unsigned nthreads,
+                                   std::uint64_t& episodes,
+                                   std::uint64_t& rounds) noexcept {
   // Static contiguous blocks in source order: a dependence on a row this
   // thread owns was already retired (rows run in increasing order), so
   // only boundary-crossing dependences — c before my block's first row —
   // consult a flag. Every row is still published — marking is one release
   // store, and whether a consumer exists in another block is not worth a
   // build-time scan to know.
-  const Csr& l = *l_;
   const int work_reps = opts_.work_reps;
   std::uint64_t my_episodes = 0, my_rounds = 0;
   const rt::IterRange range = rt::static_block_range(n_, tid, nthreads);
-  for (index_t i = range.begin; i < range.end; ++i) {
-    double acc = rhs_p[i];
-    const index_t k_end = l.row_end(i) - 1;  // diagonal last
-    for (index_t kk = l.row_begin(i); kk < k_end; ++kk) {
-      const index_t c = l.idx[static_cast<std::size_t>(kk)];
+  for (index_t pos = range.begin; pos < range.end; ++pos) {
+    const PackedRow r = src.at(pos);  // r.row == pos
+    double acc = rhs_p[r.row];
+    for (index_t j = 0; j < r.cnt; ++j) {
+      const index_t c = r.cols[j];
       if (c < range.begin) {  // cross-block: the only flag traffic
-        const std::uint64_t r = ready_l_.wait_done(c);
-        if (r != 0) {
+        const std::uint64_t w = ready_l_.wait_done(c);
+        if (w != 0) {
           ++my_episodes;
-          my_rounds += r;
+          my_rounds += w;
         }
       }
-      acc -= l.val[static_cast<std::size_t>(kk)] * yp[c];
+      acc -= r.vals[j] * yp[c];
       if (work_reps > 0) acc = machine_emulation_work(acc, work_reps);
     }
-    yp[i] = acc / l.val[static_cast<std::size_t>(k_end)];
-    ready_l_.mark_done(i);
+    yp[r.row] = acc / r.diag;
+    ready_l_.mark_done(r.row);
   }
   episodes += my_episodes;
   rounds += my_rounds;
 }
 
-void TrisolvePlan::upper_blocked_kernel(const double* rhs_p, double* yp,
-                                        unsigned tid, unsigned nthreads,
-                                        std::uint64_t& episodes,
-                                        std::uint64_t& rounds) noexcept {
-  const Csr& u = *u_;
+template <class Src>
+void TrisolvePlan::upper_blocked_k(Src src, const double* rhs_p, double* yp,
+                                   unsigned tid, unsigned nthreads,
+                                   std::uint64_t& episodes,
+                                   std::uint64_t& rounds) noexcept {
   std::uint64_t my_episodes = 0, my_rounds = 0;
   // Position space of the backward solve: position k is row n-1-k, so
   // this thread's block is a contiguous run of *descending* rows topped
@@ -588,70 +880,70 @@ void TrisolvePlan::upper_blocked_kernel(const double* rhs_p, double* yp,
   // that top row) is already retired, only rows above it need the flag.
   const rt::IterRange range = rt::static_block_range(n_, tid, nthreads);
   const index_t top = n_ - 1 - range.begin;
-  for (index_t k = range.begin; k < range.end; ++k) {
-    const index_t i = n_ - 1 - k;
-    double acc = rhs_p[i];
-    const index_t k_diag = u.row_begin(i);  // diagonal first
-    for (index_t kk = k_diag + 1; kk < u.row_end(i); ++kk) {
-      const index_t c = u.idx[static_cast<std::size_t>(kk)];
+  for (index_t pos = range.begin; pos < range.end; ++pos) {
+    const PackedRow r = src.at(pos);  // r.row == n_-1-pos
+    double acc = rhs_p[r.row];
+    for (index_t j = 0; j < r.cnt; ++j) {
+      const index_t c = r.cols[j];
       if (c > top) {
-        const std::uint64_t r = ready_u_.wait_done(c);
-        if (r != 0) {
+        const std::uint64_t w = ready_u_.wait_done(c);
+        if (w != 0) {
           ++my_episodes;
-          my_rounds += r;
+          my_rounds += w;
         }
       }
-      acc -= u.val[static_cast<std::size_t>(kk)] * yp[c];
+      acc -= r.vals[j] * yp[c];
     }
-    yp[i] = acc / u.val[static_cast<std::size_t>(k_diag)];
-    ready_u_.mark_done(i);
+    yp[r.row] = acc / r.diag;
+    ready_u_.mark_done(r.row);
   }
   episodes += my_episodes;
   rounds += my_rounds;
 }
 
-void TrisolvePlan::lower_blocked_multi(unsigned tid, unsigned nthreads,
-                                       std::uint64_t& episodes,
-                                       std::uint64_t& rounds) noexcept {
-  const Csr& l = *l_;
+template <class Src>
+void TrisolvePlan::lower_blocked_multi_k(Src src, unsigned tid,
+                                         unsigned nthreads,
+                                         std::uint64_t& episodes,
+                                         std::uint64_t& rounds) noexcept {
   const index_t k = batch_k_;
   const double* const* b_cols = batch_b_.data();
   double* tp = batch_tmp_.data();
   const int work_reps = opts_.work_reps;
   std::uint64_t my_episodes = 0, my_rounds = 0;
   const rt::IterRange range = rt::static_block_range(n_, tid, nthreads);
-  for (index_t i = range.begin; i < range.end; ++i) {
-    double* ti = tp + i * k;
-    for (index_t c = 0; c < k; ++c) ti[c] = b_cols[c][i];
-    const index_t k_end = l.row_end(i) - 1;
-    for (index_t kk = l.row_begin(i); kk < k_end; ++kk) {
-      const index_t col = l.idx[static_cast<std::size_t>(kk)];
+  for (index_t pos = range.begin; pos < range.end; ++pos) {
+    const PackedRow r = src.at(pos);
+    double* ti = tp + r.row * k;
+    for (index_t c = 0; c < k; ++c) ti[c] = b_cols[c][r.row];
+    for (index_t j = 0; j < r.cnt; ++j) {
+      const index_t col = r.cols[j];
       if (col < range.begin) {
-        const std::uint64_t r = ready_l_.wait_done(col);
-        if (r != 0) {
+        const std::uint64_t w = ready_l_.wait_done(col);
+        if (w != 0) {
           ++my_episodes;
-          my_rounds += r;
+          my_rounds += w;
         }
       }
-      const double a = l.val[static_cast<std::size_t>(kk)];
+      const double a = r.vals[j];
       const double* tc = tp + col * k;
       for (index_t c = 0; c < k; ++c) {
         ti[c] -= a * tc[c];
         if (work_reps > 0) ti[c] = machine_emulation_work(ti[c], work_reps);
       }
     }
-    const double d = l.val[static_cast<std::size_t>(k_end)];
-    for (index_t c = 0; c < k; ++c) ti[c] /= d;
-    ready_l_.mark_done(i);
+    for (index_t c = 0; c < k; ++c) ti[c] /= r.diag;
+    ready_l_.mark_done(r.row);
   }
   episodes += my_episodes;
   rounds += my_rounds;
 }
 
-void TrisolvePlan::upper_blocked_multi(unsigned tid, unsigned nthreads,
-                                       std::uint64_t& episodes,
-                                       std::uint64_t& rounds) noexcept {
-  const Csr& u = *u_;
+template <class Src>
+void TrisolvePlan::upper_blocked_multi_k(Src src, unsigned tid,
+                                         unsigned nthreads,
+                                         std::uint64_t& episodes,
+                                         std::uint64_t& rounds) noexcept {
   const index_t k = batch_k_;
   double* const* x_cols = batch_x_.data();
   double* tp = batch_tmp_.data();
@@ -659,49 +951,60 @@ void TrisolvePlan::upper_blocked_multi(unsigned tid, unsigned nthreads,
   const rt::IterRange range = rt::static_block_range(n_, tid, nthreads);
   const index_t top = n_ - 1 - range.begin;
   for (index_t pos = range.begin; pos < range.end; ++pos) {
-    const index_t i = n_ - 1 - pos;
-    double* ti = tp + i * k;
-    const index_t k_diag = u.row_begin(i);
-    for (index_t kk = k_diag + 1; kk < u.row_end(i); ++kk) {
-      const index_t col = u.idx[static_cast<std::size_t>(kk)];
+    const PackedRow r = src.at(pos);
+    double* ti = tp + r.row * k;
+    for (index_t j = 0; j < r.cnt; ++j) {
+      const index_t col = r.cols[j];
       if (col > top) {
-        const std::uint64_t r = ready_u_.wait_done(col);
-        if (r != 0) {
+        const std::uint64_t w = ready_u_.wait_done(col);
+        if (w != 0) {
           ++my_episodes;
-          my_rounds += r;
+          my_rounds += w;
         }
       }
-      const double a = u.val[static_cast<std::size_t>(kk)];
+      const double a = r.vals[j];
       const double* tc = tp + col * k;
       for (index_t c = 0; c < k; ++c) ti[c] -= a * tc[c];
     }
-    const double d = u.val[static_cast<std::size_t>(k_diag)];
     for (index_t c = 0; c < k; ++c) {
-      ti[c] /= d;
-      x_cols[c][i] = ti[c];
+      ti[c] /= r.diag;
+      x_cols[c][r.row] = ti[c];
     }
-    ready_u_.mark_done(i);
+    ready_u_.mark_done(r.row);
   }
   episodes += my_episodes;
   rounds += my_rounds;
 }
 
-void TrisolvePlan::serial_lower(const double* rhs_p, double* yp) noexcept {
+template <class Src>
+void TrisolvePlan::serial_lower_k(Src src, const double* rhs_p,
+                                  double* yp) noexcept {
   // The strategy for chains is to pay NOTHING — no flags, no barrier, no
-  // pool wake-up: exactly the sequential reference the bitwise contract
-  // is defined against.
-  trisolve_lower_seq(*l_,
-                     std::span<const double>(rhs_p,
-                                             static_cast<std::size_t>(n_)),
-                     std::span<double>(yp, static_cast<std::size_t>(n_)),
-                     opts_.work_reps);
+  // pool wake-up: the sequential Fig. 7 arithmetic the bitwise contract
+  // is defined against, read through whichever layout the plan owns.
+  const int work_reps = opts_.work_reps;
+  for (index_t k = 0; k < n_; ++k) {
+    const PackedRow r = src.at(k);
+    double acc = rhs_p[r.row];
+    for (index_t j = 0; j < r.cnt; ++j) {
+      acc -= r.vals[j] * yp[r.cols[j]];
+      if (work_reps > 0) acc = machine_emulation_work(acc, work_reps);
+    }
+    yp[r.row] = acc / r.diag;
+  }
 }
 
-void TrisolvePlan::serial_upper(const double* rhs_p, double* yp) noexcept {
-  trisolve_upper_seq(*u_,
-                     std::span<const double>(rhs_p,
-                                             static_cast<std::size_t>(n_)),
-                     std::span<double>(yp, static_cast<std::size_t>(n_)));
+template <class Src>
+void TrisolvePlan::serial_upper_k(Src src, const double* rhs_p,
+                                  double* yp) noexcept {
+  for (index_t k = 0; k < n_; ++k) {
+    const PackedRow r = src.at(k);
+    double acc = rhs_p[r.row];
+    for (index_t j = 0; j < r.cnt; ++j) {
+      acc -= r.vals[j] * yp[r.cols[j]];
+    }
+    yp[r.row] = acc / r.diag;
+  }
 }
 
 void TrisolvePlan::reset_for_call(bool lower, bool upper) noexcept {

@@ -21,7 +21,8 @@
 //   padded wait-stat slots     ONE pool fork/join for L⁻¹ then U⁻¹
 //   reusable barrier           (threads flow from the forward solve into
 //   pre-bound region functors   the backward solve through one in-region
-//                               barrier)
+//   packed factor streams       barrier); factors read as linear,
+//    (first-touched per thread)  execution-ordered record streams
 //
 // Plans are *strategy-polymorphic* (DESIGN.md §9): the same build-time
 // analysis that makes the dependence structure measurable also selects
@@ -53,6 +54,7 @@
 #include "runtime/barrier.hpp"
 #include "runtime/thread_pool.hpp"
 #include "sparse/csr.hpp"
+#include "sparse/packed_stream.hpp"
 
 namespace pdx::sparse {
 
@@ -78,6 +80,22 @@ namespace pdx::sparse {
 ///                    core::advise_schedule pick one of the above.
 using ExecutionStrategy = core::ExecStrategy;
 
+/// Memory layout the plan's kernels read the factors through
+/// (DESIGN.md §10).
+///
+///   kPacked  — plan-owned packed record streams in schedule execution
+///              order, per-thread slabs first-touched by their executing
+///              thread. Default: the hot loop becomes a linear walk.
+///   kCsrView — read the caller's CSR directly (zero-copy); the
+///              historical behavior, and the right call when the factor
+///              is too large to duplicate or the plan runs only a few
+///              times.
+enum class PlanLayout : std::uint8_t { kPacked, kCsrView };
+
+inline const char* to_string(PlanLayout l) noexcept {
+  return l == PlanLayout::kPacked ? "packed" : "csr-view";
+}
+
 /// What the plan decided and why — reported by benches and BatchDriver.
 struct PlanTelemetry {
   ExecutionStrategy requested = ExecutionStrategy::kDoacross;
@@ -90,6 +108,11 @@ struct PlanTelemetry {
   core::TrisolveStructure structure;
   /// Processor count the decision assumed (the plan's region width).
   unsigned procs = 0;
+  /// Resolved factor layout (kCsrView for empty plans even when packing
+  /// was requested — there is nothing to pack).
+  PlanLayout layout = PlanLayout::kCsrView;
+  /// Plan-owned packed stream bytes across both factors (0 for kCsrView).
+  std::size_t packed_bytes = 0;
 };
 
 struct PlanOptions {
@@ -113,6 +136,12 @@ struct PlanOptions {
   /// unrelated factors should pick a strategy explicitly. The default
   /// preserves the historical flag-based plan behavior.
   ExecutionStrategy strategy = ExecutionStrategy::kDoacross;
+  /// Factor memory layout. kPacked (default) re-streams both factors
+  /// into plan-owned, execution-ordered, NUMA-first-touched record slabs
+  /// at build time (one extra pool dispatch, ~the factors' size in extra
+  /// memory); kCsrView keeps the zero-copy read-through-the-caller's-CSR
+  /// behavior. Results are bitwise identical either way.
+  PlanLayout layout = PlanLayout::kPacked;
 };
 
 /// How solve_batch walks its k right-hand-side columns inside the single
@@ -191,6 +220,10 @@ class TrisolvePlan {
   index_t rows() const noexcept { return n_; }
   unsigned nthreads() const noexcept { return nth_; }
   bool has_upper() const noexcept { return u_ != nullptr; }
+  /// The resolved factor layout (kCsrView when nothing was packed).
+  PlanLayout layout() const noexcept { return telemetry_.layout; }
+  /// Plan-owned packed stream bytes (0 under kCsrView).
+  std::size_t packed_bytes() const noexcept { return telemetry_.packed_bytes; }
   /// The resolved execution strategy (never kAuto).
   ExecutionStrategy strategy() const noexcept { return telemetry_.strategy; }
   /// Chosen strategy, rationale and the measured structure behind it.
@@ -212,45 +245,76 @@ class TrisolvePlan {
   }
 
  private:
-  // --- flag-based doacross kernels (ExecutionStrategy::kDoacross) ---
-  void lower_kernel(const double* rhs, double* y, unsigned tid,
-                    unsigned nthreads, std::uint64_t& episodes,
-                    std::uint64_t& rounds) noexcept;
-  void upper_kernel(const double* rhs, double* y, unsigned tid,
-                    unsigned nthreads, std::uint64_t& episodes,
-                    std::uint64_t& rounds) noexcept;
-  void lower_kernel_multi(unsigned tid, unsigned nthreads,
-                          std::uint64_t& episodes,
-                          std::uint64_t& rounds) noexcept;
-  void upper_kernel_multi(unsigned tid, unsigned nthreads,
-                          std::uint64_t& episodes,
-                          std::uint64_t& rounds) noexcept;
-  // --- bulk-synchronous wavefront kernels (kLevelBarrier) ---
-  void lower_levels_kernel(const double* rhs, double* y, unsigned tid,
-                           unsigned nthreads) noexcept;
-  void upper_levels_kernel(const double* rhs, double* y, unsigned tid,
-                           unsigned nthreads) noexcept;
-  void lower_levels_multi(unsigned tid, unsigned nthreads) noexcept;
-  void upper_levels_multi(unsigned tid, unsigned nthreads) noexcept;
-  // --- static-block hybrid kernels (kBlockedHybrid) ---
-  void lower_blocked_kernel(const double* rhs, double* y, unsigned tid,
-                            unsigned nthreads, std::uint64_t& episodes,
-                            std::uint64_t& rounds) noexcept;
-  void upper_blocked_kernel(const double* rhs, double* y, unsigned tid,
-                            unsigned nthreads, std::uint64_t& episodes,
-                            std::uint64_t& rounds) noexcept;
-  void lower_blocked_multi(unsigned tid, unsigned nthreads,
+  // --- layout-generic kernels ---
+  // Every kernel is a template over a row Source: src.at(k) yields the
+  // PackedRow record for execution position k. bind_*_region instantiates
+  // each kernel twice — over a packed-stream source (kPacked: a linear
+  // slab walk, or the position index for dynamically claimed doacross
+  // chunks) and over a CSR view (kCsrView: the historical access path).
+  // Per-thread positions arrive in increasing order, which is what lets
+  // the packed walks advance a bare cursor. Arithmetic is identical to
+  // the sequential Fig. 7 solves in every instantiation.
+  //
+  // flag-based doacross (ExecutionStrategy::kDoacross):
+  template <class Src>
+  void lower_flags_k(Src src, const double* rhs, double* y, unsigned tid,
+                     unsigned nthreads, std::uint64_t& episodes,
+                     std::uint64_t& rounds) noexcept;
+  template <class Src>
+  void upper_flags_k(Src src, const double* rhs, double* y, unsigned tid,
+                     unsigned nthreads, std::uint64_t& episodes,
+                     std::uint64_t& rounds) noexcept;
+  template <class Src>
+  void lower_flags_multi_k(Src src, unsigned tid, unsigned nthreads,
                            std::uint64_t& episodes,
                            std::uint64_t& rounds) noexcept;
-  void upper_blocked_multi(unsigned tid, unsigned nthreads,
+  template <class Src>
+  void upper_flags_multi_k(Src src, unsigned tid, unsigned nthreads,
                            std::uint64_t& episodes,
                            std::uint64_t& rounds) noexcept;
-  // --- sequential kernels (kSerial; run on the calling thread) ---
-  void serial_lower(const double* rhs, double* y) noexcept;
-  void serial_upper(const double* rhs, double* y) noexcept;
+  // bulk-synchronous wavefronts (kLevelBarrier):
+  template <class Src>
+  void lower_levels_k(Src src, const double* rhs, double* y, unsigned tid,
+                      unsigned nthreads) noexcept;
+  template <class Src>
+  void upper_levels_k(Src src, const double* rhs, double* y, unsigned tid,
+                      unsigned nthreads) noexcept;
+  template <class Src>
+  void lower_levels_multi_k(Src src, unsigned tid, unsigned nthreads) noexcept;
+  template <class Src>
+  void upper_levels_multi_k(Src src, unsigned tid, unsigned nthreads) noexcept;
+  // static-block hybrid (kBlockedHybrid):
+  template <class Src>
+  void lower_blocked_k(Src src, const double* rhs, double* y, unsigned tid,
+                       unsigned nthreads, std::uint64_t& episodes,
+                       std::uint64_t& rounds) noexcept;
+  template <class Src>
+  void upper_blocked_k(Src src, const double* rhs, double* y, unsigned tid,
+                       unsigned nthreads, std::uint64_t& episodes,
+                       std::uint64_t& rounds) noexcept;
+  template <class Src>
+  void lower_blocked_multi_k(Src src, unsigned tid, unsigned nthreads,
+                             std::uint64_t& episodes,
+                             std::uint64_t& rounds) noexcept;
+  template <class Src>
+  void upper_blocked_multi_k(Src src, unsigned tid, unsigned nthreads,
+                             std::uint64_t& episodes,
+                             std::uint64_t& rounds) noexcept;
+  // sequential (kSerial; run inline on the calling thread):
+  template <class Src>
+  void serial_lower_k(Src src, const double* rhs, double* y) noexcept;
+  template <class Src>
+  void serial_upper_k(Src src, const double* rhs, double* y) noexcept;
+
+  TrisolvePlan(rt::ThreadPool& pool, const Csr& l, const Csr* u,
+               const PlanOptions& opts);
 
   bool needs_reordering() const noexcept;
   void resolve_strategy();
+  /// Stream both factors into execution-ordered slabs (PlanLayout::
+  /// kPacked): lay the slabs out, then run ONE pool dispatch in which
+  /// each thread packs — first-touches — its own slab for both factors.
+  void build_packed();
   void bind_lower_region();
   void bind_upper_regions();
   void reset_for_call(bool lower, bool upper) noexcept;
@@ -266,6 +330,7 @@ class TrisolvePlan {
   PlanTelemetry telemetry_;
 
   std::unique_ptr<core::Reordering> l_order_, u_order_;
+  PackedFactorStream packed_l_, packed_u_;
   core::EpochReadyTable ready_l_, ready_u_;
   rt::Barrier barrier_;
   std::atomic<index_t> cursor_l_{0}, cursor_u_{0};

@@ -161,3 +161,46 @@ TEST(EpochReadyTable, SurvivesManyEpochs) {
     EXPECT_TRUE(t.is_done(0));
   }
 }
+
+TEST(EpochReadyTable, StridedSlotsSpreadNeighborsAcrossLines) {
+  // The production table stride-hashes slots so neighboring offsets —
+  // the rows a triangular-solve wavefront touches concurrently — never
+  // share a cache line. Injective map, and consecutive offsets at least
+  // one line apart (for any table bigger than a line).
+  const index_t n = 1000;
+  core::EpochReadyTable t(n);
+  std::vector<bool> seen(static_cast<std::size_t>(2 * n + 64), false);
+  for (index_t i = 0; i < n; ++i) {
+    const index_t s = t.slot_index(i);
+    ASSERT_GE(s, 0);
+    ASSERT_LT(s, static_cast<index_t>(seen.size()));
+    ASSERT_FALSE(seen[static_cast<std::size_t>(s)]) << "slot collision at " << i;
+    seen[static_cast<std::size_t>(s)] = true;
+  }
+  const index_t per_line = core::EpochReadyTable::kFlagsPerLine;
+  for (index_t i = 0; i + 1 < n; ++i) {
+    const index_t a = t.slot_index(i) / per_line;
+    const index_t b = t.slot_index(i + 1) / per_line;
+    ASSERT_NE(a, b) << "offsets " << i << " and " << i + 1
+                    << " share a cache line";
+  }
+}
+
+TEST(EpochReadyTable, StridedAndLinearLayoutsAgreeObservably) {
+  // Layout is invisible through the public protocol: both variants give
+  // the same mark/is_done/pristine answers across epochs.
+  core::EpochReadyTable strided(257);
+  core::LinearEpochReadyTable linear(257);
+  for (int epoch = 0; epoch < 3; ++epoch) {
+    strided.begin_epoch();
+    linear.begin_epoch();
+    for (index_t i = 0; i < 257; i += 1 + epoch) {
+      strided.mark_done(i);
+      linear.mark_done(i);
+    }
+    for (index_t i = 0; i < 257; ++i) {
+      ASSERT_EQ(strided.is_done(i), linear.is_done(i)) << i;
+    }
+    EXPECT_EQ(strided.pristine(), linear.pristine());
+  }
+}
