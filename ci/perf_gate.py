@@ -1,10 +1,11 @@
 #!/usr/bin/env python3
 """Perf-regression gate over the bench JSON artifacts.
 
-Compares a fresh BENCH_plan.json / BENCH_strategy.json against the
-committed baselines in ci/baselines/ and fails (exit 1) when
-planned-solve throughput regressed by more than the tolerance
-(default 15%, override with --tolerance or PDX_PERF_GATE_TOLERANCE).
+Compares fresh BENCH_plan.json / BENCH_strategy.json / BENCH_batch.json
+/ BENCH_refactor.json artifacts against the committed baselines in
+ci/baselines/ and fails (exit 1) when a gated throughput ratio regressed
+by more than the tolerance (default 15%, override with --tolerance or
+PDX_PERF_GATE_TOLERANCE).
 
 CI runners differ wildly in absolute speed, so the gate never compares
 microseconds. It compares *ratios measured within one run* — numbers
@@ -17,16 +18,34 @@ that already divide out the machine:
   strategy.auto_vs_serial   serial / auto per-solve time per (matrix,
                             threads) — how much the chosen strategy
                             beats the in-run serial reference
+  batch.speedup_cols    sequential / batched-column-sequential per-RHS
+                        time (batch_solve)
+  batch.speedup_ilv     sequential / batched-wavefront-interleaved
+                        per-RHS time (batch_solve)
+  refactor.factor_speedup   sequential ilu0 / planned parallel numeric
+                            factorization time (refactor_loop)
+  refactor.refresh_speedup  full TrisolvePlan rebuild / value-only
+                            refresh_values time (refactor_loop)
 
 Per-row jitter is absorbed by aggregating each metric class with a
 geometric mean before comparing; rows present only on one side (e.g. a
 different thread-count sweep on a wider runner) contribute nothing
 rather than failing the gate.
 
+Baselines must be captured WITHOUT oversubscription (PDX_THREADS no
+larger than the physical core count, or threads rows stripped): a
+ratio whose in-run reference was pathologically slowed by busy-wait
+oversubscription commits an inflated bar that spuriously fails every
+honest runner. When regenerating on wider hardware, prefer it — rows
+the narrow machine could not measure honestly start being gated only
+then.
+
 Usage:
   python3 ci/perf_gate.py \
       --plan BENCH_plan.json ci/baselines/BENCH_plan.json \
-      --strategy BENCH_strategy.json ci/baselines/BENCH_strategy.json
+      --strategy BENCH_strategy.json ci/baselines/BENCH_strategy.json \
+      --batch BENCH_batch.json ci/baselines/BENCH_batch.json \
+      --refactor BENCH_refactor.json ci/baselines/BENCH_refactor.json
 """
 
 import argparse
@@ -82,6 +101,33 @@ def strategy_metrics(doc):
     }
 
 
+def batch_metrics(doc):
+    """Metric-class -> {row_key: ratio} for a batch_solve artifact."""
+    cols, ilv = {}, {}
+    for row in doc.get("results", []):
+        key = (row.get("threads"), row.get("k"))
+        if row.get("speedup_cols", 0) > 0:
+            cols[key] = row["speedup_cols"]
+        if row.get("speedup_ilv", 0) > 0:
+            ilv[key] = row["speedup_ilv"]
+    return {"batch.speedup_cols": cols, "batch.speedup_ilv": ilv}
+
+
+def refactor_metrics(doc):
+    """Metric-class -> {row_key: ratio} for a refactor_loop artifact."""
+    factor, refresh = {}, {}
+    for row in doc.get("results", []):
+        key = (row.get("threads"),)
+        if row.get("factor_speedup", 0) > 0:
+            factor[key] = row["factor_speedup"]
+        if row.get("refresh_speedup", 0) > 0:
+            refresh[key] = row["refresh_speedup"]
+    return {
+        "refactor.factor_speedup": factor,
+        "refactor.refresh_speedup": refresh,
+    }
+
+
 def compare(name, fresh, baseline, tolerance):
     """Return (ok, message) for one metric class."""
     shared = sorted(set(fresh) & set(baseline))
@@ -102,24 +148,30 @@ def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--plan", nargs=2, metavar=("FRESH", "BASELINE"))
     ap.add_argument("--strategy", nargs=2, metavar=("FRESH", "BASELINE"))
+    ap.add_argument("--batch", nargs=2, metavar=("FRESH", "BASELINE"))
+    ap.add_argument("--refactor", nargs=2, metavar=("FRESH", "BASELINE"))
     ap.add_argument(
         "--tolerance",
         type=float,
         default=float(os.environ.get("PDX_PERF_GATE_TOLERANCE", "0.15")),
         help="allowed fractional slowdown (default 0.15)")
     args = ap.parse_args()
-    if not args.plan and not args.strategy:
-        ap.error("nothing to gate: pass --plan and/or --strategy")
+    if not (args.plan or args.strategy or args.batch or args.refactor):
+        ap.error("nothing to gate: pass --plan, --strategy, --batch "
+                 "and/or --refactor")
 
     classes = {}
-    if args.plan:
-        fresh = plan_metrics(load(args.plan[0]))
-        baseline = plan_metrics(load(args.plan[1]))
-        for name, m in fresh.items():
-            classes[name] = (m, baseline.get(name, {}))
-    if args.strategy:
-        fresh = strategy_metrics(load(args.strategy[0]))
-        baseline = strategy_metrics(load(args.strategy[1]))
+    extractors = [
+        (args.plan, plan_metrics),
+        (args.strategy, strategy_metrics),
+        (args.batch, batch_metrics),
+        (args.refactor, refactor_metrics),
+    ]
+    for paths, extract in extractors:
+        if not paths:
+            continue
+        fresh = extract(load(paths[0]))
+        baseline = extract(load(paths[1]))
         for name, m in fresh.items():
             classes[name] = (m, baseline.get(name, {}))
 

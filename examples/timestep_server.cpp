@@ -1,0 +1,123 @@
+// timestep_server — the evolving-values serving loop FactorPlan and
+// refresh_values exist for.
+//
+// Implicit time integration of a diffusion problem with a time-varying
+// coefficient field: every step the operator A(t) = I + dt·K(t) changes
+// VALUES while its stencil PATTERN stays fixed. The classic per-step
+// bill — sequential re-factorization plus a full solve-plan rebuild —
+// is replaced by the symbolic-once / numeric-fast split:
+//
+//   setup (once)     BatchDriver builds ILU(0), the TrisolvePlan, and
+//                    (on the first refactor) the FactorPlan's symbolic
+//                    phase;
+//   per step         driver.refactor(A) — parallel zero-allocation
+//                    numeric factorization + value-only refresh of the
+//                    packed solve streams — then enqueue/drain the
+//                    step's implicit solve through the shared plan.
+//
+// Every step's report carries the refactor telemetry (factor_ms,
+// refresh_ms, the FactorPlan strategy) next to the Krylov work it paid
+// for. Build & run:  ./examples/timestep_server   (PDX_QUICK=1 shrinks
+// the grid and step count — the CI smoke mode).
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "benchsupport/env.hpp"
+#include "benchsupport/timer.hpp"
+#include "gen/stencil.hpp"
+#include "runtime/thread_pool.hpp"
+#include "solve/batch_driver.hpp"
+
+namespace gen = pdx::gen;
+namespace rt = pdx::rt;
+namespace solve = pdx::solve;
+namespace sp = pdx::sparse;
+using pdx::index_t;
+
+namespace {
+
+/// K(t)'s conductivity modulation: smooth in time and space, bounded away
+/// from flipping a sign so A(t) stays diagonally dominant.
+void assemble(const sp::Csr& base, sp::Csr& a, double t) {
+  for (std::size_t k = 0; k < a.val.size(); ++k) {
+    a.val[k] = base.val[k] *
+               (1.0 + 0.25 * std::sin(0.0007 * static_cast<double>(k) + t));
+  }
+}
+
+}  // namespace
+
+int main() {
+  const bool quick = pdx::bench::quick_mode();
+  const int grid = quick ? 32 : 64;
+  const int steps = quick ? 4 : 12;
+  const double dt = 0.35;
+
+  const sp::Csr base = gen::five_point(grid, grid);
+  sp::Csr a = base;  // pattern fixed for the whole run; values per step
+  const index_t n = a.rows;
+  assemble(base, a, 0.0);
+
+  rt::ThreadPool pool;  // hardware width
+  solve::BatchDriverOptions opts;
+  opts.rel_tolerance = 1e-10;
+  pdx::bench::WallTimer build_timer;
+  solve::BatchDriver driver(pool, a, opts);
+  const double build_ms = build_timer.millis();
+
+  std::printf(
+      "timestep_server: %lld equations, %u threads, dt=%.2f, setup %.1f "
+      "ms\n",
+      static_cast<long long>(n), pool.width(), dt, build_ms);
+  const sp::PlanTelemetry& tel = driver.preconditioner().plan().telemetry();
+  std::printf("solve plan: %s / %s layout\n",
+              pdx::core::to_string(tel.strategy), sp::to_string(tel.layout));
+  std::printf("%-5s %-11s %-11s %-12s %-6s %-9s %-10s\n", "step",
+              "factor(ms)", "refresh(ms)", "factor-strat", "iters",
+              "M-solves", "step(ms)");
+
+  // u evolves under backward Euler: (I + dt K(t)) u_next = u. The rhs of
+  // each step is the previous solution — real time-stepping traffic, not
+  // a fresh random vector.
+  std::vector<double> u(static_cast<std::size_t>(n), 1.0);
+  std::vector<double> u_next(static_cast<std::size_t>(n), 0.0);
+
+  for (int s = 1; s <= steps; ++s) {
+    pdx::bench::WallTimer step_timer;
+    assemble(base, a, dt * s);
+    driver.refactor(a);  // parallel numeric ILU(0) + value-only refresh
+
+    std::fill(u_next.begin(), u_next.end(), 0.0);
+    driver.enqueue(u, u_next);
+    const solve::BatchReport rep = driver.drain();
+    if (rep.converged != rep.jobs) {
+      std::printf("step %d: solve failed to converge\n", s);
+      return 1;
+    }
+    std::printf("%-5d %-11.2f %-11.2f %-12s %-6llu %-9llu %-10.1f\n", s,
+                rep.factor_ms, rep.refresh_ms,
+                pdx::core::to_string(rep.factor_strategy),
+                static_cast<unsigned long long>(rep.total_iterations),
+                static_cast<unsigned long long>(rep.precond_solves),
+                step_timer.millis());
+    std::swap(u, u_next);
+  }
+
+  const sp::FactorPlan* fp = driver.preconditioner().factor_plan();
+  if (fp == nullptr || fp->factorizations() !=
+                           static_cast<std::uint64_t>(steps)) {
+    std::printf("FactorPlan did not amortize across the steps — FAIL\n");
+    return 1;
+  }
+  std::printf(
+      "\namortization: 1 symbolic phase (%zu bytes) served %llu numeric "
+      "factorizations; the solve plan was refreshed %llu times and "
+      "rebuilt 0 times.\n",
+      fp->telemetry().symbolic_bytes,
+      static_cast<unsigned long long>(fp->factorizations()),
+      static_cast<unsigned long long>(
+          driver.preconditioner().plan().refreshes()));
+  return 0;
+}

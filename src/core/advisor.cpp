@@ -82,7 +82,30 @@ ScheduleAdvice advise_schedule(const DepGraph& g, unsigned procs) {
   return a;
 }
 
-ScheduleAdvice advise_schedule(const TrisolveStructure& s, unsigned procs) {
+namespace {
+
+/// One decision ladder serves both the solve and the factorization
+/// advisors; only the thresholds and the rationale wording differ.
+/// The factorization's looser thresholds encode its heavier rows —
+/// every elimination row does ~nnz/row of a solve row's work, so
+/// synchronization amortizes sooner (serial cutoff 1.2 vs 1.5, a
+/// barrier hidden by 1 row/processor vs 2, boundary waits tolerated at
+/// twice the dependence distance).
+struct StrategyLadder {
+  double serial_width;    ///< below this avg wavefront width: serial
+  double wide_per_proc;   ///< width >= max(4, this * procs): level-barrier
+  index_t dist_multiple;  ///< max_distance * this <= block: blocked-hybrid
+  const char* empty_rationale;
+  const char* one_proc_rationale;
+  const char* serial_rationale;
+  const char* level_rationale;
+  const char* blocked_rationale;
+  const char* doacross_rationale;
+};
+
+ScheduleAdvice advise_trisolve_shaped(const TrisolveStructure& s,
+                                      unsigned procs,
+                                      const StrategyLadder& l) {
   procs = normalize_procs(procs);
   ScheduleAdvice a;
   a.critical_path = s.levels;
@@ -93,7 +116,7 @@ ScheduleAdvice advise_schedule(const TrisolveStructure& s, unsigned procs) {
     a.schedule = rt::Schedule::static_block();
     a.worth_parallelizing = false;
     a.strategy = ExecStrategy::kSerial;
-    a.rationale = "empty system: nothing to schedule";
+    a.rationale = l.empty_rationale;
     return a;
   }
 
@@ -101,37 +124,32 @@ ScheduleAdvice advise_schedule(const TrisolveStructure& s, unsigned procs) {
     a.schedule = rt::Schedule::static_block();
     a.worth_parallelizing = false;
     a.strategy = ExecStrategy::kSerial;
-    a.rationale =
-        "single processor: every parallel executor only adds "
-        "synchronization; run the plain sequential solve";
+    a.rationale = l.one_proc_rationale;
     return a;
   }
 
-  if (s.avg_level_width < 1.5) {
-    // Chain-like factor (bidiagonal shapes, heavily sequential bands):
-    // the critical path is the whole loop; flags or barriers only slow
-    // the one thread doing real work.
+  // Chain-like structure (bidiagonal shapes, heavily sequential bands):
+  // the critical path is the whole loop; flags or barriers only slow
+  // the one thread doing real work.
+  if (s.avg_level_width < l.serial_width) {
     a.schedule = rt::Schedule::static_block();
     a.worth_parallelizing = false;
     a.strategy = ExecStrategy::kSerial;
-    a.rationale =
-        "average wavefront width < 1.5: the dependence chain is "
-        "effectively serial; run sequentially";
+    a.rationale = l.serial_rationale;
     return a;
   }
 
-  // Wide, shallow level structure: every barrier is amortized over at
-  // least ~2 rows per processor, and dropping the per-row flag traffic
-  // (one release store + acquire spin per dependence) wins outright —
-  // the bulk-synchronous wavefront executor needs no flags at all.
-  const double wide = std::max(4.0, 2.0 * static_cast<double>(procs));
+  // Wide, shallow level structure: every barrier is amortized over
+  // enough per-processor row work, and dropping the per-row flag
+  // traffic (one release store + acquire spin per dependence) wins
+  // outright — the bulk-synchronous wavefront executor needs no flags.
+  const double wide =
+      std::max(4.0, l.wide_per_proc * static_cast<double>(procs));
   if (s.avg_level_width >= wide) {
     a.schedule = rt::Schedule::static_block();  // within each wavefront
     a.use_reordering = true;                    // level order IS the order
     a.strategy = ExecStrategy::kLevelBarrier;
-    a.rationale =
-        "wide shallow wavefronts (avg width >= 2 rows/processor): "
-        "bulk-synchronous level execution, no per-row flags";
+    a.rationale = l.level_rationale;
     return a;
   }
 
@@ -141,13 +159,11 @@ ScheduleAdvice advise_schedule(const TrisolveStructure& s, unsigned procs) {
   // flags (the core/blocked_doacross.hpp realization).
   const index_t block =
       std::max<index_t>(1, s.n / static_cast<index_t>(procs));
-  if (s.max_distance * 8 <= block) {
+  if (s.max_distance * l.dist_multiple <= block) {
     a.schedule = rt::Schedule::static_block();
     a.use_reordering = false;  // source order keeps blocks contiguous
     a.strategy = ExecStrategy::kBlockedHybrid;
-    a.rationale =
-        "short-distance dependences versus the per-processor block: "
-        "static blocks with flags only across block boundaries";
+    a.rationale = l.blocked_rationale;
     return a;
   }
 
@@ -157,10 +173,51 @@ ScheduleAdvice advise_schedule(const TrisolveStructure& s, unsigned procs) {
   a.schedule = rt::Schedule::dynamic(1);
   a.use_reordering = true;
   a.strategy = ExecStrategy::kDoacross;
-  a.rationale =
-      "long-distance dependences and narrow wavefronts: flag-based "
-      "doacross in doconsider order with dynamic single-iteration issue";
+  a.rationale = l.doacross_rationale;
   return a;
+}
+
+}  // namespace
+
+ScheduleAdvice advise_schedule(const TrisolveStructure& s, unsigned procs) {
+  static constexpr StrategyLadder kSolveLadder{
+      1.5,
+      2.0,
+      8,
+      "empty system: nothing to schedule",
+      "single processor: every parallel executor only adds "
+      "synchronization; run the plain sequential solve",
+      "average wavefront width < 1.5: the dependence chain is "
+      "effectively serial; run sequentially",
+      "wide shallow wavefronts (avg width >= 2 rows/processor): "
+      "bulk-synchronous level execution, no per-row flags",
+      "short-distance dependences versus the per-processor block: "
+      "static blocks with flags only across block boundaries",
+      "long-distance dependences and narrow wavefronts: flag-based "
+      "doacross in doconsider order with dynamic single-iteration issue",
+  };
+  return advise_trisolve_shaped(s, procs, kSolveLadder);
+}
+
+ScheduleAdvice advise_factor_schedule(const TrisolveStructure& s,
+                                      unsigned procs) {
+  static constexpr StrategyLadder kFactorLadder{
+      1.2,
+      1.0,
+      4,
+      "empty system: nothing to factor",
+      "single processor: run the plain sequential elimination",
+      "average wavefront width < 1.2: the elimination chain is "
+      "effectively serial; factor sequentially",
+      "wide wavefronts (avg width >= 1 row/processor of elimination "
+      "work): bulk-synchronous level factorization, no per-row flags",
+      "short-distance dependences versus the per-processor block: "
+      "static blocks with flags only across block boundaries",
+      "long-distance dependences and narrow wavefronts: flag-based "
+      "doacross elimination in doconsider order with dynamic "
+      "single-iteration issue",
+  };
+  return advise_trisolve_shaped(s, procs, kFactorLadder);
 }
 
 }  // namespace pdx::core

@@ -88,4 +88,15 @@ ScheduleAdvice advise_schedule(const DepGraph& g, unsigned procs);
 /// input). Same procs convention: 0 -> hardware width.
 ScheduleAdvice advise_schedule(const TrisolveStructure& s, unsigned procs);
 
+/// Strategy advice for a *numeric factorization* over the same measured
+/// structure (the sparse::FactorPlan build path). The dependence DAG is
+/// the triangular solve's — row i waits on every earlier row its lower
+/// pattern stores — but each row carries roughly nnz/row times the work
+/// of a solve row (every lower entry triggers a row-length update), so
+/// synchronization amortizes sooner: the serial cutoff drops, the
+/// level-barrier width threshold relaxes, and blocked-hybrid tolerates
+/// longer boundary-crossing dependences. Same procs convention.
+ScheduleAdvice advise_factor_schedule(const TrisolveStructure& s,
+                                      unsigned procs);
+
 }  // namespace pdx::core

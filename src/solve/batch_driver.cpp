@@ -26,6 +26,16 @@ void BatchDriver::enqueue(std::span<const double> b, std::span<double> x) {
   queue_.push_back({b, x});
 }
 
+void BatchDriver::refactor(const sparse::Csr& a) {
+  if (!queue_.empty()) {
+    throw std::logic_error(
+        "BatchDriver::refactor: queue not empty — drain() the systems "
+        "enqueued against the current operator first");
+  }
+  m_.refactor(a);  // throws on pattern mismatch before any state changes
+  a_ = &a;
+}
+
 BatchReport BatchDriver::drain() {
   BatchReport rep;
   rep.jobs = queue_.size();
@@ -33,6 +43,9 @@ BatchReport BatchDriver::drain() {
   rep.strategy_rationale = m_.plan().telemetry().rationale;
   rep.layout = m_.plan().layout();
   rep.packed_bytes = m_.plan().packed_bytes();
+  rep.factor_ms = m_.plan().telemetry().factor_ms;
+  rep.factor_strategy = m_.plan().telemetry().factor_strategy;
+  rep.refresh_ms = m_.plan().telemetry().refresh_ms;
   rep.reports.resize(queue_.size());
   if (queue_.empty()) return rep;
 

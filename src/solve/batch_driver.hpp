@@ -78,6 +78,14 @@ struct BatchReport {
   /// bytes it owns (0 under kCsrView) — also from PlanTelemetry.
   sparse::PlanLayout layout = sparse::PlanLayout::kCsrView;
   std::size_t packed_bytes = 0;
+  /// Time-stepping telemetry (PlanTelemetry::factor_* / refresh_ms): the
+  /// last refactor()'s numeric factorization time, the FactorPlan
+  /// strategy that ran it (kAuto until the first refactor), and the last
+  /// value-only plan refresh — so serving reports carry the refactor
+  /// cost next to the solve cost it buys.
+  double factor_ms = 0.0;
+  sparse::ExecutionStrategy factor_strategy = sparse::ExecutionStrategy::kAuto;
+  double refresh_ms = 0.0;
   std::vector<SolveReport> reports;
 };
 
@@ -91,6 +99,17 @@ class BatchDriver {
   /// receives the solution at drain(). Both spans must hold >= rows()
   /// elements and outlive the next drain().
   void enqueue(std::span<const double> b, std::span<double> x);
+
+  /// Re-factorization hook for time-stepping traffic: adopt new matrix
+  /// VALUES over the same pattern (implicit integrators change values
+  /// every step, never the stencil). Runs the shared preconditioner's
+  /// refactor() — parallel numeric ILU(0) through the persistent
+  /// FactorPlan plus a value-only TrisolvePlan refresh — and repoints
+  /// the driver's SpMV screen at `a`, which must outlive the driver.
+  /// Only legal between drains (throws std::logic_error with systems
+  /// queued — they were enqueued against the old operator); throws
+  /// std::invalid_argument on a pattern mismatch.
+  void refactor(const sparse::Csr& a);
 
   std::size_t pending() const noexcept { return queue_.size(); }
 

@@ -39,12 +39,33 @@ DoacrossIlu0Preconditioner::DoacrossIlu0Preconditioner(
     rt::ThreadPool& pool, const sparse::Csr& a, bool reorder,
     unsigned nthreads, sparse::ExecutionStrategy strategy,
     sparse::PlanLayout layout)
-    : f_(sparse::ilu0(a)),
+    : pool_(&pool),
+      nthreads_(nthreads),
+      f_(sparse::ilu0(a)),
       plan_(pool, f_.l, f_.u,
             sparse::PlanOptions{.nthreads = nthreads,
                                 .reorder = reorder,
                                 .strategy = strategy,
                                 .layout = layout}) {}
+
+void DoacrossIlu0Preconditioner::refactor(const sparse::Csr& a) {
+  // Symbolic phase, once per pattern: scatter maps, diagonal positions,
+  // the doacross schedule of the elimination, strategy selection. Built
+  // lazily into a local so a first refactor with the WRONG pattern — the
+  // factorize() below validates `a`'s plan against the ctor matrix's
+  // factors — throws without retaining a plan for the wrong pattern.
+  std::unique_ptr<sparse::FactorPlan> fresh;
+  sparse::FactorPlan* fp = factor_plan_.get();
+  if (!fp) {
+    fresh = std::make_unique<sparse::FactorPlan>(
+        *pool_, a, sparse::FactorPlanOptions{.nthreads = nthreads_});
+    fp = fresh.get();
+  }
+  const sparse::FactorStats fs = fp->factorize(a, f_);
+  if (fresh) factor_plan_ = std::move(fresh);
+  plan_.record_factorization(fs.factor_seconds * 1e3, fp->strategy());
+  plan_.refresh_values(f_);
+}
 
 void DoacrossIlu0Preconditioner::apply(std::span<const double> r,
                                        std::span<double> z) const {

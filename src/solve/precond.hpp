@@ -9,11 +9,13 @@
 // doacross executor.
 #pragma once
 
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "runtime/thread_pool.hpp"
 #include "sparse/csr.hpp"
+#include "sparse/factor_plan.hpp"
 #include "sparse/ilu0.hpp"
 #include "sparse/trisolve_plan.hpp"
 
@@ -101,12 +103,33 @@ class DoacrossIlu0Preconditioner final : public Preconditioner {
   /// Pre-size the plan's batch scratch so serving loops allocate nothing.
   void reserve_batch(index_t max_k) const { plan_.reserve_batch(max_k); }
 
+  /// Re-factorize for new matrix VALUES over the ctor matrix's pattern —
+  /// the time-stepping hot path (DESIGN.md §11). The first call builds a
+  /// persistent sparse::FactorPlan (symbolic phase, once); every call
+  /// then runs the parallel zero-allocation numeric factorization into
+  /// the existing factors and refreshes the solve plan's packed value
+  /// streams in place (TrisolvePlan::refresh_values) — no schedules,
+  /// flag tables or layouts are rebuilt. After refactor(), apply() is
+  /// bitwise identical to a freshly constructed preconditioner over `a`.
+  /// Throws std::invalid_argument if `a`'s pattern differs from the
+  /// ctor matrix's. A zero/invalid pivot throws std::runtime_error AND
+  /// leaves the factors holding the failed step's (contaminated) values
+  /// — do not apply() until a subsequent refactor with healthy values
+  /// succeeds (it rewrites every value and fully recovers the object).
+  void refactor(const sparse::Csr& a);
+
   const sparse::IluFactors& factors() const { return f_; }
   const sparse::TrisolvePlan& plan() const { return plan_; }
+  /// The persistent factorization plan (nullptr before the first
+  /// refactor()).
+  const sparse::FactorPlan* factor_plan() const { return factor_plan_.get(); }
 
  private:
+  rt::ThreadPool* pool_;
+  unsigned nthreads_;
   sparse::IluFactors f_;        // must outlive plan_ (declared first)
   mutable sparse::TrisolvePlan plan_;
+  std::unique_ptr<sparse::FactorPlan> factor_plan_;  // built on 1st refactor
 };
 
 }  // namespace pdx::solve

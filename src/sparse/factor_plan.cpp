@@ -1,0 +1,400 @@
+#include "sparse/factor_plan.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#include "runtime/schedule.hpp"
+#include "sparse/levels.hpp"
+
+namespace pdx::sparse {
+
+namespace {
+
+/// Keep the smallest bad row observed by any thread: the parallel
+/// factorization reports the same row the sequential loop would have
+/// thrown on first (a produced diagonal only goes bad in its own row's
+/// elimination, and every row smaller than it factored cleanly).
+void record_bad_row(std::atomic<index_t>& slot, index_t i) noexcept {
+  index_t cur = slot.load(std::memory_order_relaxed);
+  while (cur < 0 || i < cur) {
+    if (slot.compare_exchange_weak(cur, i, std::memory_order_relaxed)) return;
+  }
+}
+
+}  // namespace
+
+void FactorPlan::build_symbolic(const Csr& a) {
+  if (a.rows != a.cols) {
+    throw std::invalid_argument("FactorPlan: matrix not square");
+  }
+  a.validate();
+  n_ = a.rows;
+  ptr_ = a.ptr;
+  idx_ = a.idx;
+
+  diag_.resize(static_cast<std::size_t>(n_));
+  for (index_t i = 0; i < n_; ++i) {
+    const index_t d = a.find(i, i);
+    if (d < 0) {
+      throw std::invalid_argument("FactorPlan: missing diagonal at row " +
+                                  std::to_string(i));
+    }
+    diag_[static_cast<std::size_t>(i)] = d;
+  }
+
+  // Split row pointers: L row i holds the strictly-lower run plus the
+  // explicit unit diagonal, U row i the diagonal plus the upper run.
+  lptr_.assign(static_cast<std::size_t>(n_) + 1, 0);
+  uptr_.assign(static_cast<std::size_t>(n_) + 1, 0);
+  for (index_t i = 0; i < n_; ++i) {
+    const index_t d = diag_[static_cast<std::size_t>(i)];
+    lptr_[static_cast<std::size_t>(i) + 1] =
+        lptr_[static_cast<std::size_t>(i)] + (d - a.row_begin(i)) + 1;
+    uptr_[static_cast<std::size_t>(i) + 1] =
+        uptr_[static_cast<std::size_t>(i)] + (a.row_end(i) - d);
+  }
+
+  // Elimination steps: one per strictly-lower entry, in row-major stored
+  // order — exactly the sequential IKJ loop's step sequence. The scatter
+  // of each step (row k's upper entries restricted to row i's pattern) is
+  // resolved here, once, into flat (target, source) position pairs, so
+  // the numeric kernel never probes a pos[] array again.
+  row_step_ptr_.assign(static_cast<std::size_t>(n_) + 1, 0);
+  std::size_t steps = 0;
+  for (index_t i = 0; i < n_; ++i) {
+    steps += static_cast<std::size_t>(diag_[static_cast<std::size_t>(i)] -
+                                      a.row_begin(i));
+    row_step_ptr_[static_cast<std::size_t>(i) + 1] =
+        static_cast<index_t>(steps);
+  }
+  lik_pos_.reserve(steps);
+  pivot_pos_.reserve(steps);
+  upd_ptr_.reserve(steps + 1);
+  upd_ptr_.push_back(0);
+
+  std::vector<index_t> pos(static_cast<std::size_t>(n_), -1);
+  for (index_t i = 0; i < n_; ++i) {
+    for (index_t k = a.row_begin(i); k < a.row_end(i); ++k) {
+      pos[static_cast<std::size_t>(a.idx[static_cast<std::size_t>(k)])] = k;
+    }
+    const index_t d = diag_[static_cast<std::size_t>(i)];
+    for (index_t kk = a.row_begin(i); kk < d; ++kk) {
+      const index_t k = a.idx[static_cast<std::size_t>(kk)];
+      lik_pos_.push_back(kk);
+      pivot_pos_.push_back(diag_[static_cast<std::size_t>(k)]);
+      for (index_t jj = diag_[static_cast<std::size_t>(k)] + 1;
+           jj < a.row_end(k); ++jj) {
+        const index_t p =
+            pos[static_cast<std::size_t>(a.idx[static_cast<std::size_t>(jj)])];
+        if (p >= 0) {
+          upd_tgt_.push_back(p);
+          upd_src_.push_back(jj);
+        }
+      }
+      upd_ptr_.push_back(static_cast<index_t>(upd_tgt_.size()));
+    }
+    for (index_t k = a.row_begin(i); k < a.row_end(i); ++k) {
+      pos[static_cast<std::size_t>(a.idx[static_cast<std::size_t>(k)])] = -1;
+    }
+  }
+  upd_tgt_.shrink_to_fit();
+  upd_src_.shrink_to_fit();
+
+  w_.resize(static_cast<std::size_t>(a.nnz()));
+}
+
+FactorPlan::FactorPlan(rt::ThreadPool& pool, const Csr& a,
+                       const FactorPlanOptions& opts)
+    : pool_(&pool),
+      opts_(opts),
+      nth_(pool.clamp_threads(opts.nthreads)),
+      barrier_(pool.clamp_threads(opts.nthreads) == 0
+                   ? 1
+                   : pool.clamp_threads(opts.nthreads)) {
+  build_symbolic(a);
+
+  telemetry_.requested = opts_.strategy;
+  telemetry_.procs = nth_;
+  if (opts_.strategy == ExecutionStrategy::kAuto) {
+    order_ = std::make_unique<core::Reordering>(lower_solve_reordering(a));
+    telemetry_.structure = measure_lower_solve(a, *order_);
+    core::ScheduleAdvice advice =
+        core::advise_factor_schedule(telemetry_.structure, nth_);
+    telemetry_.strategy = advice.strategy;
+    telemetry_.rationale = std::move(advice.rationale);
+    if (advice.strategy == ExecutionStrategy::kDoacross) {
+      opts_.schedule = advice.schedule;
+      opts_.reorder = advice.use_reordering;
+    }
+  } else {
+    telemetry_.strategy = opts_.strategy;
+    telemetry_.rationale = "strategy fixed by caller";
+  }
+  const bool needs_order =
+      telemetry_.strategy == ExecutionStrategy::kLevelBarrier ||
+      (telemetry_.strategy == ExecutionStrategy::kDoacross && opts_.reorder);
+  if (needs_order && !order_) {
+    order_ = std::make_unique<core::Reordering>(lower_solve_reordering(a));
+  }
+  if (!needs_order) {
+    order_.reset();  // kSerial / kBlockedHybrid run in source order
+  }
+
+  ready_.ensure_size(n_);
+  episodes_.resize(nth_);
+  rounds_.resize(nth_);
+  bind_region();
+
+  telemetry_.symbolic_bytes =
+      (ptr_.size() + idx_.size() + diag_.size() + lptr_.size() +
+       uptr_.size() + row_step_ptr_.size() + lik_pos_.size() +
+       pivot_pos_.size() + upd_ptr_.size() + upd_tgt_.size() +
+       upd_src_.size()) *
+          sizeof(index_t) +
+      w_.size() * sizeof(double);
+  // Csr::memory_bytes() of the pair allocate_factors() hands out: L's
+  // rows carry the unit diagonal, U's the pivot, so the two together
+  // store nnz + n entries.
+  {
+    const std::size_t lnnz = lptr_.back();
+    const std::size_t unnz = uptr_.back();
+    telemetry_.factor_bytes =
+        2 * (static_cast<std::size_t>(n_) + 1) * sizeof(index_t) +
+        (lnnz + unnz) * (sizeof(index_t) + sizeof(double));
+  }
+}
+
+IluFactors FactorPlan::allocate_factors() const {
+  // One layout authority: the same split ilu0() allocates through, fed
+  // from the plan's pattern copy (the split never reads values).
+  Csr pattern(n_, n_);
+  pattern.ptr = ptr_;
+  pattern.idx = idx_;
+  return ilu0_split_pattern(pattern, diag_);
+}
+
+template <class WaitFn>
+void FactorPlan::factor_row(index_t i, WaitFn&& wait) noexcept {
+  // Identical arithmetic (step order, update order, divisions) to the
+  // sequential ilu0() IKJ loop — values are bitwise equal; the wait hook
+  // only sequences the reads of earlier rows' finalized values.
+  double* w = w_.data();
+  const index_t rb = ptr_[static_cast<std::size_t>(i)];
+  const index_t re = ptr_[static_cast<std::size_t>(i) + 1];
+  const index_t d = diag_[static_cast<std::size_t>(i)];
+  for (index_t k = rb; k < re; ++k) {
+    w[k] = aval_[k];  // row i's w slice is written only by row i
+  }
+  const index_t s_end = row_step_ptr_[static_cast<std::size_t>(i) + 1];
+  for (index_t s = row_step_ptr_[static_cast<std::size_t>(i)]; s < s_end;
+       ++s) {
+    const index_t kk = lik_pos_[static_cast<std::size_t>(s)];
+    wait(idx_[static_cast<std::size_t>(kk)]);
+    const double lik = w[kk] / w[pivot_pos_[static_cast<std::size_t>(s)]];
+    w[kk] = lik;
+    const index_t t_end = upd_ptr_[static_cast<std::size_t>(s) + 1];
+    for (index_t t = upd_ptr_[static_cast<std::size_t>(s)]; t < t_end; ++t) {
+      w[upd_tgt_[static_cast<std::size_t>(t)]] -=
+          lik * w[upd_src_[static_cast<std::size_t>(t)]];
+    }
+  }
+  // Split row i into the factors: both destination runs are contiguous
+  // (sorted row, lower part first), so the scatter of ilu0()'s split loop
+  // is two straight copies. L's unit diagonal was written at allocation.
+  std::memcpy(lval_ + lptr_[static_cast<std::size_t>(i)], w + rb,
+              static_cast<std::size_t>(d - rb) * sizeof(double));
+  std::memcpy(uval_ + uptr_[static_cast<std::size_t>(i)], w + d,
+              static_cast<std::size_t>(re - d) * sizeof(double));
+  const double piv = w[d];
+  if (piv == 0.0 || !std::isfinite(piv)) record_bad_row(bad_row_, i);
+}
+
+void FactorPlan::bind_region() {
+  // Bound once; per-call inputs travel through aval_/lval_/uval_ so
+  // factorize() never constructs (= heap-allocates) a std::function.
+  switch (telemetry_.strategy) {
+    case ExecutionStrategy::kDoacross: {
+      const index_t* ord = order_ ? order_->order.data() : nullptr;
+      region_ = [this, ord](unsigned tid, unsigned nthreads) {
+        std::uint64_t eps = 0, rds = 0;
+        auto flag_wait = [&](index_t k) noexcept {
+          const std::uint64_t rounds = ready_.wait_done(k);
+          if (rounds != 0) {
+            ++eps;
+            rds += rounds;
+          }
+        };
+        auto run_pos = [&](index_t pos) noexcept {
+          const index_t i = ord ? ord[pos] : pos;
+          factor_row(i, flag_wait);
+          ready_.mark_done(i);  // release-publishes row i's w slice
+        };
+        rt::schedule_run(opts_.schedule, n_, tid, nthreads, &cursor_,
+                         run_pos);
+        episodes_[tid].value = eps;
+        rounds_[tid].value = rds;
+      };
+      break;
+    }
+    case ExecutionStrategy::kLevelBarrier:
+      region_ = [this](unsigned tid, unsigned nthreads) {
+        // Every producer of level l retired before the barrier that opens
+        // level l+1 — no flags consulted or published.
+        const core::Reordering& ord = *order_;
+        auto no_wait = [](index_t) noexcept {};
+        for (index_t lvl = 0; lvl < ord.num_levels(); ++lvl) {
+          const index_t lo = ord.level_ptr[static_cast<std::size_t>(lvl)];
+          const index_t hi =
+              ord.level_ptr[static_cast<std::size_t>(lvl) + 1];
+          const rt::IterRange r =
+              rt::static_block_range(hi - lo, tid, nthreads);
+          for (index_t pos = lo + r.begin; pos < lo + r.end; ++pos) {
+            factor_row(ord.order[static_cast<std::size_t>(pos)], no_wait);
+          }
+          barrier_.arrive_and_wait();
+        }
+        episodes_[tid].value = 0;
+        rounds_[tid].value = 0;
+      };
+      break;
+    case ExecutionStrategy::kBlockedHybrid:
+      region_ = [this](unsigned tid, unsigned nthreads) {
+        // Static contiguous blocks in source order: an intra-block pivot
+        // row already retired (rows run in increasing order), so only
+        // boundary-crossing pivots consult a flag.
+        std::uint64_t eps = 0, rds = 0;
+        const rt::IterRange range = rt::static_block_range(n_, tid, nthreads);
+        auto boundary_wait = [&](index_t k) noexcept {
+          if (k < range.begin) {
+            const std::uint64_t rounds = ready_.wait_done(k);
+            if (rounds != 0) {
+              ++eps;
+              rds += rounds;
+            }
+          }
+        };
+        for (index_t i = range.begin; i < range.end; ++i) {
+          factor_row(i, boundary_wait);
+          ready_.mark_done(i);
+        }
+        episodes_[tid].value = eps;
+        rounds_[tid].value = rds;
+      };
+      break;
+    case ExecutionStrategy::kSerial:
+      region_ = [this](unsigned, unsigned) {
+        auto no_wait = [](index_t) noexcept {};
+        for (index_t i = 0; i < n_; ++i) factor_row(i, no_wait);
+      };
+      break;
+    case ExecutionStrategy::kAuto:
+      break;  // unreachable: the constructor never leaves kAuto
+  }
+}
+
+bool FactorPlan::split_idx_matches(const IluFactors& f) const noexcept {
+  // Column indices, not just row counts: two patterns can share every
+  // per-row split size and still disagree on which columns the rows
+  // store, and writing values through the wrong columns would corrupt
+  // the factors silently.
+  for (index_t i = 0; i < n_; ++i) {
+    const index_t d = diag_[static_cast<std::size_t>(i)];
+    index_t lp = lptr_[static_cast<std::size_t>(i)];
+    for (index_t k = ptr_[static_cast<std::size_t>(i)]; k < d; ++k) {
+      if (f.l.idx[static_cast<std::size_t>(lp++)] !=
+          idx_[static_cast<std::size_t>(k)]) {
+        return false;
+      }
+    }
+    if (f.l.idx[static_cast<std::size_t>(lp)] != i) return false;
+    index_t up = uptr_[static_cast<std::size_t>(i)];
+    for (index_t k = d; k < ptr_[static_cast<std::size_t>(i) + 1]; ++k) {
+      if (f.u.idx[static_cast<std::size_t>(up++)] !=
+          idx_[static_cast<std::size_t>(k)]) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+FactorStats FactorPlan::factorize(const Csr& a, IluFactors& f) {
+  // The O(nnz) idx comparisons run once per distinct buffer set: a
+  // time-stepping caller re-assembles VALUES into the same Csr / factor
+  // objects every step, so steady-state validation drops to the O(n)
+  // row-pointer compare (kept even on the fast path — it catches any
+  // realistic pattern change, including a reallocated buffer landing at
+  // a previously validated address with different row counts). Same
+  // skip rule as refresh_values: rewriting COLUMN indices in place —
+  // same buffers, same row counts, different columns — is the caller
+  // breaking the value-only contract.
+  const bool same_a = a.ptr.data() == checked_ptr_ &&
+                      a.idx.data() == checked_idx_ &&
+                      a.val.size() == idx_.size() && a.ptr == ptr_;
+  if (!same_a) {
+    if (a.rows != n_ || a.cols != n_ || a.ptr != ptr_ || a.idx != idx_ ||
+        a.val.size() != idx_.size()) {
+      throw std::invalid_argument("FactorPlan::factorize: pattern mismatch");
+    }
+  }
+  const bool same_f =
+      f.l.idx.data() == checked_lidx_ && f.u.idx.data() == checked_uidx_ &&
+      f.l.val.size() == static_cast<std::size_t>(lptr_.back()) &&
+      f.u.val.size() == static_cast<std::size_t>(uptr_.back()) &&
+      f.l.ptr == lptr_ && f.u.ptr == uptr_;
+  if (!same_f) {
+    if (f.l.rows != n_ || f.u.rows != n_ || f.l.ptr != lptr_ ||
+        f.u.ptr != uptr_ ||
+        f.l.val.size() != static_cast<std::size_t>(lptr_.back()) ||
+        f.u.val.size() != static_cast<std::size_t>(uptr_.back()) ||
+        !split_idx_matches(f)) {
+      throw std::invalid_argument(
+          "FactorPlan::factorize: factor pattern mismatch (use "
+          "allocate_factors())");
+    }
+  }
+  checked_ptr_ = a.ptr.data();
+  checked_idx_ = a.idx.data();
+  checked_lidx_ = f.l.idx.data();
+  checked_uidx_ = f.u.idx.data();
+  FactorStats stats;
+  if (n_ == 0) return stats;
+
+  aval_ = a.val.data();
+  lval_ = f.l.val.data();
+  uval_ = f.u.val.data();
+  ready_.begin_epoch();
+  cursor_.store(0, std::memory_order_relaxed);
+  bad_row_.store(-1, std::memory_order_relaxed);
+
+  using clock = std::chrono::steady_clock;
+  const clock::time_point t0 = clock::now();
+  if (telemetry_.strategy == ExecutionStrategy::kSerial) {
+    region_(0, 1);
+  } else {
+    pool_->parallel_region(nth_, region_);
+    for (unsigned t = 0; t < nth_; ++t) {
+      stats.wait_episodes += episodes_[t].value;
+      stats.wait_rounds += rounds_[t].value;
+    }
+  }
+  const clock::time_point t1 = clock::now();
+  stats.factor_seconds = std::chrono::duration<double>(t1 - t0).count();
+
+  // Pivot failures are recorded in-region (throwing there would strand
+  // peers spinning on the bad row's flag) and reported here; the row is
+  // the same one the sequential loop throws on first.
+  const index_t bad = bad_row_.load(std::memory_order_relaxed);
+  if (bad >= 0) {
+    throw std::runtime_error(
+        "FactorPlan::factorize: zero/invalid pivot produced at row " +
+        std::to_string(bad));
+  }
+  ++factorizations_;
+  return stats;
+}
+
+}  // namespace pdx::sparse

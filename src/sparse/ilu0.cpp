@@ -66,31 +66,63 @@ IluFactors ilu0(const Csr& a) {
   }
 
   // Split the factored values into L (strictly lower + unit diagonal) and
-  // U (diagonal + strictly upper).
-  IluFactors f;
-  f.l = Csr(a.rows, a.cols);
-  f.u = Csr(a.rows, a.cols);
+  // U (diagonal + strictly upper). The pattern split is exact-size
+  // (ilu0_split_pattern counts both factors up front), so nothing here
+  // reallocates; within a sorted row the lower run precedes the diagonal,
+  // making each factor row a contiguous copy out of w.
+  IluFactors f = ilu0_split_pattern(a, diag);
   for (index_t i = 0; i < n; ++i) {
-    for (index_t k = a.row_begin(i); k < a.row_end(i); ++k) {
-      const index_t c = a.idx[static_cast<std::size_t>(k)];
-      if (c < i) {
-        f.l.idx.push_back(c);
-        f.l.val.push_back(w[static_cast<std::size_t>(k)]);
-        ++f.l.ptr[static_cast<std::size_t>(i) + 1];
-      } else {
-        f.u.idx.push_back(c);
-        f.u.val.push_back(w[static_cast<std::size_t>(k)]);
-        ++f.u.ptr[static_cast<std::size_t>(i) + 1];
-      }
+    const index_t rb = a.row_begin(i);
+    const index_t d = diag[static_cast<std::size_t>(i)];
+    const index_t re = a.row_end(i);
+    index_t lp = f.l.row_begin(i);
+    for (index_t k = rb; k < d; ++k) {
+      f.l.val[static_cast<std::size_t>(lp++)] = w[static_cast<std::size_t>(k)];
+    }
+    index_t up = f.u.row_begin(i);
+    for (index_t k = d; k < re; ++k) {
+      f.u.val[static_cast<std::size_t>(up++)] = w[static_cast<std::size_t>(k)];
+    }
+  }
+  return f;
+}
+
+IluFactors ilu0_split_pattern(const Csr& a,
+                              std::span<const index_t> diag) {
+  const index_t n = a.rows;
+  // Count both factors first: L rows carry the strictly-lower run plus
+  // the explicit unit diagonal, U rows the diagonal plus the upper run.
+  IluFactors f;
+  f.l = Csr(n, a.cols);
+  f.u = Csr(n, a.cols);
+  for (index_t i = 0; i < n; ++i) {
+    const index_t d = diag[static_cast<std::size_t>(i)];
+    f.l.ptr[static_cast<std::size_t>(i) + 1] =
+        f.l.ptr[static_cast<std::size_t>(i)] + (d - a.row_begin(i)) + 1;
+    f.u.ptr[static_cast<std::size_t>(i) + 1] =
+        f.u.ptr[static_cast<std::size_t>(i)] + (a.row_end(i) - d);
+  }
+  const std::size_t lnnz = static_cast<std::size_t>(f.l.ptr.back());
+  const std::size_t unnz = static_cast<std::size_t>(f.u.ptr.back());
+  f.l.idx.resize(lnnz);
+  f.l.val.assign(lnnz, 0.0);
+  f.u.idx.resize(unnz);
+  f.u.val.assign(unnz, 0.0);
+  for (index_t i = 0; i < n; ++i) {
+    const index_t d = diag[static_cast<std::size_t>(i)];
+    index_t lp = f.l.row_begin(i);
+    for (index_t k = a.row_begin(i); k < d; ++k) {
+      f.l.idx[static_cast<std::size_t>(lp++)] =
+          a.idx[static_cast<std::size_t>(k)];
     }
     // Explicit unit diagonal closes each L row (kept last, sorted order).
-    f.l.idx.push_back(i);
-    f.l.val.push_back(1.0);
-    ++f.l.ptr[static_cast<std::size_t>(i) + 1];
-  }
-  for (index_t i = 0; i < n; ++i) {
-    f.l.ptr[static_cast<std::size_t>(i) + 1] += f.l.ptr[static_cast<std::size_t>(i)];
-    f.u.ptr[static_cast<std::size_t>(i) + 1] += f.u.ptr[static_cast<std::size_t>(i)];
+    f.l.idx[static_cast<std::size_t>(lp)] = i;
+    f.l.val[static_cast<std::size_t>(lp)] = 1.0;
+    index_t up = f.u.row_begin(i);
+    for (index_t k = d; k < a.row_end(i); ++k) {
+      f.u.idx[static_cast<std::size_t>(up++)] =
+          a.idx[static_cast<std::size_t>(k)];
+    }
   }
   return f;
 }

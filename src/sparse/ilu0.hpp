@@ -10,6 +10,8 @@
 // diagonal entry must be stored and end up nonzero.
 #pragma once
 
+#include <span>
+
 #include "sparse/csr.hpp"
 
 namespace pdx::sparse {
@@ -27,5 +29,11 @@ struct IluFactors {
 /// IKJ ordering restricted to a's pattern. Throws on structural problems
 /// or a zero pivot.
 IluFactors ilu0(const Csr& a);
+
+/// Allocate the exact-size L/U split of `a`'s pattern: every ptr/idx/val
+/// array is counted first and sized once (no push_back growth). `diag[i]`
+/// is the position of (i, i) in a.idx. Values are zero except L's unit
+/// diagonal; ilu0() and FactorPlan::factorize fill them.
+IluFactors ilu0_split_pattern(const Csr& a, std::span<const index_t> diag);
 
 }  // namespace pdx::sparse

@@ -14,6 +14,22 @@ std::size_t pad_to_line(std::size_t bytes) noexcept {
   return (bytes + line - 1) / line * line;
 }
 
+/// Where row i's record content lives in the CSR: the diagonal entry and
+/// the contiguous off-diagonal run. The single authority for the
+/// diag-first (upper factor) vs diag-last (lower factor) split — pack()
+/// and repack_values() must agree byte-for-byte on it.
+struct RowSplit {
+  index_t off;  ///< first off-diagonal position in idx/val
+  index_t dia;  ///< diagonal position in val
+  index_t cnt;  ///< off-diagonal entries
+};
+
+RowSplit split_row(const Csr& m, bool diag_first, index_t i) noexcept {
+  const index_t b = m.row_begin(i);
+  const index_t e = m.row_end(i);
+  return {diag_first ? b + 1 : b, diag_first ? b : e - 1, e - b - 1};
+}
+
 }  // namespace
 
 std::size_t PackedFactorStream::bytes() const noexcept {
@@ -45,6 +61,7 @@ void PackedFactorStream::prepare(const Csr& m, bool diag_first,
     }
     slabs_.emplace_back();
     slabs_.back().mem = rt::FirstTouchBuffer(pad_to_line(slab_bytes));
+    slabs_.back().records = static_cast<index_t>(rows.size());
   }
   if (build_position_index) {
     // Record addresses are pure arithmetic over the (untouched) slab
@@ -64,19 +81,31 @@ void PackedFactorStream::pack(unsigned s) noexcept {
   const Csr& m = *m_;
   std::byte* p = slabs_[s].mem.data();
   for (index_t i : seq_[s]) {
-    const index_t b = m.row_begin(i);
-    const index_t e = m.row_end(i);
-    const index_t cnt = e - b - 1;
-    const index_t off = diag_first_ ? b + 1 : b;  // off-diagonal run
-    const index_t dia = diag_first_ ? b : e - 1;
+    const RowSplit r = split_row(m, diag_first_, i);
     index_t* h = reinterpret_cast<index_t*>(p);
     h[0] = i;
-    h[1] = cnt;
-    reinterpret_cast<double*>(p)[2] = m.val[static_cast<std::size_t>(dia)];
-    std::memcpy(h + 3, m.idx.data() + off,
-                static_cast<std::size_t>(cnt) * sizeof(index_t));
-    std::memcpy(reinterpret_cast<double*>(p) + 3 + cnt,
-                m.val.data() + off,
+    h[1] = r.cnt;
+    reinterpret_cast<double*>(p)[2] = m.val[static_cast<std::size_t>(r.dia)];
+    std::memcpy(h + 3, m.idx.data() + r.off,
+                static_cast<std::size_t>(r.cnt) * sizeof(index_t));
+    std::memcpy(reinterpret_cast<double*>(p) + 3 + r.cnt,
+                m.val.data() + r.off,
+                static_cast<std::size_t>(r.cnt) * sizeof(double));
+    p += record_bytes(r.cnt);
+  }
+}
+
+void PackedFactorStream::repack_values(const Csr& m, unsigned s) noexcept {
+  std::byte* p = slabs_[s].mem.data();
+  for (index_t rec = 0; rec < slabs_[s].records; ++rec) {
+    // The record's header is pattern state: the row id and count written
+    // by pack() locate the row's fresh values in m.
+    const index_t* h = reinterpret_cast<const index_t*>(p);
+    const index_t i = h[0];
+    const index_t cnt = h[1];
+    const RowSplit r = split_row(m, diag_first_, i);
+    reinterpret_cast<double*>(p)[2] = m.val[static_cast<std::size_t>(r.dia)];
+    std::memcpy(reinterpret_cast<double*>(p) + 3 + cnt, m.val.data() + r.off,
                 static_cast<std::size_t>(cnt) * sizeof(double));
     p += record_bytes(cnt);
   }

@@ -119,6 +119,17 @@ class PackedFactorStream {
   /// Thread-safe across distinct slabs.
   void pack(unsigned s) noexcept;
 
+  /// Value-only refresh of a packed slab: walk slab s's records in place
+  /// (the row/cnt headers and column arrays are pattern state and stay
+  /// untouched) and re-copy each record's diagonal and off-diagonal
+  /// values from `m`, which must share the pattern of the factor the
+  /// stream was prepared over. Works after finish_build() — the headers
+  /// themselves carry the row ids — costs no allocation, and is
+  /// thread-safe across distinct slabs; pages keep their first-touch
+  /// placement. This is what makes TrisolvePlan::refresh_values one
+  /// linear sweep instead of a plan rebuild (DESIGN.md §11).
+  void repack_values(const Csr& m, unsigned s) noexcept;
+
   /// Drop the build-time row sequences once every slab is packed.
   void finish_build() noexcept { seq_.clear(); seq_.shrink_to_fit(); }
 
@@ -144,6 +155,7 @@ class PackedFactorStream {
 
   struct Slab {
     rt::FirstTouchBuffer mem;
+    index_t records = 0;  ///< rows in this slab (survives finish_build)
   };
 
   const Csr* m_ = nullptr;

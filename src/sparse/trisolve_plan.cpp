@@ -210,6 +210,15 @@ void TrisolvePlan::build_packed() {
   if (u_) packed_u_.finish_build();
   telemetry_.layout = PlanLayout::kPacked;
   telemetry_.packed_bytes = packed_l_.bytes() + packed_u_.bytes();
+  // The value-refresh region (refresh_values) is bound once, like the
+  // solve regions: each thread re-streams the values of its own slabs,
+  // on the pages it first-touched at build.
+  if (slabs > 1) {
+    refresh_region_ = [this](unsigned tid, unsigned) {
+      packed_l_.repack_values(*l_, tid);
+      if (u_) packed_u_.repack_values(*u_, tid);
+    };
+  }
 }
 
 void TrisolvePlan::bind_lower_region() {
@@ -1005,6 +1014,42 @@ void TrisolvePlan::serial_upper_k(Src src, const double* rhs_p,
     }
     yp[r.row] = acc / r.diag;
   }
+}
+
+void TrisolvePlan::refresh_values(const IluFactors& f) {
+  if (!u_) {
+    throw std::logic_error("TrisolvePlan::refresh_values: lower-only plan");
+  }
+  using clock = std::chrono::steady_clock;
+  const clock::time_point t0 = clock::now();
+  // Same-object refreshes (the factorization re-filled the values of the
+  // very factors the plan reads) skip the pattern comparison; a foreign
+  // pair must prove pattern equality before the plan rebinds to it.
+  auto same_pattern = [](const Csr& x, const Csr& y) noexcept {
+    return x.rows == y.rows && x.cols == y.cols && x.ptr == y.ptr &&
+           x.idx == y.idx;
+  };
+  if ((&f.l != l_ && !same_pattern(f.l, *l_)) ||
+      (&f.u != u_ && !same_pattern(f.u, *u_))) {
+    throw std::invalid_argument(
+        "TrisolvePlan::refresh_values: pattern mismatch — a value-only "
+        "refresh requires the plan's sparsity pattern; rebuild the plan");
+  }
+  l_ = &f.l;  // kCsrView's whole refresh: the kernels read through these
+  u_ = &f.u;
+  if (telemetry_.layout == PlanLayout::kPacked) {
+    if (packed_l_.slab_count() <= 1) {
+      // Serial plans repack inline — the calling thread is the executor.
+      packed_l_.repack_values(*l_, 0);
+      packed_u_.repack_values(*u_, 0);
+    } else {
+      pool_->parallel_region(nth_, refresh_region_);
+    }
+  }
+  const clock::time_point t1 = clock::now();
+  telemetry_.refresh_ms =
+      std::chrono::duration<double, std::milli>(t1 - t0).count();
+  ++refreshes_;
 }
 
 void TrisolvePlan::reset_for_call(bool lower, bool upper) noexcept {

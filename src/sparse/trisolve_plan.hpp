@@ -54,6 +54,7 @@
 #include "runtime/barrier.hpp"
 #include "runtime/thread_pool.hpp"
 #include "sparse/csr.hpp"
+#include "sparse/ilu0.hpp"
 #include "sparse/packed_stream.hpp"
 
 namespace pdx::sparse {
@@ -113,6 +114,13 @@ struct PlanTelemetry {
   PlanLayout layout = PlanLayout::kCsrView;
   /// Plan-owned packed stream bytes across both factors (0 for kCsrView).
   std::size_t packed_bytes = 0;
+  /// Last numeric refactorization feeding this plan, in milliseconds, and
+  /// the FactorPlan strategy that ran it — recorded by the solve layer
+  /// via record_factorization() (0 / kAuto until the first refactor).
+  double factor_ms = 0.0;
+  ExecutionStrategy factor_strategy = ExecutionStrategy::kAuto;
+  /// Last refresh_values() sweep, in milliseconds (0 until the first).
+  double refresh_ms = 0.0;
 };
 
 struct PlanOptions {
@@ -216,6 +224,32 @@ class TrisolvePlan {
   /// for kWavefrontInterleaved (column-sequential scratch stays O(n)).
   void reserve_batch(index_t max_k,
                      BatchMode mode = BatchMode::kWavefrontInterleaved);
+
+  /// Value-only plan refresh for time-stepping workloads (DESIGN.md §11):
+  /// given factors with the SAME pattern as the plan's (e.g. the same
+  /// IluFactors re-filled by FactorPlan::factorize, or a fresh pair),
+  /// rebind the plan to `f` and re-stream only the VALUES into the
+  /// existing packed slabs — schedules, flag tables, reorderings and the
+  /// slab layout (including its first-touch page placement) are pattern
+  /// state and survive untouched. Costs one pool dispatch for a parallel
+  /// packed plan and zero otherwise (kCsrView swaps pointers for free;
+  /// serial plans repack inline), allocates nothing, and leaves every
+  /// subsequent solve bitwise identical to a full plan rebuild over `f`.
+  /// Throws std::invalid_argument if `f`'s pattern differs from the
+  /// plan's and std::logic_error on a lower-only plan.
+  void refresh_values(const IluFactors& f);
+
+  /// Completed refresh_values() calls.
+  std::uint64_t refreshes() const noexcept { return refreshes_; }
+
+  /// Record the numeric refactorization that produced the plan's current
+  /// values (telemetry only — shows up as PlanTelemetry::factor_ms /
+  /// factor_strategy in BatchReport and the serving examples).
+  void record_factorization(double factor_ms,
+                            ExecutionStrategy strategy) noexcept {
+    telemetry_.factor_ms = factor_ms;
+    telemetry_.factor_strategy = strategy;
+  }
 
   index_t rows() const noexcept { return n_; }
   unsigned nthreads() const noexcept { return nth_; }
@@ -356,9 +390,10 @@ class TrisolvePlan {
   std::vector<double, rt::CacheAlignedAllocator<double>> batch_tmp_;
 
   rt::ThreadPool::RegionFn lower_region_, upper_region_, fused_region_,
-      batch_region_;
+      batch_region_, refresh_region_;
   std::uint64_t solves_ = 0;
   std::uint64_t batch_columns_ = 0;
+  std::uint64_t refreshes_ = 0;
 };
 
 }  // namespace pdx::sparse

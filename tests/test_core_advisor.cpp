@@ -217,3 +217,66 @@ TEST(Advisor, EmptyLoop) {
   EXPECT_TRUE(a.worth_parallelizing);
   EXPECT_EQ(a.schedule.kind, rt::SchedKind::StaticBlock);
 }
+
+TEST(Advisor, FactorAdvisorFollowsEliminationWorkRatio) {
+  // The factorization advisor sees the same dependence DAG as the solve
+  // advisor but weighs each row as a whole elimination step, so its
+  // thresholds admit parallelism earlier.
+  core::TrisolveStructure wide;
+  wide.n = 1000;
+  wide.nnz = 4000;
+  wide.levels = 20;
+  wide.avg_level_width = 50.0;
+  wide.max_level_size = 80;
+  wide.max_distance = 400;
+  wide.nnz_per_row = 4.0;
+  const auto lb = core::advise_factor_schedule(wide, 8);
+  EXPECT_EQ(lb.strategy, core::ExecStrategy::kLevelBarrier);
+  EXPECT_TRUE(lb.worth_parallelizing);
+  EXPECT_FALSE(lb.rationale.empty());
+
+  // Width 1.4: the solve advisor runs this serially, but one elimination
+  // row buys ~nnz/row updates — worth overlapping.
+  core::TrisolveStructure narrow = wide;
+  narrow.levels = 714;
+  narrow.avg_level_width = 1.4;
+  narrow.max_distance = 700;
+  EXPECT_EQ(core::advise_schedule(narrow, 8).strategy,
+            core::ExecStrategy::kSerial);
+  EXPECT_EQ(core::advise_factor_schedule(narrow, 8).strategy,
+            core::ExecStrategy::kDoacross);
+
+  // A true chain still factors sequentially.
+  core::TrisolveStructure chain = wide;
+  chain.levels = 1000;
+  chain.avg_level_width = 1.0;
+  const auto ser = core::advise_factor_schedule(chain, 8);
+  EXPECT_EQ(ser.strategy, core::ExecStrategy::kSerial);
+  EXPECT_FALSE(ser.worth_parallelizing);
+
+  // Width >= 1 row/processor already hides a barrier behind elimination
+  // work (the solve advisor demands 2): procs=8, width 8 -> level-barrier.
+  core::TrisolveStructure medium = wide;
+  medium.levels = 125;
+  medium.avg_level_width = 8.0;
+  medium.max_distance = 700;
+  EXPECT_EQ(core::advise_schedule(medium, 8).strategy,
+            core::ExecStrategy::kDoacross);
+  EXPECT_EQ(core::advise_factor_schedule(medium, 8).strategy,
+            core::ExecStrategy::kLevelBarrier);
+
+  // Short-distance dependences: static blocks, flags only at boundaries.
+  core::TrisolveStructure banded = wide;
+  banded.levels = 500;
+  banded.avg_level_width = 2.0;
+  banded.max_distance = 4;
+  EXPECT_EQ(core::advise_factor_schedule(banded, 4).strategy,
+            core::ExecStrategy::kBlockedHybrid);
+
+  // Single processor / empty system: serial, nothing to overlap.
+  EXPECT_EQ(core::advise_factor_schedule(wide, 1).strategy,
+            core::ExecStrategy::kSerial);
+  core::TrisolveStructure empty;
+  EXPECT_EQ(core::advise_factor_schedule(empty, 8).strategy,
+            core::ExecStrategy::kSerial);
+}
