@@ -25,6 +25,7 @@
 #include <memory>
 #include <span>
 
+#include "runtime/failure.hpp"
 #include "runtime/spin_wait.hpp"
 #include "runtime/types.hpp"
 
@@ -315,5 +316,33 @@ template <class R>
 inline constexpr bool kEpochResetV = requires {
   requires static_cast<bool>(R::kEpochReset);
 };
+
+/// Latch-aware flag wait: identical to `ready.wait_done(off)` on the
+/// healthy path (same fast path, same spin ladder), but every 64 rounds it
+/// consults the guard — abandoning the wait with WorkerAbort once a peer
+/// has raised the latch, and with StallError past a non-zero budget. This
+/// is what lets a faulting worker's peers drain and join instead of
+/// spinning forever on flags that will never be set. `row` is the
+/// consumer's own row, reported in StallError diagnostics.
+template <class Ready>
+inline std::uint64_t wait_done_guarded(const Ready& ready, index_t off,
+                                       index_t row, const rt::WaitGuard& g) {
+  if (ready.is_done(off)) return 0;
+  rt::SpinWait sw;
+  std::uint64_t rounds = 0;
+  do {
+    sw.spin_once();
+    ++rounds;
+    if ((rounds & 63u) == 0) {
+      if (g.latch && g.latch->raised()) throw rt::WorkerAbort{};
+      if (g.budget != 0 && rounds >= g.budget) {
+        std::uint32_t ep = 0;
+        if constexpr (requires { ready.epoch(); }) ep = ready.epoch();
+        throw rt::StallError(row, off, ep, rounds, g.site ? g.site : "");
+      }
+    }
+  } while (!ready.is_done(off));
+  return rounds;
+}
 
 }  // namespace pdx::core

@@ -13,6 +13,7 @@
 #include <cstdint>
 
 #include "runtime/aligned.hpp"
+#include "runtime/failure.hpp"
 #include "runtime/spin_wait.hpp"
 
 namespace pdx::rt {
@@ -26,8 +27,24 @@ class Barrier {
   Barrier(const Barrier&) = delete;
   Barrier& operator=(const Barrier&) = delete;
 
+  /// Attach a failure latch (and optional spin-round stall budget) to the
+  /// wait loop. A watched barrier stops being a deadlock point when a
+  /// participant faults: waiters poll the latch every 64 rounds, throw
+  /// WorkerAbort once it is raised (a thread that observes the latch
+  /// *before* arriving also aborts, so it never strands the count), and
+  /// throw StallError past a non-zero budget. After such a break the
+  /// arrive count is stale — acceptable only because the owning plan is
+  /// poisoned and never runs the barrier again. An unwatched barrier
+  /// (default) never throws.
+  void watch(const FailureLatch* latch, std::uint64_t stall_budget = 0)
+      noexcept {
+    latch_ = latch;
+    budget_ = stall_budget;
+  }
+
   /// Block until all `nthreads` participants have arrived.
-  void arrive_and_wait() noexcept {
+  void arrive_and_wait() {
+    if (latch_ && latch_->raised()) throw WorkerAbort{};
     const std::uint32_t my_epoch = epoch_.value.load(std::memory_order_acquire);
     const unsigned prior = arrived_.value.fetch_add(1, std::memory_order_acq_rel);
     if (prior + 1 == nthreads_) {
@@ -37,8 +54,16 @@ class Barrier {
       epoch_.value.fetch_add(1, std::memory_order_release);
     } else {
       SpinWait sw;
+      std::uint64_t rounds = 0;
       while (epoch_.value.load(std::memory_order_acquire) == my_epoch) {
         sw.spin_once();
+        ++rounds;
+        if (latch_ && (rounds & 63u) == 0) {
+          if (latch_->raised()) throw WorkerAbort{};
+          if (budget_ != 0 && rounds >= budget_) {
+            throw StallError(-1, -1, my_epoch, rounds, "barrier");
+          }
+        }
       }
     }
   }
@@ -65,6 +90,8 @@ class Barrier {
   Padded<std::atomic<unsigned>> arrived_{};    // value-initialized to 0
   Padded<std::atomic<std::uint32_t>> epoch_{};  // value-initialized to 0
   unsigned nthreads_;
+  const FailureLatch* latch_ = nullptr;
+  std::uint64_t budget_ = 0;
 };
 
 }  // namespace pdx::rt

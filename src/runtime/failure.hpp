@@ -1,0 +1,280 @@
+// failure.hpp — fault containment for busy-wait parallel execution.
+//
+// The doacross executors synchronize through busy waits on ready flags
+// (paper Fig. 2 S1 / Fig. 5 S4) and barriers, which makes a fault in any
+// worker a deadlock for its peers: a thread that throws never sets the
+// flags others are spinning on. The containment protocol here keeps the
+// paper's synchronization untouched on the healthy path and adds an
+// out-of-band channel for the unhealthy one:
+//
+//   FailureLatch — a shared fault flag plus a first-exception slot. A
+//       faulting worker records its exception and raises the latch; every
+//       wait loop (flag spin, barrier spin, injected stall) polls the
+//       latch at a coarse interval and, once raised, abandons its wait by
+//       throwing WorkerAbort. Peers therefore drain and join instead of
+//       spinning forever; the joiner rethrows the first recorded fault.
+//       This is "virtual flag poisoning": rather than storing DONE into
+//       flags the faulting worker will never legitimately set (which
+//       would let consumers read unpublished values and race with a
+//       stalled producer's late stores), waiters give up on the flags
+//       themselves. The observable drain-and-join behavior is the same,
+//       without data races.
+//
+//   WorkerAbort — control-flow exception thrown by a wait that observed
+//       the latch. Deliberately NOT derived from std::exception: it must
+//       never be reported as the fault itself, only unwound to the
+//       region-level catch that discards it.
+//
+//   StallError — raised by a watched wait whose spin-round budget ran
+//       out, carrying diagnostics (row, awaited offset, epoch, rounds,
+//       site). Off by default (budget 0 = unbounded) so the bitwise and
+//       perf gates never see it.
+//
+//   FaultInjector — test harness hooks (zero cost when disarmed) that
+//       throw in a chosen worker/row, stall a producer, or corrupt a
+//       pivot, so the containment protocol is provable under every
+//       executor strategy.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "runtime/types.hpp"
+
+namespace pdx::rt {
+
+/// Control-flow marker thrown by latch-aware waits when a peer has already
+/// faulted. Intentionally not a std::exception: region wrappers catch and
+/// discard it, and nothing else should ever observe it.
+struct WorkerAbort {};
+
+/// A solve/factorize was attempted on a plan whose previous run faulted
+/// inside the parallel region. Poisoned plans refuse to run again because
+/// their flag tables, cursors, and barriers may be mid-episode.
+class PlanPoisonedError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Thrown by FaultInjector::on_row when a throw fault is armed.
+class InjectedFault : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// A watched wait exceeded its spin-round budget: the producer (or a
+/// barrier peer) is not making progress. Carries enough diagnostics to
+/// name the stuck dependence.
+class StallError : public std::runtime_error {
+ public:
+  StallError(index_t row, index_t waiting_on, std::uint32_t epoch,
+             std::uint64_t rounds, std::string site)
+      : std::runtime_error(
+            "stall watchdog: no progress after " + std::to_string(rounds) +
+            " spin rounds (site " + site + ", row " + std::to_string(row) +
+            ", waiting on " + std::to_string(waiting_on) + ", epoch " +
+            std::to_string(epoch) + ")"),
+        row_(row),
+        waiting_on_(waiting_on),
+        epoch_(epoch),
+        rounds_(rounds),
+        site_(std::move(site)) {}
+
+  index_t row() const noexcept { return row_; }
+  index_t waiting_on() const noexcept { return waiting_on_; }
+  std::uint32_t epoch() const noexcept { return epoch_; }
+  std::uint64_t rounds() const noexcept { return rounds_; }
+  const std::string& site() const noexcept { return site_; }
+
+ private:
+  index_t row_;
+  index_t waiting_on_;
+  std::uint32_t epoch_;
+  std::uint64_t rounds_;
+  std::string site_;
+};
+
+/// Shared fault flag + first-exception slot. raise() is safe from any
+/// number of workers concurrently; the first recorded exception wins.
+/// raised() is a single acquire load, cheap enough for wait loops to poll.
+class FailureLatch {
+ public:
+  FailureLatch() = default;
+  FailureLatch(const FailureLatch&) = delete;
+  FailureLatch& operator=(const FailureLatch&) = delete;
+
+  bool raised() const noexcept {
+    return raised_.load(std::memory_order_acquire);
+  }
+
+  void raise(std::exception_ptr e) noexcept {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!first_) first_ = std::move(e);
+    }
+    raised_.store(true, std::memory_order_release);
+  }
+
+  void reset() noexcept {
+    std::lock_guard<std::mutex> lock(mu_);
+    first_ = nullptr;
+    raised_.store(false, std::memory_order_release);
+  }
+
+  /// Rethrow the first recorded fault and clear the latch. Must only be
+  /// called after the parallel region has joined (the pool join orders
+  /// every raise() before this read).
+  [[noreturn]] void rethrow_and_reset() {
+    std::exception_ptr e;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      e = std::exchange(first_, nullptr);
+    }
+    raised_.store(false, std::memory_order_release);
+    if (e) std::rethrow_exception(e);
+    throw std::runtime_error("FailureLatch: raised with no recorded fault");
+  }
+
+ private:
+  std::atomic<bool> raised_{false};
+  std::mutex mu_;
+  std::exception_ptr first_;
+};
+
+/// Parameters a latch-aware wait consults every 64 spin rounds: the shared
+/// latch (abandon the wait once a peer faulted), a stall budget in spin
+/// rounds (0 = unbounded), and a site label for StallError diagnostics.
+struct WaitGuard {
+  const FailureLatch* latch = nullptr;
+  std::uint64_t budget = 0;
+  const char* site = "";
+};
+
+/// Test-only fault source. All hooks are armed/consumed with atomics so a
+/// single armed fault fires in exactly one worker; disarmed hooks cost one
+/// pointer test at the call site plus one relaxed/acquire load here.
+class FaultInjector {
+ public:
+  static constexpr int kAnyTid = -1;
+  static constexpr index_t kAnyRow = -1;
+
+  /// Arm a one-shot exception in the first worker that reaches `row`
+  /// (restricted to `tid` unless kAnyTid).
+  void arm_throw(int tid = kAnyTid, index_t row = kAnyRow,
+                 std::string message = "injected worker fault") {
+    message_ = std::move(message);
+    tid_.store(tid, std::memory_order_relaxed);
+    row_.store(row, std::memory_order_relaxed);
+    released_.store(false, std::memory_order_relaxed);
+    mode_.store(Mode::kThrow, std::memory_order_release);
+  }
+
+  /// Arm a one-shot producer stall at `row`: the matching worker blocks
+  /// before computing the row until release_stalls(), the shared latch is
+  /// raised, or `max_stall_ms` elapses (safety valve — the worker then
+  /// resumes normally so a missed expectation cannot wedge a test run).
+  void arm_stall(int tid = kAnyTid, index_t row = kAnyRow,
+                 int max_stall_ms = 10000) {
+    tid_.store(tid, std::memory_order_relaxed);
+    row_.store(row, std::memory_order_relaxed);
+    max_stall_ms_.store(max_stall_ms, std::memory_order_relaxed);
+    released_.store(false, std::memory_order_relaxed);
+    mode_.store(Mode::kStall, std::memory_order_release);
+  }
+
+  /// Arm a one-shot pivot corruption: filter_pivot(row) returns 0.0 once.
+  void arm_pivot_corruption(index_t row) {
+    pivot_row_.store(row, std::memory_order_relaxed);
+    pivot_armed_.store(true, std::memory_order_release);
+  }
+
+  void disarm() noexcept {
+    mode_.store(Mode::kNone, std::memory_order_release);
+    pivot_armed_.store(false, std::memory_order_release);
+    released_.store(true, std::memory_order_release);
+  }
+
+  /// Let a stalled producer resume (it aborts if the latch is raised,
+  /// otherwise continues its row normally).
+  void release_stalls() noexcept {
+    released_.store(true, std::memory_order_release);
+  }
+
+  int faults_fired() const noexcept {
+    return fired_.load(std::memory_order_acquire);
+  }
+  int stalls_fired() const noexcept {
+    return stalls_.load(std::memory_order_acquire);
+  }
+  int pivots_corrupted() const noexcept {
+    return pivots_.load(std::memory_order_acquire);
+  }
+
+  /// Executor hook, called before a worker computes `row`. Throws
+  /// InjectedFault (armed throw) or blocks (armed stall); a stalled worker
+  /// woken by the latch throws WorkerAbort so the region joins promptly.
+  void on_row(unsigned tid, index_t row, const FailureLatch* latch) {
+    const Mode m = mode_.load(std::memory_order_acquire);
+    if (m == Mode::kNone) return;
+    const int want_tid = tid_.load(std::memory_order_relaxed);
+    if (want_tid != kAnyTid && static_cast<int>(tid) != want_tid) return;
+    const index_t want_row = row_.load(std::memory_order_relaxed);
+    if (want_row != kAnyRow && row != want_row) return;
+    Mode expected = m;  // consume: exactly one worker fires
+    if (!mode_.compare_exchange_strong(expected, Mode::kNone,
+                                       std::memory_order_acq_rel)) {
+      return;
+    }
+    if (m == Mode::kThrow) {
+      fired_.fetch_add(1, std::memory_order_acq_rel);
+      throw InjectedFault(message_.empty() ? "injected worker fault"
+                                           : message_);
+    }
+    stalls_.fetch_add(1, std::memory_order_acq_rel);
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::milliseconds(max_stall_ms_.load(std::memory_order_relaxed));
+    while (!released_.load(std::memory_order_acquire)) {
+      if (latch && latch->raised()) throw WorkerAbort{};
+      if (std::chrono::steady_clock::now() >= deadline) return;
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  }
+
+  /// Factorization hook: returns the (possibly corrupted) pivot value.
+  double filter_pivot(index_t row, double pivot) noexcept {
+    if (!pivot_armed_.load(std::memory_order_acquire)) return pivot;
+    if (pivot_row_.load(std::memory_order_relaxed) != row) return pivot;
+    bool expected = true;
+    if (!pivot_armed_.compare_exchange_strong(expected, false,
+                                              std::memory_order_acq_rel)) {
+      return pivot;
+    }
+    pivots_.fetch_add(1, std::memory_order_acq_rel);
+    return 0.0;
+  }
+
+ private:
+  enum class Mode : std::uint8_t { kNone, kThrow, kStall };
+
+  std::atomic<Mode> mode_{Mode::kNone};
+  std::atomic<int> tid_{kAnyTid};
+  std::atomic<index_t> row_{kAnyRow};
+  std::atomic<index_t> pivot_row_{kAnyRow};
+  std::atomic<bool> pivot_armed_{false};
+  std::atomic<bool> released_{false};
+  std::atomic<int> max_stall_ms_{10000};
+  std::atomic<int> fired_{0};
+  std::atomic<int> stalls_{0};
+  std::atomic<int> pivots_{0};
+  std::string message_;  // written while armed from one thread only
+};
+
+}  // namespace pdx::rt

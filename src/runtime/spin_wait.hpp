@@ -11,6 +11,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <optional>
 #include <thread>
 
 namespace pdx::rt {
@@ -81,6 +82,25 @@ inline std::uint64_t spin_until(Pred&& pred) {
   SpinWait sw;
   std::uint64_t rounds = 0;
   while (!pred()) {
+    sw.spin_once();
+    ++rounds;
+  }
+  return rounds;
+}
+
+/// Bounded-wait mode: spin until `pred()` holds or `max_rounds` rounds
+/// have been burned. Returns the rounds taken on success, nullopt when the
+/// budget ran out. This is the primitive under the stall watchdog — the
+/// executors' flag waits use the guarded variant in core/ready_table.hpp,
+/// which additionally polls the shared FailureLatch.
+template <class Pred>
+inline std::optional<std::uint64_t> spin_until_bounded(
+    Pred&& pred, std::uint64_t max_rounds) {
+  if (pred()) return 0;
+  SpinWait sw;
+  std::uint64_t rounds = 0;
+  while (!pred()) {
+    if (rounds >= max_rounds) return std::nullopt;
     sw.spin_once();
     ++rounds;
   }

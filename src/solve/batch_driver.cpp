@@ -1,7 +1,10 @@
 #include "solve/batch_driver.hpp"
 
+#include <cmath>
 #include <stdexcept>
+#include <string>
 
+#include "solve/gmres.hpp"
 #include "solve/vec.hpp"
 #include "sparse/spmv.hpp"
 
@@ -16,12 +19,37 @@ BatchDriver::BatchDriver(rt::ThreadPool& pool, const sparse::Csr& a,
   if (opts.max_iterations < 1) {
     throw std::invalid_argument("BatchDriver: max_iterations must be >= 1");
   }
+  if (opts.max_attempts < 1) {
+    throw std::invalid_argument("BatchDriver: max_attempts must be >= 1");
+  }
+  if (opts.retry_iteration_factor < 1) {
+    throw std::invalid_argument(
+        "BatchDriver: retry_iteration_factor must be >= 1");
+  }
 }
 
 void BatchDriver::enqueue(std::span<const double> b, std::span<double> x) {
+  const std::string job = "job " + std::to_string(queue_.size());
   if (static_cast<index_t>(b.size()) < a_->rows ||
       static_cast<index_t>(x.size()) < a_->rows) {
-    throw std::invalid_argument("BatchDriver::enqueue: vector size mismatch");
+    throw std::invalid_argument(
+        "BatchDriver::enqueue: " + job + ": b has " +
+        std::to_string(b.size()) + " and x has " + std::to_string(x.size()) +
+        " entries but the matrix has " + std::to_string(a_->rows) + " rows");
+  }
+  if (opts_.screen_nonfinite) {
+    for (index_t i = 0; i < a_->rows; ++i) {
+      if (!std::isfinite(b[static_cast<std::size_t>(i)])) {
+        throw std::invalid_argument("BatchDriver::enqueue: " + job +
+                                    ": non-finite b entry at row " +
+                                    std::to_string(i));
+      }
+      if (!std::isfinite(x[static_cast<std::size_t>(i)])) {
+        throw std::invalid_argument("BatchDriver::enqueue: " + job +
+                                    ": non-finite initial guess at row " +
+                                    std::to_string(i));
+      }
+    }
   }
   queue_.push_back({b, x});
 }
@@ -106,28 +134,38 @@ BatchReport BatchDriver::drain() {
 
   // Krylov drain: every system shares m_'s plan, so each preconditioner
   // application — each iteration of each system — is one fused dispatch
-  // with zero allocation inside the plan.
+  // with zero allocation inside the plan. Jobs that fail climb the retry
+  // ladder (DESIGN.md §12): attempt 2 widens the iteration budget on the
+  // same method, attempts 3+ escalate kCg → kBicgstab → kGmres, every
+  // attempt warm-started from the previous one's x.
   for (index_t j : live) {
     const Job& job = queue_[static_cast<std::size_t>(j)];
     SolveReport& out = rep.reports[static_cast<std::size_t>(j)];
-    switch (opts_.method) {
-      case KrylovMethod::kCg: {
-        CgOptions o;
-        o.max_iterations = opts_.max_iterations;
-        o.rel_tolerance = opts_.rel_tolerance;
-        o.record_history = opts_.record_history;
-        out = pcg(*a_, job.b, job.x, m_, o);
-        break;
-      }
-      case KrylovMethod::kBicgstab: {
-        BicgstabOptions o;
-        o.max_iterations = opts_.max_iterations;
-        o.rel_tolerance = opts_.rel_tolerance;
-        o.record_history = opts_.record_history;
-        out = bicgstab(*a_, job.b, job.x, m_, o);
-        break;
+    KrylovMethod method = opts_.method;
+    int attempt = 0;
+    for (;;) {
+      ++attempt;
+      const int budget = attempt == 1 ? opts_.max_iterations
+                                      : opts_.max_iterations *
+                                            opts_.retry_iteration_factor;
+      out = run_attempt(method, job.b, job.x, budget);
+      out.attempts = attempt;
+      if (out.converged || attempt >= opts_.max_attempts) break;
+      if (attempt >= 2) {
+        switch (method) {
+          case KrylovMethod::kCg:
+            method = KrylovMethod::kBicgstab;
+            break;
+          case KrylovMethod::kBicgstab:
+            method = KrylovMethod::kGmres;
+            break;
+          case KrylovMethod::kGmres:
+            break;  // top of the ladder: re-run at the widened budget
+        }
       }
     }
+    if (attempt > 1) ++rep.retried;
+    if (out.breakdown) ++rep.breakdowns;
   }
 
   for (const SolveReport& sr : rep.reports) {
@@ -136,8 +174,40 @@ BatchReport BatchDriver::drain() {
   }
   rep.precond_solves = m_.plan().solves() - plan_solves0;
   rep.pool_dispatches = dispatches.delta();
+  rep.degraded_serial = m_.degraded();
   queue_.clear();
   return rep;
+}
+
+SolveReport BatchDriver::run_attempt(KrylovMethod method,
+                                     std::span<const double> b,
+                                     std::span<double> x,
+                                     int max_iterations) {
+  switch (method) {
+    case KrylovMethod::kCg: {
+      CgOptions o;
+      o.max_iterations = max_iterations;
+      o.rel_tolerance = opts_.rel_tolerance;
+      o.record_history = opts_.record_history;
+      return pcg(*a_, b, x, m_, o);
+    }
+    case KrylovMethod::kBicgstab: {
+      BicgstabOptions o;
+      o.max_iterations = max_iterations;
+      o.rel_tolerance = opts_.rel_tolerance;
+      o.record_history = opts_.record_history;
+      return bicgstab(*a_, b, x, m_, o);
+    }
+    case KrylovMethod::kGmres: {
+      GmresOptions o;
+      o.restart = opts_.gmres_restart;
+      o.max_iterations = max_iterations;
+      o.rel_tolerance = opts_.rel_tolerance;
+      o.record_history = opts_.record_history;
+      return gmres(*a_, b, x, m_, o);
+    }
+  }
+  throw std::logic_error("BatchDriver: unknown Krylov method");
 }
 
 }  // namespace pdx::solve

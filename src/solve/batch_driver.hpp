@@ -35,7 +35,7 @@
 
 namespace pdx::solve {
 
-enum class KrylovMethod : std::uint8_t { kCg, kBicgstab };
+enum class KrylovMethod : std::uint8_t { kCg, kBicgstab, kGmres };
 
 struct BatchDriverOptions {
   KrylovMethod method = KrylovMethod::kCg;
@@ -55,6 +55,22 @@ struct BatchDriverOptions {
   /// execution-ordered streams by default, kCsrView to serve out of the
   /// factorization's own CSR arrays.
   sparse::PlanLayout layout = sparse::PlanLayout::kPacked;
+  /// Retry/escalation ladder (DESIGN.md §12) for jobs that neither
+  /// converge nor get screened: attempt 2 re-runs the SAME method with
+  /// max_iterations * retry_iteration_factor (warm-started from the
+  /// failed attempt's x); attempts 3+ escalate the method kCg →
+  /// kBicgstab → kGmres at the widened budget. 1 (default) disables
+  /// retries entirely.
+  int max_attempts = 1;
+  /// Iteration-budget multiplier applied from attempt 2 on.
+  int retry_iteration_factor = 4;
+  /// Restart length used when the ladder (or method) reaches kGmres.
+  int gmres_restart = 30;
+  /// Opt-in admission screen: reject enqueue() of a b or x containing
+  /// NaN/Inf (named job and row) instead of letting the garbage propagate
+  /// into a breakdown mid-drain. Off by default — the scan is O(n) per
+  /// enqueue.
+  bool screen_nonfinite = false;
 };
 
 /// What one drain() did, plus per-job reports in enqueue order.
@@ -86,6 +102,16 @@ struct BatchReport {
   double factor_ms = 0.0;
   sparse::ExecutionStrategy factor_strategy = sparse::ExecutionStrategy::kAuto;
   double refresh_ms = 0.0;
+  /// Jobs whose FINAL attempt stopped on a numerical breakdown (the
+  /// per-job SolveReport carries the reason).
+  std::size_t breakdowns = 0;
+  /// Jobs that took more than one attempt on the retry ladder.
+  std::size_t retried = 0;
+  /// True when the shared preconditioner served any application through
+  /// its sequential fallback because the parallel plan was poisoned
+  /// (DoacrossIlu0Preconditioner::degraded()). Answers are still correct;
+  /// the driver has lost the parallel executor until rebuilt.
+  bool degraded_serial = false;
   std::vector<SolveReport> reports;
 };
 
@@ -119,7 +145,16 @@ class BatchDriver {
   const DoacrossIlu0Preconditioner& preconditioner() const { return m_; }
   index_t rows() const noexcept { return a_->rows; }
 
+  /// Attach a fault-injection harness (tests only); forwarded to the
+  /// shared preconditioner's plans. nullptr detaches.
+  void set_fault_injector(rt::FaultInjector* injector) noexcept {
+    m_.set_fault_injector(injector);
+  }
+
  private:
+  SolveReport run_attempt(KrylovMethod method, std::span<const double> b,
+                          std::span<double> x, int max_iterations);
+
   struct Job {
     std::span<const double> b;
     std::span<double> x;

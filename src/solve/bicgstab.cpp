@@ -44,7 +44,11 @@ SolveReport bicgstab(const sparse::Csr& a, std::span<const double> b,
 
   for (int it = 0; it < opts.max_iterations; ++it) {
     const double rho = dot(r0, r);
-    if (rho == 0.0 || !std::isfinite(rho)) break;  // breakdown
+    if (rho == 0.0 || !std::isfinite(rho)) {
+      rep.breakdown = true;
+      rep.breakdown_reason = "rho = (r0, r) zero or non-finite";
+      break;
+    }
 
     if (it == 0) {
       copy(r, p);
@@ -59,7 +63,11 @@ SolveReport bicgstab(const sparse::Csr& a, std::span<const double> b,
     m.apply(p, phat);
     sparse::spmv(a, phat, v);
     const double denom = dot(r0, v);
-    if (denom == 0.0 || !std::isfinite(denom)) break;
+    if (denom == 0.0 || !std::isfinite(denom)) {
+      rep.breakdown = true;
+      rep.breakdown_reason = "(r0, A p^) denominator zero or non-finite";
+      break;
+    }
     alpha = rho / denom;
 
     // s = r - alpha v
@@ -79,9 +87,17 @@ SolveReport bicgstab(const sparse::Csr& a, std::span<const double> b,
     m.apply(s, shat);
     sparse::spmv(a, shat, t);
     const double tt = dot(t, t);
-    if (tt == 0.0) break;
+    if (tt == 0.0) {
+      rep.breakdown = true;
+      rep.breakdown_reason = "(t, t) is zero";
+      break;
+    }
     omega = dot(t, s) / tt;
-    if (omega == 0.0 || !std::isfinite(omega)) break;
+    if (omega == 0.0 || !std::isfinite(omega)) {
+      rep.breakdown = true;
+      rep.breakdown_reason = "omega zero or non-finite";
+      break;
+    }
 
     // x += alpha phat + omega shat;  r = s - omega t
     for (std::size_t i = 0; i < n; ++i) {

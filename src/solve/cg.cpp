@@ -44,7 +44,11 @@ SolveReport pcg(const sparse::Csr& a, std::span<const double> b,
   for (int it = 0; it < opts.max_iterations; ++it) {
     sparse::spmv(a, p, ap);
     const double denom = dot(p, ap);
-    if (denom == 0.0 || !std::isfinite(denom)) break;
+    if (denom == 0.0 || !std::isfinite(denom)) {
+      rep.breakdown = true;
+      rep.breakdown_reason = "p·Ap denominator zero or non-finite";
+      break;
+    }
     const double alpha = rho / denom;
     axpy(alpha, p, x);
     axpy(-alpha, ap, r);

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <span>
+#include <string>
 #include <vector>
 
 #include "solve/precond.hpp"
@@ -19,6 +20,16 @@ struct SolveReport {
   int iterations = 0;
   double final_relative_residual = 0.0;
   std::vector<double> residual_history;  ///< relative residual per iteration
+  /// True when the iteration stopped on a numerical breakdown (a zero or
+  /// non-finite scalar in the recurrence) rather than convergence or the
+  /// iteration cap. Previously a silent early exit; callers deciding
+  /// whether to retry or escalate need the distinction (DESIGN.md §12).
+  bool breakdown = false;
+  /// Which scalar broke, when breakdown is true (empty otherwise).
+  std::string breakdown_reason;
+  /// Solve attempts the caller made for this answer (1 unless a retry
+  /// ladder such as BatchDriver's re-ran or escalated the method).
+  int attempts = 1;
 };
 
 struct CgOptions {

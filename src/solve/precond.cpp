@@ -57,8 +57,10 @@ void DoacrossIlu0Preconditioner::refactor(const sparse::Csr& a) {
   std::unique_ptr<sparse::FactorPlan> fresh;
   sparse::FactorPlan* fp = factor_plan_.get();
   if (!fp) {
-    fresh = std::make_unique<sparse::FactorPlan>(
-        *pool_, a, sparse::FactorPlanOptions{.nthreads = nthreads_});
+    sparse::FactorPlanOptions fopts;
+    fopts.nthreads = nthreads_;
+    fresh = std::make_unique<sparse::FactorPlan>(*pool_, a, fopts);
+    fresh->set_fault_injector(injector_);
     fp = fresh.get();
   }
   const sparse::FactorStats fs = fp->factorize(a, f_);
@@ -67,21 +69,77 @@ void DoacrossIlu0Preconditioner::refactor(const sparse::Csr& a) {
   plan_.refresh_values(f_);
 }
 
+void DoacrossIlu0Preconditioner::set_fault_injector(
+    rt::FaultInjector* injector) noexcept {
+  injector_ = injector;
+  plan_.set_fault_injector(injector);
+  if (factor_plan_) factor_plan_->set_fault_injector(injector);
+}
+
+void DoacrossIlu0Preconditioner::apply_seq(std::span<const double> r,
+                                           std::span<double> z) const {
+  // Graceful degradation (DESIGN.md §12): the parallel plan is poisoned
+  // but the FACTORS are intact, so the sequential Fig. 7 loops — the very
+  // arithmetic the plan is bitwise-gated against — keep serving correct
+  // answers at sequential speed until the caller rebuilds.
+  fb_tmp_.resize(r.size());
+  sparse::trisolve_lower_seq(f_.l, r, fb_tmp_);
+  sparse::trisolve_upper_seq(f_.u, fb_tmp_, z);
+  ++fallbacks_;
+}
+
 void DoacrossIlu0Preconditioner::apply(std::span<const double> r,
                                        std::span<double> z) const {
-  plan_.solve(r, z);
+  if (!plan_.poisoned()) {
+    try {
+      plan_.solve(r, z);
+      return;
+    } catch (...) {
+      // The faulting solve left z garbage. If the fault poisoned the
+      // plan, recompute this very application sequentially; anything
+      // else (bad arguments, ...) is the caller's problem.
+      if (!plan_.poisoned()) throw;
+    }
+  }
+  apply_seq(r, z);
 }
 
 void DoacrossIlu0Preconditioner::apply_batch(std::span<const double> r,
                                              std::span<double> z, index_t k,
                                              sparse::BatchMode mode) const {
-  plan_.solve_batch(r, z, k, mode);
+  if (!plan_.poisoned()) {
+    try {
+      plan_.solve_batch(r, z, k, mode);
+      return;
+    } catch (...) {
+      if (!plan_.poisoned()) throw;
+    }
+  }
+  const index_t n = plan_.rows();
+  for (index_t c = 0; c < k; ++c) {
+    apply_seq(r.subspan(static_cast<std::size_t>(c * n),
+                        static_cast<std::size_t>(n)),
+              z.subspan(static_cast<std::size_t>(c * n),
+                        static_cast<std::size_t>(n)));
+  }
 }
 
 void DoacrossIlu0Preconditioner::apply_batch(const double* const* r_cols,
                                              double* const* z_cols, index_t k,
                                              sparse::BatchMode mode) const {
-  plan_.solve_batch(r_cols, z_cols, k, mode);
+  if (!plan_.poisoned()) {
+    try {
+      plan_.solve_batch(r_cols, z_cols, k, mode);
+      return;
+    } catch (...) {
+      if (!plan_.poisoned()) throw;
+    }
+  }
+  const std::size_t n = static_cast<std::size_t>(plan_.rows());
+  for (index_t c = 0; c < k; ++c) {
+    apply_seq(std::span<const double>(r_cols[c], n),
+              std::span<double>(z_cols[c], n));
+  }
 }
 
 }  // namespace pdx::solve

@@ -13,6 +13,7 @@
 #include <span>
 #include <vector>
 
+#include "runtime/failure.hpp"
 #include "runtime/thread_pool.hpp"
 #include "sparse/csr.hpp"
 #include "sparse/factor_plan.hpp"
@@ -124,12 +125,28 @@ class DoacrossIlu0Preconditioner final : public Preconditioner {
   /// refactor()).
   const sparse::FactorPlan* factor_plan() const { return factor_plan_.get(); }
 
+  /// True once the parallel plan was poisoned by an in-region fault and
+  /// apply() degraded to the sequential Fig. 7 loops (DESIGN.md §12).
+  /// The factors themselves are intact, so answers stay bitwise correct —
+  /// only the parallel executor is lost until the object is rebuilt.
+  bool degraded() const noexcept { return plan_.poisoned(); }
+  /// Columns served by the sequential fallback since construction.
+  std::uint64_t serial_fallbacks() const noexcept { return fallbacks_; }
+  /// Attach a fault-injection harness (tests only); forwarded to the
+  /// solve plan and to the factor plan once refactor() builds it.
+  void set_fault_injector(rt::FaultInjector* injector) noexcept;
+
  private:
+  void apply_seq(std::span<const double> r, std::span<double> z) const;
+
   rt::ThreadPool* pool_;
   unsigned nthreads_;
   sparse::IluFactors f_;        // must outlive plan_ (declared first)
   mutable sparse::TrisolvePlan plan_;
   std::unique_ptr<sparse::FactorPlan> factor_plan_;  // built on 1st refactor
+  rt::FaultInjector* injector_ = nullptr;
+  mutable std::vector<double> fb_tmp_;      // scratch of the serial fallback
+  mutable std::uint64_t fallbacks_ = 0;
 };
 
 }  // namespace pdx::solve

@@ -146,6 +146,13 @@ FactorPlan::FactorPlan(rt::ThreadPool& pool, const Csr& a,
   ready_.ensure_size(n_);
   episodes_.resize(nth_);
   rounds_.resize(nth_);
+  // Fault containment (DESIGN.md §12): every in-region wait — flag or
+  // barrier — polls this latch so a faulting worker's peers drain and
+  // join instead of deadlocking; a non-zero budget arms the stall
+  // watchdog on the same loops.
+  barrier_.watch(&latch_, opts_.stall_budget);
+  guard_ = rt::WaitGuard{&latch_, opts_.stall_budget,
+                         core::to_string(telemetry_.strategy)};
   bind_region();
 
   telemetry_.symbolic_bytes =
@@ -177,7 +184,7 @@ IluFactors FactorPlan::allocate_factors() const {
 }
 
 template <class WaitFn>
-void FactorPlan::factor_row(index_t i, WaitFn&& wait) noexcept {
+void FactorPlan::factor_row(index_t i, WaitFn&& wait) {
   // Identical arithmetic (step order, update order, divisions) to the
   // sequential ilu0() IKJ loop — values are bitwise equal; the wait hook
   // only sequences the reads of earlier rows' finalized values.
@@ -201,6 +208,28 @@ void FactorPlan::factor_row(index_t i, WaitFn&& wait) noexcept {
           lik * w[upd_src_[static_cast<std::size_t>(t)]];
     }
   }
+  // Pivot policy at production, BEFORE the factor copy and before the
+  // caller publishes the row: consumers read w, so a substitution is
+  // seen by every later row and lands in U — thread-order independent,
+  // hence bitwise identical to ilu0(a, pivot) under every strategy.
+  double piv = w[d];
+  if (injector_) piv = injector_->filter_pivot(i, piv);
+  if (piv == 0.0 || !std::isfinite(piv)) {
+    switch (opts_.pivot.policy) {
+      case PivotPolicy::kThrow:
+        record_bad_row(bad_row_, i);
+        break;
+      case PivotPolicy::kShift:
+        piv = shift_sigma_;
+        shift_count_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case PivotPolicy::kReplace:
+        piv = opts_.pivot.replacement;
+        shift_count_.fetch_add(1, std::memory_order_relaxed);
+        break;
+    }
+  }
+  w[d] = piv;
   // Split row i into the factors: both destination runs are contiguous
   // (sorted row, lower part first), so the scatter of ilu0()'s split loop
   // is two straight copies. L's unit diagonal was written at allocation.
@@ -208,8 +237,6 @@ void FactorPlan::factor_row(index_t i, WaitFn&& wait) noexcept {
               static_cast<std::size_t>(d - rb) * sizeof(double));
   std::memcpy(uval_ + uptr_[static_cast<std::size_t>(i)], w + d,
               static_cast<std::size_t>(re - d) * sizeof(double));
-  const double piv = w[d];
-  if (piv == 0.0 || !std::isfinite(piv)) record_bad_row(bad_row_, i);
 }
 
 void FactorPlan::bind_region() {
@@ -220,15 +247,19 @@ void FactorPlan::bind_region() {
       const index_t* ord = order_ ? order_->order.data() : nullptr;
       region_ = [this, ord](unsigned tid, unsigned nthreads) {
         std::uint64_t eps = 0, rds = 0;
-        auto flag_wait = [&](index_t k) noexcept {
-          const std::uint64_t rounds = ready_.wait_done(k);
+        index_t cur = -1;  // row being factored, for stall diagnostics
+        auto flag_wait = [&](index_t k) {
+          const std::uint64_t rounds =
+              core::wait_done_guarded(ready_, k, cur, guard_);
           if (rounds != 0) {
             ++eps;
             rds += rounds;
           }
         };
-        auto run_pos = [&](index_t pos) noexcept {
+        auto run_pos = [&](index_t pos) {
           const index_t i = ord ? ord[pos] : pos;
+          cur = i;
+          if (injector_) injector_->on_row(tid, i, &latch_);
           factor_row(i, flag_wait);
           ready_.mark_done(i);  // release-publishes row i's w slice
         };
@@ -252,7 +283,9 @@ void FactorPlan::bind_region() {
           const rt::IterRange r =
               rt::static_block_range(hi - lo, tid, nthreads);
           for (index_t pos = lo + r.begin; pos < lo + r.end; ++pos) {
-            factor_row(ord.order[static_cast<std::size_t>(pos)], no_wait);
+            const index_t i = ord.order[static_cast<std::size_t>(pos)];
+            if (injector_) injector_->on_row(tid, i, &latch_);
+            factor_row(i, no_wait);
           }
           barrier_.arrive_and_wait();
         }
@@ -267,9 +300,11 @@ void FactorPlan::bind_region() {
         // boundary-crossing pivots consult a flag.
         std::uint64_t eps = 0, rds = 0;
         const rt::IterRange range = rt::static_block_range(n_, tid, nthreads);
-        auto boundary_wait = [&](index_t k) noexcept {
+        index_t cur = -1;
+        auto boundary_wait = [&](index_t k) {
           if (k < range.begin) {
-            const std::uint64_t rounds = ready_.wait_done(k);
+            const std::uint64_t rounds =
+                core::wait_done_guarded(ready_, k, cur, guard_);
             if (rounds != 0) {
               ++eps;
               rds += rounds;
@@ -277,6 +312,8 @@ void FactorPlan::bind_region() {
           }
         };
         for (index_t i = range.begin; i < range.end; ++i) {
+          cur = i;
+          if (injector_) injector_->on_row(tid, i, &latch_);
           factor_row(i, boundary_wait);
           ready_.mark_done(i);
         }
@@ -287,12 +324,29 @@ void FactorPlan::bind_region() {
     case ExecutionStrategy::kSerial:
       region_ = [this](unsigned, unsigned) {
         auto no_wait = [](index_t) noexcept {};
-        for (index_t i = 0; i < n_; ++i) factor_row(i, no_wait);
+        for (index_t i = 0; i < n_; ++i) {
+          if (injector_) injector_->on_row(0, i, &latch_);
+          factor_row(i, no_wait);
+        }
       };
       break;
     case ExecutionStrategy::kAuto:
       break;  // unreachable: the constructor never leaves kAuto
   }
+  // Containment wrapper (applied once — factorize() still never
+  // allocates): a faulting worker records its exception in the latch and
+  // joins; peers observe the latch in their guarded waits, throw
+  // WorkerAbort, and drain here.
+  region_ = [this, raw = std::move(region_)](unsigned tid,
+                                             unsigned nthreads) {
+    try {
+      raw(tid, nthreads);
+    } catch (rt::WorkerAbort&) {
+      // A peer faulted first; this thread drained its waits and joins.
+    } catch (...) {
+      latch_.raise(std::current_exception());
+    }
+  };
 }
 
 bool FactorPlan::split_idx_matches(const IluFactors& f) const noexcept {
@@ -322,6 +376,11 @@ bool FactorPlan::split_idx_matches(const IluFactors& f) const noexcept {
 }
 
 FactorStats FactorPlan::factorize(const Csr& a, IluFactors& f) {
+  if (poisoned_) {
+    throw rt::PlanPoisonedError(
+        "FactorPlan: plan poisoned by an earlier in-region fault; rebuild "
+        "the plan before factorizing again");
+  }
   // The O(nnz) idx comparisons run once per distinct buffer set: a
   // time-stepping caller re-assembles VALUES into the same Csr / factor
   // objects every step, so steady-state validation drops to the O(n)
@@ -366,33 +425,80 @@ FactorStats FactorPlan::factorize(const Csr& a, IluFactors& f) {
   aval_ = a.val.data();
   lval_ = f.l.val.data();
   uval_ = f.u.val.data();
-  ready_.begin_epoch();
-  cursor_.store(0, std::memory_order_relaxed);
-  bad_row_.store(-1, std::memory_order_relaxed);
 
   using clock = std::chrono::steady_clock;
   const clock::time_point t0 = clock::now();
-  if (telemetry_.strategy == ExecutionStrategy::kSerial) {
-    region_(0, 1);
-  } else {
-    pool_->parallel_region(nth_, region_);
-    for (unsigned t = 0; t < nth_; ++t) {
-      stats.wait_episodes += episodes_[t].value;
-      stats.wait_rounds += rounds_[t].value;
+  // kShift escalation mirrors ilu0(a, pivot): rerun the whole numeric
+  // phase with a larger substitute until the factors come out finite (a
+  // shifted pivot can still overflow later rows through a huge lik).
+  // kThrow and kReplace never take a second pass.
+  shift_sigma_ = opts_.pivot.initial_shift;
+  std::uint64_t shifts = 0;
+  int pass = 0;
+  for (;;) {
+    ++pass;
+    ready_.begin_epoch();
+    cursor_.store(0, std::memory_order_relaxed);
+    bad_row_.store(-1, std::memory_order_relaxed);
+    shift_count_.store(0, std::memory_order_relaxed);
+    if (telemetry_.strategy == ExecutionStrategy::kSerial) {
+      region_(0, 1);
+    } else {
+      pool_->parallel_region(nth_, region_);
+      for (unsigned t = 0; t < nth_; ++t) {
+        stats.wait_episodes += episodes_[t].value;
+        stats.wait_rounds += rounds_[t].value;
+      }
     }
+    if (latch_.raised()) {
+      // A worker faulted (injected fault, stall watchdog, ...) and its
+      // peers drained; partial factors are garbage, so poison the plan.
+      poisoned_ = true;
+      latch_.rethrow_and_reset();
+    }
+
+    // Pivot failures under kThrow are recorded in-region (throwing there
+    // would strand peers spinning on the bad row's flag) and reported
+    // here; the row is the same one the sequential loop throws on first.
+    // This does NOT poison the plan: a refactorize with good values
+    // rewrites every factor value and recovers it.
+    const index_t bad = bad_row_.load(std::memory_order_relaxed);
+    if (bad >= 0) {
+      throw std::runtime_error(
+          "FactorPlan::factorize: zero/invalid pivot produced at row " +
+          std::to_string(bad));
+    }
+    shifts = shift_count_.load(std::memory_order_relaxed);
+    if (shifts == 0 || opts_.pivot.policy != PivotPolicy::kShift) break;
+    bool finite = true;
+    const std::size_t lnnz = static_cast<std::size_t>(lptr_.back());
+    const std::size_t unnz = static_cast<std::size_t>(uptr_.back());
+    for (std::size_t k = 0; k < lnnz && finite; ++k) {
+      finite = std::isfinite(lval_[k]);
+    }
+    for (std::size_t k = 0; k < unnz && finite; ++k) {
+      finite = std::isfinite(uval_[k]);
+    }
+    if (finite) break;
+    if (pass >= opts_.pivot.max_passes) {
+      throw std::runtime_error(
+          "FactorPlan::factorize: diagonal shift failed to produce finite "
+          "factors after " +
+          std::to_string(pass) + " passes");
+    }
+    shift_sigma_ *= opts_.pivot.shift_growth;
   }
   const clock::time_point t1 = clock::now();
   stats.factor_seconds = std::chrono::duration<double>(t1 - t0).count();
-
-  // Pivot failures are recorded in-region (throwing there would strand
-  // peers spinning on the bad row's flag) and reported here; the row is
-  // the same one the sequential loop throws on first.
-  const index_t bad = bad_row_.load(std::memory_order_relaxed);
-  if (bad >= 0) {
-    throw std::runtime_error(
-        "FactorPlan::factorize: zero/invalid pivot produced at row " +
-        std::to_string(bad));
-  }
+  stats.pivot_shifts = shifts;
+  stats.pivot_shift =
+      shifts != 0 ? (opts_.pivot.policy == PivotPolicy::kReplace
+                         ? opts_.pivot.replacement
+                         : shift_sigma_)
+                  : 0.0;
+  stats.shift_passes = pass;
+  telemetry_.total_pivot_shifts += shifts;
+  if (shifts != 0) telemetry_.last_shift = stats.pivot_shift;
   ++factorizations_;
   return stats;
 }

@@ -48,6 +48,7 @@
 #include "core/ready_table.hpp"
 #include "runtime/aligned.hpp"
 #include "runtime/barrier.hpp"
+#include "runtime/failure.hpp"
 #include "runtime/thread_pool.hpp"
 #include "sparse/csr.hpp"
 #include "sparse/ilu0.hpp"
@@ -69,6 +70,15 @@ struct FactorPlanOptions {
   /// times the work of a solve row, so synchronization amortizes
   /// sooner than the solve advisor assumes).
   ExecutionStrategy strategy = ExecutionStrategy::kAuto;
+  /// Stall watchdog budget in spin rounds for every in-region wait
+  /// (flags and barriers); 0 (default) disarms the watchdog. See
+  /// PlanOptions::stall_budget.
+  std::uint64_t stall_budget = 0;
+  /// Zero/non-finite pivot recovery (DESIGN.md §12). The substitution is
+  /// applied at pivot production, before the row is published, so every
+  /// execution strategy produces factors bitwise identical to
+  /// ilu0(a, pivot).
+  PivotOptions pivot;
 };
 
 /// What one numeric factorization cost.
@@ -76,6 +86,12 @@ struct FactorStats {
   double factor_seconds = 0.0;
   std::uint64_t wait_episodes = 0;
   std::uint64_t wait_rounds = 0;
+  /// Bad pivots substituted in the accepted pass (kShift/kReplace only).
+  std::uint64_t pivot_shifts = 0;
+  /// The substitute value the accepted pass used (0.0 when clean).
+  double pivot_shift = 0.0;
+  /// Numeric passes run (> 1 only under kShift escalation).
+  int shift_passes = 1;
 };
 
 /// What the plan decided and owns — reported by benches and forwarded
@@ -97,6 +113,11 @@ struct FactorTelemetry {
   /// Heap footprint of one allocated factor pair (Csr::memory_bytes()
   /// over L and U) — what allocate_factors() costs the caller.
   std::size_t factor_bytes = 0;
+  /// Lifetime count of substituted pivots across every factorize() call.
+  std::uint64_t total_pivot_shifts = 0;
+  /// Substitute value of the most recent factorize that shifted (0.0 if
+  /// the plan has never shifted a pivot).
+  double last_shift = 0.0;
 };
 
 /// Persistent ILU(0) plan over one sparsity pattern: symbolic phase at
@@ -142,10 +163,19 @@ class FactorPlan {
   const FactorTelemetry& telemetry() const noexcept { return telemetry_; }
   /// Completed factorize() calls.
   std::uint64_t factorizations() const noexcept { return factorizations_; }
+  /// True once an in-region fault poisoned the plan (a worker threw or
+  /// stalled mid-factorization); every later factorize() throws
+  /// rt::PlanPoisonedError. A clean pivot throw does NOT poison — a
+  /// refactorize with good values recovers the plan.
+  bool poisoned() const noexcept { return poisoned_; }
+  /// Attach a fault-injection harness (tests only); nullptr detaches.
+  void set_fault_injector(rt::FaultInjector* injector) noexcept {
+    injector_ = injector;
+  }
 
  private:
   template <class WaitFn>
-  void factor_row(index_t i, WaitFn&& wait) noexcept;
+  void factor_row(index_t i, WaitFn&& wait);
   bool split_idx_matches(const IluFactors& f) const noexcept;
   void bind_region();
   void build_symbolic(const Csr& a);
@@ -177,6 +207,14 @@ class FactorPlan {
   std::atomic<index_t> cursor_{0};
   std::vector<rt::Padded<std::uint64_t>> episodes_, rounds_;
   std::atomic<index_t> bad_row_{-1};
+  rt::FailureLatch latch_;
+  rt::WaitGuard guard_;  // latch + stall budget shared by every flag wait
+  bool poisoned_ = false;
+  rt::FaultInjector* injector_ = nullptr;
+  /// Substituted pivots of the current pass (kShift/kReplace).
+  std::atomic<std::uint64_t> shift_count_{0};
+  /// Substitute value of the current kShift pass (escalates per pass).
+  double shift_sigma_ = 0.0;
 
   // Per-call endpoints, published to the pre-bound region functor through
   // members (same trick as TrisolvePlan: the std::function is constructed

@@ -7,28 +7,18 @@
 
 namespace pdx::sparse {
 
-IluFactors ilu0(const Csr& a) {
-  if (a.rows != a.cols) throw std::invalid_argument("ilu0: matrix not square");
-  a.validate();
+namespace {
 
+/// One numeric pass of the IKJ elimination over `w` (a fresh copy of
+/// a.val). Under kThrow bad pivots throw (bitwise the historical ilu0);
+/// otherwise each bad pivot is overwritten with `substitute` at its
+/// production — before any later row reads it — and counted. Returns the
+/// number of substitutions.
+std::uint64_t ilu0_pass(const Csr& a, std::span<const index_t> diag,
+                        std::vector<index_t>& pos, std::vector<double>& w,
+                        PivotPolicy policy, double substitute) {
   const index_t n = a.rows;
-  // Work on a copy of the values; the pattern never changes (zero fill).
-  std::vector<double> w = a.val;
-
-  // Diagonal positions, needed as pivots throughout.
-  std::vector<index_t> diag(static_cast<std::size_t>(n));
-  for (index_t i = 0; i < n; ++i) {
-    const index_t d = a.find(i, i);
-    if (d < 0) {
-      throw std::invalid_argument("ilu0: missing diagonal at row " +
-                                  std::to_string(i));
-    }
-    diag[static_cast<std::size_t>(i)] = d;
-  }
-
-  // Scatter buffer: position of column c within the current row, or -1.
-  std::vector<index_t> pos(static_cast<std::size_t>(n), -1);
-
+  std::uint64_t fixed = 0;
   for (index_t i = 0; i < n; ++i) {
     for (index_t k = a.row_begin(i); k < a.row_end(i); ++k) {
       pos[static_cast<std::size_t>(a.idx[static_cast<std::size_t>(k)])] = k;
@@ -37,8 +27,10 @@ IluFactors ilu0(const Csr& a) {
     for (index_t kk = a.row_begin(i); kk < a.row_end(i); ++kk) {
       const index_t k = a.idx[static_cast<std::size_t>(kk)];
       if (k >= i) break;  // sorted row: strictly-lower part is first
-      const double pivot = w[static_cast<std::size_t>(diag[static_cast<std::size_t>(k)])];
-      if (pivot == 0.0 || !std::isfinite(pivot)) {
+      const double pivot =
+          w[static_cast<std::size_t>(diag[static_cast<std::size_t>(k)])];
+      if (policy == PivotPolicy::kThrow &&
+          (pivot == 0.0 || !std::isfinite(pivot))) {
         throw std::runtime_error("ilu0: zero/invalid pivot at row " +
                                  std::to_string(k));
       }
@@ -58,11 +50,82 @@ IluFactors ilu0(const Csr& a) {
     for (index_t k = a.row_begin(i); k < a.row_end(i); ++k) {
       pos[static_cast<std::size_t>(a.idx[static_cast<std::size_t>(k)])] = -1;
     }
-    const double piv = w[static_cast<std::size_t>(diag[static_cast<std::size_t>(i)])];
+    const std::size_t d =
+        static_cast<std::size_t>(diag[static_cast<std::size_t>(i)]);
+    const double piv = w[d];
     if (piv == 0.0 || !std::isfinite(piv)) {
-      throw std::runtime_error("ilu0: zero/invalid pivot produced at row " +
-                               std::to_string(i));
+      if (policy == PivotPolicy::kThrow) {
+        throw std::runtime_error("ilu0: zero/invalid pivot produced at row " +
+                                 std::to_string(i));
+      }
+      w[d] = substitute;
+      ++fixed;
     }
+  }
+  return fixed;
+}
+
+}  // namespace
+
+IluFactors ilu0(const Csr& a) { return ilu0(a, PivotOptions{}); }
+
+IluFactors ilu0(const Csr& a, const PivotOptions& pivot,
+                PivotOutcome* outcome) {
+  if (a.rows != a.cols) throw std::invalid_argument("ilu0: matrix not square");
+  a.validate();
+
+  const index_t n = a.rows;
+
+  // Diagonal positions, needed as pivots throughout.
+  std::vector<index_t> diag(static_cast<std::size_t>(n));
+  for (index_t i = 0; i < n; ++i) {
+    const index_t d = a.find(i, i);
+    if (d < 0) {
+      throw std::invalid_argument("ilu0: missing diagonal at row " +
+                                  std::to_string(i));
+    }
+    diag[static_cast<std::size_t>(i)] = d;
+  }
+
+  // Scatter buffer: position of column c within the current row, or -1.
+  std::vector<index_t> pos(static_cast<std::size_t>(n), -1);
+  // Work on a copy of the values; the pattern never changes (zero fill).
+  std::vector<double> w;
+
+  // kShift escalation: rerun the whole factorization from fresh values
+  // with a larger substitute until every factored value is finite (a
+  // shifted pivot can still overflow later rows through a huge lik).
+  // kThrow and kReplace never take a second pass.
+  double sigma = pivot.initial_shift;
+  double substitute = 0.0;
+  std::uint64_t fixed = 0;
+  int pass = 0;
+  for (;;) {
+    ++pass;
+    w = a.val;
+    substitute =
+        pivot.policy == PivotPolicy::kReplace ? pivot.replacement : sigma;
+    fixed = ilu0_pass(a, diag, pos, w, pivot.policy, substitute);
+    if (fixed == 0 || pivot.policy != PivotPolicy::kShift) break;
+    bool finite = true;
+    for (const double v : w) {
+      if (!std::isfinite(v)) {
+        finite = false;
+        break;
+      }
+    }
+    if (finite) break;
+    if (pass >= pivot.max_passes) {
+      throw std::runtime_error(
+          "ilu0: diagonal shift failed to produce finite factors after " +
+          std::to_string(pass) + " passes");
+    }
+    sigma *= pivot.shift_growth;
+  }
+  if (outcome) {
+    outcome->shifted_pivots = fixed;
+    outcome->shift_value = fixed != 0 ? substitute : 0.0;
+    outcome->passes = pass;
   }
 
   // Split the factored values into L (strictly lower + unit diagonal) and

@@ -10,6 +10,7 @@
 // diagonal entry must be stored and end up nonzero.
 #pragma once
 
+#include <cstdint>
 #include <span>
 
 #include "sparse/csr.hpp"
@@ -25,10 +26,58 @@ struct IluFactors {
   Csr u;
 };
 
+/// What to do when elimination produces a zero or non-finite pivot.
+enum class PivotPolicy : std::uint8_t {
+  /// Report the offending row and throw (default). The factors are
+  /// unusable; refactorizing with good values recovers them.
+  kThrow,
+  /// Substitute an escalating diagonal shift for every bad pivot: pass 1
+  /// uses PivotOptions::initial_shift, and whenever a pass still yields
+  /// non-finite factors the whole factorization reruns with the shift
+  /// multiplied by shift_growth (up to max_passes). The substitution
+  /// happens at the pivot's production, before any consumer reads it, so
+  /// the result is deterministic and identical across executors.
+  kShift,
+  /// Substitute a fixed value (PivotOptions::replacement) once, no
+  /// escalation. Cheapest recovery when the caller knows the scale.
+  kReplace,
+};
+
+/// Recovery knobs for zero/non-finite pivots (DESIGN.md §12).
+struct PivotOptions {
+  PivotPolicy policy = PivotPolicy::kThrow;
+  /// First-pass substitute pivot under kShift.
+  double initial_shift = 1e-6;
+  /// Multiplier applied to the shift between kShift escalation passes.
+  double shift_growth = 100.0;
+  /// Substitute pivot under kReplace.
+  double replacement = 1.0;
+  /// Bound on numeric passes under kShift before giving up (throws).
+  int max_passes = 4;
+};
+
+/// What pivot recovery actually did in the accepted (final) pass.
+struct PivotOutcome {
+  /// Bad pivots substituted in the accepted pass (0 = clean factorization).
+  std::uint64_t shifted_pivots = 0;
+  /// The substitute value the accepted pass used (0.0 when clean).
+  double shift_value = 0.0;
+  /// Numeric passes run (> 1 only under kShift escalation).
+  int passes = 1;
+};
+
 /// Factor `a` (square, sorted rows, explicit nonzero diagonal) in the
 /// IKJ ordering restricted to a's pattern. Throws on structural problems
 /// or a zero pivot.
 IluFactors ilu0(const Csr& a);
+
+/// ilu0 with explicit pivot recovery. Under kThrow this is bitwise
+/// identical to ilu0(a); under kShift/kReplace bad pivots are substituted
+/// at production (see PivotPolicy) and `outcome`, when non-null, reports
+/// what the accepted pass did. FactorPlan with the same PivotOptions
+/// produces bitwise-identical factors under every execution strategy.
+IluFactors ilu0(const Csr& a, const PivotOptions& pivot,
+                PivotOutcome* outcome = nullptr);
 
 /// Allocate the exact-size L/U split of `a`'s pattern: every ptr/idx/val
 /// array is counted first and sized once (no push_back growth). `diag[i]`

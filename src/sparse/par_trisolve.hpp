@@ -35,6 +35,7 @@
 #include "core/ready_table.hpp"
 #include "runtime/aligned.hpp"
 #include "runtime/barrier.hpp"
+#include "runtime/failure.hpp"
 #include "runtime/thread_pool.hpp"
 #include "sparse/csr.hpp"
 #include "sparse/trisolve.hpp"
@@ -50,6 +51,12 @@ struct TrisolveOptions {
   /// Machine-emulation knob (see sparse/trisolve.hpp): extra dependent
   /// flops per off-diagonal term, identical to the sequential baseline's.
   int work_reps = 0;
+  /// Stall watchdog budget in spin rounds per flag/barrier wait; 0
+  /// (default) disables the watchdog, keeping the hot path of the bitwise
+  /// and perf gates untouched. Past the budget the wait raises StallError.
+  std::uint64_t stall_budget = 0;
+  /// Test-only fault source (see rt::FaultInjector); nullptr = disarmed.
+  rt::FaultInjector* injector = nullptr;
 };
 
 /// Anything that provides the ready-flag protocol of core/ready_table.hpp.
@@ -84,6 +91,9 @@ core::DoacrossStats trisolve_doacross(rt::ThreadPool& pool, const Csr& l,
   ready.begin_epoch();
 
   rt::Barrier barrier(nth);
+  rt::FailureLatch latch;
+  barrier.watch(&latch, opts.stall_budget);
+  const rt::WaitGuard guard{&latch, opts.stall_budget, "doacross-flag"};
   std::atomic<index_t> cursor{0};
   std::vector<rt::Padded<std::uint64_t>> episodes(nth), rounds(nth);
 
@@ -94,7 +104,7 @@ core::DoacrossStats trisolve_doacross(rt::ThreadPool& pool, const Csr& l,
   const double* rhs_p = rhs.data();
   double* yp = y.data();
 
-  pool.parallel_region(nth, [&](unsigned tid, unsigned nthreads) {
+  const auto body = [&](unsigned tid, unsigned nthreads) {
     barrier.arrive_and_wait();  // rendezvous: exclude pool wake-up
     if (tid == 0) t0 = clock::now();
     std::uint64_t my_episodes = 0, my_rounds = 0;
@@ -102,11 +112,12 @@ core::DoacrossStats trisolve_doacross(rt::ThreadPool& pool, const Csr& l,
     const int work_reps = opts.work_reps;
     auto solve_row = [&](index_t k) {
       const index_t i = order ? order[k] : k;
+      if (opts.injector) opts.injector->on_row(tid, i, &latch);
       double acc = rhs_p[i];
       const index_t k_end = l.row_end(i) - 1;  // diagonal last
       for (index_t kk = l.row_begin(i); kk < k_end; ++kk) {
         const index_t c = l.idx[static_cast<std::size_t>(kk)];
-        const std::uint64_t r = ready.wait_done(c);
+        const std::uint64_t r = core::wait_done_guarded(ready, c, i, guard);
         if (r != 0) {
           ++my_episodes;
           my_rounds += r;
@@ -132,7 +143,20 @@ core::DoacrossStats trisolve_doacross(rt::ThreadPool& pool, const Csr& l,
       barrier.arrive_and_wait();
     }
     if (tid == 0) t2 = clock::now();
+  };
+  // Fault containment: a worker that throws records its exception in the
+  // latch; every wait loop above polls the latch and unwinds via
+  // WorkerAbort, so peers drain and join instead of spinning forever. The
+  // first recorded fault is rethrown after the join.
+  pool.parallel_region(nth, [&](unsigned tid, unsigned nthreads) {
+    try {
+      body(tid, nthreads);
+    } catch (rt::WorkerAbort&) {
+    } catch (...) {
+      latch.raise(std::current_exception());
+    }
   });
+  if (latch.raised()) latch.rethrow_and_reset();
 
   stats.execute_seconds = std::chrono::duration<double>(t1 - t0).count();
   stats.post_seconds = std::chrono::duration<double>(t2 - t1).count();
@@ -180,6 +204,9 @@ core::DoacrossStats trisolve_doacross_multi(rt::ThreadPool& pool,
   ready.begin_epoch();
 
   rt::Barrier barrier(nth);
+  rt::FailureLatch latch;
+  barrier.watch(&latch, opts.stall_budget);
+  const rt::WaitGuard guard{&latch, opts.stall_budget, "doacross-flag"};
   std::atomic<index_t> cursor{0};
   std::vector<rt::Padded<std::uint64_t>> episodes(nth), rounds(nth);
 
@@ -190,20 +217,21 @@ core::DoacrossStats trisolve_doacross_multi(rt::ThreadPool& pool,
   const double* rhs_p = rhs.data();
   double* yp = y.data();
 
-  pool.parallel_region(nth, [&](unsigned tid, unsigned nthreads) {
+  const auto body = [&](unsigned tid, unsigned nthreads) {
     barrier.arrive_and_wait();  // rendezvous: exclude pool wake-up
     if (tid == 0) t0 = clock::now();
     std::uint64_t my_episodes = 0, my_rounds = 0;
 
     auto solve_row = [&](index_t k) {
       const index_t i = order ? order[k] : k;
+      if (opts.injector) opts.injector->on_row(tid, i, &latch);
       double* yi = yp + i * nrhs;
       const double* bi = rhs_p + i * nrhs;
       for (index_t r = 0; r < nrhs; ++r) yi[r] = bi[r];
       const index_t k_end = l.row_end(i) - 1;
       for (index_t kk = l.row_begin(i); kk < k_end; ++kk) {
         const index_t c = l.idx[static_cast<std::size_t>(kk)];
-        const std::uint64_t w = ready.wait_done(c);
+        const std::uint64_t w = core::wait_done_guarded(ready, c, i, guard);
         if (w != 0) {
           ++my_episodes;
           my_rounds += w;
@@ -229,7 +257,20 @@ core::DoacrossStats trisolve_doacross_multi(rt::ThreadPool& pool,
       barrier.arrive_and_wait();
     }
     if (tid == 0) t2 = clock::now();
+  };
+  // Fault containment: a worker that throws records its exception in the
+  // latch; every wait loop above polls the latch and unwinds via
+  // WorkerAbort, so peers drain and join instead of spinning forever. The
+  // first recorded fault is rethrown after the join.
+  pool.parallel_region(nth, [&](unsigned tid, unsigned nthreads) {
+    try {
+      body(tid, nthreads);
+    } catch (rt::WorkerAbort&) {
+    } catch (...) {
+      latch.raise(std::current_exception());
+    }
   });
+  if (latch.raised()) latch.rethrow_and_reset();
 
   stats.execute_seconds = std::chrono::duration<double>(t1 - t0).count();
   stats.post_seconds = std::chrono::duration<double>(t2 - t1).count();
@@ -265,6 +306,9 @@ core::DoacrossStats trisolve_upper_doacross_multi(
   ready.begin_epoch();
 
   rt::Barrier barrier(nth);
+  rt::FailureLatch latch;
+  barrier.watch(&latch, opts.stall_budget);
+  const rt::WaitGuard guard{&latch, opts.stall_budget, "doacross-flag"};
   std::atomic<index_t> cursor{0};
   std::vector<rt::Padded<std::uint64_t>> episodes(nth), rounds(nth);
 
@@ -275,20 +319,21 @@ core::DoacrossStats trisolve_upper_doacross_multi(
   const double* rhs_p = rhs.data();
   double* yp = y.data();
 
-  pool.parallel_region(nth, [&](unsigned tid, unsigned nthreads) {
+  const auto body = [&](unsigned tid, unsigned nthreads) {
     barrier.arrive_and_wait();  // rendezvous: exclude pool wake-up
     if (tid == 0) t0 = clock::now();
     std::uint64_t my_episodes = 0, my_rounds = 0;
 
     auto solve_row = [&](index_t k) {
       const index_t i = order ? order[k] : n - 1 - k;
+      if (opts.injector) opts.injector->on_row(tid, i, &latch);
       double* yi = yp + i * nrhs;
       const double* bi = rhs_p + i * nrhs;
       for (index_t r = 0; r < nrhs; ++r) yi[r] = bi[r];
       const index_t k_diag = u.row_begin(i);  // diagonal first
       for (index_t kk = k_diag + 1; kk < u.row_end(i); ++kk) {
         const index_t c = u.idx[static_cast<std::size_t>(kk)];
-        const std::uint64_t w = ready.wait_done(c);
+        const std::uint64_t w = core::wait_done_guarded(ready, c, i, guard);
         if (w != 0) {
           ++my_episodes;
           my_rounds += w;
@@ -314,7 +359,20 @@ core::DoacrossStats trisolve_upper_doacross_multi(
       barrier.arrive_and_wait();
     }
     if (tid == 0) t2 = clock::now();
+  };
+  // Fault containment: a worker that throws records its exception in the
+  // latch; every wait loop above polls the latch and unwinds via
+  // WorkerAbort, so peers drain and join instead of spinning forever. The
+  // first recorded fault is rethrown after the join.
+  pool.parallel_region(nth, [&](unsigned tid, unsigned nthreads) {
+    try {
+      body(tid, nthreads);
+    } catch (rt::WorkerAbort&) {
+    } catch (...) {
+      latch.raise(std::current_exception());
+    }
   });
+  if (latch.raised()) latch.rethrow_and_reset();
 
   stats.execute_seconds = std::chrono::duration<double>(t1 - t0).count();
   stats.post_seconds = std::chrono::duration<double>(t2 - t1).count();
@@ -361,6 +419,9 @@ core::DoacrossStats trisolve_upper_doacross(rt::ThreadPool& pool,
   ready.begin_epoch();
 
   rt::Barrier barrier(nth);
+  rt::FailureLatch latch;
+  barrier.watch(&latch, opts.stall_budget);
+  const rt::WaitGuard guard{&latch, opts.stall_budget, "doacross-flag"};
   std::atomic<index_t> cursor{0};
   std::vector<rt::Padded<std::uint64_t>> episodes(nth), rounds(nth);
 
@@ -371,18 +432,19 @@ core::DoacrossStats trisolve_upper_doacross(rt::ThreadPool& pool,
   const double* rhs_p = rhs.data();
   double* yp = y.data();
 
-  pool.parallel_region(nth, [&](unsigned tid, unsigned nthreads) {
+  const auto body = [&](unsigned tid, unsigned nthreads) {
     barrier.arrive_and_wait();  // rendezvous: exclude pool wake-up
     if (tid == 0) t0 = clock::now();
     std::uint64_t my_episodes = 0, my_rounds = 0;
 
     auto solve_row = [&](index_t k) {
       const index_t i = order ? order[k] : n - 1 - k;
+      if (opts.injector) opts.injector->on_row(tid, i, &latch);
       double acc = rhs_p[i];
       const index_t k_diag = u.row_begin(i);  // diagonal first
       for (index_t kk = k_diag + 1; kk < u.row_end(i); ++kk) {
         const index_t c = u.idx[static_cast<std::size_t>(kk)];
-        const std::uint64_t r = ready.wait_done(c);
+        const std::uint64_t r = core::wait_done_guarded(ready, c, i, guard);
         if (r != 0) {
           ++my_episodes;
           my_rounds += r;
@@ -405,7 +467,20 @@ core::DoacrossStats trisolve_upper_doacross(rt::ThreadPool& pool,
       barrier.arrive_and_wait();
     }
     if (tid == 0) t2 = clock::now();
+  };
+  // Fault containment: a worker that throws records its exception in the
+  // latch; every wait loop above polls the latch and unwinds via
+  // WorkerAbort, so peers drain and join instead of spinning forever. The
+  // first recorded fault is rethrown after the join.
+  pool.parallel_region(nth, [&](unsigned tid, unsigned nthreads) {
+    try {
+      body(tid, nthreads);
+    } catch (rt::WorkerAbort&) {
+    } catch (...) {
+      latch.raise(std::current_exception());
+    }
   });
+  if (latch.raised()) latch.rethrow_and_reset();
 
   stats.execute_seconds = std::chrono::duration<double>(t1 - t0).count();
   stats.post_seconds = std::chrono::duration<double>(t2 - t1).count();

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <numeric>
 #include <stdexcept>
+#include <string>
 
 #include "runtime/schedule.hpp"
 #include "sparse/levels.hpp"
@@ -83,6 +84,19 @@ struct PackedSeekSrc {
 };
 
 }  // namespace
+
+rt::ThreadPool::RegionFn TrisolvePlan::contained(
+    rt::ThreadPool::RegionFn raw) {
+  return [this, raw = std::move(raw)](unsigned tid, unsigned nthreads) {
+    try {
+      raw(tid, nthreads);
+    } catch (rt::WorkerAbort&) {
+      // A peer faulted first; this thread drained its waits and joins.
+    } catch (...) {
+      latch_.raise(std::current_exception());
+    }
+  };
+}
 
 bool TrisolvePlan::needs_reordering() const noexcept {
   // Both factors build (or skip) their doconsider analyses by the same
@@ -281,6 +295,7 @@ void TrisolvePlan::bind_lower_region() {
     case ExecutionStrategy::kAuto:
       break;  // unreachable: resolve_strategy() never leaves kAuto
   }
+  lower_region_ = contained(std::move(lower_region_));
 }
 
 void TrisolvePlan::bind_upper_regions() {
@@ -552,6 +567,9 @@ void TrisolvePlan::bind_upper_regions() {
     case ExecutionStrategy::kAuto:
       break;  // unreachable
   }
+  upper_region_ = contained(std::move(upper_region_));
+  fused_region_ = contained(std::move(fused_region_));
+  batch_region_ = contained(std::move(batch_region_));
 }
 
 TrisolvePlan::TrisolvePlan(rt::ThreadPool& pool, const Csr& l, const Csr* u,
@@ -574,6 +592,11 @@ TrisolvePlan::TrisolvePlan(rt::ThreadPool& pool, const Csr& l, const Csr* u,
   episodes_.resize(nth_);
   rounds_.resize(nth_);
   resolve_strategy();
+  // Fault containment: every flag wait and barrier wait of this plan
+  // polls the latch (and the optional stall budget); see DESIGN.md §12.
+  barrier_.watch(&latch_, opts_.stall_budget);
+  guard_ = rt::WaitGuard{&latch_, opts_.stall_budget,
+                         core::to_string(telemetry_.strategy)};
   if (needs_reordering() && !l_order_) {
     l_order_ = std::make_unique<core::Reordering>(lower_solve_reordering(l));
   }
@@ -605,17 +628,18 @@ template <class Src>
 void TrisolvePlan::lower_flags_k(Src src, const double* rhs_p, double* yp,
                                  unsigned tid, unsigned nthreads,
                                  std::uint64_t& episodes,
-                                 std::uint64_t& rounds) noexcept {
+                                 std::uint64_t& rounds) {
   const int work_reps = opts_.work_reps;
   std::uint64_t my_episodes = 0, my_rounds = 0;
   // Identical arithmetic (term order, division) to trisolve_lower_seq —
   // results are bitwise equal; the ready flags only sequence the reads.
-  auto solve_row = [&](index_t k) noexcept {
+  auto solve_row = [&](index_t k) {
     const PackedRow r = src.at(k);
+    if (injector_) injector_->on_row(tid, r.row, &latch_);
     double acc = rhs_p[r.row];
     for (index_t j = 0; j < r.cnt; ++j) {
       const index_t c = r.cols[j];
-      const std::uint64_t w = ready_l_.wait_done(c);
+      const std::uint64_t w = core::wait_done_guarded(ready_l_, c, r.row, guard_);
       if (w != 0) {
         ++my_episodes;
         my_rounds += w;
@@ -635,14 +659,15 @@ template <class Src>
 void TrisolvePlan::upper_flags_k(Src src, const double* rhs_p, double* yp,
                                  unsigned tid, unsigned nthreads,
                                  std::uint64_t& episodes,
-                                 std::uint64_t& rounds) noexcept {
+                                 std::uint64_t& rounds) {
   std::uint64_t my_episodes = 0, my_rounds = 0;
-  auto solve_row = [&](index_t k) noexcept {
+  auto solve_row = [&](index_t k) {
     const PackedRow r = src.at(k);
+    if (injector_) injector_->on_row(tid, r.row, &latch_);
     double acc = rhs_p[r.row];
     for (index_t j = 0; j < r.cnt; ++j) {
       const index_t c = r.cols[j];
-      const std::uint64_t w = ready_u_.wait_done(c);
+      const std::uint64_t w = core::wait_done_guarded(ready_u_, c, r.row, guard_);
       if (w != 0) {
         ++my_episodes;
         my_rounds += w;
@@ -661,7 +686,7 @@ template <class Src>
 void TrisolvePlan::lower_flags_multi_k(Src src, unsigned tid,
                                        unsigned nthreads,
                                        std::uint64_t& episodes,
-                                       std::uint64_t& rounds) noexcept {
+                                       std::uint64_t& rounds) {
   const index_t k = batch_k_;
   const double* const* b_cols = batch_b_.data();
   double* tp = batch_tmp_.data();
@@ -673,13 +698,14 @@ void TrisolvePlan::lower_flags_multi_k(Src src, unsigned tid,
   // once, not k times, and the row's record is read once for the whole
   // batch. Row i's k results accumulate in place in the row-major strip,
   // where consumers read them contiguously.
-  auto solve_row = [&](index_t pos) noexcept {
+  auto solve_row = [&](index_t pos) {
     const PackedRow r = src.at(pos);
+    if (injector_) injector_->on_row(tid, r.row, &latch_);
     double* ti = tp + r.row * k;
     for (index_t c = 0; c < k; ++c) ti[c] = b_cols[c][r.row];
     for (index_t j = 0; j < r.cnt; ++j) {
       const index_t col = r.cols[j];
-      const std::uint64_t w = ready_l_.wait_done(col);
+      const std::uint64_t w = core::wait_done_guarded(ready_l_, col, r.row, guard_);
       if (w != 0) {
         ++my_episodes;
         my_rounds += w;
@@ -703,7 +729,7 @@ template <class Src>
 void TrisolvePlan::upper_flags_multi_k(Src src, unsigned tid,
                                        unsigned nthreads,
                                        std::uint64_t& episodes,
-                                       std::uint64_t& rounds) noexcept {
+                                       std::uint64_t& rounds) {
   const index_t k = batch_k_;
   double* const* x_cols = batch_x_.data();
   double* tp = batch_tmp_.data();
@@ -712,12 +738,13 @@ void TrisolvePlan::upper_flags_multi_k(Src src, unsigned tid,
   // in place into the backward-solve solution; the solution stays
   // resident in the strip (consumers read it contiguously) and is
   // mirrored into the caller's column vectors before the row is marked.
-  auto solve_row = [&](index_t pos) noexcept {
+  auto solve_row = [&](index_t pos) {
     const PackedRow r = src.at(pos);
+    if (injector_) injector_->on_row(tid, r.row, &latch_);
     double* ti = tp + r.row * k;
     for (index_t j = 0; j < r.cnt; ++j) {
       const index_t col = r.cols[j];
-      const std::uint64_t w = ready_u_.wait_done(col);
+      const std::uint64_t w = core::wait_done_guarded(ready_u_, col, r.row, guard_);
       if (w != 0) {
         ++my_episodes;
         my_rounds += w;
@@ -739,7 +766,7 @@ void TrisolvePlan::upper_flags_multi_k(Src src, unsigned tid,
 
 template <class Src>
 void TrisolvePlan::lower_levels_k(Src src, const double* rhs_p, double* yp,
-                                  unsigned tid, unsigned nthreads) noexcept {
+                                  unsigned tid, unsigned nthreads) {
   // Bulk-synchronous wavefronts: every producer of level l finished
   // before the barrier that opens level l+1, so no flags are consulted
   // or published. Row arithmetic is identical to the flag kernels.
@@ -751,6 +778,7 @@ void TrisolvePlan::lower_levels_k(Src src, const double* rhs_p, double* yp,
     const rt::IterRange r = rt::static_block_range(hi - lo, tid, nthreads);
     for (index_t pos = lo + r.begin; pos < lo + r.end; ++pos) {
       const PackedRow row = src.at(pos);
+      if (injector_) injector_->on_row(tid, row.row, &latch_);
       double acc = rhs_p[row.row];
       for (index_t j = 0; j < row.cnt; ++j) {
         acc -= row.vals[j] * yp[row.cols[j]];
@@ -765,7 +793,7 @@ void TrisolvePlan::lower_levels_k(Src src, const double* rhs_p, double* yp,
 
 template <class Src>
 void TrisolvePlan::upper_levels_k(Src src, const double* rhs_p, double* yp,
-                                  unsigned tid, unsigned nthreads) noexcept {
+                                  unsigned tid, unsigned nthreads) {
   const core::Reordering& ord = *u_order_;
   for (index_t lvl = 0; lvl < ord.num_levels(); ++lvl) {
     const index_t lo = ord.level_ptr[static_cast<std::size_t>(lvl)];
@@ -773,6 +801,7 @@ void TrisolvePlan::upper_levels_k(Src src, const double* rhs_p, double* yp,
     const rt::IterRange r = rt::static_block_range(hi - lo, tid, nthreads);
     for (index_t pos = lo + r.begin; pos < lo + r.end; ++pos) {
       const PackedRow row = src.at(pos);
+      if (injector_) injector_->on_row(tid, row.row, &latch_);
       double acc = rhs_p[row.row];
       for (index_t j = 0; j < row.cnt; ++j) {
         acc -= row.vals[j] * yp[row.cols[j]];
@@ -785,7 +814,7 @@ void TrisolvePlan::upper_levels_k(Src src, const double* rhs_p, double* yp,
 
 template <class Src>
 void TrisolvePlan::lower_levels_multi_k(Src src, unsigned tid,
-                                        unsigned nthreads) noexcept {
+                                        unsigned nthreads) {
   const core::Reordering& ord = *l_order_;
   const index_t k = batch_k_;
   const double* const* b_cols = batch_b_.data();
@@ -797,6 +826,7 @@ void TrisolvePlan::lower_levels_multi_k(Src src, unsigned tid,
     const rt::IterRange r = rt::static_block_range(hi - lo, tid, nthreads);
     for (index_t pos = lo + r.begin; pos < lo + r.end; ++pos) {
       const PackedRow row = src.at(pos);
+      if (injector_) injector_->on_row(tid, row.row, &latch_);
       double* ti = tp + row.row * k;
       for (index_t c = 0; c < k; ++c) ti[c] = b_cols[c][row.row];
       for (index_t j = 0; j < row.cnt; ++j) {
@@ -815,7 +845,7 @@ void TrisolvePlan::lower_levels_multi_k(Src src, unsigned tid,
 
 template <class Src>
 void TrisolvePlan::upper_levels_multi_k(Src src, unsigned tid,
-                                        unsigned nthreads) noexcept {
+                                        unsigned nthreads) {
   const core::Reordering& ord = *u_order_;
   const index_t k = batch_k_;
   double* const* x_cols = batch_x_.data();
@@ -826,6 +856,7 @@ void TrisolvePlan::upper_levels_multi_k(Src src, unsigned tid,
     const rt::IterRange r = rt::static_block_range(hi - lo, tid, nthreads);
     for (index_t pos = lo + r.begin; pos < lo + r.end; ++pos) {
       const PackedRow row = src.at(pos);
+      if (injector_) injector_->on_row(tid, row.row, &latch_);
       double* ti = tp + row.row * k;
       for (index_t j = 0; j < row.cnt; ++j) {
         const double a = row.vals[j];
@@ -845,7 +876,7 @@ template <class Src>
 void TrisolvePlan::lower_blocked_k(Src src, const double* rhs_p, double* yp,
                                    unsigned tid, unsigned nthreads,
                                    std::uint64_t& episodes,
-                                   std::uint64_t& rounds) noexcept {
+                                   std::uint64_t& rounds) {
   // Static contiguous blocks in source order: a dependence on a row this
   // thread owns was already retired (rows run in increasing order), so
   // only boundary-crossing dependences — c before my block's first row —
@@ -857,11 +888,13 @@ void TrisolvePlan::lower_blocked_k(Src src, const double* rhs_p, double* yp,
   const rt::IterRange range = rt::static_block_range(n_, tid, nthreads);
   for (index_t pos = range.begin; pos < range.end; ++pos) {
     const PackedRow r = src.at(pos);  // r.row == pos
+    if (injector_) injector_->on_row(tid, r.row, &latch_);
     double acc = rhs_p[r.row];
     for (index_t j = 0; j < r.cnt; ++j) {
       const index_t c = r.cols[j];
       if (c < range.begin) {  // cross-block: the only flag traffic
-        const std::uint64_t w = ready_l_.wait_done(c);
+        const std::uint64_t w =
+            core::wait_done_guarded(ready_l_, c, r.row, guard_);
         if (w != 0) {
           ++my_episodes;
           my_rounds += w;
@@ -881,7 +914,7 @@ template <class Src>
 void TrisolvePlan::upper_blocked_k(Src src, const double* rhs_p, double* yp,
                                    unsigned tid, unsigned nthreads,
                                    std::uint64_t& episodes,
-                                   std::uint64_t& rounds) noexcept {
+                                   std::uint64_t& rounds) {
   std::uint64_t my_episodes = 0, my_rounds = 0;
   // Position space of the backward solve: position k is row n-1-k, so
   // this thread's block is a contiguous run of *descending* rows topped
@@ -891,11 +924,13 @@ void TrisolvePlan::upper_blocked_k(Src src, const double* rhs_p, double* yp,
   const index_t top = n_ - 1 - range.begin;
   for (index_t pos = range.begin; pos < range.end; ++pos) {
     const PackedRow r = src.at(pos);  // r.row == n_-1-pos
+    if (injector_) injector_->on_row(tid, r.row, &latch_);
     double acc = rhs_p[r.row];
     for (index_t j = 0; j < r.cnt; ++j) {
       const index_t c = r.cols[j];
       if (c > top) {
-        const std::uint64_t w = ready_u_.wait_done(c);
+        const std::uint64_t w =
+            core::wait_done_guarded(ready_u_, c, r.row, guard_);
         if (w != 0) {
           ++my_episodes;
           my_rounds += w;
@@ -914,7 +949,7 @@ template <class Src>
 void TrisolvePlan::lower_blocked_multi_k(Src src, unsigned tid,
                                          unsigned nthreads,
                                          std::uint64_t& episodes,
-                                         std::uint64_t& rounds) noexcept {
+                                         std::uint64_t& rounds) {
   const index_t k = batch_k_;
   const double* const* b_cols = batch_b_.data();
   double* tp = batch_tmp_.data();
@@ -923,12 +958,14 @@ void TrisolvePlan::lower_blocked_multi_k(Src src, unsigned tid,
   const rt::IterRange range = rt::static_block_range(n_, tid, nthreads);
   for (index_t pos = range.begin; pos < range.end; ++pos) {
     const PackedRow r = src.at(pos);
+    if (injector_) injector_->on_row(tid, r.row, &latch_);
     double* ti = tp + r.row * k;
     for (index_t c = 0; c < k; ++c) ti[c] = b_cols[c][r.row];
     for (index_t j = 0; j < r.cnt; ++j) {
       const index_t col = r.cols[j];
       if (col < range.begin) {
-        const std::uint64_t w = ready_l_.wait_done(col);
+        const std::uint64_t w =
+            core::wait_done_guarded(ready_l_, col, r.row, guard_);
         if (w != 0) {
           ++my_episodes;
           my_rounds += w;
@@ -952,7 +989,7 @@ template <class Src>
 void TrisolvePlan::upper_blocked_multi_k(Src src, unsigned tid,
                                          unsigned nthreads,
                                          std::uint64_t& episodes,
-                                         std::uint64_t& rounds) noexcept {
+                                         std::uint64_t& rounds) {
   const index_t k = batch_k_;
   double* const* x_cols = batch_x_.data();
   double* tp = batch_tmp_.data();
@@ -961,11 +998,13 @@ void TrisolvePlan::upper_blocked_multi_k(Src src, unsigned tid,
   const index_t top = n_ - 1 - range.begin;
   for (index_t pos = range.begin; pos < range.end; ++pos) {
     const PackedRow r = src.at(pos);
+    if (injector_) injector_->on_row(tid, r.row, &latch_);
     double* ti = tp + r.row * k;
     for (index_t j = 0; j < r.cnt; ++j) {
       const index_t col = r.cols[j];
       if (col > top) {
-        const std::uint64_t w = ready_u_.wait_done(col);
+        const std::uint64_t w =
+            core::wait_done_guarded(ready_u_, col, r.row, guard_);
         if (w != 0) {
           ++my_episodes;
           my_rounds += w;
@@ -987,13 +1026,14 @@ void TrisolvePlan::upper_blocked_multi_k(Src src, unsigned tid,
 
 template <class Src>
 void TrisolvePlan::serial_lower_k(Src src, const double* rhs_p,
-                                  double* yp) noexcept {
+                                  double* yp) {
   // The strategy for chains is to pay NOTHING — no flags, no barrier, no
   // pool wake-up: the sequential Fig. 7 arithmetic the bitwise contract
   // is defined against, read through whichever layout the plan owns.
   const int work_reps = opts_.work_reps;
   for (index_t k = 0; k < n_; ++k) {
     const PackedRow r = src.at(k);
+    if (injector_) injector_->on_row(0, r.row, &latch_);
     double acc = rhs_p[r.row];
     for (index_t j = 0; j < r.cnt; ++j) {
       acc -= r.vals[j] * yp[r.cols[j]];
@@ -1005,9 +1045,10 @@ void TrisolvePlan::serial_lower_k(Src src, const double* rhs_p,
 
 template <class Src>
 void TrisolvePlan::serial_upper_k(Src src, const double* rhs_p,
-                                  double* yp) noexcept {
+                                  double* yp) {
   for (index_t k = 0; k < n_; ++k) {
     const PackedRow r = src.at(k);
+    if (injector_) injector_->on_row(0, r.row, &latch_);
     double acc = rhs_p[r.row];
     for (index_t j = 0; j < r.cnt; ++j) {
       acc -= r.vals[j] * yp[r.cols[j]];
@@ -1017,6 +1058,11 @@ void TrisolvePlan::serial_upper_k(Src src, const double* rhs_p,
 }
 
 void TrisolvePlan::refresh_values(const IluFactors& f) {
+  if (poisoned_) {
+    throw rt::PlanPoisonedError(
+        "TrisolvePlan::refresh_values: plan poisoned by an earlier "
+        "in-region fault; rebuild the plan");
+  }
   if (!u_) {
     throw std::logic_error("TrisolvePlan::refresh_values: lower-only plan");
   }
@@ -1069,6 +1115,11 @@ void TrisolvePlan::reset_for_call(bool lower, bool upper) noexcept {
 
 core::DoacrossStats TrisolvePlan::dispatch(
     const rt::ThreadPool::RegionFn& region) {
+  if (poisoned_) {
+    throw rt::PlanPoisonedError(
+        "TrisolvePlan: plan poisoned by an earlier in-region fault; "
+        "rebuild the plan before solving again");
+  }
   using clock = std::chrono::steady_clock;
   core::DoacrossStats stats;
   if (telemetry_.strategy == ExecutionStrategy::kSerial) {
@@ -1078,6 +1129,10 @@ core::DoacrossStats TrisolvePlan::dispatch(
     const clock::time_point t0 = clock::now();
     region(0, 1);
     const clock::time_point t1 = clock::now();
+    if (latch_.raised()) {
+      poisoned_ = true;
+      latch_.rethrow_and_reset();
+    }
     stats.execute_seconds = std::chrono::duration<double>(t1 - t0).count();
     ++solves_;
     return stats;
@@ -1085,6 +1140,13 @@ core::DoacrossStats TrisolvePlan::dispatch(
   const clock::time_point t0 = clock::now();
   pool_->parallel_region(nth_, region);
   const clock::time_point t1 = clock::now();
+  if (latch_.raised()) {
+    // A worker faulted inside the region; its peers drained their flag
+    // waits via the latch and joined. Partial y/x contents are garbage —
+    // poison so every later solve fails fast instead of reading them.
+    poisoned_ = true;
+    latch_.rethrow_and_reset();
+  }
   // Preprocessing was amortized at plan build and the postprocessing
   // sweep no longer exists, so the whole call is executor time (pool
   // wake-up included — the number a repeated caller actually pays).
@@ -1193,7 +1255,11 @@ core::DoacrossStats TrisolvePlan::solve_batch(std::span<const double> b,
   }
   if (static_cast<index_t>(b.size()) < n_ * k ||
       static_cast<index_t>(x.size()) < n_ * k) {
-    throw std::invalid_argument("TrisolvePlan::solve_batch: size mismatch");
+    throw std::invalid_argument(
+        "TrisolvePlan::solve_batch: size mismatch — b has " +
+        std::to_string(b.size()) + " and x has " + std::to_string(x.size()) +
+        " entries but n*k = " + std::to_string(n_) + "*" + std::to_string(k) +
+        " = " + std::to_string(n_ * k) + " are required");
   }
   reserve_batch(k, mode);
   for (index_t c = 0; c < k; ++c) {

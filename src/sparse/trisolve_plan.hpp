@@ -52,6 +52,7 @@
 #include "core/ready_table.hpp"
 #include "runtime/aligned.hpp"
 #include "runtime/barrier.hpp"
+#include "runtime/failure.hpp"
 #include "runtime/thread_pool.hpp"
 #include "sparse/csr.hpp"
 #include "sparse/ilu0.hpp"
@@ -150,6 +151,12 @@ struct PlanOptions {
   /// memory); kCsrView keeps the zero-copy read-through-the-caller's-CSR
   /// behavior. Results are bitwise identical either way.
   PlanLayout layout = PlanLayout::kPacked;
+  /// Stall watchdog budget in spin rounds per flag/barrier wait; 0
+  /// (default) disables the watchdog — the bitwise and perf gates run
+  /// with it off. Past the budget a wait raises rt::StallError with
+  /// diagnostics (row, awaited offset, epoch, rounds, site), the fault is
+  /// contained like any other worker exception, and the plan is poisoned.
+  std::uint64_t stall_budget = 0;
 };
 
 /// How solve_batch walks its k right-hand-side columns inside the single
@@ -269,6 +276,17 @@ class TrisolvePlan {
   std::uint64_t batch_columns() const noexcept { return batch_columns_; }
   std::uint32_t lower_epoch() const noexcept { return ready_l_.epoch(); }
 
+  /// True once a fault escaped a worker inside this plan's parallel
+  /// region. A poisoned plan's flag tables, cursors and barrier may be
+  /// mid-episode, so every subsequent solve_*/refresh_values call throws
+  /// rt::PlanPoisonedError — rebuild the plan (or let the solve layer
+  /// degrade to the sequential trisolves, see solve/precond.hpp).
+  bool poisoned() const noexcept { return poisoned_; }
+  /// Wire a test-only fault source into the executors (nullptr disarms).
+  void set_fault_injector(rt::FaultInjector* injector) noexcept {
+    injector_ = injector;
+  }
+
   /// Build-time reorderings (nullptr when the strategy does not use
   /// them — kSerial and kBlockedHybrid run in source order).
   const core::Reordering* lower_reordering() const noexcept {
@@ -293,58 +311,63 @@ class TrisolvePlan {
   template <class Src>
   void lower_flags_k(Src src, const double* rhs, double* y, unsigned tid,
                      unsigned nthreads, std::uint64_t& episodes,
-                     std::uint64_t& rounds) noexcept;
+                     std::uint64_t& rounds);
   template <class Src>
   void upper_flags_k(Src src, const double* rhs, double* y, unsigned tid,
                      unsigned nthreads, std::uint64_t& episodes,
-                     std::uint64_t& rounds) noexcept;
+                     std::uint64_t& rounds);
   template <class Src>
   void lower_flags_multi_k(Src src, unsigned tid, unsigned nthreads,
                            std::uint64_t& episodes,
-                           std::uint64_t& rounds) noexcept;
+                           std::uint64_t& rounds);
   template <class Src>
   void upper_flags_multi_k(Src src, unsigned tid, unsigned nthreads,
                            std::uint64_t& episodes,
-                           std::uint64_t& rounds) noexcept;
+                           std::uint64_t& rounds);
   // bulk-synchronous wavefronts (kLevelBarrier):
   template <class Src>
   void lower_levels_k(Src src, const double* rhs, double* y, unsigned tid,
-                      unsigned nthreads) noexcept;
+                      unsigned nthreads);
   template <class Src>
   void upper_levels_k(Src src, const double* rhs, double* y, unsigned tid,
-                      unsigned nthreads) noexcept;
+                      unsigned nthreads);
   template <class Src>
-  void lower_levels_multi_k(Src src, unsigned tid, unsigned nthreads) noexcept;
+  void lower_levels_multi_k(Src src, unsigned tid, unsigned nthreads);
   template <class Src>
-  void upper_levels_multi_k(Src src, unsigned tid, unsigned nthreads) noexcept;
+  void upper_levels_multi_k(Src src, unsigned tid, unsigned nthreads);
   // static-block hybrid (kBlockedHybrid):
   template <class Src>
   void lower_blocked_k(Src src, const double* rhs, double* y, unsigned tid,
                        unsigned nthreads, std::uint64_t& episodes,
-                       std::uint64_t& rounds) noexcept;
+                       std::uint64_t& rounds);
   template <class Src>
   void upper_blocked_k(Src src, const double* rhs, double* y, unsigned tid,
                        unsigned nthreads, std::uint64_t& episodes,
-                       std::uint64_t& rounds) noexcept;
+                       std::uint64_t& rounds);
   template <class Src>
   void lower_blocked_multi_k(Src src, unsigned tid, unsigned nthreads,
                              std::uint64_t& episodes,
-                             std::uint64_t& rounds) noexcept;
+                             std::uint64_t& rounds);
   template <class Src>
   void upper_blocked_multi_k(Src src, unsigned tid, unsigned nthreads,
                              std::uint64_t& episodes,
-                             std::uint64_t& rounds) noexcept;
+                             std::uint64_t& rounds);
   // sequential (kSerial; run inline on the calling thread):
   template <class Src>
-  void serial_lower_k(Src src, const double* rhs, double* y) noexcept;
+  void serial_lower_k(Src src, const double* rhs, double* y);
   template <class Src>
-  void serial_upper_k(Src src, const double* rhs, double* y) noexcept;
+  void serial_upper_k(Src src, const double* rhs, double* y);
 
   TrisolvePlan(rt::ThreadPool& pool, const Csr& l, const Csr* u,
                const PlanOptions& opts);
 
   bool needs_reordering() const noexcept;
   void resolve_strategy();
+  /// Wrap a region functor in the abort protocol: a fault records its
+  /// exception in the latch (raising it); WorkerAbort — a peer draining
+  /// after observing the latch — is discarded. Bound once per region, so
+  /// the per-solve cost is one extra call, not a per-call allocation.
+  rt::ThreadPool::RegionFn contained(rt::ThreadPool::RegionFn raw);
   /// Stream both factors into execution-ordered slabs (PlanLayout::
   /// kPacked): lay the slabs out, then run ONE pool dispatch in which
   /// each thread packs — first-touches — its own slab for both factors.
@@ -367,6 +390,10 @@ class TrisolvePlan {
   PackedFactorStream packed_l_, packed_u_;
   core::EpochReadyTable ready_l_, ready_u_;
   rt::Barrier barrier_;
+  rt::FailureLatch latch_;
+  rt::WaitGuard guard_;  // latch + stall budget shared by every flag wait
+  bool poisoned_ = false;
+  rt::FaultInjector* injector_ = nullptr;
   std::atomic<index_t> cursor_l_{0}, cursor_u_{0};
   std::vector<rt::Padded<std::uint64_t>> episodes_, rounds_;
   std::vector<double, rt::CacheAlignedAllocator<double>> tmp_;

@@ -118,6 +118,40 @@ TEST(ThreadPool, ExceptionFromCallerMemberPropagates) {
       std::logic_error);
 }
 
+TEST(ThreadPool, SurvivesRepeatedMemberExceptions) {
+  // The fault-containment story leans on the pool staying reusable after
+  // ANY member throws, round after round. Rotate the thrower across every
+  // member and interleave a healthy full-width region each time.
+  rt::ThreadPool pool(4);
+  for (int round = 0; round < 20; ++round) {
+    const unsigned thrower = static_cast<unsigned>(round) % 4;
+    EXPECT_THROW(pool.parallel_region(
+                     4,
+                     [&](unsigned tid, unsigned) {
+                       if (tid == thrower) {
+                         throw std::runtime_error("round fault");
+                       }
+                     }),
+                 std::runtime_error)
+        << "round " << round;
+    std::atomic<int> ok{0};
+    pool.parallel_region(4, [&](unsigned, unsigned) { ok.fetch_add(1); });
+    ASSERT_EQ(ok.load(), 4) << "round " << round;
+  }
+}
+
+TEST(ThreadPool, AllMembersThrowingStillPropagatesAndRecovers) {
+  rt::ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_region(4,
+                                    [&](unsigned, unsigned) {
+                                      throw std::runtime_error("everybody");
+                                    }),
+               std::runtime_error);
+  std::atomic<int> ok{0};
+  pool.parallel_region(4, [&](unsigned, unsigned) { ok.fetch_add(1); });
+  EXPECT_EQ(ok.load(), 4);
+}
+
 TEST(ThreadPool, ParallelForCoversAllIterationsOnce) {
   rt::ThreadPool pool(6);
   constexpr index_t n = 10007;

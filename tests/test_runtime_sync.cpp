@@ -1,12 +1,15 @@
-// Tests for the synchronization primitives: spin wait, barrier, padding.
+// Tests for the synchronization primitives: spin wait (bounded and
+// unbounded), barrier (plain and latch-watched), padding.
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <thread>
 #include <vector>
 
 #include "runtime/aligned.hpp"
 #include "runtime/barrier.hpp"
+#include "runtime/failure.hpp"
 #include "runtime/spin_wait.hpp"
 #include "runtime/thread_pool.hpp"
 
@@ -26,13 +29,23 @@ TEST(SpinWait, SpinUntilImmediateTakesZeroRounds) {
 }
 
 TEST(SpinWait, SpinUntilObservesAsyncFlag) {
+  // The setter waits for the spinner to provably enter the wait before
+  // storing the flag, so at least one predicate check fails and the
+  // round count is deterministic even on a heavily loaded machine (a 5ms
+  // sleep alone can elapse before the spinner's first check).
+  std::atomic<bool> entered{false};
   std::atomic<bool> flag{false};
   std::thread setter([&] {
+    while (!entered.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
     std::this_thread::sleep_for(std::chrono::milliseconds(5));
     flag.store(true, std::memory_order_release);
   });
-  const auto rounds =
-      rt::spin_until([&] { return flag.load(std::memory_order_acquire); });
+  const auto rounds = rt::spin_until([&] {
+    entered.store(true, std::memory_order_release);
+    return flag.load(std::memory_order_acquire);
+  });
   setter.join();
   EXPECT_GT(rounds, 0u);
 }
@@ -93,4 +106,98 @@ TEST(Barrier, BackToBackBarriersDoNotDeadlock) {
     counter.fetch_add(1);
   });
   EXPECT_EQ(counter.load(), static_cast<int>(kThreads));
+}
+
+TEST(SpinWait, BoundedSpinReportsBudgetExhaustion) {
+  // A predicate that never turns true must come back nullopt, not hang.
+  const auto exhausted =
+      rt::spin_until_bounded([] { return false; }, /*max_rounds=*/500);
+  EXPECT_FALSE(exhausted.has_value());
+  // An already-true predicate takes zero rounds, and a concurrently set
+  // flag succeeds within the budget.
+  EXPECT_EQ(rt::spin_until_bounded([] { return true; }, 500), 0u);
+  std::atomic<bool> flag{false};
+  std::thread setter([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    flag.store(true, std::memory_order_release);
+  });
+  const auto rounds = rt::spin_until_bounded(
+      [&] { return flag.load(std::memory_order_acquire); }, 50'000'000);
+  setter.join();
+  ASSERT_TRUE(rounds.has_value());
+  EXPECT_GT(*rounds, 0u);
+  EXPECT_LE(*rounds, 50'000'000u);
+}
+
+TEST(SpinWait, EscalationCompletesUnderGenuineOversubscription) {
+  // More spinners than hardware contexts, all waiting on one late flag:
+  // the yield/sleep escalation must still let every spinner observe the
+  // store (the pause-only phase alone could livelock a machine this
+  // oversubscribed).
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  const unsigned spinners = 2 * hw;
+  std::atomic<bool> flag{false};
+  std::atomic<unsigned> done{0};
+  std::atomic<unsigned> spun{0};
+  std::vector<std::thread> threads;
+  threads.reserve(spinners);
+  for (unsigned t = 0; t < spinners; ++t) {
+    threads.emplace_back([&] {
+      const std::uint64_t rounds = rt::spin_until(
+          [&] { return flag.load(std::memory_order_acquire); });
+      if (rounds > 0) spun.fetch_add(1, std::memory_order_relaxed);
+      done.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  flag.store(true, std::memory_order_release);
+  for (auto& th : threads) th.join();
+  // Every spinner finished; at least some genuinely waited through the
+  // escalation (a loaded CI machine may start a few threads late, after
+  // the store — those legitimately take zero rounds).
+  EXPECT_EQ(done.load(), spinners);
+  EXPECT_GE(spun.load(), 1u);
+}
+
+TEST(Barrier, WatchedBarrierBreaksOnLatch) {
+  // One thread parks in the barrier; raising the latch must break it out
+  // with WorkerAbort instead of leaving it spinning for a second arrival
+  // that will never come.
+  rt::Barrier barrier(2);
+  rt::FailureLatch latch;
+  barrier.watch(&latch);
+  std::atomic<bool> aborted{false};
+  std::thread waiter([&] {
+    try {
+      barrier.arrive_and_wait();
+    } catch (const rt::WorkerAbort&) {
+      aborted.store(true, std::memory_order_release);
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  latch.raise(std::make_exception_ptr(std::runtime_error("peer died")));
+  waiter.join();
+  EXPECT_TRUE(aborted.load());
+  // A thread that observes the latch BEFORE arriving must abort without
+  // bumping the (now stale) arrive count.
+  EXPECT_THROW(barrier.arrive_and_wait(), rt::WorkerAbort);
+  latch.reset();
+}
+
+TEST(Barrier, WatchedBarrierStallBudgetRaisesStallError) {
+  // A single arrival at a 2-party barrier with a finite budget is a
+  // genuine stall: the watchdog must convert it into StallError with the
+  // barrier site named, not spin forever.
+  rt::Barrier barrier(2);
+  rt::FailureLatch latch;
+  barrier.watch(&latch, /*stall_budget=*/2000);
+  bool stalled = false;
+  try {
+    barrier.arrive_and_wait();
+  } catch (const rt::StallError& e) {
+    stalled = true;
+    EXPECT_GE(e.rounds(), 2000u);
+    EXPECT_EQ(e.site(), "barrier");
+  }
+  EXPECT_TRUE(stalled);
 }
