@@ -7,12 +7,15 @@
 // RCM-permuted stencil, a randomly scattered band, and the band RCM
 // recovers from it) and thread count, it times a fused L+U solve under
 // all four concrete strategies, verifies each is bitwise identical to
-// the sequential solves before any timing is trusted, and prints the
-// Auto decision (chosen strategy + rationale) next to the measurements —
-// so a reader can check the advisor against the stopwatch. The Auto
-// strategy is additionally timed under PlanOptions::layout = kCsrView so
-// the packed-stream contribution (DESIGN.md §10) is separated from the
-// strategy choice; ci/perf_gate.py watches both.
+// the sequential solves before any timing is trusted, and runs the Auto
+// plan's calibration race to lock-in (DESIGN.md §13) before timing its
+// steady state — so the reported Auto number is the measured winner, and
+// the JSON carries the full race (per-strategy best_us, epochs) next to
+// the decision. The Auto strategy is additionally timed under
+// PlanOptions::layout = kCsrView so the packed-stream contribution
+// (DESIGN.md §10) is separated from the strategy choice;
+// ci/perf_gate.py gates Auto against the best measured strategy per
+// cell and watches the layout ratio.
 //
 // `--json <path>` writes the table as a JSON artifact (CI publishes it
 // as BENCH_strategy.json).
@@ -62,6 +65,11 @@ struct Row {
   std::string rationale;   // only for the auto row
   double us_csrview = 0;   // auto row: same strategy under kCsrView
   double layout_speedup = 0;  // auto row: csr-view / packed
+  // Auto row only: the calibration race record (DESIGN.md §13).
+  bool calibrated = false;
+  bool cache_hit = false;
+  int exploration_epochs = 0;
+  std::vector<core::StrategyTiming> race;
 };
 
 std::vector<index_t> random_perm(index_t n, std::uint64_t seed) {
@@ -175,28 +183,53 @@ int main(int argc, char** argv) {
         rows.push_back({w.name, nth, kConcrete[s], us[s], false, ""});
       }
 
+      // Each cell races from scratch: a warm process-wide cache would
+      // otherwise answer later cells from earlier ones.
+      core::tuning_cache().clear();
       sp::PlanOptions aopts;
       aopts.nthreads = nth;
       aopts.strategy = ExecutionStrategy::kAuto;
       sp::TrisolvePlan autoplan(pool, f.l, f.u, aopts);
+      // Run the calibration race to lock-in (bitwise-gated like the
+      // concrete strategies), then time only steady-state solves on the
+      // measured winner.
+      while (autoplan.calibrating()) autoplan.solve(rhs, z);
+      for (index_t i = 0; i < n; ++i) {
+        if (z[static_cast<std::size_t>(i)] !=
+            z_seq[static_cast<std::size_t>(i)]) {
+          all_exact = false;
+          std::fprintf(stderr, "MISMATCH %s nth=%u auto row %lld\n",
+                       w.name.c_str(), nth, static_cast<long long>(i));
+          break;
+        }
+      }
       const auto auto_samples =
           bench::time_samples(reps, 1, [&] { autoplan.solve(rhs, z); });
       const double us_auto =
           *std::min_element(auto_samples.begin(), auto_samples.end()) * 1e6;
       // Same auto-chosen strategy through the caller's CSR instead of
       // the packed streams: the strategy/layout contributions separate.
+      // The view plan hits the tuning cache the race just fed, so it
+      // adopts the identical winner without re-racing.
       sp::PlanOptions vopts = aopts;
       vopts.layout = sp::PlanLayout::kCsrView;
       sp::TrisolvePlan viewplan(pool, f.l, f.u, vopts);
+      while (viewplan.calibrating()) viewplan.solve(rhs, z);
       const auto view_samples =
           bench::time_samples(reps, 1, [&] { viewplan.solve(rhs, z); });
       const double us_view =
           *std::min_element(view_samples.begin(), view_samples.end()) * 1e6;
       Row auto_row{w.name,  nth,  autoplan.strategy(),
                    us_auto, true, autoplan.telemetry().rationale};
-      // Both plans run the same deterministic advisor on the same
-      // structure; if they ever diverge the layout comparison would be
-      // across strategies, so it is dropped rather than reported.
+      auto_row.calibrated = autoplan.telemetry().race.calibrated;
+      auto_row.cache_hit = autoplan.telemetry().race.cache_hit;
+      auto_row.exploration_epochs =
+          autoplan.telemetry().race.exploration_epochs;
+      auto_row.race = autoplan.telemetry().race.timings;
+      // Both plans resolved the same winner (measured, or heuristic when
+      // the race is not viable); if they ever diverge the layout
+      // comparison would be across strategies, so it is dropped rather
+      // than reported.
       if (viewplan.strategy() == autoplan.strategy()) {
         auto_row.us_csrview = us_view;
         auto_row.layout_speedup = us_auto > 0 ? us_view / us_auto : 0.0;
@@ -225,8 +258,9 @@ int main(int argc, char** argv) {
   table.print();
   std::printf(
       "\nFused L+U solve wall time per strategy; 'auto picks' is the "
-      "build-time decision of core::advise_schedule on the measured "
-      "structure. Bitwise check vs sequential solves: %s.\n",
+      "strategy the calibration race locked in (the heuristic advisor "
+      "seeds the race; the stopwatch decides). Bitwise check vs "
+      "sequential solves: %s.\n",
       all_exact ? "exact" : "FAILED");
 
   if (!json_path.empty()) {
@@ -246,6 +280,24 @@ int main(int argc, char** argv) {
       if (r.chosen_by_auto && r.us_csrview > 0) {
         out << ", \"us_per_solve_csrview\": " << r.us_csrview
             << ", \"layout_speedup\": " << r.layout_speedup;
+      }
+      if (!r.rationale.empty()) {
+        // The auto row: what calibration decided and the full race.
+        out << ", \"chosen_after_calibration\": \""
+            << core::to_string(r.strategy) << "\", \"calibrated\": "
+            << (r.calibrated ? "true" : "false") << ", \"cache_hit\": "
+            << (r.cache_hit ? "true" : "false")
+            << ", \"exploration_epochs\": " << r.exploration_epochs;
+        if (!r.race.empty()) {
+          out << ", \"race\": [";
+          for (std::size_t j = 0; j < r.race.size(); ++j) {
+            out << (j ? ", " : "") << "{\"strategy\": \""
+                << core::to_string(r.race[j].strategy)
+                << "\", \"best_us\": " << r.race[j].best_us
+                << ", \"epochs\": " << r.race[j].epochs << "}";
+          }
+          out << "]";
+        }
       }
       out << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
     }

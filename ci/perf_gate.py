@@ -15,9 +15,16 @@ that already divide out the machine:
   plan.layout_speedup   csr-view / packed per-solve time (plan_reuse)
   strategy.layout_speedup   csr-view / packed for the Auto pick
                             (strategy_matrix, auto rows)
-  strategy.auto_vs_serial   serial / auto per-solve time per (matrix,
-                            threads) — how much the chosen strategy
-                            beats the in-run serial reference
+  strategy.auto_vs_best     best measured concrete strategy / auto
+                            per-solve time per CALIBRATED (matrix,
+                            threads) cell — how close the calibrated
+                            Auto pick runs to the in-run best strategy
+                            (1.0 = Auto IS the best; the gate also
+                            enforces an absolute per-cell floor,
+                            default 0.8 i.e. within 25% of best,
+                            override PDX_AUTO_BEST_FLOOR). Uncalibrated
+                            cells (one thread, or budget 0) carry the
+                            heuristic pick and are not gated.
   batch.speedup_cols    sequential / batched-column-sequential per-RHS
                         time (batch_solve)
   batch.speedup_ilv     sequential / batched-wavefront-interleaved
@@ -82,22 +89,29 @@ def plan_metrics(doc):
 def strategy_metrics(doc):
     """Metric-class -> {row_key: ratio} for a strategy_matrix artifact."""
     rows = doc.get("results", [])
-    serial_us = {}
+    # Best measured concrete strategy per cell (the auto row carries a
+    # rationale; concrete rows do not).
+    best_us = {}
     for row in rows:
-        if row.get("strategy") == "serial" and row.get("us_per_solve", 0) > 0:
-            serial_us[(row.get("matrix"), row.get("threads"))] = row[
-                "us_per_solve"]
-    layout, auto_vs_serial = {}, {}
+        if row.get("rationale") or row.get("us_per_solve", 0) <= 0:
+            continue
+        key = (row.get("matrix"), row.get("threads"))
+        best_us[key] = min(best_us.get(key, float("inf")),
+                           row["us_per_solve"])
+    layout, auto_vs_best = {}, {}
     for row in rows:
         key = (row.get("matrix"), row.get("threads"))
         if "layout_speedup" in row and row["layout_speedup"] > 0:
             layout[key] = row["layout_speedup"]
-        if (row.get("rationale") and row.get("us_per_solve", 0) > 0
-                and key in serial_us):
-            auto_vs_serial[key] = serial_us[key] / row["us_per_solve"]
+        # Only calibrated cells are gated: a cell without a race (one
+        # thread, or calibration disabled) carries the heuristic pick,
+        # which makes no measured-best promise.
+        if (row.get("rationale") and row.get("calibrated")
+                and row.get("us_per_solve", 0) > 0 and key in best_us):
+            auto_vs_best[key] = best_us[key] / row["us_per_solve"]
     return {
         "strategy.layout_speedup": layout,
-        "strategy.auto_vs_serial": auto_vs_serial,
+        "strategy.auto_vs_best": auto_vs_best,
     }
 
 
@@ -180,6 +194,20 @@ def main():
         good, msg = compare(name, fresh, baseline, args.tolerance)
         print(msg)
         ok = ok and good
+
+    # Absolute per-cell floor for the calibrated Auto pick: a mispick the
+    # baseline also contains would slip through the relative compare, so
+    # every fresh cell must independently land within 25% (by default) of
+    # that cell's best measured strategy.
+    if "strategy.auto_vs_best" in classes:
+        floor = float(os.environ.get("PDX_AUTO_BEST_FLOOR", "0.8"))
+        for key, v in sorted(classes["strategy.auto_vs_best"][0].items()):
+            if v < floor:
+                print(f"strategy.auto_vs_best: cell {key} = {v:.3f} below "
+                      f"floor {floor:.2f} — the Auto pick runs "
+                      f"{1.0 / v:.2f}x slower than the best measured "
+                      f"strategy for that cell")
+                ok = False
     if not ok:
         print(f"perf gate FAILED (tolerance {args.tolerance:.0%})")
         return 1

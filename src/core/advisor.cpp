@@ -220,4 +220,61 @@ ScheduleAdvice advise_factor_schedule(const TrisolveStructure& s,
   return advise_trisolve_shaped(s, procs, kFactorLadder);
 }
 
+TuningKey make_tuning_key(const TrisolveStructure& s, unsigned procs,
+                          bool factor) noexcept {
+  return TuningKey{s.n,           s.nnz,  s.levels, s.max_level_size,
+                   s.max_distance, procs, factor};
+}
+
+std::size_t TuningCache::KeyHash::operator()(
+    const TuningKey& k) const noexcept {
+  auto mix = [](std::size_t h, std::uint64_t v) noexcept {
+    return h ^ (static_cast<std::size_t>(v) + 0x9e3779b97f4a7c15ULL +
+                (h << 6) + (h >> 2));
+  };
+  std::size_t h = 0;
+  h = mix(h, static_cast<std::uint64_t>(k.n));
+  h = mix(h, static_cast<std::uint64_t>(k.nnz));
+  h = mix(h, static_cast<std::uint64_t>(k.levels));
+  h = mix(h, static_cast<std::uint64_t>(k.max_level_size));
+  h = mix(h, static_cast<std::uint64_t>(k.max_distance));
+  h = mix(h, k.procs);
+  h = mix(h, k.factor ? 1u : 0u);
+  return h;
+}
+
+bool TuningCache::lookup(const TuningKey& key, ExecStrategy& out) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = map_.find(key);
+  if (it == map_.end()) {
+    ++misses_;
+    return false;
+  }
+  ++hits_;
+  out = it->second;
+  return true;
+}
+
+void TuningCache::store(const TuningKey& key, ExecStrategy winner) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  map_[key] = winner;
+  ++stores_;
+}
+
+void TuningCache::clear() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  map_.clear();
+  hits_ = misses_ = stores_ = 0;
+}
+
+TuningCacheStats TuningCache::stats() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return TuningCacheStats{hits_, misses_, stores_, map_.size()};
+}
+
+TuningCache& tuning_cache() noexcept {
+  static TuningCache cache;
+  return cache;
+}
+
 }  // namespace pdx::core

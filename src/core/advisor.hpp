@@ -20,7 +20,10 @@
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <string>
+#include <unordered_map>
+#include <vector>
 
 #include "core/doconsider.hpp"
 #include "runtime/schedule.hpp"
@@ -98,5 +101,97 @@ ScheduleAdvice advise_schedule(const TrisolveStructure& s, unsigned procs);
 /// longer boundary-crossing dependences. Same procs convention.
 ScheduleAdvice advise_factor_schedule(const TrisolveStructure& s,
                                       unsigned procs);
+
+// --- empirical calibration (DESIGN.md §13) --------------------------------
+//
+// The heuristic ladders above see DAG shape but never synchronization cost
+// on the actual machine, and the committed strategy baselines prove they
+// can mispick by four orders of magnitude (level-barrier at 2 threads on a
+// stencil factor). The paper's amortization premise — the same loop runs
+// many times — makes measuring free: a kAuto plan races every strategy on
+// its first real solves (all executors are bitwise identical, so switching
+// mid-stream is invisible) and locks in the measured winner. The types
+// below record the race; the TuningCache persists winners process-wide so
+// later plans over the same (pattern fingerprint, threads) skip the race.
+
+/// One lane of a calibration race: the best time a strategy measured.
+struct StrategyTiming {
+  ExecStrategy strategy = ExecStrategy::kSerial;
+  double best_us = 0.0;  ///< fastest observed epoch, microseconds
+  int epochs = 0;        ///< timed epochs this strategy ran
+};
+
+/// Record of one plan's empirical strategy calibration.
+struct StrategyRace {
+  /// A measured winner is locked in (via a completed race or a cache hit).
+  bool calibrated = false;
+  /// The winner came from the process-wide TuningCache — no epochs raced.
+  bool cache_hit = false;
+  /// Real solves/factorizations spent exploring (0 on a cache hit).
+  int exploration_epochs = 0;
+  /// Per-strategy race results, candidate order (empty on a cache hit).
+  std::vector<StrategyTiming> timings;
+};
+
+/// Structure fingerprint a measured winner is keyed by: every field the
+/// strategy decision depends on, and nothing value-dependent — two
+/// factorizations with the same pattern and thread count hit the same
+/// entry. avg_level_width and nnz_per_row are quotients of the stored
+/// fields, so the integer fields alone pin the fingerprint exactly.
+struct TuningKey {
+  index_t n = 0;
+  index_t nnz = 0;
+  index_t levels = 0;
+  index_t max_level_size = 0;
+  index_t max_distance = 0;
+  unsigned procs = 0;
+  /// Solve and factorization races answer different questions (a
+  /// factorization row carries ~nnz/row of a solve row's work), so their
+  /// winners never share an entry.
+  bool factor = false;
+
+  friend bool operator==(const TuningKey&, const TuningKey&) = default;
+};
+
+TuningKey make_tuning_key(const TrisolveStructure& s, unsigned procs,
+                          bool factor) noexcept;
+
+struct TuningCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t stores = 0;
+  std::size_t entries = 0;
+};
+
+/// Process-wide memo of measured race winners, shared by every plan build
+/// on every thread (a mutex guards the map — lookups happen once per plan
+/// build, never on a solve path). Only empirically measured winners are
+/// stored; heuristic-only picks never enter the cache.
+class TuningCache {
+ public:
+  /// True and sets `out` when a measured winner exists for `key`.
+  bool lookup(const TuningKey& key, ExecStrategy& out);
+  /// Record a race winner (later races over the same key overwrite —
+  /// fresher measurements win).
+  void store(const TuningKey& key, ExecStrategy winner);
+  /// Drop every entry and zero the counters (tests; otherwise entries
+  /// live for the process lifetime — patterns are few, entries are tiny).
+  void clear();
+  TuningCacheStats stats() const;
+
+ private:
+  struct KeyHash {
+    std::size_t operator()(const TuningKey& k) const noexcept;
+  };
+
+  mutable std::mutex mu_;
+  std::unordered_map<TuningKey, ExecStrategy, KeyHash> map_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t stores_ = 0;
+};
+
+/// The process-wide instance every kAuto plan consults.
+TuningCache& tuning_cache() noexcept;
 
 }  // namespace pdx::core

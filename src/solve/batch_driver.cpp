@@ -15,7 +15,17 @@ BatchDriver::BatchDriver(rt::ThreadPool& pool, const sparse::Csr& a,
     : pool_(&pool),
       a_(&a),
       opts_(opts),
-      m_(pool, a, opts.reorder, opts.nthreads, opts.strategy, opts.layout) {
+      m_(pool, a,
+         sparse::PlanOptions{.nthreads = opts.nthreads,
+                             .reorder = opts.reorder,
+                             .strategy = opts.strategy,
+                             .layout = opts.layout,
+                             .calibration_epochs = opts.calibration_epochs,
+                             .use_tuning_cache = opts.use_tuning_cache},
+         sparse::FactorPlanOptions{
+             .nthreads = opts.nthreads,
+             .calibration_epochs = opts.calibration_epochs,
+             .use_tuning_cache = opts.use_tuning_cache}) {
   if (opts.max_iterations < 1) {
     throw std::invalid_argument("BatchDriver: max_iterations must be >= 1");
   }
@@ -67,15 +77,27 @@ void BatchDriver::refactor(const sparse::Csr& a) {
 BatchReport BatchDriver::drain() {
   BatchReport rep;
   rep.jobs = queue_.size();
-  rep.strategy = m_.plan().strategy();
-  rep.strategy_rationale = m_.plan().telemetry().rationale;
-  rep.layout = m_.plan().layout();
-  rep.packed_bytes = m_.plan().packed_bytes();
-  rep.factor_ms = m_.plan().telemetry().factor_ms;
-  rep.factor_strategy = m_.plan().telemetry().factor_strategy;
-  rep.refresh_ms = m_.plan().telemetry().refresh_ms;
+  // Plan telemetry is captured AFTER the solves below: under kAuto the
+  // shared plan may calibrate across this very drain (racing strategies
+  // on the first preconditioner applications), so the decision the
+  // report carries must be the one the drain ended on.
+  const auto snapshot_plan = [this, &rep] {
+    rep.strategy = m_.plan().strategy();
+    rep.strategy_rationale = m_.plan().telemetry().rationale;
+    rep.strategy_calibrated = m_.plan().telemetry().race.calibrated;
+    rep.tuning_cache_hit = m_.plan().telemetry().race.cache_hit;
+    rep.exploration_epochs = m_.plan().telemetry().race.exploration_epochs;
+    rep.layout = m_.plan().layout();
+    rep.packed_bytes = m_.plan().packed_bytes();
+    rep.factor_ms = m_.plan().telemetry().factor_ms;
+    rep.factor_strategy = m_.plan().telemetry().factor_strategy;
+    rep.refresh_ms = m_.plan().telemetry().refresh_ms;
+  };
   rep.reports.resize(queue_.size());
-  if (queue_.empty()) return rep;
+  if (queue_.empty()) {
+    snapshot_plan();
+    return rep;
+  }
 
   const rt::DispatchProbe dispatches(*pool_);
   const std::uint64_t plan_solves0 = m_.plan().solves();
@@ -175,6 +197,7 @@ BatchReport BatchDriver::drain() {
   rep.precond_solves = m_.plan().solves() - plan_solves0;
   rep.pool_dispatches = dispatches.delta();
   rep.degraded_serial = m_.degraded();
+  snapshot_plan();
   queue_.clear();
   return rep;
 }

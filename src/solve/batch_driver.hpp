@@ -47,14 +47,25 @@ struct BatchDriverOptions {
   /// Width of the plan's batched region and the SpMV screen; 0 = pool
   /// width.
   unsigned nthreads = 0;
-  /// Trisolve strategy of the shared plan. Auto measures the factor's
-  /// dependence structure at build time and follows core::advise_schedule
-  /// (the chosen strategy and rationale appear in every BatchReport).
+  /// Trisolve strategy of the shared plan. Auto calibrates: the
+  /// heuristic advisor seeds the pick, the first preconditioner
+  /// applications race every strategy, and the plan locks in the
+  /// measured winner — consulting the process-wide tuning cache first
+  /// (DESIGN.md §13; the decision and race telemetry appear in every
+  /// BatchReport).
   sparse::ExecutionStrategy strategy = sparse::ExecutionStrategy::kAuto;
-  /// Factor layout of the shared plan (PlanOptions::layout): packed
-  /// execution-ordered streams by default, kCsrView to serve out of the
-  /// factorization's own CSR arrays.
-  sparse::PlanLayout layout = sparse::PlanLayout::kPacked;
+  /// Factor layout of the shared plan (PlanOptions::layout): the
+  /// default follows the resolved strategy (kCsrView for serial plans,
+  /// packed execution-ordered streams otherwise); pin kPacked/kCsrView
+  /// to override.
+  sparse::PlanLayout layout = sparse::PlanLayout::kAuto;
+  /// Calibration budget for the shared plans under kAuto — timed
+  /// epochs per candidate strategy (PlanOptions::calibration_epochs /
+  /// FactorPlanOptions::calibration_epochs). 0 pins the heuristic pick.
+  int calibration_epochs = 2;
+  /// Consult/feed the process-wide core::TuningCache so drivers rebuilt
+  /// over a known pattern skip the race (PlanOptions::use_tuning_cache).
+  bool use_tuning_cache = true;
   /// Retry/escalation ladder (DESIGN.md §12) for jobs that neither
   /// converge nor get screened: attempt 2 re-runs the SAME method with
   /// max_iterations * retry_iteration_factor (warm-started from the
@@ -90,6 +101,13 @@ struct BatchReport {
   /// PlanTelemetry — serving reports carry the decision with the data).
   sparse::ExecutionStrategy strategy = sparse::ExecutionStrategy::kDoacross;
   std::string strategy_rationale;
+  /// Calibration telemetry of the shared plan (PlanTelemetry::race):
+  /// whether the strategy was locked in by measurement, whether the
+  /// process-wide tuning cache answered without racing, and how many
+  /// exploration solves the race consumed (0 on a cache hit).
+  bool strategy_calibrated = false;
+  bool tuning_cache_hit = false;
+  int exploration_epochs = 0;
   /// Factor layout the shared plan resolved to, and the packed stream
   /// bytes it owns (0 under kCsrView) — also from PlanTelemetry.
   sparse::PlanLayout layout = sparse::PlanLayout::kCsrView;

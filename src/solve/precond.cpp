@@ -39,14 +39,23 @@ DoacrossIlu0Preconditioner::DoacrossIlu0Preconditioner(
     rt::ThreadPool& pool, const sparse::Csr& a, bool reorder,
     unsigned nthreads, sparse::ExecutionStrategy strategy,
     sparse::PlanLayout layout)
+    : DoacrossIlu0Preconditioner(
+          pool, a,
+          sparse::PlanOptions{.nthreads = nthreads,
+                              .reorder = reorder,
+                              .strategy = strategy,
+                              .layout = layout},
+          sparse::FactorPlanOptions{.nthreads = nthreads}) {}
+
+DoacrossIlu0Preconditioner::DoacrossIlu0Preconditioner(
+    rt::ThreadPool& pool, const sparse::Csr& a,
+    const sparse::PlanOptions& plan_opts,
+    const sparse::FactorPlanOptions& factor_opts)
     : pool_(&pool),
-      nthreads_(nthreads),
+      nthreads_(plan_opts.nthreads),
+      factor_opts_(factor_opts),
       f_(sparse::ilu0(a)),
-      plan_(pool, f_.l, f_.u,
-            sparse::PlanOptions{.nthreads = nthreads,
-                                .reorder = reorder,
-                                .strategy = strategy,
-                                .layout = layout}) {}
+      plan_(pool, f_.l, f_.u, plan_opts) {}
 
 void DoacrossIlu0Preconditioner::refactor(const sparse::Csr& a) {
   // Symbolic phase, once per pattern: scatter maps, diagonal positions,
@@ -57,9 +66,7 @@ void DoacrossIlu0Preconditioner::refactor(const sparse::Csr& a) {
   std::unique_ptr<sparse::FactorPlan> fresh;
   sparse::FactorPlan* fp = factor_plan_.get();
   if (!fp) {
-    sparse::FactorPlanOptions fopts;
-    fopts.nthreads = nthreads_;
-    fresh = std::make_unique<sparse::FactorPlan>(*pool_, a, fopts);
+    fresh = std::make_unique<sparse::FactorPlan>(*pool_, a, factor_opts_);
     fresh->set_fault_injector(injector_);
     fp = fresh.get();
   }

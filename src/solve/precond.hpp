@@ -77,17 +77,28 @@ class Ilu0Preconditioner final : public Preconditioner {
 class DoacrossIlu0Preconditioner final : public Preconditioner {
  public:
   /// `reorder` steers the flag-based doacross executor only; under the
-  /// default kAuto the advisor owns schedule and ordering, so pass an
-  /// explicit strategy (e.g. kDoacross) when the reorder knob must be
-  /// honored literally. `layout` is the plan's factor layout: the packed
-  /// default re-streams both ILU factors into execution-ordered,
-  /// first-touched slabs at build; kCsrView keeps the zero-copy read of
-  /// the factors (DESIGN.md §10).
+  /// default kAuto the plan calibrates (races every strategy on the
+  /// first applications, locks in the measured winner, and consults the
+  /// process-wide tuning cache — DESIGN.md §13), so pass an explicit
+  /// strategy (e.g. kDoacross) when the reorder knob must be honored
+  /// literally. `layout` is the plan's factor layout: the default
+  /// follows the resolved strategy (kCsrView for serial plans, packed
+  /// execution-ordered first-touched slabs otherwise); pin kPacked or
+  /// kCsrView to override (DESIGN.md §10).
   DoacrossIlu0Preconditioner(
       rt::ThreadPool& pool, const sparse::Csr& a, bool reorder = true,
       unsigned nthreads = 0,
       sparse::ExecutionStrategy strategy = sparse::ExecutionStrategy::kAuto,
-      sparse::PlanLayout layout = sparse::PlanLayout::kPacked);
+      sparse::PlanLayout layout = sparse::PlanLayout::kAuto);
+
+  /// Full-options constructor: `plan_opts` configures the solve plan
+  /// verbatim (strategy, layout, calibration budget, tuning cache,
+  /// stall watchdog); `factor_opts` configures the persistent
+  /// FactorPlan the first refactor() builds. The solve layer's
+  /// calibration knobs (BatchDriverOptions) plumb through here.
+  DoacrossIlu0Preconditioner(rt::ThreadPool& pool, const sparse::Csr& a,
+                             const sparse::PlanOptions& plan_opts,
+                             const sparse::FactorPlanOptions& factor_opts);
   void apply(std::span<const double> r, std::span<double> z) const override;
   const char* name() const override { return "ilu0-doacross"; }
 
@@ -141,6 +152,7 @@ class DoacrossIlu0Preconditioner final : public Preconditioner {
 
   rt::ThreadPool* pool_;
   unsigned nthreads_;
+  sparse::FactorPlanOptions factor_opts_;  // for the lazy FactorPlan
   sparse::IluFactors f_;        // must outlive plan_ (declared first)
   mutable sparse::TrisolvePlan plan_;
   std::unique_ptr<sparse::FactorPlan> factor_plan_;  // built on 1st refactor

@@ -123,17 +123,62 @@ FactorPlan::FactorPlan(rt::ThreadPool& pool, const Csr& a,
     telemetry_.structure = measure_lower_solve(a, *order_);
     core::ScheduleAdvice advice =
         core::advise_factor_schedule(telemetry_.structure, nth_);
+    // Heuristic opening bid; a viable race below times every strategy on
+    // the first real factorizations and locks in the measured winner —
+    // same calibration protocol as TrisolvePlan (DESIGN.md §13).
     telemetry_.strategy = advice.strategy;
-    telemetry_.rationale = std::move(advice.rationale);
+    telemetry_.rationale = advice.rationale;
     if (advice.strategy == ExecutionStrategy::kDoacross) {
       opts_.schedule = advice.schedule;
       opts_.reorder = advice.use_reordering;
+    }
+    const bool can_calibrate =
+        opts_.calibration_epochs > 0 && nth_ > 1 && n_ > 0;
+    if (can_calibrate) {
+      bool cache_hit = false;
+      if (opts_.use_tuning_cache) {
+        tuning_key_ = core::make_tuning_key(telemetry_.structure, nth_,
+                                            /*factor=*/true);
+        have_tuning_key_ = true;
+        ExecutionStrategy cached;
+        if (core::tuning_cache().lookup(tuning_key_, cached)) {
+          set_strategy_state(cached);
+          telemetry_.rationale =
+              std::string("tuning cache hit: ") + core::to_string(cached) +
+              " measured fastest earlier for this (pattern, threads)";
+          telemetry_.race.calibrated = true;
+          telemetry_.race.cache_hit = true;
+          cache_hit = true;
+        }
+      }
+      if (!cache_hit) {
+        calibrating_ = true;
+        candidates_ = {telemetry_.strategy};
+        for (const ExecutionStrategy s :
+             {ExecutionStrategy::kSerial, ExecutionStrategy::kDoacross,
+              ExecutionStrategy::kBlockedHybrid,
+              ExecutionStrategy::kLevelBarrier}) {
+          if (s != candidates_.front()) candidates_.push_back(s);
+        }
+        telemetry_.race.timings.resize(candidates_.size());
+        for (std::size_t i = 0; i < candidates_.size(); ++i) {
+          telemetry_.race.timings[i].strategy = candidates_[i];
+        }
+        set_strategy_state(candidates_.front());
+        telemetry_.rationale +=
+            " — calibrating: racing every strategy on the first "
+            "factorizations";
+      }
     }
   } else {
     telemetry_.strategy = opts_.strategy;
     telemetry_.rationale = "strategy fixed by caller";
   }
+  // A calibration race keeps the doconsider order alive — the
+  // level-barrier and doacross candidates execute through it; the winner
+  // drops it at lock-in if unused.
   const bool needs_order =
+      calibrating_ ||
       telemetry_.strategy == ExecutionStrategy::kLevelBarrier ||
       (telemetry_.strategy == ExecutionStrategy::kDoacross && opts_.reorder);
   if (needs_order && !order_) {
@@ -172,6 +217,61 @@ FactorPlan::FactorPlan(rt::ThreadPool& pool, const Csr& a,
         2 * (static_cast<std::size_t>(n_) + 1) * sizeof(index_t) +
         (lnnz + unnz) * (sizeof(index_t) + sizeof(double));
   }
+}
+
+void FactorPlan::set_strategy_state(ExecutionStrategy s) {
+  telemetry_.strategy = s;
+  if (s == ExecutionStrategy::kDoacross &&
+      opts_.strategy == ExecutionStrategy::kAuto) {
+    // The factor advisor's canonical flag-based configuration; keeps
+    // raced doacross epochs and cache-hit plans configured identically.
+    opts_.schedule = rt::Schedule::dynamic(1);
+    opts_.reorder = true;
+  }
+  guard_ = rt::WaitGuard{&latch_, opts_.stall_budget, core::to_string(s)};
+}
+
+void FactorPlan::note_calibration_epoch(double seconds) {
+  core::StrategyTiming& t = telemetry_.race.timings[cand_idx_];
+  const double us = seconds * 1e6;
+  if (t.epochs == 0 || us < t.best_us) t.best_us = us;
+  ++t.epochs;
+  ++telemetry_.race.exploration_epochs;
+  if (++cand_epoch_ < opts_.calibration_epochs) return;
+  cand_epoch_ = 0;
+  if (++cand_idx_ < candidates_.size()) {
+    set_strategy_state(candidates_[cand_idx_]);
+    bind_region();
+    return;
+  }
+  finish_calibration();
+}
+
+void FactorPlan::finish_calibration() {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < telemetry_.race.timings.size(); ++i) {
+    if (telemetry_.race.timings[i].best_us <
+        telemetry_.race.timings[best].best_us) {
+      best = i;
+    }
+  }
+  const ExecutionStrategy winner = candidates_[best];
+  calibrating_ = false;
+  set_strategy_state(winner);
+  telemetry_.race.calibrated = true;
+  telemetry_.rationale =
+      std::string("calibrated: ") + core::to_string(winner) +
+      " measured fastest (" +
+      std::to_string(telemetry_.race.timings[best].best_us) +
+      " us/factorization over " +
+      std::to_string(telemetry_.race.exploration_epochs) +
+      " exploration factorizations)";
+  if (have_tuning_key_) core::tuning_cache().store(tuning_key_, winner);
+  const bool needs_order =
+      telemetry_.strategy == ExecutionStrategy::kLevelBarrier ||
+      (telemetry_.strategy == ExecutionStrategy::kDoacross && opts_.reorder);
+  if (!needs_order) order_.reset();
+  bind_region();
 }
 
 IluFactors FactorPlan::allocate_factors() const {
@@ -490,6 +590,10 @@ FactorStats FactorPlan::factorize(const Csr& a, IluFactors& f) {
   }
   const clock::time_point t1 = clock::now();
   stats.factor_seconds = std::chrono::duration<double>(t1 - t0).count();
+  // Race bookkeeping only after a fully successful numeric phase: a
+  // fault poisons the plan above without touching the race, and a pivot
+  // throw returns before this point — neither feeds the cache.
+  if (calibrating_) note_calibration_epoch(stats.factor_seconds);
   stats.pivot_shifts = shifts;
   stats.pivot_shift =
       shifts != 0 ? (opts_.pivot.policy == PivotPolicy::kReplace

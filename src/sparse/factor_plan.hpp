@@ -65,11 +65,20 @@ struct FactorPlanOptions {
   /// the advisor owns this knob, exactly like PlanOptions::reorder.
   bool reorder = true;
   /// Execution scheme for the numeric phase. kAuto measures the lower
-  /// pattern's dependence structure at build time and follows
-  /// core::advise_factor_schedule (factorization rows carry ~nnz/row
-  /// times the work of a solve row, so synchronization amortizes
-  /// sooner than the solve advisor assumes).
+  /// pattern's dependence structure at build time and takes
+  /// core::advise_factor_schedule's pick as the opening bid
+  /// (factorization rows carry ~nnz/row times the work of a solve row,
+  /// so synchronization amortizes sooner than the solve advisor
+  /// assumes); with a viable race the first factorize() calls then time
+  /// every strategy and lock in the measured winner — same calibration
+  /// protocol as TrisolvePlan (DESIGN.md §13).
   ExecutionStrategy strategy = ExecutionStrategy::kAuto;
+  /// Calibration budget under kAuto: timed factorizations per candidate
+  /// strategy before the race locks in. 0 keeps the heuristic pick.
+  int calibration_epochs = 2;
+  /// Consult (and feed) the process-wide core::TuningCache (keyed with
+  /// factor=true — solve winners never leak into factorization picks).
+  bool use_tuning_cache = true;
   /// Stall watchdog budget in spin rounds for every in-region wait
   /// (flags and barriers); 0 (default) disarms the watchdog. See
   /// PlanOptions::stall_budget.
@@ -101,8 +110,10 @@ struct FactorTelemetry {
   /// The resolved strategy (never kAuto).
   ExecutionStrategy strategy = ExecutionStrategy::kSerial;
   /// The advisor's reason under kAuto; "strategy fixed by caller"
-  /// otherwise.
+  /// otherwise. Rewritten when a calibration race locks in its winner.
   std::string rationale;
+  /// The empirical calibration record (DESIGN.md §13).
+  core::StrategyRace race;
   /// Measured structure of the lower pattern (populated under kAuto).
   core::TrisolveStructure structure;
   /// Processor count the decision assumed.
@@ -158,8 +169,13 @@ class FactorPlan {
 
   index_t rows() const noexcept { return n_; }
   unsigned nthreads() const noexcept { return nth_; }
-  /// The resolved execution strategy (never kAuto).
+  /// The resolved execution strategy (never kAuto; the current race
+  /// candidate while calibrating()).
   ExecutionStrategy strategy() const noexcept { return telemetry_.strategy; }
+  /// True while a kAuto calibration race is still exploring — the next
+  /// factorize() calls time the remaining candidates (bitwise identical
+  /// factors throughout) before the plan locks in.
+  bool calibrating() const noexcept { return calibrating_; }
   const FactorTelemetry& telemetry() const noexcept { return telemetry_; }
   /// Completed factorize() calls.
   std::uint64_t factorizations() const noexcept { return factorizations_; }
@@ -179,6 +195,13 @@ class FactorPlan {
   bool split_idx_matches(const IluFactors& f) const noexcept;
   void bind_region();
   void build_symbolic(const Csr& a);
+  /// Point the plan at strategy `s` (telemetry, doacross configuration,
+  /// guard site); callers rebind the region after.
+  void set_strategy_state(ExecutionStrategy s);
+  /// Race bookkeeping after each SUCCESSFUL factorize() while exploring;
+  /// mirrors TrisolvePlan::note_calibration_epoch (DESIGN.md §13).
+  void note_calibration_epoch(double seconds);
+  void finish_calibration();
 
   rt::ThreadPool* pool_;
   FactorPlanOptions opts_;
@@ -211,6 +234,16 @@ class FactorPlan {
   rt::WaitGuard guard_;  // latch + stall budget shared by every flag wait
   bool poisoned_ = false;
   rt::FaultInjector* injector_ = nullptr;
+
+  // kAuto calibration race state (DESIGN.md §13), advanced by successful
+  // factorize() calls.
+  bool calibrating_ = false;
+  std::vector<ExecutionStrategy> candidates_;
+  std::size_t cand_idx_ = 0;
+  int cand_epoch_ = 0;
+  core::TuningKey tuning_key_{};
+  bool have_tuning_key_ = false;
+
   /// Substituted pivots of the current pass (kShift/kReplace).
   std::atomic<std::uint64_t> shift_count_{0};
   /// Substitute value of the current kShift pass (escalates per pass).

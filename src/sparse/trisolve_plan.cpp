@@ -101,41 +101,159 @@ rt::ThreadPool::RegionFn TrisolvePlan::contained(
 bool TrisolvePlan::needs_reordering() const noexcept {
   // Both factors build (or skip) their doconsider analyses by the same
   // rule: level-barrier executes the levels themselves; doacross uses
-  // the order only when asked to.
-  return telemetry_.strategy == ExecutionStrategy::kLevelBarrier ||
+  // the order only when asked to. A calibration race keeps both orders
+  // alive — the level-barrier and doacross candidates need them; the
+  // winner drops what it does not use at lock-in.
+  return calibrating_ ||
+         telemetry_.strategy == ExecutionStrategy::kLevelBarrier ||
          (telemetry_.strategy == ExecutionStrategy::kDoacross &&
           opts_.reorder);
+}
+
+void TrisolvePlan::set_strategy_state(ExecutionStrategy s) {
+  telemetry_.strategy = s;
+  if (s == ExecutionStrategy::kDoacross &&
+      opts_.strategy == ExecutionStrategy::kAuto) {
+    // The advisor's canonical flag-based configuration: dynamic
+    // single-iteration issue in doconsider order. Fixing it here keeps
+    // raced doacross epochs and cache-hit plans configured identically.
+    opts_.schedule = rt::Schedule::dynamic(1);
+    opts_.reorder = true;
+  }
+  guard_ = rt::WaitGuard{&latch_, opts_.stall_budget, core::to_string(s)};
+}
+
+void TrisolvePlan::rebind_regions() {
+  bind_lower_region();
+  if (u_) bind_upper_regions();
 }
 
 void TrisolvePlan::resolve_strategy() {
   telemetry_.requested = opts_.strategy;
   telemetry_.procs = nth_;
-  if (opts_.strategy == ExecutionStrategy::kAuto) {
-    // The inspector pass of the strategy decision: the doconsider
-    // analysis (levels, widths) plus an O(nnz) distance scan. The
-    // reordering is kept — if the advisor lands on doacross or
-    // level-barrier it is the execution order.
-    l_order_ =
-        std::make_unique<core::Reordering>(lower_solve_reordering(*l_));
-    telemetry_.structure = measure_lower_solve(*l_, *l_order_);
-    core::ScheduleAdvice advice =
-        core::advise_schedule(telemetry_.structure, nth_);
-    telemetry_.strategy = advice.strategy;
-    telemetry_.rationale = std::move(advice.rationale);
-    if (advice.strategy == ExecutionStrategy::kDoacross) {
-      // Auto owns the executor configuration: adopt the advised schedule
-      // and ordering for the flag-based path.
-      opts_.schedule = advice.schedule;
-      opts_.reorder = advice.use_reordering;
-    }
-  } else {
+  if (opts_.strategy != ExecutionStrategy::kAuto) {
     telemetry_.strategy = opts_.strategy;
     telemetry_.rationale = "strategy fixed by caller";
+    return;
   }
+  // The inspector pass of the strategy decision: the doconsider
+  // analysis (levels, widths) plus an O(nnz) distance scan. The
+  // reordering is kept — if the plan lands on doacross or
+  // level-barrier it is the execution order.
+  l_order_ =
+      std::make_unique<core::Reordering>(lower_solve_reordering(*l_));
+  telemetry_.structure = measure_lower_solve(*l_, *l_order_);
+  core::ScheduleAdvice advice =
+      core::advise_schedule(telemetry_.structure, nth_);
+  // The heuristic pick is the opening bid; with a viable race below it
+  // only decides which strategy explores first.
+  telemetry_.strategy = advice.strategy;
+  telemetry_.rationale = advice.rationale;
+  if (advice.strategy == ExecutionStrategy::kDoacross) {
+    opts_.schedule = advice.schedule;
+    opts_.reorder = advice.use_reordering;
+  }
+  // Empirical calibration (DESIGN.md §13). The heuristic ladder sees DAG
+  // shape, never synchronization cost on the actual machine, and the
+  // strategy baselines prove it can mispick by orders of magnitude. A
+  // race is viable whenever more than one strategy is plausible — with
+  // parallel width and a budget — because all executors are bitwise
+  // identical: the first solves time each candidate invisibly.
+  const bool can_calibrate =
+      opts_.calibration_epochs > 0 && nth_ > 1 && n_ > 0;
+  if (!can_calibrate) return;
+  if (opts_.use_tuning_cache) {
+    tuning_key_ = core::make_tuning_key(telemetry_.structure, nth_,
+                                        /*factor=*/false);
+    have_tuning_key_ = true;
+    ExecutionStrategy cached;
+    if (core::tuning_cache().lookup(tuning_key_, cached)) {
+      set_strategy_state(cached);
+      telemetry_.rationale =
+          std::string("tuning cache hit: ") + core::to_string(cached) +
+          " measured fastest earlier for this (pattern, threads)";
+      telemetry_.race.calibrated = true;
+      telemetry_.race.cache_hit = true;
+      return;
+    }
+  }
+  calibrating_ = true;
+  candidates_ = {telemetry_.strategy};
+  for (const ExecutionStrategy s :
+       {ExecutionStrategy::kSerial, ExecutionStrategy::kDoacross,
+        ExecutionStrategy::kBlockedHybrid, ExecutionStrategy::kLevelBarrier}) {
+    if (s != candidates_.front()) candidates_.push_back(s);
+  }
+  telemetry_.race.timings.resize(candidates_.size());
+  for (std::size_t i = 0; i < candidates_.size(); ++i) {
+    telemetry_.race.timings[i].strategy = candidates_[i];
+  }
+  set_strategy_state(candidates_.front());
+  telemetry_.rationale +=
+      " — calibrating: racing every strategy on the first live solves";
+}
+
+void TrisolvePlan::note_calibration_epoch(double seconds) {
+  core::StrategyTiming& t = telemetry_.race.timings[cand_idx_];
+  const double us = seconds * 1e6;
+  if (t.epochs == 0 || us < t.best_us) t.best_us = us;
+  ++t.epochs;
+  ++telemetry_.race.exploration_epochs;
+  if (++cand_epoch_ < opts_.calibration_epochs) return;
+  cand_epoch_ = 0;
+  if (++cand_idx_ < candidates_.size()) {
+    set_strategy_state(candidates_[cand_idx_]);
+    rebind_regions();
+    return;
+  }
+  finish_calibration();
+}
+
+void TrisolvePlan::finish_calibration() {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < telemetry_.race.timings.size(); ++i) {
+    if (telemetry_.race.timings[i].best_us <
+        telemetry_.race.timings[best].best_us) {
+      best = i;
+    }
+  }
+  const ExecutionStrategy winner = candidates_[best];
+  calibrating_ = false;
+  set_strategy_state(winner);
+  telemetry_.race.calibrated = true;
+  telemetry_.rationale =
+      std::string("calibrated: ") + core::to_string(winner) +
+      " measured fastest (" +
+      std::to_string(telemetry_.race.timings[best].best_us) +
+      " us/solve over " + std::to_string(telemetry_.race.exploration_epochs) +
+      " exploration solves)";
+  if (have_tuning_key_) core::tuning_cache().store(tuning_key_, winner);
+  // Lock-in: drop the orders the winner does not read, resolve the
+  // deferred layout (pack the winner's execution order), and rebind the
+  // regions to the winner's kernels.
+  if (!needs_reordering()) {
+    l_order_.reset();
+    u_order_.reset();
+  }
+  build_packed();
+  rebind_regions();
 }
 
 void TrisolvePlan::build_packed() {
-  if (opts_.layout != PlanLayout::kPacked || n_ == 0) return;
+  // Packed slab sequences are strategy-specific, so a calibrating plan
+  // defers packing to lock-in and explores through CSR-view sources.
+  if (calibrating_ || n_ == 0) return;
+  PlanLayout want = opts_.layout;
+  if (want == PlanLayout::kAuto) {
+    // A serial plan walks each factor once per solve with no cross-thread
+    // sharing to localize; the packed duplication measurably loses there
+    // (layout_speedup 0.66–0.96 in BENCH_strategy), so only a caller
+    // pinning kPacked pays for it.
+    want = telemetry_.strategy == ExecutionStrategy::kSerial
+               ? PlanLayout::kCsrView
+               : PlanLayout::kPacked;
+  }
+  if (want != PlanLayout::kPacked) return;
   const unsigned width = nth_ == 0 ? 1 : nth_;
   const unsigned slabs =
       telemetry_.strategy == ExecutionStrategy::kSerial ? 1 : width;
@@ -1135,6 +1253,9 @@ core::DoacrossStats TrisolvePlan::dispatch(
     }
     stats.execute_seconds = std::chrono::duration<double>(t1 - t0).count();
     ++solves_;
+    // Race bookkeeping only after a SUCCESSFUL epoch: a fault above
+    // poisons the plan without corrupting the race or feeding the cache.
+    if (calibrating_) note_calibration_epoch(stats.execute_seconds);
     return stats;
   }
   const clock::time_point t0 = clock::now();
@@ -1156,6 +1277,7 @@ core::DoacrossStats TrisolvePlan::dispatch(
     stats.wait_rounds += rounds_[t].value;
   }
   ++solves_;
+  if (calibrating_) note_calibration_epoch(stats.execute_seconds);
   return stats;
 }
 
@@ -1217,9 +1339,12 @@ void TrisolvePlan::reserve_batch(index_t max_k, BatchMode mode) {
   }
   // The n-by-k strip backs only the interleaved mode; column-sequential
   // batches keep the documented O(n) scratch (the plan's tmp_). A serial
-  // plan runs every batch column-sequentially and never needs the strip.
+  // plan runs every batch column-sequentially and never needs the strip —
+  // unless a calibration race is still open and a parallel candidate may
+  // take the next epoch.
   if (mode == BatchMode::kWavefrontInterleaved &&
-      telemetry_.strategy != ExecutionStrategy::kSerial) {
+      (calibrating_ ||
+       telemetry_.strategy != ExecutionStrategy::kSerial)) {
     const std::size_t strip = static_cast<std::size_t>(n_) * k;
     if (batch_tmp_.size() < strip) batch_tmp_.resize(strip);
   }
@@ -1231,13 +1356,19 @@ core::DoacrossStats TrisolvePlan::run_batch(index_t k, BatchMode mode) {
   batch_mode_ = mode;
   reset_for_call(/*lower=*/true, /*upper=*/true);
 #ifndef NDEBUG
+  // A calibration epoch may advance the race inside dispatch() —
+  // switching the strategy the budget is defined by, and a lock-in can
+  // spend an extra dispatch packing the winner — so the budget assert
+  // only covers locked-in plans.
+  const bool was_calibrating = calibrating_;
   const rt::DispatchProbe probe(*pool_);
 #endif
   const core::DoacrossStats stats = dispatch(batch_region_);
 #ifndef NDEBUG
-  assert(probe.delta() == (telemetry_.strategy == ExecutionStrategy::kSerial
-                               ? 0u
-                               : 1u) &&
+  assert((was_calibrating ||
+          probe.delta() ==
+              (telemetry_.strategy == ExecutionStrategy::kSerial ? 0u
+                                                                 : 1u)) &&
          "solve_batch must cost exactly one pool dispatch (zero serial)");
 #endif
   batch_columns_ += static_cast<std::uint64_t>(k);

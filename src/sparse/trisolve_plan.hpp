@@ -87,25 +87,42 @@ using ExecutionStrategy = core::ExecStrategy;
 ///
 ///   kPacked  — plan-owned packed record streams in schedule execution
 ///              order, per-thread slabs first-touched by their executing
-///              thread. Default: the hot loop becomes a linear walk.
+///              thread: the hot loop becomes a linear walk.
 ///   kCsrView — read the caller's CSR directly (zero-copy); the
 ///              historical behavior, and the right call when the factor
 ///              is too large to duplicate or the plan runs only a few
 ///              times.
-enum class PlanLayout : std::uint8_t { kPacked, kCsrView };
+///   kAuto    — (default) follow the resolved strategy: kCsrView for
+///              kSerial (the packed duplication measurably loses there —
+///              BENCH_strategy layout_speedup 0.66–0.96 on serial picks),
+///              kPacked for every parallel strategy. Resolved after
+///              calibration when the strategy itself is under a race.
+enum class PlanLayout : std::uint8_t { kPacked, kCsrView, kAuto };
 
 inline const char* to_string(PlanLayout l) noexcept {
-  return l == PlanLayout::kPacked ? "packed" : "csr-view";
+  switch (l) {
+    case PlanLayout::kPacked: return "packed";
+    case PlanLayout::kCsrView: return "csr-view";
+    case PlanLayout::kAuto: return "auto";
+  }
+  return "?";
 }
 
 /// What the plan decided and why — reported by benches and BatchDriver.
 struct PlanTelemetry {
   ExecutionStrategy requested = ExecutionStrategy::kDoacross;
-  /// The resolved strategy (never kAuto).
+  /// The resolved strategy (never kAuto). Under a calibration race this
+  /// is the strategy the NEXT solve will run — the current candidate
+  /// while exploring, the measured winner once locked in.
   ExecutionStrategy strategy = ExecutionStrategy::kDoacross;
   /// The advisor's reason under kAuto; "strategy fixed by caller"
-  /// otherwise. Never empty after construction.
+  /// otherwise. Never empty after construction. Rewritten when a
+  /// calibration race locks in its measured winner.
   std::string rationale;
+  /// The empirical calibration record (DESIGN.md §13): whether a measured
+  /// winner is locked in, whether it came from the TuningCache, and the
+  /// per-strategy race timings.
+  core::StrategyRace race;
   /// Inspector-measured structure of L (populated under kAuto).
   core::TrisolveStructure structure;
   /// Processor count the decision assumed (the plan's region width).
@@ -138,19 +155,36 @@ struct PlanOptions {
   /// Machine-emulation knob for the lower solve (see sparse/trisolve.hpp).
   int work_reps = 0;
   /// Execution scheme. kAuto measures the LOWER factor's dependence
-  /// structure at build time and follows core::advise_schedule (which
-  /// may also override `schedule`/`reorder` for the strategy it picks) —
-  /// one decision covers both solves, which is right for ILU-style pairs
+  /// structure at build time, takes core::advise_schedule's heuristic
+  /// pick as the opening bid, then — when a race is viable (parallel
+  /// width, calibration_epochs > 0) — times every strategy on the first
+  /// real solves and locks in the measured winner (DESIGN.md §13); the
+  /// process-wide core::TuningCache short-circuits repeat patterns. One
+  /// decision covers both solves, which is right for ILU-style pairs
   /// whose U mirrors L's structure; callers pairing structurally
   /// unrelated factors should pick a strategy explicitly. The default
   /// preserves the historical flag-based plan behavior.
   ExecutionStrategy strategy = ExecutionStrategy::kDoacross;
-  /// Factor memory layout. kPacked (default) re-streams both factors
-  /// into plan-owned, execution-ordered, NUMA-first-touched record slabs
-  /// at build time (one extra pool dispatch, ~the factors' size in extra
-  /// memory); kCsrView keeps the zero-copy read-through-the-caller's-CSR
-  /// behavior. Results are bitwise identical either way.
-  PlanLayout layout = PlanLayout::kPacked;
+  /// Factor memory layout. kAuto (default) resolves from the strategy —
+  /// kCsrView for serial plans, kPacked otherwise; kPacked re-streams
+  /// both factors into plan-owned, execution-ordered, NUMA-first-touched
+  /// record slabs (one extra pool dispatch, ~the factors' size in extra
+  /// memory); kCsrView pins the zero-copy read-through-the-caller's-CSR
+  /// behavior. Results are bitwise identical in every layout.
+  PlanLayout layout = PlanLayout::kAuto;
+  /// Calibration budget under ExecutionStrategy::kAuto: timed solves per
+  /// candidate strategy before the race locks in (the whole race costs
+  /// 4 * calibration_epochs solves — all of them REAL solves the caller
+  /// needed anyway, each bitwise identical to the locked-in plan). 0
+  /// disables the race: Auto keeps the heuristic advisor's pick, the
+  /// historical behavior. Ignored for pinned strategies, single-threaded
+  /// plans, and empty systems.
+  int calibration_epochs = 2;
+  /// Consult (and feed) the process-wide core::TuningCache so later
+  /// plans over the same (pattern fingerprint, threads) skip the race
+  /// entirely — the BatchDriver / timestep-server refresh loops rebuild
+  /// plans per pattern and must not re-explore every time.
+  bool use_tuning_cache = true;
   /// Stall watchdog budget in spin rounds per flag/barrier wait; 0
   /// (default) disables the watchdog — the bitwise and perf gates run
   /// with it off. Past the budget a wait raises rt::StallError with
@@ -265,8 +299,13 @@ class TrisolvePlan {
   PlanLayout layout() const noexcept { return telemetry_.layout; }
   /// Plan-owned packed stream bytes (0 under kCsrView).
   std::size_t packed_bytes() const noexcept { return telemetry_.packed_bytes; }
-  /// The resolved execution strategy (never kAuto).
+  /// The resolved execution strategy (never kAuto; the current race
+  /// candidate while calibrating()).
   ExecutionStrategy strategy() const noexcept { return telemetry_.strategy; }
+  /// True while a kAuto calibration race is still exploring — the next
+  /// solves time the remaining candidates before the plan locks in.
+  /// Every exploration solve is bitwise identical to the final plan.
+  bool calibrating() const noexcept { return calibrating_; }
   /// Chosen strategy, rationale and the measured structure behind it.
   const PlanTelemetry& telemetry() const noexcept { return telemetry_; }
   /// Completed solve_* calls (one per pool dispatch; a whole solve_batch
@@ -363,6 +402,16 @@ class TrisolvePlan {
 
   bool needs_reordering() const noexcept;
   void resolve_strategy();
+  /// Point the plan at strategy `s`: telemetry, the doacross executor
+  /// configuration (the advisor's canonical dynamic/1 + doconsider
+  /// order), and the wait-guard site name. Callers rebind regions after.
+  void set_strategy_state(ExecutionStrategy s);
+  void rebind_regions();
+  /// Calibration bookkeeping, run after each SUCCESSFUL dispatch while
+  /// exploring: record the epoch's time, advance to the next candidate
+  /// after the per-candidate budget, and lock in the winner at race end.
+  void note_calibration_epoch(double seconds);
+  void finish_calibration();
   /// Wrap a region functor in the abort protocol: a fault records its
   /// exception in the latch (raising it); WorkerAbort — a peer draining
   /// after observing the latch — is discarded. Bound once per region, so
@@ -394,6 +443,18 @@ class TrisolvePlan {
   rt::WaitGuard guard_;  // latch + stall budget shared by every flag wait
   bool poisoned_ = false;
   rt::FaultInjector* injector_ = nullptr;
+
+  // kAuto calibration race state (DESIGN.md §13). While calibrating_ the
+  // plan serves solves through the current candidate's executor (bitwise
+  // identical to every other candidate) over CSR-view sources — packed
+  // slabs are strategy-specific, so packing waits for the winner.
+  bool calibrating_ = false;
+  std::vector<ExecutionStrategy> candidates_;
+  std::size_t cand_idx_ = 0;
+  int cand_epoch_ = 0;
+  core::TuningKey tuning_key_{};
+  bool have_tuning_key_ = false;
+
   std::atomic<index_t> cursor_l_{0}, cursor_u_{0};
   std::vector<rt::Padded<std::uint64_t>> episodes_, rounds_;
   std::vector<double, rt::CacheAlignedAllocator<double>> tmp_;

@@ -280,3 +280,97 @@ TEST(Advisor, FactorAdvisorFollowsEliminationWorkRatio) {
   EXPECT_EQ(core::advise_factor_schedule(empty, 8).strategy,
             core::ExecStrategy::kSerial);
 }
+
+namespace {
+
+core::TrisolveStructure sample_structure() {
+  core::TrisolveStructure s;
+  s.n = 1000;
+  s.nnz = 4000;
+  s.levels = 20;
+  s.avg_level_width = 50.0;
+  s.max_level_size = 80;
+  s.max_distance = 400;
+  return s;
+}
+
+}  // namespace
+
+TEST(TuningCache, StoreLookupRoundtripAndKeyDiscrimination) {
+  core::TuningCache& cache = core::tuning_cache();
+  cache.clear();
+
+  const core::TrisolveStructure s = sample_structure();
+  const core::TuningKey solve_key = core::make_tuning_key(s, 4, false);
+  const core::TuningKey factor_key = core::make_tuning_key(s, 4, true);
+
+  core::ExecStrategy out;
+  EXPECT_FALSE(cache.lookup(solve_key, out));
+  cache.store(solve_key, core::ExecStrategy::kDoacross);
+  ASSERT_TRUE(cache.lookup(solve_key, out));
+  EXPECT_EQ(out, core::ExecStrategy::kDoacross);
+
+  // The factor flag separates solve winners from factorization winners
+  // over the identical pattern; thread count is part of the key too.
+  EXPECT_FALSE(cache.lookup(factor_key, out));
+  EXPECT_FALSE(cache.lookup(core::make_tuning_key(s, 8, false), out));
+  cache.store(factor_key, core::ExecStrategy::kLevelBarrier);
+  ASSERT_TRUE(cache.lookup(factor_key, out));
+  EXPECT_EQ(out, core::ExecStrategy::kLevelBarrier);
+  ASSERT_TRUE(cache.lookup(solve_key, out));
+  EXPECT_EQ(out, core::ExecStrategy::kDoacross);
+
+  // A re-store over the same key overwrites (newest measurement wins).
+  cache.store(solve_key, core::ExecStrategy::kSerial);
+  ASSERT_TRUE(cache.lookup(solve_key, out));
+  EXPECT_EQ(out, core::ExecStrategy::kSerial);
+
+  const core::TuningCacheStats st = cache.stats();
+  EXPECT_EQ(st.entries, 2u);
+  EXPECT_EQ(st.stores, 3u);
+  EXPECT_EQ(st.hits, 4u);
+  EXPECT_EQ(st.misses, 3u);
+
+  cache.clear();
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_FALSE(cache.lookup(solve_key, out));
+}
+
+TEST(TuningCache, ConcurrentStoresAndLookupsAreSafe) {
+  // The cache is process-wide shared mutable state: plans on different
+  // pools may race store() against lookup(). Hammer it from several
+  // threads (TSan covers this test in CI) and check every key resolves.
+  core::TuningCache& cache = core::tuning_cache();
+  cache.clear();
+  const core::TrisolveStructure base = sample_structure();
+
+  constexpr int kThreads = 8;
+  constexpr int kKeys = 16;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      for (int round = 0; round < 200; ++round) {
+        const int k = (t + round) % kKeys;
+        core::TrisolveStructure s = base;
+        s.n = base.n + k;
+        const core::TuningKey key =
+            core::make_tuning_key(s, 4, (t % 2) != 0);
+        cache.store(key, core::ExecStrategy::kDoacross);
+        core::ExecStrategy out;
+        cache.lookup(key, out);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  for (int k = 0; k < kKeys; ++k) {
+    core::TrisolveStructure s = base;
+    s.n = base.n + k;
+    core::ExecStrategy out;
+    ASSERT_TRUE(cache.lookup(core::make_tuning_key(s, 4, false), out));
+    EXPECT_EQ(out, core::ExecStrategy::kDoacross);
+    ASSERT_TRUE(cache.lookup(core::make_tuning_key(s, 4, true), out));
+  }
+  cache.clear();
+}

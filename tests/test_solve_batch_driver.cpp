@@ -85,6 +85,9 @@ TEST(BatchDriver, MixedQueueMeetsToleranceAndMatchesSingleSolvePath) {
   solve::BatchDriverOptions opts;
   opts.max_iterations = 5000;
   opts.rel_tolerance = tol;
+  // Calibration off: the dispatch-per-application accounting below
+  // assumes one fixed parallel strategy across the whole drain.
+  opts.calibration_epochs = 0;
   solve::BatchDriver driver(pool(), a, opts);
 
   std::vector<double> x0(static_cast<std::size_t>(n), 0.0);

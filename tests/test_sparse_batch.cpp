@@ -207,7 +207,11 @@ TEST(SolveBatch, GuardsRejectMisuse) {
 
 TEST(SolveBatch, PreconditionerApplyBatchMatchesSequentialApplications) {
   const sp::Csr a = gen::five_point(14, 14);
-  const solve::DoacrossIlu0Preconditioner m(pool(), a);
+  // Calibration off: the one-dispatch assertion below assumes the plan
+  // holds a fixed parallel strategy across every batched application.
+  const solve::DoacrossIlu0Preconditioner m(
+      pool(), a, sp::PlanOptions{.calibration_epochs = 0},
+      sp::FactorPlanOptions{});
   const index_t n = a.rows;
   const index_t k = 7;
   m.reserve_batch(k);

@@ -173,8 +173,10 @@ TEST(FactorPlan, FactorizeOverwritesAnIlu0Result) {
 
 TEST(FactorPlan, AutoConsultsTheFactorAdvisor) {
   const sp::Csr a = gen::five_point(24, 24);
-  sp::FactorPlan plan(pool(), a,
-                      factor_opts(sp::ExecutionStrategy::kAuto, 4));
+  // Calibration off: this test asserts the heuristic opening bid itself.
+  sp::FactorPlanOptions aopts = factor_opts(sp::ExecutionStrategy::kAuto, 4);
+  aopts.calibration_epochs = 0;
+  sp::FactorPlan plan(pool(), a, aopts);
   const core::ScheduleAdvice advice = core::advise_factor_schedule(
       sp::measure_lower_solve(a), 4);
   EXPECT_EQ(plan.strategy(), advice.strategy);
@@ -187,6 +189,48 @@ TEST(FactorPlan, AutoConsultsTheFactorAdvisor) {
   const sp::IluFactors f = plan.allocate_factors();
   EXPECT_EQ(plan.telemetry().factor_bytes,
             f.l.memory_bytes() + f.u.memory_bytes());
+}
+
+TEST(FactorPlan, CalibrationRacesFactorizationsAndCacheSkipsSecondRace) {
+  // The factor-side calibration race (DESIGN.md §13): exploration
+  // factorizations stay bitwise identical to ilu0(), the plan locks in
+  // after its budget, and a second plan over the same pattern hits the
+  // process-wide cache (under the factor=true fingerprint) with zero
+  // exploration epochs.
+  core::tuning_cache().clear();
+  const sp::Csr base = gen::five_point(16, 16);
+  const sp::FactorPlanOptions o = factor_opts(sp::ExecutionStrategy::kAuto, 4);
+  sp::FactorPlan plan(pool(), base, o);
+  ASSERT_TRUE(plan.calibrating());
+  ASSERT_NE(plan.strategy(), sp::ExecutionStrategy::kAuto);
+  sp::IluFactors f = plan.allocate_factors();
+
+  const std::size_t budget =
+      plan.telemetry().race.timings.size() *
+      static_cast<std::size_t>(o.calibration_epochs);
+  std::size_t epochs = 0;
+  while (plan.calibrating()) {
+    ASSERT_LT(epochs, budget) << "race must lock in after its budget";
+    const sp::Csr a = evolve_values(base, 0.1 * static_cast<double>(epochs));
+    plan.factorize(a, f);
+    expect_factors_bitwise(sp::ilu0(a), f, "exploration factorization");
+    ++epochs;
+  }
+  EXPECT_EQ(epochs, budget);
+  EXPECT_TRUE(plan.telemetry().race.calibrated);
+  EXPECT_FALSE(plan.telemetry().race.cache_hit);
+
+  sp::FactorPlan second(pool(), base, o);
+  EXPECT_FALSE(second.calibrating());
+  EXPECT_TRUE(second.telemetry().race.cache_hit);
+  EXPECT_EQ(second.telemetry().race.exploration_epochs, 0);
+  EXPECT_EQ(second.strategy(), plan.strategy());
+  // Locked-in and cache-hit plans still factor bitwise.
+  const sp::Csr a = evolve_values(base, 1.7);
+  sp::IluFactors f2 = second.allocate_factors();
+  second.factorize(a, f2);
+  expect_factors_bitwise(sp::ilu0(a), f2, "cache-hit factorization");
+  core::tuning_cache().clear();
 }
 
 TEST(FactorPlan, FactorizeIsZeroAllocWithinDispatchBudget) {

@@ -144,6 +144,7 @@ TEST(StrategySelection, AutoPicksLevelBarrierForWideStencilFactor) {
   sp::PlanOptions opts;
   opts.nthreads = 4;
   opts.strategy = ExecutionStrategy::kAuto;
+  opts.calibration_epochs = 0;  // assert the heuristic opening bid itself
   sp::TrisolvePlan plan(pool(), f.l, f.u, opts);
   EXPECT_EQ(plan.strategy(), ExecutionStrategy::kLevelBarrier);
   EXPECT_EQ(plan.telemetry().requested, ExecutionStrategy::kAuto);
@@ -163,6 +164,7 @@ TEST(StrategySelection, AutoPicksDoacrossForScatteredLongDistanceDeps) {
   sp::PlanOptions opts;
   opts.nthreads = 4;
   opts.strategy = ExecutionStrategy::kAuto;
+  opts.calibration_epochs = 0;  // assert the heuristic opening bid itself
   sp::TrisolvePlan plan(pool(), m.l, m.u, opts);
   EXPECT_EQ(plan.strategy(), ExecutionStrategy::kDoacross);
   EXPECT_FALSE(plan.telemetry().rationale.empty());
@@ -180,6 +182,7 @@ TEST(StrategySelection, AutoPicksBlockedHybridForGappedBand) {
   sp::PlanOptions opts;
   opts.nthreads = 4;
   opts.strategy = ExecutionStrategy::kAuto;
+  opts.calibration_epochs = 0;  // assert the heuristic opening bid itself
   sp::TrisolvePlan plan(pool(), f.l, f.u, opts);
   EXPECT_EQ(plan.strategy(), ExecutionStrategy::kBlockedHybrid);
   EXPECT_FALSE(plan.telemetry().rationale.empty());
@@ -213,6 +216,7 @@ TEST(StrategySelection, RcmRecoveredBandIsChainLikeAndGoesSerial) {
   sp::PlanOptions opts;
   opts.nthreads = 4;
   opts.strategy = ExecutionStrategy::kAuto;
+  opts.calibration_epochs = 0;  // assert the heuristic opening bid itself
   sp::TrisolvePlan plan(pool(), f_rcm.l, f_rcm.u, opts);
   EXPECT_EQ(plan.strategy(), ExecutionStrategy::kSerial);
   EXPECT_FALSE(plan.telemetry().rationale.empty());
@@ -267,6 +271,10 @@ TEST(StrategyExecution, EveryStrategyBitwiseAcrossThreadsAndBatchShapes) {
       sp::PlanOptions opts;
       opts.nthreads = nth;
       opts.strategy = req;
+      // Calibration off: the dispatch budget below asserts one strategy
+      // per plan; the calibration race itself is covered by the
+      // StrategyCalibration suite.
+      opts.calibration_epochs = 0;
       sp::TrisolvePlan plan(pool(), f.l, f.u, opts);
       ASSERT_NE(plan.strategy(), ExecutionStrategy::kAuto);
       ASSERT_FALSE(plan.telemetry().rationale.empty());
@@ -383,8 +391,9 @@ TEST(StrategyExecution, ExplicitStrategyWorksInsidePcg) {
 }
 
 TEST(StrategyExecution, BatchDriverReportsStrategyTelemetry) {
+  core::tuning_cache().clear();
   const sp::Csr a = gen::five_point(14, 14);
-  solve::BatchDriverOptions opts;  // strategy defaults to kAuto
+  solve::BatchDriverOptions opts;  // strategy defaults to kAuto: calibrates
   solve::BatchDriver driver(pool(), a, opts);
 
   const auto b = random_rhs(a.rows, 88);
@@ -394,5 +403,149 @@ TEST(StrategyExecution, BatchDriverReportsStrategyTelemetry) {
   EXPECT_EQ(rep.converged, 1u);
   EXPECT_NE(rep.strategy, ExecutionStrategy::kAuto);
   EXPECT_FALSE(rep.strategy_rationale.empty());
+  // The report reflects the post-drain decision even though the race ran
+  // across this very drain.
   EXPECT_EQ(rep.strategy, driver.preconditioner().plan().strategy());
+  ASSERT_TRUE(rep.strategy_calibrated)
+      << "a Krylov drain supplies more than enough solves to finish the race";
+  EXPECT_FALSE(rep.tuning_cache_hit);
+  EXPECT_GT(rep.exploration_epochs, 0);
+
+  // A second driver over the same pattern hits the process-wide tuning
+  // cache: zero exploration epochs, same locked-in strategy.
+  solve::BatchDriver second(pool(), a, opts);
+  std::vector<double> x2(static_cast<std::size_t>(a.rows), 0.0);
+  second.enqueue(b, x2);
+  const auto rep2 = second.drain();
+  EXPECT_TRUE(rep2.strategy_calibrated);
+  EXPECT_TRUE(rep2.tuning_cache_hit);
+  EXPECT_EQ(rep2.exploration_epochs, 0);
+  EXPECT_EQ(rep2.strategy, rep.strategy);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    ASSERT_EQ(x[i], x2[i]) << "cache-hit drain must stay bitwise, row " << i;
+  }
+  core::tuning_cache().clear();
+}
+
+TEST(StrategyCalibration, ExplorationEpochsBitwiseAndLockInMatchesBudget) {
+  // Tentpole acceptance (a)+(b): every exploration epoch is bitwise
+  // identical to the sequential reference (strategy switches are
+  // invisible in the answers), and the plan locks in exactly when the
+  // per-candidate budget is spent.
+  core::tuning_cache().clear();
+  const sp::IluFactors f = sp::ilu0(gen::five_point(16, 16));
+  sp::PlanOptions opts;
+  opts.nthreads = 2;
+  opts.strategy = ExecutionStrategy::kAuto;
+  opts.calibration_epochs = 2;
+  sp::TrisolvePlan plan(pool(), f.l, f.u, opts);
+  ASSERT_TRUE(plan.calibrating());
+  ASSERT_NE(plan.strategy(), ExecutionStrategy::kAuto)
+      << "the heuristic opening bid runs while the race explores";
+
+  const std::size_t budget =
+      plan.telemetry().race.timings.size() *
+      static_cast<std::size_t>(opts.calibration_epochs);
+  std::size_t solves = 0;
+  while (plan.calibrating()) {
+    ASSERT_LT(solves, budget) << "race must lock in after its budget";
+    expect_bitwise_fused(plan, f.l, f.u, 700 + solves, "exploration epoch");
+    ++solves;
+  }
+  EXPECT_EQ(solves, budget);
+
+  const core::StrategyRace& race = plan.telemetry().race;
+  EXPECT_TRUE(race.calibrated);
+  EXPECT_FALSE(race.cache_hit);
+  EXPECT_EQ(race.exploration_epochs, static_cast<int>(budget));
+  double best_us = 0.0;
+  bool winner_raced = false;
+  for (const core::StrategyTiming& t : race.timings) {
+    EXPECT_EQ(t.epochs, opts.calibration_epochs);
+    EXPECT_GT(t.best_us, 0.0);
+    if (t.strategy == plan.strategy()) {
+      winner_raced = true;
+      best_us = t.best_us;
+    }
+  }
+  EXPECT_TRUE(winner_raced) << "the winner must be one of the candidates";
+  for (const core::StrategyTiming& t : race.timings) {
+    EXPECT_GE(t.best_us, best_us) << "winner must be the measured argmin";
+  }
+  EXPECT_NE(plan.telemetry().rationale.find("calibrated"), std::string::npos);
+
+  // Locked in: further solves stay bitwise on the winner.
+  expect_bitwise_fused(plan, f.l, f.u, 900, "post lock-in");
+  core::tuning_cache().clear();
+}
+
+TEST(StrategyCalibration, TuningCacheHitRunsZeroExplorationEpochs) {
+  // Tentpole acceptance (c): a second plan over the same (pattern,
+  // threads) adopts the cached winner without racing at all.
+  core::tuning_cache().clear();
+  const sp::IluFactors f = sp::ilu0(gen::five_point(16, 16));
+  sp::PlanOptions opts;
+  opts.nthreads = 2;
+  opts.strategy = ExecutionStrategy::kAuto;
+  sp::TrisolvePlan first(pool(), f.l, f.u, opts);
+  ASSERT_TRUE(first.calibrating());
+  const index_t n = f.l.rows;
+  const auto rhs = random_rhs(n, 42);
+  std::vector<double> x(static_cast<std::size_t>(n));
+  std::size_t guard = 0;
+  while (first.calibrating()) {
+    first.solve(rhs, x);
+    ASSERT_LT(++guard, 64u);
+  }
+
+  sp::TrisolvePlan second(pool(), f.l, f.u, opts);
+  EXPECT_FALSE(second.calibrating());
+  EXPECT_TRUE(second.telemetry().race.calibrated);
+  EXPECT_TRUE(second.telemetry().race.cache_hit);
+  EXPECT_EQ(second.telemetry().race.exploration_epochs, 0);
+  EXPECT_EQ(second.strategy(), first.strategy());
+  EXPECT_NE(second.telemetry().rationale.find("tuning cache hit"),
+            std::string::npos);
+  expect_bitwise_fused(second, f.l, f.u, 901, "cache-hit plan");
+
+  // The key fingerprints the thread count too: a different width races.
+  sp::PlanOptions o4 = opts;
+  o4.nthreads = 4;
+  sp::TrisolvePlan third(pool(), f.l, f.u, o4);
+  EXPECT_TRUE(third.calibrating());
+  core::tuning_cache().clear();
+}
+
+TEST(StrategyCalibration, FaultDuringExplorationPoisonsWithoutFeedingCache) {
+  // Tentpole acceptance (d): a fault mid-race follows the PR 6 abort
+  // protocol — the plan poisons cleanly — and the aborted epoch neither
+  // enters the race bookkeeping nor stores a winner in the cache.
+  core::tuning_cache().clear();
+  const sp::IluFactors f = sp::ilu0(gen::five_point(16, 16));
+  sp::PlanOptions opts;
+  opts.nthreads = 2;
+  opts.strategy = ExecutionStrategy::kAuto;
+  sp::TrisolvePlan plan(pool(), f.l, f.u, opts);
+  ASSERT_TRUE(plan.calibrating());
+  rt::FaultInjector inj;
+  plan.set_fault_injector(&inj);
+
+  const index_t n = f.l.rows;
+  const auto rhs = random_rhs(n, 43);
+  std::vector<double> x(static_cast<std::size_t>(n));
+  plan.solve(rhs, x);  // one healthy epoch: bookkeeping advances
+  ASSERT_EQ(plan.telemetry().race.exploration_epochs, 1);
+
+  inj.arm_throw(rt::FaultInjector::kAnyTid, n / 2);
+  EXPECT_THROW(plan.solve(rhs, x), rt::InjectedFault);
+  EXPECT_TRUE(plan.poisoned());
+  EXPECT_THROW(plan.solve(rhs, x), rt::PlanPoisonedError);
+
+  // The faulted epoch was never counted, the race never finished, and
+  // nothing was stored for this fingerprint.
+  EXPECT_EQ(plan.telemetry().race.exploration_epochs, 1);
+  EXPECT_FALSE(plan.telemetry().race.calibrated);
+  EXPECT_EQ(core::tuning_cache().stats().stores, 0u);
+  EXPECT_EQ(core::tuning_cache().stats().entries, 0u);
+  core::tuning_cache().clear();
 }
