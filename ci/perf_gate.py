@@ -32,7 +32,16 @@ that already divide out the machine:
   refactor.factor_speedup   sequential ilu0 / planned parallel numeric
                             factorization time (refactor_loop)
   refactor.refresh_speedup  full TrisolvePlan rebuild / value-only
-                            refresh_values time (refactor_loop)
+                            refresh_speedup time (refactor_loop)
+  kernel.lane_speedup   scalar-table / vector-table time per row with
+                        k >= lane_min (kernel_micro; both solve-level
+                        and kernel-only *_kern rows). The spilled_kern
+                        widest-k row — the lane-parallel kernel itself
+                        on a past-LLC factor — additionally carries an
+                        absolute floor (default 1.5x, override
+                        PDX_KERNEL_LANE_FLOOR). Artifacts whose
+                        dispatched isa is "scalar" have no vector table
+                        to measure and are skipped entirely.
 
 Per-row jitter is absorbed by aggregating each metric class with a
 geometric mean before comparing; rows present only on one side (e.g. a
@@ -142,6 +151,23 @@ def refactor_metrics(doc):
     }
 
 
+def kernel_metrics(doc):
+    """Metric-class -> {row_key: ratio} for a kernel_micro artifact."""
+    # A scalar dispatch (no AVX2/NEON, or PDX_KERNEL=scalar) times the
+    # scalar table against itself; every ratio is 1.0 by construction
+    # and gating it would only measure noise.
+    if doc.get("isa", "scalar") == "scalar":
+        return {"kernel.lane_speedup": {}}
+    lane_min = doc.get("lane_min", 4)
+    lanes = {}
+    for row in doc.get("results", []):
+        if row.get("k", 0) < lane_min:
+            continue  # no-lane control rows
+        if row.get("lane_speedup", 0) > 0:
+            lanes[(row.get("factor"), row.get("k"))] = row["lane_speedup"]
+    return {"kernel.lane_speedup": lanes}
+
+
 def compare(name, fresh, baseline, tolerance):
     """Return (ok, message) for one metric class."""
     shared = sorted(set(fresh) & set(baseline))
@@ -164,15 +190,17 @@ def main():
     ap.add_argument("--strategy", nargs=2, metavar=("FRESH", "BASELINE"))
     ap.add_argument("--batch", nargs=2, metavar=("FRESH", "BASELINE"))
     ap.add_argument("--refactor", nargs=2, metavar=("FRESH", "BASELINE"))
+    ap.add_argument("--kernel", nargs=2, metavar=("FRESH", "BASELINE"))
     ap.add_argument(
         "--tolerance",
         type=float,
         default=float(os.environ.get("PDX_PERF_GATE_TOLERANCE", "0.15")),
         help="allowed fractional slowdown (default 0.15)")
     args = ap.parse_args()
-    if not (args.plan or args.strategy or args.batch or args.refactor):
-        ap.error("nothing to gate: pass --plan, --strategy, --batch "
-                 "and/or --refactor")
+    if not (args.plan or args.strategy or args.batch or args.refactor
+            or args.kernel):
+        ap.error("nothing to gate: pass --plan, --strategy, --batch, "
+                 "--refactor and/or --kernel")
 
     classes = {}
     extractors = [
@@ -180,6 +208,7 @@ def main():
         (args.strategy, strategy_metrics),
         (args.batch, batch_metrics),
         (args.refactor, refactor_metrics),
+        (args.kernel, kernel_metrics),
     ]
     for paths, extract in extractors:
         if not paths:
@@ -208,6 +237,36 @@ def main():
                       f"{1.0 / v:.2f}x slower than the best measured "
                       f"strategy for that cell")
                 ok = False
+
+    if args.kernel:
+        fresh_doc = load(args.kernel[0])
+        # The bench binary already exits non-zero on a bitwise mismatch;
+        # re-checking here keeps the gate honest against a stale or
+        # hand-edited artifact.
+        if not fresh_doc.get("bitwise_exact", False):
+            print("kernel: fresh artifact reports bitwise_exact=false — "
+                  "the vector batch kernels diverged from the scalar "
+                  "reference")
+            ok = False
+        # Absolute floor on the headline acceptance row: the lane-parallel
+        # kernel itself (spilled_kern, widest k) on a past-LLC factor.
+        # Relative compare alone would let a regressed baseline ratchet
+        # the promise away. Skipped on scalar-dispatch machines, which
+        # have no vector table to hold to it.
+        if fresh_doc.get("isa", "scalar") != "scalar":
+            floor = float(os.environ.get("PDX_KERNEL_LANE_FLOOR", "1.5"))
+            kern = {k: v
+                    for k, v in classes["kernel.lane_speedup"][0].items()
+                    if k[0] == "spilled_kern"}
+            if kern:
+                key = max(kern, key=lambda kk: kk[1])
+                if kern[key] < floor:
+                    print(f"kernel.lane_speedup: row {key} = "
+                          f"{kern[key]:.3f} below floor {floor:.2f} — the "
+                          f"k={key[1]} lane-parallel kernel no longer "
+                          f"clears its vector-vs-scalar bar on the "
+                          f"spilled factor")
+                    ok = False
     if not ok:
         print(f"perf gate FAILED (tolerance {args.tolerance:.0%})")
         return 1

@@ -21,11 +21,15 @@ BatchDriver::BatchDriver(rt::ThreadPool& pool, const sparse::Csr& a,
                              .strategy = opts.strategy,
                              .layout = opts.layout,
                              .calibration_epochs = opts.calibration_epochs,
-                             .use_tuning_cache = opts.use_tuning_cache},
+                             .use_tuning_cache = opts.use_tuning_cache,
+                             .kernel = opts.kernel,
+                             .ulp_tolerance = opts.ulp_tolerance},
          sparse::FactorPlanOptions{
              .nthreads = opts.nthreads,
              .calibration_epochs = opts.calibration_epochs,
-             .use_tuning_cache = opts.use_tuning_cache}) {
+             .use_tuning_cache = opts.use_tuning_cache,
+             .kernel = opts.kernel,
+             .ulp_tolerance = opts.ulp_tolerance}) {
   if (opts.max_iterations < 1) {
     throw std::invalid_argument("BatchDriver: max_iterations must be >= 1");
   }
@@ -92,6 +96,9 @@ BatchReport BatchDriver::drain() {
     rep.factor_ms = m_.plan().telemetry().factor_ms;
     rep.factor_strategy = m_.plan().telemetry().factor_strategy;
     rep.refresh_ms = m_.plan().telemetry().refresh_ms;
+    rep.isa = m_.plan().telemetry().isa;
+    rep.kernel = m_.plan().telemetry().kernel;
+    rep.kernel_calibrated = m_.plan().telemetry().kernel_race.calibrated;
   };
   rep.reports.resize(queue_.size());
   if (queue_.empty()) {

@@ -77,6 +77,15 @@ struct BatchDriverOptions {
   int retry_iteration_factor = 4;
   /// Restart length used when the ladder (or method) reaches kGmres.
   int gmres_restart = 30;
+  /// Kernel selection for the shared plans (PlanOptions::kernel /
+  /// FactorPlanOptions::kernel; DESIGN.md §14): kAuto races
+  /// scalar-vs-vector on the lane-kernel dispatches after the strategy
+  /// race locks in; kScalar/kVector pin a table.
+  sparse::kernels::KernelChoice kernel = sparse::kernels::KernelChoice::kAuto;
+  /// Opt into the ulp-class kernels (reassociated dot, fused scatter
+  /// update) on vector tables; 0 (default) keeps every answer bitwise
+  /// identical to the sequential reference.
+  double ulp_tolerance = 0.0;
   /// Opt-in admission screen: reject enqueue() of a b or x containing
   /// NaN/Inf (named job and row) instead of letting the garbage propagate
   /// into a breakdown mid-drain. Off by default — the scan is O(n) per
@@ -120,6 +129,13 @@ struct BatchReport {
   double factor_ms = 0.0;
   sparse::ExecutionStrategy factor_strategy = sparse::ExecutionStrategy::kAuto;
   double refresh_ms = 0.0;
+  /// Kernel dispatch of the shared trisolve plan (PlanTelemetry; DESIGN.md
+  /// §14): the process-wide dispatched ISA, the scalar/vector choice the
+  /// drain ended on, and whether a kernel race locked it in by
+  /// measurement.
+  sparse::kernels::KernelIsa isa = sparse::kernels::KernelIsa::kScalar;
+  sparse::kernels::KernelChoice kernel = sparse::kernels::KernelChoice::kScalar;
+  bool kernel_calibrated = false;
   /// Jobs whose FINAL attempt stopped on a numerical breakdown (the
   /// per-job SolveReport carries the reason).
   std::size_t breakdowns = 0;

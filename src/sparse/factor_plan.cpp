@@ -115,6 +115,7 @@ FactorPlan::FactorPlan(rt::ThreadPool& pool, const Csr& a,
                    ? 1
                    : pool.clamp_threads(opts.nthreads)) {
   build_symbolic(a);
+  resolve_kernel();
 
   telemetry_.requested = opts_.strategy;
   telemetry_.procs = nth_;
@@ -274,6 +275,55 @@ void FactorPlan::finish_calibration() {
   bind_region();
 }
 
+void FactorPlan::set_lanes(const kernels::LaneOps* ops) noexcept {
+  lanes_ = ops;
+  // The fused scatter update re-rounds, so it is only reachable when the
+  // caller opted into ulp_tolerance AND the table is a vector one — a
+  // forced-scalar plan stays bitwise even with a tolerance set.
+  gather_ = (opts_.ulp_tolerance > 0.0 &&
+             ops->isa != kernels::KernelIsa::kScalar)
+                ? ops->gather_axpy_fma
+                : ops->gather_axpy;
+}
+
+void FactorPlan::resolve_kernel() noexcept {
+  telemetry_.isa = kernels::dispatched_isa();
+  const bool have_vector = telemetry_.isa != kernels::KernelIsa::kScalar;
+  switch (opts_.kernel) {
+    case kernels::KernelChoice::kScalar:
+      set_lanes(&kernels::scalar_ops());
+      telemetry_.kernel = kernels::KernelChoice::kScalar;
+      return;
+    case kernels::KernelChoice::kVector:
+      set_lanes(&kernels::dispatched_ops());
+      telemetry_.kernel = have_vector ? kernels::KernelChoice::kVector
+                                      : kernels::KernelChoice::kScalar;
+      return;
+    case kernels::KernelChoice::kAuto:
+      set_lanes(&kernels::dispatched_ops());
+      telemetry_.kernel = have_vector ? kernels::KernelChoice::kVector
+                                      : kernels::KernelChoice::kScalar;
+      // Separate race from the strategy race (DESIGN.md §13 budgets are
+      // contractual): scalar-vs-vector is timed on the factorizations
+      // that run after strategy calibration finishes. Both candidates
+      // produce bitwise-identical factors, so exploring is invisible.
+      if (have_vector && opts_.calibration_epochs > 0 && n_ > 0) {
+        kernel_race_.arm(opts_.calibration_epochs);
+      }
+      return;
+  }
+}
+
+void FactorPlan::note_kernel_epoch(double seconds) noexcept {
+  if (kernel_race_.note_epoch(seconds * 1e6)) {
+    set_lanes(kernel_race_.winner() == kernels::KernelChoice::kScalar
+                  ? &kernels::scalar_ops()
+                  : &kernels::dispatched_ops());
+    telemetry_.kernel = kernel_race_.winner();
+  }
+  telemetry_.kernel_race = kernel_race_.state();
+}
+
 IluFactors FactorPlan::allocate_factors() const {
   // One layout authority: the same split ilu0() allocates through, fed
   // from the plan's pattern copy (the split never reads values).
@@ -302,10 +352,19 @@ void FactorPlan::factor_row(index_t i, WaitFn&& wait) {
     wait(idx_[static_cast<std::size_t>(kk)]);
     const double lik = w[kk] / w[pivot_pos_[static_cast<std::size_t>(s)]];
     w[kk] = lik;
+    const index_t t_begin = upd_ptr_[static_cast<std::size_t>(s)];
     const index_t t_end = upd_ptr_[static_cast<std::size_t>(s) + 1];
-    for (index_t t = upd_ptr_[static_cast<std::size_t>(s)]; t < t_end; ++t) {
-      w[upd_tgt_[static_cast<std::size_t>(t)]] -=
-          lik * w[upd_src_[static_cast<std::size_t>(t)]];
+    const index_t cnt = t_end - t_begin;
+    if (cnt >= kernels::kLaneMin) {
+      // Targets are positions in row i (distinct), sources in the
+      // retired pivot row — disjoint, as the gather kernels require.
+      gather_(w, upd_tgt_.data() + t_begin, upd_src_.data() + t_begin, cnt,
+              lik);
+    } else {
+      for (index_t t = t_begin; t < t_end; ++t) {
+        w[upd_tgt_[static_cast<std::size_t>(t)]] -=
+            lik * w[upd_src_[static_cast<std::size_t>(t)]];
+      }
     }
   }
   // Pivot policy at production, BEFORE the factor copy and before the
@@ -526,6 +585,19 @@ FactorStats FactorPlan::factorize(const Csr& a, IluFactors& f) {
   lval_ = f.l.val.data();
   uval_ = f.u.val.data();
 
+  // The kernel race feeds only on factorizations after the strategy race
+  // locked in, so strategy exploration noise never pollutes the
+  // scalar-vs-vector timings. The candidate table is set per
+  // factorization (both candidates are bitwise identical).
+  const bool kernel_epoch = kernel_race_.active() && !calibrating_;
+  if (kernel_epoch) {
+    const kernels::KernelChoice cand = kernel_race_.candidate();
+    set_lanes(cand == kernels::KernelChoice::kScalar
+                  ? &kernels::scalar_ops()
+                  : &kernels::dispatched_ops());
+    telemetry_.kernel = cand;
+  }
+
   using clock = std::chrono::steady_clock;
   const clock::time_point t0 = clock::now();
   // kShift escalation mirrors ilu0(a, pivot): rerun the whole numeric
@@ -593,7 +665,11 @@ FactorStats FactorPlan::factorize(const Csr& a, IluFactors& f) {
   // Race bookkeeping only after a fully successful numeric phase: a
   // fault poisons the plan above without touching the race, and a pivot
   // throw returns before this point — neither feeds the cache.
-  if (calibrating_) note_calibration_epoch(stats.factor_seconds);
+  if (calibrating_) {
+    note_calibration_epoch(stats.factor_seconds);
+  } else if (kernel_epoch) {
+    note_kernel_epoch(stats.factor_seconds);
+  }
   stats.pivot_shifts = shifts;
   stats.pivot_shift =
       shifts != 0 ? (opts_.pivot.policy == PivotPolicy::kReplace

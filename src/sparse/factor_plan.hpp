@@ -88,6 +88,20 @@ struct FactorPlanOptions {
   /// execution strategy produces factors bitwise identical to
   /// ilu0(a, pivot).
   PivotOptions pivot;
+  /// Lane-kernel selection for the scatter updates (DESIGN.md §14).
+  /// kAuto runs the dispatched vector table and — when a vector ISA is
+  /// present and calibration_epochs > 0 — races it against scalar on the
+  /// factorizations after the strategy race locks in; kScalar pins the
+  /// reference table; kVector pins the vector table. The bitwise
+  /// gather_axpy kernel is used in every case, so factors stay bitwise
+  /// identical to ilu0() — unless ulp_tolerance below opts out.
+  kernels::KernelChoice kernel = kernels::KernelChoice::kAuto;
+  /// Opt-in fused scatter updates. 0 (default) keeps the bitwise
+  /// mul+sub gather kernel. A positive value states the caller accepts
+  /// one-rounding-per-update (FMA-level) deviation from ilu0() in
+  /// exchange for gather_axpy_fma; ignored when the resolved table is
+  /// scalar.
+  double ulp_tolerance = 0.0;
 };
 
 /// What one numeric factorization cost.
@@ -129,6 +143,16 @@ struct FactorTelemetry {
   /// Substitute value of the most recent factorize that shifted (0.0 if
   /// the plan has never shifted a pivot).
   double last_shift = 0.0;
+  /// The process-wide dispatched ISA (CPUID + PDX_KERNEL; DESIGN.md §14).
+  kernels::KernelIsa isa = kernels::KernelIsa::kScalar;
+  /// The resolved kernel choice the scatter updates run (never kAuto
+  /// after construction; the current race candidate while a kernel race
+  /// is exploring, the measured winner once locked in).
+  kernels::KernelChoice kernel = kernels::KernelChoice::kScalar;
+  /// The scalar-vs-vector kernel race record (armed only for kAuto
+  /// kernels on machines with a vector ISA; fed by the factorizations
+  /// after the strategy race locks in).
+  kernels::KernelRaceState kernel_race;
 };
 
 /// Persistent ILU(0) plan over one sparsity pattern: symbolic phase at
@@ -195,6 +219,15 @@ class FactorPlan {
   bool split_idx_matches(const IluFactors& f) const noexcept;
   void bind_region();
   void build_symbolic(const Csr& a);
+  /// Resolve FactorPlanOptions::kernel against the dispatched ISA and arm
+  /// the scalar-vs-vector race for kAuto kernels (DESIGN.md §14).
+  void resolve_kernel() noexcept;
+  /// Swap the active LaneOps table and re-resolve the scatter-update
+  /// entry point (gather_axpy, or gather_axpy_fma under ulp_tolerance).
+  void set_lanes(const kernels::LaneOps* ops) noexcept;
+  /// Kernel-race bookkeeping after a successful non-exploration
+  /// factorize(); locks in the measured winner at budget end.
+  void note_kernel_epoch(double seconds) noexcept;
   /// Point the plan at strategy `s` (telemetry, doacross configuration,
   /// guard site); callers rebind the region after.
   void set_strategy_state(ExecutionStrategy s);
@@ -243,6 +276,15 @@ class FactorPlan {
   int cand_epoch_ = 0;
   core::TuningKey tuning_key_{};
   bool have_tuning_key_ = false;
+
+  // Lane-kernel state (DESIGN.md §14): the active table, the resolved
+  // scatter-update entry point (bitwise gather_axpy, or gather_axpy_fma
+  // when the caller opted into ulp_tolerance on a vector table), and the
+  // scalar-vs-vector race fed by post-lock-in factorizations.
+  const kernels::LaneOps* lanes_ = nullptr;
+  void (*gather_)(double*, const index_t*, const index_t*, index_t,
+                  double) = nullptr;
+  kernels::Race kernel_race_;
 
   /// Substituted pivots of the current pass (kShift/kReplace).
   std::atomic<std::uint64_t> shift_count_{0};

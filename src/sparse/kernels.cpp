@@ -1,0 +1,375 @@
+// kernels.cpp — the LaneOps tables (DESIGN.md §14).
+//
+// The whole file compiles with the project's portable baseline flags;
+// the AVX2 bodies opt into their ISA with per-function target attributes
+// so nothing else in the binary can accidentally emit AVX2 (or FMA — the
+// bitwise kernels must round exactly like the baseline-compiled scalar
+// reference, which cannot contract mul+sub into an FMA).
+#include "sparse/kernels.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__aarch64__) && defined(__ARM_NEON)
+#include <arm_neon.h>
+#define PDX_HAVE_NEON 1
+#endif
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#include <immintrin.h>
+#define PDX_HAVE_AVX2_BODIES 1
+#endif
+
+namespace pdx::sparse::kernels {
+
+namespace {
+
+// --- scalar reference ---------------------------------------------------
+// These loops ARE the plans' historical inner arithmetic; the executors
+// call them through the table only for wide rows (k >= kLaneMin), so the
+// indirect-call cost never lands on narrow batches.
+
+void axpy_scalar(double* t, const double* x, double a, index_t k) {
+  for (index_t c = 0; c < k; ++c) t[c] -= a * x[c];
+}
+
+void row_axpy_scalar(double* t, const double* vals, const index_t* cols,
+                     index_t cnt, const double* xs, index_t k) {
+  for (index_t j = 0; j < cnt; ++j) {
+    const double a = vals[j];
+    const double* x = xs + cols[j] * k;
+    for (index_t c = 0; c < k; ++c) t[c] -= a * x[c];
+  }
+}
+
+void div_scalar(double* t, double d, index_t k) {
+  for (index_t c = 0; c < k; ++c) t[c] /= d;
+}
+
+double dot_scalar(const double* vals, const index_t* cols, const double* y,
+                  index_t cnt) {
+  double acc = 0.0;
+  for (index_t j = 0; j < cnt; ++j) acc += vals[j] * y[cols[j]];
+  return acc;
+}
+
+void gather_axpy_scalar(double* w, const index_t* tgt, const index_t* src,
+                        index_t cnt, double a) {
+  for (index_t t = 0; t < cnt; ++t) w[tgt[t]] -= a * w[src[t]];
+}
+
+constexpr LaneOps kScalarOps = {KernelIsa::kScalar,    axpy_scalar,
+                                row_axpy_scalar,       div_scalar,
+                                dot_scalar,            gather_axpy_scalar,
+                                /*gather_axpy_fma=*/gather_axpy_scalar};
+
+#if defined(PDX_HAVE_AVX2_BODIES)
+
+// --- AVX2 ----------------------------------------------------------------
+// Bitwise kernels use mul+sub (two roundings, like the scalar reference);
+// only the ulp-class kernels (dot, gather_axpy_fma) may fuse.
+
+__attribute__((target("avx2"))) void axpy_avx2(double* t, const double* x,
+                                               double a, index_t k) {
+  const __m256d av = _mm256_set1_pd(a);
+  index_t c = 0;
+  for (; c + 4 <= k; c += 4) {
+    const __m256d tv = _mm256_loadu_pd(t + c);
+    const __m256d xv = _mm256_loadu_pd(x + c);
+    _mm256_storeu_pd(t + c, _mm256_sub_pd(tv, _mm256_mul_pd(av, xv)));
+  }
+  for (; c < k; ++c) t[c] -= a * x[c];
+}
+
+__attribute__((target("avx2"))) void row_axpy_avx2(double* t,
+                                                   const double* vals,
+                                                   const index_t* cols,
+                                                   index_t cnt,
+                                                   const double* xs,
+                                                   index_t k) {
+  // Single pass over the dependence list with the whole lane strip in
+  // registers: vals[j] broadcasts once and each dependence's strip row
+  // streams once per row, not once per 4-lane block. Per column the
+  // j-ordered mul+sub sequence is exactly the scalar loop's, so neither
+  // the nest swap nor the register accumulation changes any rounding.
+  index_t c = 0;
+  for (; c + 16 <= k; c += 16) {
+    __m256d a0 = _mm256_loadu_pd(t + c);
+    __m256d a1 = _mm256_loadu_pd(t + c + 4);
+    __m256d a2 = _mm256_loadu_pd(t + c + 8);
+    __m256d a3 = _mm256_loadu_pd(t + c + 12);
+    for (index_t j = 0; j < cnt; ++j) {
+      const __m256d av = _mm256_set1_pd(vals[j]);
+      const double* x = xs + cols[j] * k + c;
+      a0 = _mm256_sub_pd(a0, _mm256_mul_pd(av, _mm256_loadu_pd(x)));
+      a1 = _mm256_sub_pd(a1, _mm256_mul_pd(av, _mm256_loadu_pd(x + 4)));
+      a2 = _mm256_sub_pd(a2, _mm256_mul_pd(av, _mm256_loadu_pd(x + 8)));
+      a3 = _mm256_sub_pd(a3, _mm256_mul_pd(av, _mm256_loadu_pd(x + 12)));
+    }
+    _mm256_storeu_pd(t + c, a0);
+    _mm256_storeu_pd(t + c + 4, a1);
+    _mm256_storeu_pd(t + c + 8, a2);
+    _mm256_storeu_pd(t + c + 12, a3);
+  }
+  for (; c + 8 <= k; c += 8) {
+    __m256d a0 = _mm256_loadu_pd(t + c);
+    __m256d a1 = _mm256_loadu_pd(t + c + 4);
+    for (index_t j = 0; j < cnt; ++j) {
+      const __m256d av = _mm256_set1_pd(vals[j]);
+      const double* x = xs + cols[j] * k + c;
+      a0 = _mm256_sub_pd(a0, _mm256_mul_pd(av, _mm256_loadu_pd(x)));
+      a1 = _mm256_sub_pd(a1, _mm256_mul_pd(av, _mm256_loadu_pd(x + 4)));
+    }
+    _mm256_storeu_pd(t + c, a0);
+    _mm256_storeu_pd(t + c + 4, a1);
+  }
+  for (; c + 4 <= k; c += 4) {
+    __m256d a0 = _mm256_loadu_pd(t + c);
+    for (index_t j = 0; j < cnt; ++j) {
+      const __m256d xv = _mm256_loadu_pd(xs + cols[j] * k + c);
+      a0 = _mm256_sub_pd(a0, _mm256_mul_pd(_mm256_set1_pd(vals[j]), xv));
+    }
+    _mm256_storeu_pd(t + c, a0);
+  }
+  for (; c < k; ++c) {
+    double acc = t[c];
+    for (index_t j = 0; j < cnt; ++j) acc -= vals[j] * xs[cols[j] * k + c];
+    t[c] = acc;
+  }
+}
+
+__attribute__((target("avx2"))) void div_avx2(double* t, double d,
+                                              index_t k) {
+  const __m256d dv = _mm256_set1_pd(d);
+  index_t c = 0;
+  for (; c + 4 <= k; c += 4) {
+    _mm256_storeu_pd(t + c, _mm256_div_pd(_mm256_loadu_pd(t + c), dv));
+  }
+  for (; c < k; ++c) t[c] /= d;
+}
+
+static_assert(sizeof(index_t) == 8,
+              "the AVX2 gathers index with 64-bit lanes");
+
+__attribute__((target("avx2,fma"))) double dot_avx2(const double* vals,
+                                                    const index_t* cols,
+                                                    const double* y,
+                                                    index_t cnt) {
+  // Reassociated: 4 independent accumulators hide the gather + FMA
+  // latency; the caller opted out of bitwise by setting ulp_tolerance.
+  __m256d acc = _mm256_setzero_pd();
+  index_t j = 0;
+  for (; j + 4 <= cnt; j += 4) {
+    const __m256i idx =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(cols + j));
+    const __m256d yv = _mm256_i64gather_pd(y, idx, 8);
+    acc = _mm256_fmadd_pd(_mm256_loadu_pd(vals + j), yv, acc);
+  }
+  alignas(32) double lanes[4];
+  _mm256_store_pd(lanes, acc);
+  double tail = 0.0;
+  for (; j < cnt; ++j) tail += vals[j] * y[cols[j]];
+  return ((lanes[0] + lanes[1]) + (lanes[2] + lanes[3])) + tail;
+}
+
+__attribute__((target("avx2"))) void gather_axpy_avx2(double* w,
+                                                      const index_t* tgt,
+                                                      const index_t* src,
+                                                      index_t cnt, double a) {
+  // tgt/src position sets are disjoint and tgt positions distinct (the
+  // LaneOps contract), so gathering 4 sources and 4 targets before the
+  // 4 scatter stores reads no element the same call writes.
+  const __m256d av = _mm256_set1_pd(a);
+  index_t t = 0;
+  for (; t + 4 <= cnt; t += 4) {
+    const __m256i si =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + t));
+    const __m256i ti =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(tgt + t));
+    const __m256d sv = _mm256_i64gather_pd(w, si, 8);
+    const __m256d tv = _mm256_i64gather_pd(w, ti, 8);
+    alignas(32) double out[4];
+    _mm256_store_pd(out, _mm256_sub_pd(tv, _mm256_mul_pd(av, sv)));
+    w[tgt[t + 0]] = out[0];
+    w[tgt[t + 1]] = out[1];
+    w[tgt[t + 2]] = out[2];
+    w[tgt[t + 3]] = out[3];
+  }
+  for (; t < cnt; ++t) w[tgt[t]] -= a * w[src[t]];
+}
+
+__attribute__((target("avx2,fma"))) void gather_axpy_fma_avx2(
+    double* w, const index_t* tgt, const index_t* src, index_t cnt,
+    double a) {
+  const __m256d av = _mm256_set1_pd(a);
+  index_t t = 0;
+  for (; t + 4 <= cnt; t += 4) {
+    const __m256i si =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + t));
+    const __m256i ti =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(tgt + t));
+    const __m256d sv = _mm256_i64gather_pd(w, si, 8);
+    const __m256d tv = _mm256_i64gather_pd(w, ti, 8);
+    alignas(32) double out[4];
+    _mm256_store_pd(out, _mm256_fnmadd_pd(av, sv, tv));
+    w[tgt[t + 0]] = out[0];
+    w[tgt[t + 1]] = out[1];
+    w[tgt[t + 2]] = out[2];
+    w[tgt[t + 3]] = out[3];
+  }
+  for (; t < cnt; ++t) w[tgt[t]] -= a * w[src[t]];
+}
+
+constexpr LaneOps kAvx2Ops = {KernelIsa::kAvx2, axpy_avx2,
+                              row_axpy_avx2,    div_avx2,
+                              dot_avx2,         gather_axpy_avx2,
+                              gather_axpy_fma_avx2};
+
+#endif  // PDX_HAVE_AVX2_BODIES
+
+#if defined(PDX_HAVE_NEON)
+
+// --- NEON ----------------------------------------------------------------
+// Baseline on aarch64 — no target attributes or CPUID probe needed. The
+// bitwise kernels keep mul+sub separate (vmlsq_f64 may emit a fused
+// FMLS, which rounds once — wrong class); there is no hardware gather,
+// so the gather kernels stay scalar and only the streaming lane kernels
+// vectorize.
+
+void axpy_neon(double* t, const double* x, double a, index_t k) {
+  const float64x2_t av = vdupq_n_f64(a);
+  index_t c = 0;
+  for (; c + 2 <= k; c += 2) {
+    const float64x2_t tv = vld1q_f64(t + c);
+    const float64x2_t xv = vld1q_f64(x + c);
+    vst1q_f64(t + c, vsubq_f64(tv, vmulq_f64(av, xv)));
+  }
+  for (; c < k; ++c) t[c] -= a * x[c];
+}
+
+void row_axpy_neon(double* t, const double* vals, const index_t* cols,
+                   index_t cnt, const double* xs, index_t k) {
+  // Same single-pass shape as the AVX2 body (8 lanes = 4 q-registers).
+  index_t c = 0;
+  for (; c + 8 <= k; c += 8) {
+    float64x2_t a0 = vld1q_f64(t + c);
+    float64x2_t a1 = vld1q_f64(t + c + 2);
+    float64x2_t a2 = vld1q_f64(t + c + 4);
+    float64x2_t a3 = vld1q_f64(t + c + 6);
+    for (index_t j = 0; j < cnt; ++j) {
+      const float64x2_t av = vdupq_n_f64(vals[j]);
+      const double* x = xs + cols[j] * k + c;
+      a0 = vsubq_f64(a0, vmulq_f64(av, vld1q_f64(x)));
+      a1 = vsubq_f64(a1, vmulq_f64(av, vld1q_f64(x + 2)));
+      a2 = vsubq_f64(a2, vmulq_f64(av, vld1q_f64(x + 4)));
+      a3 = vsubq_f64(a3, vmulq_f64(av, vld1q_f64(x + 6)));
+    }
+    vst1q_f64(t + c, a0);
+    vst1q_f64(t + c + 2, a1);
+    vst1q_f64(t + c + 4, a2);
+    vst1q_f64(t + c + 6, a3);
+  }
+  for (; c + 2 <= k; c += 2) {
+    float64x2_t acc = vld1q_f64(t + c);
+    for (index_t j = 0; j < cnt; ++j) {
+      const float64x2_t xv = vld1q_f64(xs + cols[j] * k + c);
+      acc = vsubq_f64(acc, vmulq_f64(vdupq_n_f64(vals[j]), xv));
+    }
+    vst1q_f64(t + c, acc);
+  }
+  for (; c < k; ++c) {
+    double acc = t[c];
+    for (index_t j = 0; j < cnt; ++j) acc -= vals[j] * xs[cols[j] * k + c];
+    t[c] = acc;
+  }
+}
+
+void div_neon(double* t, double d, index_t k) {
+  const float64x2_t dv = vdupq_n_f64(d);
+  index_t c = 0;
+  for (; c + 2 <= k; c += 2) {
+    vst1q_f64(t + c, vdivq_f64(vld1q_f64(t + c), dv));
+  }
+  for (; c < k; ++c) t[c] /= d;
+}
+
+double dot_neon(const double* vals, const index_t* cols, const double* y,
+                index_t cnt) {
+  // Reassociated (ulp class): two accumulators, scalar gathers.
+  float64x2_t acc = vdupq_n_f64(0.0);
+  index_t j = 0;
+  for (; j + 2 <= cnt; j += 2) {
+    const float64x2_t yv = {y[cols[j]], y[cols[j + 1]]};
+    acc = vfmaq_f64(acc, vld1q_f64(vals + j), yv);
+  }
+  double tail = 0.0;
+  for (; j < cnt; ++j) tail += vals[j] * y[cols[j]];
+  return vgetq_lane_f64(acc, 0) + vgetq_lane_f64(acc, 1) + tail;
+}
+
+constexpr LaneOps kNeonOps = {KernelIsa::kNeon,   axpy_neon,
+                              row_axpy_neon,      div_neon,
+                              dot_neon,           gather_axpy_scalar,
+                              gather_axpy_scalar};
+
+#endif  // PDX_HAVE_NEON
+
+KernelIsa probe_isa() noexcept {
+#if defined(PDX_HAVE_AVX2_BODIES)
+  // The ulp kernels fuse, so the AVX2 table requires FMA too (Haswell+
+  // has both; insisting keeps one table per ISA instead of per feature
+  // pair).
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
+    return KernelIsa::kAvx2;
+  }
+#elif defined(PDX_HAVE_NEON)
+  return KernelIsa::kNeon;
+#endif
+  return KernelIsa::kScalar;
+}
+
+}  // namespace
+
+KernelIsa resolve_isa(const char* override_value) noexcept {
+  const KernelIsa hw = probe_isa();
+  if (override_value == nullptr || *override_value == '\0') return hw;
+  if (std::strcmp(override_value, "scalar") == 0) return KernelIsa::kScalar;
+  if (std::strcmp(override_value, "avx2") == 0) {
+    return hw == KernelIsa::kAvx2 ? hw : KernelIsa::kScalar;
+  }
+  if (std::strcmp(override_value, "neon") == 0) {
+    return hw == KernelIsa::kNeon ? hw : KernelIsa::kScalar;
+  }
+  return hw;  // "auto" and anything unrecognized defer to the probe
+}
+
+KernelIsa dispatched_isa() noexcept {
+  static const KernelIsa isa = resolve_isa(std::getenv("PDX_KERNEL"));
+  return isa;
+}
+
+const LaneOps& scalar_ops() noexcept { return kScalarOps; }
+
+const LaneOps& ops_for(KernelIsa isa) noexcept {
+  switch (isa) {
+    case KernelIsa::kScalar:
+      break;
+    case KernelIsa::kAvx2:
+#if defined(PDX_HAVE_AVX2_BODIES)
+      return kAvx2Ops;
+#else
+      break;
+#endif
+    case KernelIsa::kNeon:
+#if defined(PDX_HAVE_NEON)
+      return kNeonOps;
+#else
+      break;
+#endif
+  }
+  return kScalarOps;
+}
+
+const LaneOps& dispatched_ops() noexcept { return ops_for(dispatched_isa()); }
+
+}  // namespace pdx::sparse::kernels

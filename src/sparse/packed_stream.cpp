@@ -82,15 +82,21 @@ void PackedFactorStream::pack(unsigned s) noexcept {
   std::byte* p = slabs_[s].mem.data();
   for (index_t i : seq_[s]) {
     const RowSplit r = split_row(m, diag_first_, i);
+    const index_t voff = vals_offset_words(r.cnt);
     index_t* h = reinterpret_cast<index_t*>(p);
     h[0] = i;
     h[1] = r.cnt;
     reinterpret_cast<double*>(p)[2] = m.val[static_cast<std::size_t>(r.dia)];
     std::memcpy(h + 3, m.idx.data() + r.off,
                 static_cast<std::size_t>(r.cnt) * sizeof(index_t));
-    std::memcpy(reinterpret_cast<double*>(p) + 3 + r.cnt,
-                m.val.data() + r.off,
+    // Zero the alignment pads (after cols and after vals) so the whole
+    // slab is deterministic bytes — repack_values can skip them and any
+    // slab-level comparison or checksum stays meaningful.
+    for (index_t z = 3 + r.cnt; z < voff; ++z) h[z] = 0;
+    std::memcpy(reinterpret_cast<double*>(p) + voff, m.val.data() + r.off,
                 static_cast<std::size_t>(r.cnt) * sizeof(double));
+    const index_t total = static_cast<index_t>(record_bytes(r.cnt) / 8);
+    for (index_t z = voff + r.cnt; z < total; ++z) h[z] = 0;
     p += record_bytes(r.cnt);
   }
 }
@@ -105,7 +111,8 @@ void PackedFactorStream::repack_values(const Csr& m, unsigned s) noexcept {
     const index_t cnt = h[1];
     const RowSplit r = split_row(m, diag_first_, i);
     reinterpret_cast<double*>(p)[2] = m.val[static_cast<std::size_t>(r.dia)];
-    std::memcpy(reinterpret_cast<double*>(p) + 3 + cnt, m.val.data() + r.off,
+    std::memcpy(reinterpret_cast<double*>(p) + vals_offset_words(cnt),
+                m.val.data() + r.off,
                 static_cast<std::size_t>(cnt) * sizeof(double));
     p += record_bytes(cnt);
   }

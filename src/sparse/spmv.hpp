@@ -46,13 +46,22 @@ namespace detail {
 inline void spmv_batch_row(const Csr& a, const double* const* x_cols,
                            double* const* y_cols, index_t k,
                            index_t r) noexcept {
+  // Row bounds and raw entry pointers are invariant across the column
+  // blocks; hoisting them keeps the inner loops free of loads through
+  // the vector headers (which alias-analysis cannot prove unchanged
+  // across the stores into y_cols).
+  const index_t rb = a.row_begin(r);
+  const index_t re = a.row_end(r);
+  const double* const val = a.val.data();
+  const index_t* const idx = a.idx.data();
   for (index_t c0 = 0; c0 < k; c0 += kSpmvBatchBlock) {
     const index_t cb = std::min(kSpmvBatchBlock, k - c0);
+    const double* const* xb = x_cols + c0;
     double acc[kSpmvBatchBlock] = {};
-    for (index_t kk = a.row_begin(r); kk < a.row_end(r); ++kk) {
-      const double v = a.val[static_cast<std::size_t>(kk)];
-      const index_t col = a.idx[static_cast<std::size_t>(kk)];
-      for (index_t j = 0; j < cb; ++j) acc[j] += v * x_cols[c0 + j][col];
+    for (index_t kk = rb; kk < re; ++kk) {
+      const double v = val[static_cast<std::size_t>(kk)];
+      const index_t col = idx[static_cast<std::size_t>(kk)];
+      for (index_t j = 0; j < cb; ++j) acc[j] += v * xb[j][col];
     }
     for (index_t j = 0; j < cb; ++j) y_cols[c0 + j][r] = acc[j];
   }

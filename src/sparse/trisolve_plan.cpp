@@ -83,6 +83,107 @@ struct PackedSeekSrc {
   PackedRow at(index_t k) const noexcept { return s->at(k); }
 };
 
+// --- multi-RHS lane arithmetic ----------------------------------------
+//
+// The k columns of the interleaved strip are the SIMD lanes: one vector
+// op retires k right-hand sides per nonzero, and because column c's
+// element never mixes with column c''s, the vector forms are bitwise
+// identical to the scalar per-column arithmetic (DESIGN.md §14). Narrow
+// batches (k < kLaneMin) and machine-emulation runs keep the inline
+// scalar loops — same bits, no indirect-call overhead.
+
+inline void lane_update(const kernels::LaneOps* lanes, double* ti,
+                        const double* tc, double a, index_t k,
+                        int work_reps) noexcept {
+  if (work_reps > 0) {
+    for (index_t c = 0; c < k; ++c) {
+      ti[c] -= a * tc[c];
+      ti[c] = machine_emulation_work(ti[c], work_reps);
+    }
+  } else if (k >= kernels::kLaneMin) {
+    lanes->axpy(ti, tc, a, k);
+  } else {
+    for (index_t c = 0; c < k; ++c) ti[c] -= a * tc[c];
+  }
+}
+
+inline void lane_div(const kernels::LaneOps* lanes, double* ti, double d,
+                     index_t k) noexcept {
+  if (k >= kernels::kLaneMin) {
+    lanes->div_inplace(ti, d, k);
+  } else {
+    for (index_t c = 0; c < k; ++c) ti[c] /= d;
+  }
+}
+
+/// Prefetch the strip row of the NEXT dependence while the lane kernel
+/// computes on the current one: the gathered x-entries of the packed
+/// dot, one dependence ahead (DESIGN.md §14 discusses the distance).
+inline void prefetch_next_dep(const PackedRow& r, index_t j,
+                              const double* tp, index_t k) noexcept {
+  if (j + 1 < r.cnt) {
+    kernels::prefetch_read(tp + r.cols[j + 1] * k);
+  }
+}
+
+/// Every cache line of one k-wide strip row (k=16 spans two), gated on
+/// the vector table: the scalar table is the pre-kernel-layer reference
+/// and the kernel race times it as exactly that — SIMD and the prefetch
+/// schedule win or lose together (DESIGN.md §14).
+inline void prefetch_strip_row(const kernels::LaneOps* lanes,
+                               const double* tp, index_t col,
+                               index_t k) noexcept {
+  if (lanes->isa == kernels::KernelIsa::kScalar) return;
+  const double* p = tp + col * k;
+  for (index_t o = 0; o < k; o += 8) kernels::prefetch_read(p + o);
+}
+
+/// The NEXT record's gathered strip rows, issued while the lane kernels
+/// chew the current record — one full record of distance, enough to
+/// cover a last-level-cache hit on the spilled factors the packed
+/// layout targets. Only the walk-order executors (serial, level) use
+/// this: their lookahead row's dependences are all final, so the
+/// prefetch never tugs a line another thread is writing.
+inline void prefetch_row_deps(const PackedRow& r, const double* tp,
+                              index_t k) noexcept {
+  for (index_t j = 0; j < r.cnt; ++j) {
+    const double* p = tp + r.cols[j] * k;
+    for (index_t o = 0; o < k; o += 8) kernels::prefetch_read(p + o);
+  }
+}
+
+/// The lookahead pipeline (parse the next record, prefetch its strip
+/// rows, then compute the current one) only pays when the lane kernels
+/// are actually in play: wide batches on a vector table. Narrow batches,
+/// machine-emulation runs, and the scalar table keep the plain walk —
+/// the scalar candidate the kernel race times IS the pre-kernel-layer
+/// executor, prefetch-free.
+inline bool want_lookahead(const kernels::LaneOps* lanes, index_t k,
+                           int work_reps) noexcept {
+  return lanes->isa != kernels::KernelIsa::kScalar &&
+         k >= kernels::kLaneMin && work_reps == 0;
+}
+
+/// One record's WHOLE dependence list against the strip. Wide un-emulated
+/// batches take the fused row kernel — one indirect call per row,
+/// accumulators register-resident across the dependence list; everything
+/// else keeps the per-dependence loops. All callers retire their waits
+/// BEFORE this runs (the fused kernel reads every dependence's strip
+/// row). Bitwise equal either way: per column the j-ordered mul+sub
+/// sequence is identical.
+inline void lane_row_update(const kernels::LaneOps* lanes, double* ti,
+                            const double* tp, const PackedRow& r, index_t k,
+                            int work_reps) noexcept {
+  if (work_reps == 0 && k >= kernels::kLaneMin) {
+    lanes->row_axpy(ti, r.vals, r.cols, r.cnt, tp, k);
+    return;
+  }
+  for (index_t j = 0; j < r.cnt; ++j) {
+    prefetch_next_dep(r, j, tp, k);
+    lane_update(lanes, ti, tp + r.cols[j] * k, r.vals[j], k, work_reps);
+  }
+}
+
 }  // namespace
 
 rt::ThreadPool::RegionFn TrisolvePlan::contained(
@@ -126,6 +227,57 @@ void TrisolvePlan::set_strategy_state(ExecutionStrategy s) {
 void TrisolvePlan::rebind_regions() {
   bind_lower_region();
   if (u_) bind_upper_regions();
+}
+
+void TrisolvePlan::set_lanes(const kernels::LaneOps* ops) noexcept {
+  lanes_ = ops;
+  // The ulp dot is a horizontal reduction only the vector tables
+  // implement differently; forced-scalar plans stay bitwise even when
+  // the caller set a tolerance, and the machine-emulation knob pins the
+  // scalar per-term loop it instruments.
+  ulp_dot_ = opts_.ulp_tolerance > 0.0 && opts_.work_reps == 0 &&
+             ops->isa != kernels::KernelIsa::kScalar;
+}
+
+void TrisolvePlan::resolve_kernel() noexcept {
+  telemetry_.isa = kernels::dispatched_isa();
+  const bool have_vector = telemetry_.isa != kernels::KernelIsa::kScalar;
+  switch (opts_.kernel) {
+    case kernels::KernelChoice::kScalar:
+      set_lanes(&kernels::scalar_ops());
+      telemetry_.kernel = kernels::KernelChoice::kScalar;
+      return;
+    case kernels::KernelChoice::kVector:
+      set_lanes(&kernels::dispatched_ops());
+      telemetry_.kernel = have_vector ? kernels::KernelChoice::kVector
+                                      : kernels::KernelChoice::kScalar;
+      return;
+    case kernels::KernelChoice::kAuto:
+      set_lanes(&kernels::dispatched_ops());
+      telemetry_.kernel = have_vector ? kernels::KernelChoice::kVector
+                                      : kernels::KernelChoice::kScalar;
+      // The strategy race stays a pure 4-strategy race (its budget and
+      // winner bookkeeping are contractual — DESIGN.md §13); the kernel
+      // dimension races separately on the dispatches that actually run
+      // lane kernels, which only begin once strategy exploration is
+      // done. Same epoch budget per choice as the strategy race.
+      if (have_vector && opts_.calibration_epochs > 0 && n_ > 0) {
+        kernel_race_.arm(opts_.calibration_epochs);
+      }
+      return;
+  }
+}
+
+void TrisolvePlan::note_kernel_epoch(double seconds, index_t k) noexcept {
+  // Normalize per column so epochs of different batch widths compare.
+  const double us = seconds * 1e6 / static_cast<double>(k);
+  if (kernel_race_.note_epoch(us)) {
+    set_lanes(kernel_race_.winner() == kernels::KernelChoice::kScalar
+                  ? &kernels::scalar_ops()
+                  : &kernels::dispatched_ops());
+    telemetry_.kernel = kernel_race_.winner();
+  }
+  telemetry_.kernel_race = kernel_race_.state();
 }
 
 void TrisolvePlan::resolve_strategy() {
@@ -667,6 +819,19 @@ void TrisolvePlan::bind_upper_regions() {
       };
       batch_region_ = [this](unsigned, unsigned) {
         const bool packed = packed_l_.packed();
+        if (batch_mode_ == BatchMode::kWavefrontInterleaved) {
+          // One pass per factor with all k columns in the strip: even
+          // with nothing to overlap across threads, each nonzero now
+          // retires k right-hand sides through one lane kernel.
+          if (packed) {
+            serial_lower_multi_k(PackedWalkSrc{packed_l_.cursor(0)});
+            serial_upper_multi_k(PackedWalkSrc{packed_u_.cursor(0)});
+          } else {
+            serial_lower_multi_k(csr_lower(*l_, nullptr));
+            serial_upper_multi_k(csr_upper(*u_, nullptr, n_));
+          }
+          return;
+        }
         for (index_t c = 0; c < batch_k_; ++c) {
           const double* bc = batch_b_[static_cast<std::size_t>(c)];
           double* xc = batch_x_[static_cast<std::size_t>(c)];
@@ -709,6 +874,7 @@ TrisolvePlan::TrisolvePlan(rt::ThreadPool& pool, const Csr& l, const Csr* u,
   ready_l_.ensure_size(n_);
   episodes_.resize(nth_);
   rounds_.resize(nth_);
+  resolve_kernel();
   resolve_strategy();
   // Fault containment: every flag wait and barrier wait of this plan
   // polls the latch (and the optional stall budget); see DESIGN.md §12.
@@ -748,22 +914,38 @@ void TrisolvePlan::lower_flags_k(Src src, const double* rhs_p, double* yp,
                                  std::uint64_t& episodes,
                                  std::uint64_t& rounds) {
   const int work_reps = opts_.work_reps;
+  const bool ulp = ulp_dot_;
   std::uint64_t my_episodes = 0, my_rounds = 0;
   // Identical arithmetic (term order, division) to trisolve_lower_seq —
   // results are bitwise equal; the ready flags only sequence the reads.
+  // The opt-in ulp path retires every wait first, then runs the
+  // reassociated vector dot over the whole row.
   auto solve_row = [&](index_t k) {
     const PackedRow r = src.at(k);
     if (injector_) injector_->on_row(tid, r.row, &latch_);
     double acc = rhs_p[r.row];
-    for (index_t j = 0; j < r.cnt; ++j) {
-      const index_t c = r.cols[j];
-      const std::uint64_t w = core::wait_done_guarded(ready_l_, c, r.row, guard_);
-      if (w != 0) {
-        ++my_episodes;
-        my_rounds += w;
+    if (ulp) {
+      for (index_t j = 0; j < r.cnt; ++j) {
+        const std::uint64_t w =
+            core::wait_done_guarded(ready_l_, r.cols[j], r.row, guard_);
+        if (w != 0) {
+          ++my_episodes;
+          my_rounds += w;
+        }
       }
-      acc -= r.vals[j] * yp[c];
-      if (work_reps > 0) acc = machine_emulation_work(acc, work_reps);
+      acc -= lanes_->dot(r.vals, r.cols, yp, r.cnt);
+    } else {
+      for (index_t j = 0; j < r.cnt; ++j) {
+        const index_t c = r.cols[j];
+        const std::uint64_t w =
+            core::wait_done_guarded(ready_l_, c, r.row, guard_);
+        if (w != 0) {
+          ++my_episodes;
+          my_rounds += w;
+        }
+        acc -= r.vals[j] * yp[c];
+        if (work_reps > 0) acc = machine_emulation_work(acc, work_reps);
+      }
     }
     yp[r.row] = acc / r.diag;
     ready_l_.mark_done(r.row);  // release-publishes the y store
@@ -778,19 +960,33 @@ void TrisolvePlan::upper_flags_k(Src src, const double* rhs_p, double* yp,
                                  unsigned tid, unsigned nthreads,
                                  std::uint64_t& episodes,
                                  std::uint64_t& rounds) {
+  const bool ulp = ulp_dot_;
   std::uint64_t my_episodes = 0, my_rounds = 0;
   auto solve_row = [&](index_t k) {
     const PackedRow r = src.at(k);
     if (injector_) injector_->on_row(tid, r.row, &latch_);
     double acc = rhs_p[r.row];
-    for (index_t j = 0; j < r.cnt; ++j) {
-      const index_t c = r.cols[j];
-      const std::uint64_t w = core::wait_done_guarded(ready_u_, c, r.row, guard_);
-      if (w != 0) {
-        ++my_episodes;
-        my_rounds += w;
+    if (ulp) {
+      for (index_t j = 0; j < r.cnt; ++j) {
+        const std::uint64_t w =
+            core::wait_done_guarded(ready_u_, r.cols[j], r.row, guard_);
+        if (w != 0) {
+          ++my_episodes;
+          my_rounds += w;
+        }
       }
-      acc -= r.vals[j] * yp[c];
+      acc -= lanes_->dot(r.vals, r.cols, yp, r.cnt);
+    } else {
+      for (index_t j = 0; j < r.cnt; ++j) {
+        const index_t c = r.cols[j];
+        const std::uint64_t w =
+            core::wait_done_guarded(ready_u_, c, r.row, guard_);
+        if (w != 0) {
+          ++my_episodes;
+          my_rounds += w;
+        }
+        acc -= r.vals[j] * yp[c];
+      }
     }
     yp[r.row] = acc / r.diag;
     ready_u_.mark_done(r.row);
@@ -821,6 +1017,9 @@ void TrisolvePlan::lower_flags_multi_k(Src src, unsigned tid,
     if (injector_) injector_->on_row(tid, r.row, &latch_);
     double* ti = tp + r.row * k;
     for (index_t c = 0; c < k; ++c) ti[c] = b_cols[c][r.row];
+    // Waits retire first (pulling each ready dependence's strip row
+    // toward L1 as it lands), then the whole dependence list runs
+    // through one fused lane-kernel call.
     for (index_t j = 0; j < r.cnt; ++j) {
       const index_t col = r.cols[j];
       const std::uint64_t w = core::wait_done_guarded(ready_l_, col, r.row, guard_);
@@ -828,14 +1027,10 @@ void TrisolvePlan::lower_flags_multi_k(Src src, unsigned tid,
         ++my_episodes;
         my_rounds += w;
       }
-      const double a = r.vals[j];
-      const double* tc = tp + col * k;
-      for (index_t c = 0; c < k; ++c) {
-        ti[c] -= a * tc[c];
-        if (work_reps > 0) ti[c] = machine_emulation_work(ti[c], work_reps);
-      }
+      prefetch_strip_row(lanes_, tp, col, k);
     }
-    for (index_t c = 0; c < k; ++c) ti[c] /= r.diag;
+    lane_row_update(lanes_, ti, tp, r, k, work_reps);
+    lane_div(lanes_, ti, r.diag, k);
     ready_l_.mark_done(r.row);  // release-publishes all k stores of this row
   };
   rt::schedule_run(opts_.schedule, n_, tid, nthreads, &cursor_l_, solve_row);
@@ -867,14 +1062,11 @@ void TrisolvePlan::upper_flags_multi_k(Src src, unsigned tid,
         ++my_episodes;
         my_rounds += w;
       }
-      const double a = r.vals[j];
-      const double* tc = tp + col * k;
-      for (index_t c = 0; c < k; ++c) ti[c] -= a * tc[c];
+      prefetch_strip_row(lanes_, tp, col, k);
     }
-    for (index_t c = 0; c < k; ++c) {
-      ti[c] /= r.diag;
-      x_cols[c][r.row] = ti[c];
-    }
+    lane_row_update(lanes_, ti, tp, r, k, /*work_reps=*/0);
+    lane_div(lanes_, ti, r.diag, k);
+    for (index_t c = 0; c < k; ++c) x_cols[c][r.row] = ti[c];
     ready_u_.mark_done(r.row);
   };
   rt::schedule_run(opts_.schedule, n_, tid, nthreads, &cursor_u_, solve_row);
@@ -890,6 +1082,7 @@ void TrisolvePlan::lower_levels_k(Src src, const double* rhs_p, double* yp,
   // or published. Row arithmetic is identical to the flag kernels.
   const core::Reordering& ord = *l_order_;
   const int work_reps = opts_.work_reps;
+  const bool ulp = ulp_dot_;
   for (index_t lvl = 0; lvl < ord.num_levels(); ++lvl) {
     const index_t lo = ord.level_ptr[static_cast<std::size_t>(lvl)];
     const index_t hi = ord.level_ptr[static_cast<std::size_t>(lvl) + 1];
@@ -898,9 +1091,13 @@ void TrisolvePlan::lower_levels_k(Src src, const double* rhs_p, double* yp,
       const PackedRow row = src.at(pos);
       if (injector_) injector_->on_row(tid, row.row, &latch_);
       double acc = rhs_p[row.row];
-      for (index_t j = 0; j < row.cnt; ++j) {
-        acc -= row.vals[j] * yp[row.cols[j]];
-        if (work_reps > 0) acc = machine_emulation_work(acc, work_reps);
+      if (ulp) {
+        acc -= lanes_->dot(row.vals, row.cols, yp, row.cnt);
+      } else {
+        for (index_t j = 0; j < row.cnt; ++j) {
+          acc -= row.vals[j] * yp[row.cols[j]];
+          if (work_reps > 0) acc = machine_emulation_work(acc, work_reps);
+        }
       }
       yp[row.row] = acc / row.diag;
     }
@@ -913,6 +1110,7 @@ template <class Src>
 void TrisolvePlan::upper_levels_k(Src src, const double* rhs_p, double* yp,
                                   unsigned tid, unsigned nthreads) {
   const core::Reordering& ord = *u_order_;
+  const bool ulp = ulp_dot_;
   for (index_t lvl = 0; lvl < ord.num_levels(); ++lvl) {
     const index_t lo = ord.level_ptr[static_cast<std::size_t>(lvl)];
     const index_t hi = ord.level_ptr[static_cast<std::size_t>(lvl) + 1];
@@ -921,8 +1119,12 @@ void TrisolvePlan::upper_levels_k(Src src, const double* rhs_p, double* yp,
       const PackedRow row = src.at(pos);
       if (injector_) injector_->on_row(tid, row.row, &latch_);
       double acc = rhs_p[row.row];
-      for (index_t j = 0; j < row.cnt; ++j) {
-        acc -= row.vals[j] * yp[row.cols[j]];
+      if (ulp) {
+        acc -= lanes_->dot(row.vals, row.cols, yp, row.cnt);
+      } else {
+        for (index_t j = 0; j < row.cnt; ++j) {
+          acc -= row.vals[j] * yp[row.cols[j]];
+        }
       }
       yp[row.row] = acc / row.diag;
     }
@@ -938,24 +1140,32 @@ void TrisolvePlan::lower_levels_multi_k(Src src, unsigned tid,
   const double* const* b_cols = batch_b_.data();
   double* tp = batch_tmp_.data();
   const int work_reps = opts_.work_reps;
+  auto body = [&](const PackedRow& row) {
+    if (injector_) injector_->on_row(tid, row.row, &latch_);
+    double* ti = tp + row.row * k;
+    for (index_t c = 0; c < k; ++c) ti[c] = b_cols[c][row.row];
+    lane_row_update(lanes_, ti, tp, row, k, work_reps);
+    lane_div(lanes_, ti, row.diag, k);
+  };
+  const bool look = want_lookahead(lanes_, k, work_reps);
   for (index_t lvl = 0; lvl < ord.num_levels(); ++lvl) {
     const index_t lo = ord.level_ptr[static_cast<std::size_t>(lvl)];
     const index_t hi = ord.level_ptr[static_cast<std::size_t>(lvl) + 1];
     const rt::IterRange r = rt::static_block_range(hi - lo, tid, nthreads);
-    for (index_t pos = lo + r.begin; pos < lo + r.end; ++pos) {
-      const PackedRow row = src.at(pos);
-      if (injector_) injector_->on_row(tid, row.row, &latch_);
-      double* ti = tp + row.row * k;
-      for (index_t c = 0; c < k; ++c) ti[c] = b_cols[c][row.row];
-      for (index_t j = 0; j < row.cnt; ++j) {
-        const double a = row.vals[j];
-        const double* tc = tp + row.cols[j] * k;
-        for (index_t c = 0; c < k; ++c) {
-          ti[c] -= a * tc[c];
-          if (work_reps > 0) ti[c] = machine_emulation_work(ti[c], work_reps);
-        }
+    const index_t end = lo + r.end;
+    index_t pos = lo + r.begin;
+    if (look && pos < end) {
+      // Pipelined within the level: the lookahead row's dependences are
+      // all in earlier levels, so prefetching them is always final data.
+      PackedRow row = src.at(pos);
+      for (; pos < end; ++pos) {
+        const PackedRow nxt = pos + 1 < end ? src.at(pos + 1) : PackedRow{};
+        prefetch_row_deps(nxt, tp, k);
+        body(row);
+        row = nxt;
       }
-      for (index_t c = 0; c < k; ++c) ti[c] /= row.diag;
+    } else {
+      for (; pos < end; ++pos) body(src.at(pos));
     }
     barrier_.arrive_and_wait();
   }
@@ -968,23 +1178,30 @@ void TrisolvePlan::upper_levels_multi_k(Src src, unsigned tid,
   const index_t k = batch_k_;
   double* const* x_cols = batch_x_.data();
   double* tp = batch_tmp_.data();
+  auto body = [&](const PackedRow& row) {
+    if (injector_) injector_->on_row(tid, row.row, &latch_);
+    double* ti = tp + row.row * k;
+    lane_row_update(lanes_, ti, tp, row, k, /*work_reps=*/0);
+    lane_div(lanes_, ti, row.diag, k);
+    for (index_t c = 0; c < k; ++c) x_cols[c][row.row] = ti[c];
+  };
+  const bool look = want_lookahead(lanes_, k, /*work_reps=*/0);
   for (index_t lvl = 0; lvl < ord.num_levels(); ++lvl) {
     const index_t lo = ord.level_ptr[static_cast<std::size_t>(lvl)];
     const index_t hi = ord.level_ptr[static_cast<std::size_t>(lvl) + 1];
     const rt::IterRange r = rt::static_block_range(hi - lo, tid, nthreads);
-    for (index_t pos = lo + r.begin; pos < lo + r.end; ++pos) {
-      const PackedRow row = src.at(pos);
-      if (injector_) injector_->on_row(tid, row.row, &latch_);
-      double* ti = tp + row.row * k;
-      for (index_t j = 0; j < row.cnt; ++j) {
-        const double a = row.vals[j];
-        const double* tc = tp + row.cols[j] * k;
-        for (index_t c = 0; c < k; ++c) ti[c] -= a * tc[c];
+    const index_t end = lo + r.end;
+    index_t pos = lo + r.begin;
+    if (look && pos < end) {
+      PackedRow row = src.at(pos);
+      for (; pos < end; ++pos) {
+        const PackedRow nxt = pos + 1 < end ? src.at(pos + 1) : PackedRow{};
+        prefetch_row_deps(nxt, tp, k);
+        body(row);
+        row = nxt;
       }
-      for (index_t c = 0; c < k; ++c) {
-        ti[c] /= row.diag;
-        x_cols[c][row.row] = ti[c];
-      }
+    } else {
+      for (; pos < end; ++pos) body(src.at(pos));
     }
     barrier_.arrive_and_wait();
   }
@@ -1002,24 +1219,40 @@ void TrisolvePlan::lower_blocked_k(Src src, const double* rhs_p, double* yp,
   // store, and whether a consumer exists in another block is not worth a
   // build-time scan to know.
   const int work_reps = opts_.work_reps;
+  const bool ulp = ulp_dot_;
   std::uint64_t my_episodes = 0, my_rounds = 0;
   const rt::IterRange range = rt::static_block_range(n_, tid, nthreads);
   for (index_t pos = range.begin; pos < range.end; ++pos) {
     const PackedRow r = src.at(pos);  // r.row == pos
     if (injector_) injector_->on_row(tid, r.row, &latch_);
     double acc = rhs_p[r.row];
-    for (index_t j = 0; j < r.cnt; ++j) {
-      const index_t c = r.cols[j];
-      if (c < range.begin) {  // cross-block: the only flag traffic
-        const std::uint64_t w =
-            core::wait_done_guarded(ready_l_, c, r.row, guard_);
-        if (w != 0) {
-          ++my_episodes;
-          my_rounds += w;
+    if (ulp) {
+      for (index_t j = 0; j < r.cnt; ++j) {
+        const index_t c = r.cols[j];
+        if (c < range.begin) {
+          const std::uint64_t w =
+              core::wait_done_guarded(ready_l_, c, r.row, guard_);
+          if (w != 0) {
+            ++my_episodes;
+            my_rounds += w;
+          }
         }
       }
-      acc -= r.vals[j] * yp[c];
-      if (work_reps > 0) acc = machine_emulation_work(acc, work_reps);
+      acc -= lanes_->dot(r.vals, r.cols, yp, r.cnt);
+    } else {
+      for (index_t j = 0; j < r.cnt; ++j) {
+        const index_t c = r.cols[j];
+        if (c < range.begin) {  // cross-block: the only flag traffic
+          const std::uint64_t w =
+              core::wait_done_guarded(ready_l_, c, r.row, guard_);
+          if (w != 0) {
+            ++my_episodes;
+            my_rounds += w;
+          }
+        }
+        acc -= r.vals[j] * yp[c];
+        if (work_reps > 0) acc = machine_emulation_work(acc, work_reps);
+      }
     }
     yp[r.row] = acc / r.diag;
     ready_l_.mark_done(r.row);
@@ -1038,23 +1271,39 @@ void TrisolvePlan::upper_blocked_k(Src src, const double* rhs_p, double* yp,
   // this thread's block is a contiguous run of *descending* rows topped
   // by row n-1-range.begin; every intra-block dependence (c > i up to
   // that top row) is already retired, only rows above it need the flag.
+  const bool ulp = ulp_dot_;
   const rt::IterRange range = rt::static_block_range(n_, tid, nthreads);
   const index_t top = n_ - 1 - range.begin;
   for (index_t pos = range.begin; pos < range.end; ++pos) {
     const PackedRow r = src.at(pos);  // r.row == n_-1-pos
     if (injector_) injector_->on_row(tid, r.row, &latch_);
     double acc = rhs_p[r.row];
-    for (index_t j = 0; j < r.cnt; ++j) {
-      const index_t c = r.cols[j];
-      if (c > top) {
-        const std::uint64_t w =
-            core::wait_done_guarded(ready_u_, c, r.row, guard_);
-        if (w != 0) {
-          ++my_episodes;
-          my_rounds += w;
+    if (ulp) {
+      for (index_t j = 0; j < r.cnt; ++j) {
+        const index_t c = r.cols[j];
+        if (c > top) {
+          const std::uint64_t w =
+              core::wait_done_guarded(ready_u_, c, r.row, guard_);
+          if (w != 0) {
+            ++my_episodes;
+            my_rounds += w;
+          }
         }
       }
-      acc -= r.vals[j] * yp[c];
+      acc -= lanes_->dot(r.vals, r.cols, yp, r.cnt);
+    } else {
+      for (index_t j = 0; j < r.cnt; ++j) {
+        const index_t c = r.cols[j];
+        if (c > top) {
+          const std::uint64_t w =
+              core::wait_done_guarded(ready_u_, c, r.row, guard_);
+          if (w != 0) {
+            ++my_episodes;
+            my_rounds += w;
+          }
+        }
+        acc -= r.vals[j] * yp[c];
+      }
     }
     yp[r.row] = acc / r.diag;
     ready_u_.mark_done(r.row);
@@ -1079,6 +1328,8 @@ void TrisolvePlan::lower_blocked_multi_k(Src src, unsigned tid,
     if (injector_) injector_->on_row(tid, r.row, &latch_);
     double* ti = tp + r.row * k;
     for (index_t c = 0; c < k; ++c) ti[c] = b_cols[c][r.row];
+    // Cross-block waits retire first; intra-block dependences already
+    // did (rows run in increasing order within the block).
     for (index_t j = 0; j < r.cnt; ++j) {
       const index_t col = r.cols[j];
       if (col < range.begin) {
@@ -1089,14 +1340,10 @@ void TrisolvePlan::lower_blocked_multi_k(Src src, unsigned tid,
           my_rounds += w;
         }
       }
-      const double a = r.vals[j];
-      const double* tc = tp + col * k;
-      for (index_t c = 0; c < k; ++c) {
-        ti[c] -= a * tc[c];
-        if (work_reps > 0) ti[c] = machine_emulation_work(ti[c], work_reps);
-      }
+      prefetch_strip_row(lanes_, tp, col, k);
     }
-    for (index_t c = 0; c < k; ++c) ti[c] /= r.diag;
+    lane_row_update(lanes_, ti, tp, r, k, work_reps);
+    lane_div(lanes_, ti, r.diag, k);
     ready_l_.mark_done(r.row);
   }
   episodes += my_episodes;
@@ -1128,14 +1375,11 @@ void TrisolvePlan::upper_blocked_multi_k(Src src, unsigned tid,
           my_rounds += w;
         }
       }
-      const double a = r.vals[j];
-      const double* tc = tp + col * k;
-      for (index_t c = 0; c < k; ++c) ti[c] -= a * tc[c];
+      prefetch_strip_row(lanes_, tp, col, k);
     }
-    for (index_t c = 0; c < k; ++c) {
-      ti[c] /= r.diag;
-      x_cols[c][r.row] = ti[c];
-    }
+    lane_row_update(lanes_, ti, tp, r, k, /*work_reps=*/0);
+    lane_div(lanes_, ti, r.diag, k);
+    for (index_t c = 0; c < k; ++c) x_cols[c][r.row] = ti[c];
     ready_u_.mark_done(r.row);
   }
   episodes += my_episodes;
@@ -1149,13 +1393,18 @@ void TrisolvePlan::serial_lower_k(Src src, const double* rhs_p,
   // pool wake-up: the sequential Fig. 7 arithmetic the bitwise contract
   // is defined against, read through whichever layout the plan owns.
   const int work_reps = opts_.work_reps;
+  const bool ulp = ulp_dot_;
   for (index_t k = 0; k < n_; ++k) {
     const PackedRow r = src.at(k);
     if (injector_) injector_->on_row(0, r.row, &latch_);
     double acc = rhs_p[r.row];
-    for (index_t j = 0; j < r.cnt; ++j) {
-      acc -= r.vals[j] * yp[r.cols[j]];
-      if (work_reps > 0) acc = machine_emulation_work(acc, work_reps);
+    if (ulp) {
+      acc -= lanes_->dot(r.vals, r.cols, yp, r.cnt);
+    } else {
+      for (index_t j = 0; j < r.cnt; ++j) {
+        acc -= r.vals[j] * yp[r.cols[j]];
+        if (work_reps > 0) acc = machine_emulation_work(acc, work_reps);
+      }
     }
     yp[r.row] = acc / r.diag;
   }
@@ -1164,14 +1413,75 @@ void TrisolvePlan::serial_lower_k(Src src, const double* rhs_p,
 template <class Src>
 void TrisolvePlan::serial_upper_k(Src src, const double* rhs_p,
                                   double* yp) {
+  const bool ulp = ulp_dot_;
   for (index_t k = 0; k < n_; ++k) {
     const PackedRow r = src.at(k);
     if (injector_) injector_->on_row(0, r.row, &latch_);
     double acc = rhs_p[r.row];
-    for (index_t j = 0; j < r.cnt; ++j) {
-      acc -= r.vals[j] * yp[r.cols[j]];
+    if (ulp) {
+      acc -= lanes_->dot(r.vals, r.cols, yp, r.cnt);
+    } else {
+      for (index_t j = 0; j < r.cnt; ++j) {
+        acc -= r.vals[j] * yp[r.cols[j]];
+      }
     }
     yp[r.row] = acc / r.diag;
+  }
+}
+
+template <class Src>
+void TrisolvePlan::serial_lower_multi_k(Src src) {
+  // The interleaved batch through the serial walk: no flags, no barrier,
+  // no dispatch — but the k columns of each strip row still retire
+  // through one lane kernel per nonzero, which is where a single-core
+  // batch server earns its vector units (bitwise equal per column to the
+  // column-sequential walk; same term order, same division).
+  const index_t k = batch_k_;
+  const double* const* b_cols = batch_b_.data();
+  double* tp = batch_tmp_.data();
+  const int work_reps = opts_.work_reps;
+  auto body = [&](const PackedRow& r) {
+    if (injector_) injector_->on_row(0, r.row, &latch_);
+    double* ti = tp + r.row * k;
+    for (index_t c = 0; c < k; ++c) ti[c] = b_cols[c][r.row];
+    lane_row_update(lanes_, ti, tp, r, k, work_reps);
+    lane_div(lanes_, ti, r.diag, k);
+  };
+  if (want_lookahead(lanes_, k, work_reps) && n_ > 0) {
+    PackedRow r = src.at(0);
+    for (index_t pos = 0; pos < n_; ++pos) {
+      const PackedRow nxt = pos + 1 < n_ ? src.at(pos + 1) : PackedRow{};
+      prefetch_row_deps(nxt, tp, k);
+      body(r);
+      r = nxt;
+    }
+  } else {
+    for (index_t pos = 0; pos < n_; ++pos) body(src.at(pos));
+  }
+}
+
+template <class Src>
+void TrisolvePlan::serial_upper_multi_k(Src src) {
+  const index_t k = batch_k_;
+  double* const* x_cols = batch_x_.data();
+  double* tp = batch_tmp_.data();
+  auto body = [&](const PackedRow& r) {
+    if (injector_) injector_->on_row(0, r.row, &latch_);
+    double* ti = tp + r.row * k;
+    lane_row_update(lanes_, ti, tp, r, k, /*work_reps=*/0);
+    lane_div(lanes_, ti, r.diag, k);
+    for (index_t c = 0; c < k; ++c) x_cols[c][r.row] = ti[c];
+  };
+  if (want_lookahead(lanes_, k, /*work_reps=*/0) && n_ > 0) {
+    PackedRow r = src.at(0);
+    for (index_t pos = 0; pos < n_; ++pos) {
+      const PackedRow nxt = pos + 1 < n_ ? src.at(pos + 1) : PackedRow{};
+      prefetch_row_deps(nxt, tp, k);
+      body(r);
+      r = nxt;
+    }
+  } else {
+    for (index_t pos = 0; pos < n_; ++pos) body(src.at(pos));
   }
 }
 
@@ -1338,13 +1648,11 @@ void TrisolvePlan::reserve_batch(index_t max_k, BatchMode mode) {
     batch_x_.resize(k);
   }
   // The n-by-k strip backs only the interleaved mode; column-sequential
-  // batches keep the documented O(n) scratch (the plan's tmp_). A serial
-  // plan runs every batch column-sequentially and never needs the strip —
-  // unless a calibration race is still open and a parallel candidate may
-  // take the next epoch.
-  if (mode == BatchMode::kWavefrontInterleaved &&
-      (calibrating_ ||
-       telemetry_.strategy != ExecutionStrategy::kSerial)) {
+  // batches keep the documented O(n) scratch (the plan's tmp_). Serial
+  // plans run the interleaved walk too since the lane kernels landed —
+  // a single core still retires k columns per nonzero through one
+  // vector op — so every strategy needs the strip in this mode.
+  if (mode == BatchMode::kWavefrontInterleaved) {
     const std::size_t strip = static_cast<std::size_t>(n_) * k;
     if (batch_tmp_.size() < strip) batch_tmp_.resize(strip);
   }
@@ -1354,6 +1662,22 @@ core::DoacrossStats TrisolvePlan::run_batch(index_t k, BatchMode mode) {
   if (n_ == 0) return {};
   batch_k_ = k;
   batch_mode_ = mode;
+  // Scalar-vs-vector kernel race (DESIGN.md §14): fed only by dispatches
+  // that actually execute lane kernels — interleaved batches at least one
+  // vector wide, after the strategy race locked in (so the timing
+  // compares kernels, not strategies) and never under machine emulation
+  // (which pins the instrumented scalar loop). Both candidates are
+  // bitwise identical per column, so exploring is invisible to callers.
+  const bool kernel_epoch = kernel_race_.active() && !calibrating_ &&
+                            mode == BatchMode::kWavefrontInterleaved &&
+                            k >= kernels::kLaneMin && opts_.work_reps == 0;
+  if (kernel_epoch) {
+    const kernels::KernelChoice cand = kernel_race_.candidate();
+    set_lanes(cand == kernels::KernelChoice::kScalar
+                  ? &kernels::scalar_ops()
+                  : &kernels::dispatched_ops());
+    telemetry_.kernel = cand;
+  }
   reset_for_call(/*lower=*/true, /*upper=*/true);
 #ifndef NDEBUG
   // A calibration epoch may advance the race inside dispatch() —
@@ -1371,6 +1695,9 @@ core::DoacrossStats TrisolvePlan::run_batch(index_t k, BatchMode mode) {
                                                                  : 1u)) &&
          "solve_batch must cost exactly one pool dispatch (zero serial)");
 #endif
+  // Only a SUCCESSFUL epoch feeds the race — a fault above threw out of
+  // dispatch() after poisoning the plan.
+  if (kernel_epoch) note_kernel_epoch(stats.execute_seconds, k);
   batch_columns_ += static_cast<std::uint64_t>(k);
   return stats;
 }

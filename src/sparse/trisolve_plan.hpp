@@ -56,6 +56,7 @@
 #include "runtime/thread_pool.hpp"
 #include "sparse/csr.hpp"
 #include "sparse/ilu0.hpp"
+#include "sparse/kernels.hpp"
 #include "sparse/packed_stream.hpp"
 
 namespace pdx::sparse {
@@ -139,6 +140,16 @@ struct PlanTelemetry {
   ExecutionStrategy factor_strategy = ExecutionStrategy::kAuto;
   /// Last refresh_values() sweep, in milliseconds (0 until the first).
   double refresh_ms = 0.0;
+  /// The process-wide dispatched ISA (CPUID + PDX_KERNEL; DESIGN.md §14).
+  kernels::KernelIsa isa = kernels::KernelIsa::kScalar;
+  /// The resolved kernel choice this plan's lane executors run (never
+  /// kAuto after construction; the current race candidate's table while
+  /// a kernel race is exploring, the measured winner once locked in).
+  kernels::KernelChoice kernel = kernels::KernelChoice::kScalar;
+  /// The scalar-vs-vector kernel race record (armed only for kAuto
+  /// kernels on machines with a vector ISA; fed by wavefront-interleaved
+  /// batch dispatches wide enough to execute lane kernels).
+  kernels::KernelRaceState kernel_race;
 };
 
 struct PlanOptions {
@@ -191,6 +202,24 @@ struct PlanOptions {
   /// diagnostics (row, awaited offset, epoch, rounds, site), the fault is
   /// contained like any other worker exception, and the plan is poisoned.
   std::uint64_t stall_budget = 0;
+  /// Lane-kernel selection (DESIGN.md §14). kAuto runs the dispatched
+  /// vector table and — when calibration_epochs > 0 and the machine has
+  /// a vector ISA — races it against scalar on the first lane-kernel
+  /// dispatches; kScalar pins the reference table (what the forced-
+  /// scalar CI job exercises); kVector pins the vector table. Every
+  /// choice is bitwise identical on the lane paths (multi-RHS batches);
+  /// only the opt-in ulp_tolerance path below may differ.
+  kernels::KernelChoice kernel = kernels::KernelChoice::kAuto;
+  /// Opt-in reassociated single-RHS kernels. 0 (default) keeps the
+  /// bitwise scalar reduction in every single-RHS solve. A positive
+  /// value states the caller accepts reassociation-level (few-ulp)
+  /// deviation from the sequential solves in exchange for the vector
+  /// dot kernel (gather + FMA + vector-width accumulators); the value
+  /// itself is the caller's error budget and is not consumed by the
+  /// plan. Ignored — solves stay bitwise — when the resolved kernel
+  /// table is scalar or work_reps > 0. Multi-RHS batch lane kernels are
+  /// unaffected: they are bitwise per column regardless.
+  double ulp_tolerance = 0.0;
 };
 
 /// How solve_batch walks its k right-hand-side columns inside the single
@@ -396,12 +425,28 @@ class TrisolvePlan {
   void serial_lower_k(Src src, const double* rhs, double* y);
   template <class Src>
   void serial_upper_k(Src src, const double* rhs, double* y);
+  template <class Src>
+  void serial_lower_multi_k(Src src);
+  template <class Src>
+  void serial_upper_multi_k(Src src);
 
   TrisolvePlan(rt::ThreadPool& pool, const Csr& l, const Csr* u,
                const PlanOptions& opts);
 
   bool needs_reordering() const noexcept;
   void resolve_strategy();
+  /// Resolve PlanOptions::kernel against the dispatched ISA: pick the
+  /// plan's LaneOps table, record ISA + choice in telemetry, and arm the
+  /// scalar-vs-vector race for kAuto kernels (DESIGN.md §14).
+  void resolve_kernel() noexcept;
+  /// Swap the active LaneOps table and recompute whether the single-RHS
+  /// kernels run the opt-in ulp dot (requires ulp_tolerance > 0, a
+  /// vector table, and work_reps == 0).
+  void set_lanes(const kernels::LaneOps* ops) noexcept;
+  /// Kernel-race bookkeeping after a successful lane-kernel dispatch:
+  /// per-column-normalized time in, candidate table out; locks in the
+  /// measured winner when both choices spent their budget.
+  void note_kernel_epoch(double seconds, index_t k) noexcept;
   /// Point the plan at strategy `s`: telemetry, the doacross executor
   /// configuration (the advisor's canonical dynamic/1 + doconsider
   /// order), and the wait-guard site name. Callers rebind regions after.
@@ -454,6 +499,14 @@ class TrisolvePlan {
   int cand_epoch_ = 0;
   core::TuningKey tuning_key_{};
   bool have_tuning_key_ = false;
+
+  // Lane-kernel state (DESIGN.md §14): the active dispatch table, the
+  // pre-resolved "single-RHS solves run the ulp dot" flag, and the
+  // scalar-vs-vector race fed by wide interleaved batch dispatches once
+  // the strategy race is done.
+  const kernels::LaneOps* lanes_ = nullptr;
+  bool ulp_dot_ = false;
+  kernels::Race kernel_race_;
 
   std::atomic<index_t> cursor_l_{0}, cursor_u_{0};
   std::vector<rt::Padded<std::uint64_t>> episodes_, rounds_;

@@ -1,0 +1,523 @@
+// Tests for the runtime-dispatched vector kernel layer (DESIGN.md §14):
+// ISA resolution and the PDX_KERNEL override contract, bitwise identity
+// of every bitwise-class lane kernel against the scalar reference,
+// bounded error of the opt-in ulp-class kernels, plan-level bitwise
+// identity of forced-scalar vs forced-vector vs auto-dispatched plans
+// across strategies, thread counts and layouts, the off-by-default
+// ulp_tolerance contract, FactorPlan's kernel-dispatched scatter
+// updates, and the scalar-vs-vector kernel race telemetry.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <vector>
+
+#include "gen/rng.hpp"
+#include "gen/stencil.hpp"
+#include "runtime/thread_pool.hpp"
+#include "solve/batch_driver.hpp"
+#include "sparse/ilu0.hpp"
+#include "sparse/kernels.hpp"
+#include "sparse/factor_plan.hpp"
+#include "sparse/trisolve.hpp"
+#include "sparse/trisolve_plan.hpp"
+
+namespace sp = pdx::sparse;
+namespace kn = pdx::sparse::kernels;
+namespace gen = pdx::gen;
+namespace solve = pdx::solve;
+namespace rt = pdx::rt;
+namespace core = pdx::core;
+using pdx::index_t;
+
+namespace {
+
+rt::ThreadPool& pool() {
+  static rt::ThreadPool p(8);
+  return p;
+}
+
+std::vector<double> random_vec(std::size_t n, std::uint64_t seed) {
+  gen::SplitMix64 rng(seed);
+  std::vector<double> v(n);
+  for (auto& x : v) x = rng.next_double(-1.0, 1.0);
+  return v;
+}
+
+constexpr sp::ExecutionStrategy kStrategies[] = {
+    sp::ExecutionStrategy::kSerial, sp::ExecutionStrategy::kDoacross,
+    sp::ExecutionStrategy::kLevelBarrier,
+    sp::ExecutionStrategy::kBlockedHybrid};
+
+sp::PlanOptions plan_opts(sp::ExecutionStrategy s, unsigned nth,
+                          sp::PlanLayout layout, kn::KernelChoice kernel) {
+  sp::PlanOptions o;
+  o.nthreads = nth;
+  o.strategy = s;
+  o.layout = layout;
+  o.kernel = kernel;
+  return o;
+}
+
+}  // namespace
+
+// --- ISA resolution ----------------------------------------------------
+
+TEST(KernelDispatch, ResolveIsaHonorsOverrides) {
+  const kn::KernelIsa hw = kn::resolve_isa(nullptr);
+  // "scalar" always pins the fallback; empty/auto/unknown defer to CPUID.
+  EXPECT_EQ(kn::resolve_isa("scalar"), kn::KernelIsa::kScalar);
+  EXPECT_EQ(kn::resolve_isa(""), hw);
+  EXPECT_EQ(kn::resolve_isa("auto"), hw);
+  EXPECT_EQ(kn::resolve_isa("definitely-not-an-isa"), hw);
+  // Requesting an ISA the machine lacks clamps to scalar; requesting the
+  // one it has returns it.
+  const kn::KernelIsa avx2 = kn::resolve_isa("avx2");
+  const kn::KernelIsa neon = kn::resolve_isa("neon");
+  EXPECT_TRUE(avx2 == kn::KernelIsa::kAvx2 || avx2 == kn::KernelIsa::kScalar);
+  EXPECT_TRUE(neon == kn::KernelIsa::kNeon || neon == kn::KernelIsa::kScalar);
+  EXPECT_EQ(avx2 == kn::KernelIsa::kAvx2, hw == kn::KernelIsa::kAvx2);
+  EXPECT_EQ(neon == kn::KernelIsa::kNeon, hw == kn::KernelIsa::kNeon);
+}
+
+TEST(KernelDispatch, TablesExistForEveryIsa) {
+  EXPECT_EQ(kn::scalar_ops().isa, kn::KernelIsa::kScalar);
+  // ops_for falls back to scalar for ISAs the build lacks bodies for;
+  // whatever comes back must self-describe correctly.
+  for (kn::KernelIsa isa : {kn::KernelIsa::kScalar, kn::KernelIsa::kAvx2,
+                            kn::KernelIsa::kNeon}) {
+    const kn::LaneOps& ops = kn::ops_for(isa);
+    EXPECT_TRUE(ops.isa == isa || ops.isa == kn::KernelIsa::kScalar);
+    ASSERT_NE(ops.axpy, nullptr);
+    ASSERT_NE(ops.row_axpy, nullptr);
+    ASSERT_NE(ops.div_inplace, nullptr);
+    ASSERT_NE(ops.dot, nullptr);
+    ASSERT_NE(ops.gather_axpy, nullptr);
+    ASSERT_NE(ops.gather_axpy_fma, nullptr);
+  }
+  EXPECT_EQ(kn::dispatched_ops().isa, kn::dispatched_isa());
+}
+
+// --- lane kernel unit tests (bitwise class) ----------------------------
+
+TEST(KernelLanes, AxpyAndDivBitwiseMatchScalarAtEveryLength) {
+  const kn::LaneOps& ref = kn::scalar_ops();
+  // Cover sub-vector tails and multi-vector bodies for both AVX2 (4
+  // lanes) and NEON (2 lanes).
+  for (kn::KernelIsa isa : {kn::KernelIsa::kAvx2, kn::KernelIsa::kNeon}) {
+    const kn::LaneOps& ops = kn::ops_for(isa);
+    for (index_t k = 0; k <= 19; ++k) {
+      const auto x = random_vec(static_cast<std::size_t>(k), 11 + k);
+      auto t_ref = random_vec(static_cast<std::size_t>(k), 23 + k);
+      auto t_vec = t_ref;
+      const double a = 1.7320508075688772;
+      ref.axpy(t_ref.data(), x.data(), a, k);
+      ops.axpy(t_vec.data(), x.data(), a, k);
+      for (index_t c = 0; c < k; ++c) {
+        ASSERT_EQ(t_ref[static_cast<std::size_t>(c)],
+                  t_vec[static_cast<std::size_t>(c)])
+            << kn::to_string(isa) << " axpy k=" << k << " lane " << c;
+      }
+      const double d = -0.3333333333333333;
+      ref.div_inplace(t_ref.data(), d, k);
+      ops.div_inplace(t_vec.data(), d, k);
+      for (index_t c = 0; c < k; ++c) {
+        ASSERT_EQ(t_ref[static_cast<std::size_t>(c)],
+                  t_vec[static_cast<std::size_t>(c)])
+            << kn::to_string(isa) << " div k=" << k << " lane " << c;
+      }
+    }
+  }
+}
+
+TEST(KernelLanes, RowAxpyBitwiseMatchesPerDepScalarLoops) {
+  // The fused row kernel must equal the per-dependence scalar loops
+  // bitwise for every (cnt, k) shape — it only reorders the loop nest,
+  // never any column's update sequence.
+  const index_t n_strip_rows = 40;
+  for (kn::KernelIsa isa : {kn::KernelIsa::kAvx2, kn::KernelIsa::kNeon}) {
+    const kn::LaneOps& ops = kn::ops_for(isa);
+    for (index_t k : {index_t{1}, index_t{4}, index_t{7}, index_t{8},
+                      index_t{16}, index_t{19}}) {
+      for (index_t cnt : {index_t{0}, index_t{1}, index_t{5}, index_t{9}}) {
+        const auto vals =
+            random_vec(static_cast<std::size_t>(cnt), 31 + cnt + k);
+        const auto xs =
+            random_vec(static_cast<std::size_t>(n_strip_rows * k), 37 + k);
+        std::vector<index_t> cols;
+        for (index_t j = 0; j < cnt; ++j) {
+          cols.push_back((j * 11) % n_strip_rows);
+        }
+        auto t_ref = random_vec(static_cast<std::size_t>(k), 41 + cnt);
+        auto t_fused = t_ref;
+        // Reference: the historical executor order (j outer, c inner).
+        for (index_t j = 0; j < cnt; ++j) {
+          const double a = vals[static_cast<std::size_t>(j)];
+          const double* x = xs.data() + cols[static_cast<std::size_t>(j)] * k;
+          for (index_t c = 0; c < k; ++c) {
+            t_ref[static_cast<std::size_t>(c)] -= a * x[c];
+          }
+        }
+        ops.row_axpy(t_fused.data(), vals.data(), cols.data(), cnt,
+                     xs.data(), k);
+        for (index_t c = 0; c < k; ++c) {
+          ASSERT_EQ(t_ref[static_cast<std::size_t>(c)],
+                    t_fused[static_cast<std::size_t>(c)])
+              << kn::to_string(isa) << " row_axpy k=" << k << " cnt=" << cnt
+              << " lane " << c;
+        }
+      }
+    }
+  }
+}
+
+TEST(KernelLanes, GatherAxpyBitwiseMatchesScalar) {
+  // Disjoint tgt/src position sets with distinct targets, as the
+  // contract requires — shuffled so the gathers are genuinely scattered.
+  const index_t cnt = 37;
+  const std::size_t w_len = 128;
+  std::vector<index_t> tgt, src;
+  for (index_t t = 0; t < cnt; ++t) {
+    tgt.push_back((t * 7) % 64);        // distinct (7 coprime to 64)
+    src.push_back(64 + ((t * 5) % 64)); // disjoint from targets
+  }
+  for (kn::KernelIsa isa : {kn::KernelIsa::kAvx2, kn::KernelIsa::kNeon}) {
+    const kn::LaneOps& ops = kn::ops_for(isa);
+    for (index_t n : {index_t{0}, index_t{3}, index_t{4}, index_t{17}, cnt}) {
+      auto w_ref = random_vec(w_len, 101 + n);
+      auto w_vec = w_ref;
+      const double a = 0.7071067811865476;
+      kn::scalar_ops().gather_axpy(w_ref.data(), tgt.data(), src.data(), n, a);
+      ops.gather_axpy(w_vec.data(), tgt.data(), src.data(), n, a);
+      for (std::size_t i = 0; i < w_len; ++i) {
+        ASSERT_EQ(w_ref[i], w_vec[i])
+            << kn::to_string(isa) << " gather_axpy cnt=" << n << " at " << i;
+      }
+    }
+  }
+}
+
+// --- ulp-class kernels: bounded error, never asserted bitwise ----------
+
+TEST(KernelLanes, DotAndFusedGatherAreErrorBounded) {
+  const index_t cnt = 257;  // odd: exercises every tail path
+  const auto vals = random_vec(static_cast<std::size_t>(cnt), 7);
+  const auto y = random_vec(512, 8);
+  std::vector<index_t> cols;
+  for (index_t j = 0; j < cnt; ++j) cols.push_back((j * 13) % 512);
+  const double ref =
+      kn::scalar_ops().dot(vals.data(), cols.data(), y.data(), cnt);
+  for (kn::KernelIsa isa : {kn::KernelIsa::kAvx2, kn::KernelIsa::kNeon}) {
+    const kn::LaneOps& ops = kn::ops_for(isa);
+    const double got = ops.dot(vals.data(), cols.data(), y.data(), cnt);
+    // Reassociation-level deviation only: the bound is generous (the
+    // true deviation is a few ulp of the running sums) but fails loudly
+    // on any indexing bug.
+    EXPECT_NEAR(got, ref, 1e-12 * static_cast<double>(cnt))
+        << kn::to_string(isa);
+
+    std::vector<index_t> tgt, src;
+    for (index_t t = 0; t < 31; ++t) {
+      tgt.push_back(t);
+      src.push_back(64 + t);
+    }
+    auto w_ref = random_vec(128, 9);
+    auto w_fma = w_ref;
+    kn::scalar_ops().gather_axpy(w_ref.data(), tgt.data(), src.data(), 31,
+                                 0.5);
+    ops.gather_axpy_fma(w_fma.data(), tgt.data(), src.data(), 31, 0.5);
+    for (std::size_t i = 0; i < 128; ++i) {
+      EXPECT_NEAR(w_ref[i], w_fma[i], 1e-14)
+          << kn::to_string(isa) << " gather_axpy_fma at " << i;
+    }
+  }
+}
+
+// --- plan-level bitwise identity ---------------------------------------
+
+TEST(KernelPlans, BatchSolvesBitwiseAcrossKernelChoices) {
+  // The lane-parallel batch kernels are bitwise per column, so a
+  // forced-vector plan must equal a forced-scalar plan must equal k
+  // sequential fused solves — across strategies, widths and layouts.
+  const sp::IluFactors f = sp::ilu0(gen::nine_point(13, 15));
+  const index_t n = f.l.rows;
+  const index_t k = 8;
+  const auto b = random_vec(static_cast<std::size_t>(n * k), 42);
+  std::vector<double> x_ref(b.size()), t(static_cast<std::size_t>(n));
+  for (index_t c = 0; c < k; ++c) {
+    sp::trisolve_lower_seq(
+        f.l,
+        std::span<const double>(b.data() + c * n, static_cast<std::size_t>(n)),
+        t);
+    sp::trisolve_upper_seq(f.u, t,
+                           std::span<double>(x_ref.data() + c * n,
+                                             static_cast<std::size_t>(n)));
+  }
+
+  for (sp::ExecutionStrategy s : kStrategies) {
+    for (unsigned nth : {1u, 2u, 4u}) {
+      for (sp::PlanLayout layout :
+           {sp::PlanLayout::kPacked, sp::PlanLayout::kCsrView}) {
+        sp::TrisolvePlan scalar(pool(), f.l, f.u,
+                                plan_opts(s, nth, layout,
+                                          kn::KernelChoice::kScalar));
+        sp::TrisolvePlan vector(pool(), f.l, f.u,
+                                plan_opts(s, nth, layout,
+                                          kn::KernelChoice::kVector));
+        std::vector<double> x_s(b.size(), 0.0), x_v(b.size(), 0.0);
+        scalar.solve_batch(b, x_s, k, sp::BatchMode::kWavefrontInterleaved);
+        vector.solve_batch(b, x_v, k, sp::BatchMode::kWavefrontInterleaved);
+        for (index_t i = 0; i < n * k; ++i) {
+          ASSERT_EQ(x_ref[static_cast<std::size_t>(i)],
+                    x_s[static_cast<std::size_t>(i)])
+              << core::to_string(s) << " nth=" << nth << " at " << i
+              << " (scalar kernel vs sequential)";
+          ASSERT_EQ(x_s[static_cast<std::size_t>(i)],
+                    x_v[static_cast<std::size_t>(i)])
+              << core::to_string(s) << " nth=" << nth << " at " << i
+              << " (vector kernel vs scalar kernel)";
+        }
+      }
+    }
+  }
+}
+
+TEST(KernelPlans, AutoDispatchBitwiseMatchesForcedScalarAcrossEpochs) {
+  // kAuto may race scalar-vs-vector across the first lane-kernel
+  // dispatches; every exploration epoch must still be bitwise identical
+  // to the pinned-scalar plan (the race is invisible to answers).
+  const sp::IluFactors f = sp::ilu0(gen::five_point(15, 13));
+  const index_t n = f.l.rows;
+  const index_t k = 8;
+  const auto b = random_vec(static_cast<std::size_t>(n * k), 77);
+
+  for (sp::ExecutionStrategy s :
+       {sp::ExecutionStrategy::kSerial, sp::ExecutionStrategy::kDoacross}) {
+    sp::TrisolvePlan fixed(pool(), f.l, f.u,
+                           plan_opts(s, 4, sp::PlanLayout::kPacked,
+                                     kn::KernelChoice::kScalar));
+    sp::TrisolvePlan autod(pool(), f.l, f.u,
+                           plan_opts(s, 4, sp::PlanLayout::kPacked,
+                                     kn::KernelChoice::kAuto));
+    std::vector<double> x_f(b.size()), x_a(b.size());
+    for (int epoch = 0; epoch < 8; ++epoch) {  // spans the whole race
+      fixed.solve_batch(b, x_f, k, sp::BatchMode::kWavefrontInterleaved);
+      autod.solve_batch(b, x_a, k, sp::BatchMode::kWavefrontInterleaved);
+      for (index_t i = 0; i < n * k; ++i) {
+        ASSERT_EQ(x_f[static_cast<std::size_t>(i)],
+                  x_a[static_cast<std::size_t>(i)])
+            << core::to_string(s) << " epoch=" << epoch << " at " << i;
+      }
+    }
+  }
+}
+
+// --- ulp_tolerance contract --------------------------------------------
+
+TEST(KernelPlans, UlpToleranceOffByDefaultAndBoundedWhenOn) {
+  const sp::IluFactors f = sp::ilu0(gen::nine_point(14, 14));
+  const index_t n = f.l.rows;
+  const auto rhs = random_vec(static_cast<std::size_t>(n), 5);
+  std::vector<double> z_seq(static_cast<std::size_t>(n)),
+      t(static_cast<std::size_t>(n));
+  sp::trisolve_lower_seq(f.l, rhs, t);
+  sp::trisolve_upper_seq(f.u, t, z_seq);
+
+  // Default options: single-RHS solves stay bitwise even on a vector
+  // table — ulp_tolerance defaults to 0.
+  sp::PlanOptions defaults = plan_opts(sp::ExecutionStrategy::kDoacross, 4,
+                                       sp::PlanLayout::kPacked,
+                                       kn::KernelChoice::kVector);
+  ASSERT_EQ(defaults.ulp_tolerance, 0.0);
+  sp::TrisolvePlan bitwise(pool(), f.l, f.u, defaults);
+  std::vector<double> z(static_cast<std::size_t>(n));
+  bitwise.solve(rhs, z);
+  for (index_t i = 0; i < n; ++i) {
+    ASSERT_EQ(z_seq[static_cast<std::size_t>(i)],
+              z[static_cast<std::size_t>(i)])
+        << "default (bitwise) row " << i;
+  }
+
+  // Opted in: answers may deviate at reassociation level, never more.
+  sp::PlanOptions opted = defaults;
+  opted.ulp_tolerance = 1e-12;
+  sp::TrisolvePlan ulp(pool(), f.l, f.u, opted);
+  std::vector<double> z_u(static_cast<std::size_t>(n));
+  for (int epoch = 0; epoch < 3; ++epoch) {
+    ulp.solve(rhs, z_u);
+    for (index_t i = 0; i < n; ++i) {
+      const double ref = z_seq[static_cast<std::size_t>(i)];
+      ASSERT_NEAR(z_u[static_cast<std::size_t>(i)], ref,
+                  1e-10 * (1.0 + std::abs(ref)))
+          << "ulp row " << i;
+    }
+  }
+
+  // Opted in on a pinned-scalar table: stays bitwise (the scalar dot is
+  // the reference reduction).
+  sp::PlanOptions scalar_opted = opted;
+  scalar_opted.kernel = kn::KernelChoice::kScalar;
+  sp::TrisolvePlan still_bitwise(pool(), f.l, f.u, scalar_opted);
+  still_bitwise.solve(rhs, z);
+  for (index_t i = 0; i < n; ++i) {
+    ASSERT_EQ(z_seq[static_cast<std::size_t>(i)],
+              z[static_cast<std::size_t>(i)])
+        << "scalar+tolerance (still bitwise) row " << i;
+  }
+}
+
+// --- FactorPlan kernel dispatch ----------------------------------------
+
+TEST(KernelFactor, ScatterKernelsBitwiseAcrossChoicesAndStrategies) {
+  const sp::Csr a = gen::nine_point(13, 13);
+  const sp::IluFactors ref = sp::ilu0(a);
+
+  for (sp::ExecutionStrategy s : kStrategies) {
+    for (kn::KernelChoice kc :
+         {kn::KernelChoice::kScalar, kn::KernelChoice::kVector,
+          kn::KernelChoice::kAuto}) {
+      sp::FactorPlanOptions o;
+      o.nthreads = 4;
+      o.strategy = s;
+      o.kernel = kc;
+      sp::FactorPlan plan(pool(), a, o);
+      sp::IluFactors f = plan.allocate_factors();
+      for (int epoch = 0; epoch < 6; ++epoch) {  // spans any kernel race
+        plan.factorize(a, f);
+        for (std::size_t i = 0; i < ref.l.val.size(); ++i) {
+          ASSERT_EQ(ref.l.val[i], f.l.val[i])
+              << core::to_string(s) << " kernel=" << kn::to_string(kc)
+              << " epoch=" << epoch << " L value " << i;
+        }
+        for (std::size_t i = 0; i < ref.u.val.size(); ++i) {
+          ASSERT_EQ(ref.u.val[i], f.u.val[i])
+              << core::to_string(s) << " kernel=" << kn::to_string(kc)
+              << " epoch=" << epoch << " U value " << i;
+        }
+      }
+    }
+  }
+}
+
+// --- kernel race telemetry ---------------------------------------------
+
+TEST(KernelRace, RaceUnitLocksInArgminWinner) {
+  kn::Race race;
+  EXPECT_FALSE(race.active());
+  EXPECT_EQ(race.winner(), kn::KernelChoice::kVector);  // default
+  race.arm(2);
+  ASSERT_TRUE(race.active());
+  // Vector explores first.
+  EXPECT_EQ(race.candidate(), kn::KernelChoice::kVector);
+  EXPECT_FALSE(race.note_epoch(10.0));
+  EXPECT_FALSE(race.note_epoch(12.0));
+  EXPECT_EQ(race.candidate(), kn::KernelChoice::kScalar);
+  EXPECT_FALSE(race.note_epoch(5.0));
+  EXPECT_TRUE(race.note_epoch(6.0));  // lock-in, exactly once
+  EXPECT_FALSE(race.active());
+  EXPECT_EQ(race.winner(), kn::KernelChoice::kScalar);  // argmin best_us
+  const kn::KernelRaceState& st = race.state();
+  EXPECT_TRUE(st.calibrated);
+  EXPECT_EQ(st.exploration_epochs, 4);
+  ASSERT_EQ(st.timings.size(), 2u);
+  EXPECT_EQ(st.timings[0].best_us, 10.0);
+  EXPECT_EQ(st.timings[1].best_us, 5.0);
+  // Disarmed races ignore feeds.
+  EXPECT_FALSE(race.note_epoch(1.0));
+}
+
+TEST(KernelRace, PlanTelemetryRecordsDispatchAndRace) {
+  const sp::IluFactors f = sp::ilu0(gen::five_point(14, 12));
+  const index_t n = f.l.rows;
+  const index_t k = 8;
+  const auto b = random_vec(static_cast<std::size_t>(n * k), 3);
+  std::vector<double> x(b.size());
+
+  // Pinned strategy + kAuto kernel: nothing to calibrate strategy-wise,
+  // so lane-kernel dispatches feed the kernel race immediately.
+  sp::TrisolvePlan plan(pool(), f.l, f.u,
+                        plan_opts(sp::ExecutionStrategy::kDoacross, 4,
+                                  sp::PlanLayout::kPacked,
+                                  kn::KernelChoice::kAuto));
+  EXPECT_EQ(plan.telemetry().isa, kn::dispatched_isa());
+  if (kn::dispatched_isa() == kn::KernelIsa::kScalar) {
+    // Scalar machine (or PDX_KERNEL=scalar): no race to run, the choice
+    // is scalar from construction.
+    EXPECT_EQ(plan.telemetry().kernel, kn::KernelChoice::kScalar);
+    for (int e = 0; e < 6; ++e) {
+      plan.solve_batch(b, x, k, sp::BatchMode::kWavefrontInterleaved);
+    }
+    EXPECT_FALSE(plan.telemetry().kernel_race.calibrated);
+    return;
+  }
+  // Vector machine: the race explores scalar and vector on interleaved
+  // batches and locks in a measured winner (2 epochs per choice by
+  // default).
+  for (int e = 0; e < 6; ++e) {
+    plan.solve_batch(b, x, k, sp::BatchMode::kWavefrontInterleaved);
+  }
+  const sp::PlanTelemetry& t = plan.telemetry();
+  EXPECT_TRUE(t.kernel_race.calibrated);
+  ASSERT_EQ(t.kernel_race.timings.size(), 2u);
+  EXPECT_GT(t.kernel_race.timings[0].epochs, 0);
+  EXPECT_GT(t.kernel_race.timings[1].epochs, 0);
+  EXPECT_EQ(t.kernel_race.exploration_epochs, 4);
+  EXPECT_TRUE(t.kernel == kn::KernelChoice::kScalar ||
+              t.kernel == kn::KernelChoice::kVector);
+
+  // Forced choices never race.
+  sp::TrisolvePlan pinned(pool(), f.l, f.u,
+                          plan_opts(sp::ExecutionStrategy::kDoacross, 4,
+                                    sp::PlanLayout::kPacked,
+                                    kn::KernelChoice::kVector));
+  for (int e = 0; e < 6; ++e) {
+    pinned.solve_batch(b, x, k, sp::BatchMode::kWavefrontInterleaved);
+  }
+  EXPECT_FALSE(pinned.telemetry().kernel_race.calibrated);
+  EXPECT_EQ(pinned.telemetry().kernel, kn::KernelChoice::kVector);
+}
+
+TEST(KernelRace, SingleRhsAndNarrowBatchesNeverFeedTheRace) {
+  // Only wavefront-interleaved batches with k >= kLaneMin execute lane
+  // kernels; single-RHS solves and narrow batches must leave the race
+  // untouched (their timings would be meaningless for it).
+  const sp::IluFactors f = sp::ilu0(gen::five_point(12, 12));
+  const index_t n = f.l.rows;
+  const auto b1 = random_vec(static_cast<std::size_t>(n), 4);
+  const auto b2 = random_vec(static_cast<std::size_t>(n * 2), 6);
+  std::vector<double> x1(b1.size()), x2(b2.size());
+  sp::TrisolvePlan plan(pool(), f.l, f.u,
+                        plan_opts(sp::ExecutionStrategy::kDoacross, 4,
+                                  sp::PlanLayout::kPacked,
+                                  kn::KernelChoice::kAuto));
+  for (int e = 0; e < 8; ++e) {
+    plan.solve(b1, x1);
+    plan.solve_batch(b2, x2, 2, sp::BatchMode::kWavefrontInterleaved);
+    plan.solve_batch(b2, x2, 2, sp::BatchMode::kColumnSequential);
+  }
+  EXPECT_FALSE(plan.telemetry().kernel_race.calibrated);
+  EXPECT_EQ(plan.telemetry().kernel_race.exploration_epochs, 0);
+}
+
+TEST(KernelRace, BatchDriverForwardsKnobsAndReportsDispatch) {
+  const sp::Csr a = gen::five_point(13, 13);
+  const auto b = random_vec(static_cast<std::size_t>(a.rows), 12);
+
+  solve::BatchDriverOptions opts;
+  opts.kernel = kn::KernelChoice::kScalar;
+  solve::BatchDriver driver(pool(), a, opts);
+  std::vector<double> x(b.size(), 0.0);
+  driver.enqueue(b, x);
+  const solve::BatchReport rep = driver.drain();
+  EXPECT_EQ(rep.isa, kn::dispatched_isa());
+  EXPECT_EQ(rep.kernel, kn::KernelChoice::kScalar);
+  EXPECT_FALSE(rep.kernel_calibrated);
+
+  // And the scalar-pinned drain answers bitwise like the default drain.
+  solve::BatchDriver driver2(pool(), a, solve::BatchDriverOptions{});
+  std::vector<double> x2(b.size(), 0.0);
+  driver2.enqueue(b, x2);
+  const solve::BatchReport rep2 = driver2.drain();
+  EXPECT_EQ(rep.converged, rep2.converged);
+  for (std::size_t i = 0; i < x.size(); ++i) ASSERT_EQ(x[i], x2[i]) << i;
+}

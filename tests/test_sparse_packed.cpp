@@ -284,6 +284,43 @@ TEST(PackedLayout, BuildCostsExactlyOneExtraDispatchForParallelPlans) {
   EXPECT_EQ(serial.layout(), sp::PlanLayout::kPacked);
 }
 
+TEST(PackedLayout, RecordLayoutKeeps32ByteAlignment) {
+  // Compile-time record geometry (DESIGN.md §14): vals starts on a
+  // four-word (32B) offset and every record is a whole number of 32B
+  // groups, so record bases — and therefore vals — stay 32B-aligned for
+  // the vector kernels given the slabs' cache-line alignment.
+  using Stream = sp::PackedFactorStream;
+  for (index_t cnt : {index_t{0}, index_t{1}, index_t{4}, index_t{5},
+                      index_t{9}, index_t{100}}) {
+    EXPECT_EQ(Stream::vals_offset_words(cnt) % 4, 0) << "cnt=" << cnt;
+    EXPECT_GE(Stream::vals_offset_words(cnt), 3 + cnt) << "cnt=" << cnt;
+    EXPECT_EQ(Stream::record_bytes(cnt) % 32, 0u) << "cnt=" << cnt;
+    EXPECT_GE(Stream::record_bytes(cnt),
+              static_cast<std::size_t>(Stream::vals_offset_words(cnt) + cnt) *
+                  8)
+        << "cnt=" << cnt;
+  }
+
+  // And at run time: every record's vals pointer in a packed factor is
+  // 32B-aligned (nine-point rows mix widths, so tails are exercised).
+  const sp::IluFactors f = sp::ilu0(gen::nine_point(9, 11));
+  sp::PackedFactorStream stream;
+  std::vector<index_t> rows(static_cast<std::size_t>(f.l.rows));
+  for (index_t i = 0; i < f.l.rows; ++i) {
+    rows[static_cast<std::size_t>(i)] = i;
+  }
+  stream.prepare(f.l, /*diag_first=*/false, {rows},
+                 /*build_position_index=*/false);
+  stream.pack(0);
+  sp::PackedFactorStream::Cursor cur = stream.cursor(0);
+  for (index_t i = 0; i < f.l.rows; ++i) {
+    const sp::PackedRow r = cur.next();
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(r.vals) % 32, 0u)
+        << "row " << r.row;
+    EXPECT_EQ(r.row, i);
+  }
+}
+
 TEST(PackedLayout, TelemetryRecordsLayoutAndBytes) {
   const sp::IluFactors f = sp::ilu0(gen::five_point(10, 10));
   sp::TrisolvePlan packed(pool(), f.l, f.u,
