@@ -33,6 +33,14 @@ that already divide out the machine:
                             factorization time (refactor_loop)
   refactor.refresh_speedup  full TrisolvePlan rebuild / value-only
                             refresh_speedup time (refactor_loop)
+  service.batch_gain    open-loop burst jobs/sec / one-at-a-time jobs/sec
+                        through the same solve::Service (service_load) —
+                        what the scheduler's same-matrix strip packing
+                        buys over serial request handling, measured
+                        within one run. The gate also re-checks the
+                        artifact's overload accounting verdict: every
+                        flooded job must have landed in exactly one
+                        terminal state.
   kernel.lane_speedup   scalar-table / vector-table time per row with
                         k >= lane_min (kernel_micro; both solve-level
                         and kernel-only *_kern rows). The spilled_kern
@@ -151,6 +159,16 @@ def refactor_metrics(doc):
     }
 
 
+def service_metrics(doc):
+    """Metric-class -> {row_key: ratio} for a service_load artifact."""
+    gain = {}
+    for row in doc.get("results", []):
+        key = (row.get("threads"), row.get("tenants"))
+        if row.get("batch_gain", 0) > 0:
+            gain[key] = row["batch_gain"]
+    return {"service.batch_gain": gain}
+
+
 def kernel_metrics(doc):
     """Metric-class -> {row_key: ratio} for a kernel_micro artifact."""
     # A scalar dispatch (no AVX2/NEON, or PDX_KERNEL=scalar) times the
@@ -191,6 +209,7 @@ def main():
     ap.add_argument("--batch", nargs=2, metavar=("FRESH", "BASELINE"))
     ap.add_argument("--refactor", nargs=2, metavar=("FRESH", "BASELINE"))
     ap.add_argument("--kernel", nargs=2, metavar=("FRESH", "BASELINE"))
+    ap.add_argument("--service", nargs=2, metavar=("FRESH", "BASELINE"))
     ap.add_argument(
         "--tolerance",
         type=float,
@@ -198,9 +217,9 @@ def main():
         help="allowed fractional slowdown (default 0.15)")
     args = ap.parse_args()
     if not (args.plan or args.strategy or args.batch or args.refactor
-            or args.kernel):
+            or args.kernel or args.service):
         ap.error("nothing to gate: pass --plan, --strategy, --batch, "
-                 "--refactor and/or --kernel")
+                 "--refactor, --kernel and/or --service")
 
     classes = {}
     extractors = [
@@ -209,6 +228,7 @@ def main():
         (args.batch, batch_metrics),
         (args.refactor, refactor_metrics),
         (args.kernel, kernel_metrics),
+        (args.service, service_metrics),
     ]
     for paths, extract in extractors:
         if not paths:
@@ -237,6 +257,16 @@ def main():
                       f"{1.0 / v:.2f}x slower than the best measured "
                       f"strategy for that cell")
                 ok = False
+
+    if args.service:
+        # The bench exits non-zero when overload accounting breaks;
+        # re-checking the artifact keeps the gate honest against a stale
+        # or hand-edited file.
+        if not load(args.service[0]).get("accounting_exact", False):
+            print("service: fresh artifact reports accounting_exact=false — "
+                  "an overloaded job ended in no (or more than one) "
+                  "terminal state")
+            ok = False
 
     if args.kernel:
         fresh_doc = load(args.kernel[0])

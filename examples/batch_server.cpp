@@ -1,22 +1,30 @@
-// batch_server — the serving loop the batched execution layer exists for.
+// batch_server — the multi-tenant serving loop solve::Service exists for.
 //
-// One matrix is factored once; solve requests then arrive continuously.
-// This example simulates that traffic in waves: each wave's (b, x) pairs
-// are queued on a solve::BatchDriver and drained together — the initial
-// residuals of the whole wave are screened with one batched SpMV, and
-// every Krylov iteration of every request reuses the same fused L+U
-// TrisolvePlan. Repeat requests (a client retrying an already-answered
-// system) are answered by the screen without any Krylov work.
+// Two matrices are registered as tenants of one Service; solve requests
+// for both arrive interleaved. The service's scheduler packs same-matrix
+// jobs into strips and drains each strip through that tenant's cached
+// BatchDriver — the plan-sharing, screen-batching machinery of the lower
+// layers, now behind admission control, per-job deadlines, and a
+// per-matrix circuit breaker (DESIGN.md §15).
 //
-// Build & run:  ./examples/batch_server
+// The overload story is part of the demo: the queue is bounded, and the
+// flags pick what happens when it fills.
+//
+// Usage: ./examples/batch_server [--backpressure=block|shed|reject]
+//                                [--deadline-ms=D] [--queue-capacity=N]
+//        (PDX_QUICK=1 shrinks the problem — the CI smoke mode.)
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
 #include <vector>
 
+#include "benchsupport/env.hpp"
 #include "benchsupport/timer.hpp"
 #include "gen/rng.hpp"
 #include "gen/stencil.hpp"
 #include "runtime/thread_pool.hpp"
-#include "solve/batch_driver.hpp"
+#include "solve/service.hpp"
 
 namespace gen = pdx::gen;
 namespace rt = pdx::rt;
@@ -24,120 +32,156 @@ namespace solve = pdx::solve;
 namespace sp = pdx::sparse;
 using pdx::index_t;
 
-int main() {
-  sp::Csr a = gen::five_point(48, 48);  // values re-assembled further down
-  const index_t n = a.rows;
+int main(int argc, char** argv) {
+  const bool quick = pdx::bench::quick_mode();
 
-  rt::ThreadPool pool;  // hardware width
-  solve::BatchDriverOptions opts;
-  opts.rel_tolerance = 1e-10;
-  pdx::bench::WallTimer build_timer;
-  solve::BatchDriver driver(pool, a, opts);  // ILU(0) + plan, built once
-  const double build_ms = build_timer.millis();
-
-  std::printf("batch_server: %lld equations, %u threads, setup %.1f ms\n",
-              static_cast<long long>(n), pool.width(), build_ms);
-  const sp::PlanTelemetry& tel = driver.preconditioner().plan().telemetry();
-  std::printf("plan strategy: %s (%s)\n", pdx::core::to_string(tel.strategy),
-              tel.rationale.c_str());
-  std::printf("plan layout: %s (%zu packed stream bytes)\n",
-              sp::to_string(tel.layout), tel.packed_bytes);
-  std::printf("%-6s %-9s %-9s %-10s %-9s %-12s %-10s\n", "wave", "requests",
-              "screened", "iterations", "M-solves", "dispatches", "ms");
-
-  gen::SplitMix64 rng(2026);
-  const int waves = 4;
-  const int per_wave = 8;
-  std::vector<std::vector<double>> b(waves * per_wave), x(waves * per_wave);
-
-  for (int w = 0; w < waves; ++w) {
-    for (int j = 0; j < per_wave; ++j) {
-      auto& bj = b[static_cast<std::size_t>(w * per_wave + j)];
-      auto& xj = x[static_cast<std::size_t>(w * per_wave + j)];
-      bj.resize(static_cast<std::size_t>(n));
-      for (auto& v : bj) v = rng.next_double(-1.0, 1.0);
-      xj.assign(static_cast<std::size_t>(n), 0.0);
-      driver.enqueue(bj, xj);
-    }
-    if (w == waves - 1) {
-      // Last wave also carries retries of wave 0's (already solved)
-      // systems: the batched screen answers them for one SpMV dispatch.
-      for (int j = 0; j < per_wave; ++j) {
-        driver.enqueue(b[static_cast<std::size_t>(j)],
-                       x[static_cast<std::size_t>(j)]);
+  solve::ServiceOptions opts;
+  opts.queue_capacity = 128;
+  opts.backpressure = solve::BackpressurePolicy::kBlock;
+  opts.max_batch = 16;
+  opts.solver.rel_tolerance = 1e-10;
+  double deadline_ms = 0.0;  // 0 = none
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--backpressure=", 0) == 0) {
+      const std::string v = arg.substr(15);
+      if (v == "block") {
+        opts.backpressure = solve::BackpressurePolicy::kBlock;
+      } else if (v == "shed") {
+        opts.backpressure = solve::BackpressurePolicy::kShedOldest;
+      } else if (v == "reject") {
+        opts.backpressure = solve::BackpressurePolicy::kReject;
+      } else {
+        std::fprintf(stderr, "unknown backpressure policy: %s\n", v.c_str());
+        return 2;
       }
-    }
-
-    pdx::bench::WallTimer drain_timer;
-    const solve::BatchReport rep = driver.drain();
-    const double ms = drain_timer.millis();
-    std::printf("%-6d %-9zu %-9zu %-10llu %-9llu %-12llu %-10.1f\n", w,
-                rep.jobs, rep.screened,
-                static_cast<unsigned long long>(rep.total_iterations),
-                static_cast<unsigned long long>(rep.precond_solves),
-                static_cast<unsigned long long>(rep.pool_dispatches), ms);
-    if (rep.converged != rep.jobs) {
-      std::printf("wave %d: %zu/%zu converged — FAIL\n", w, rep.converged,
-                  rep.jobs);
-      return 1;
+    } else if (arg.rfind("--deadline-ms=", 0) == 0) {
+      deadline_ms = std::atof(arg.c_str() + 14);
+    } else if (arg.rfind("--queue-capacity=", 0) == 0) {
+      opts.queue_capacity =
+          static_cast<std::size_t>(std::atoll(arg.c_str() + 17));
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return 2;
     }
   }
 
-  // Operator update mid-service (the time-stepping hook): new matrix
-  // VALUES over the same pattern are adopted by one refactor() —
-  // parallel numeric ILU(0) through the persistent FactorPlan plus a
-  // value-only refresh of the packed solve streams — and the next wave
-  // is served against the new operator with nothing rebuilt. The report
-  // forwards the refactor telemetry next to the strategy/layout fields.
+  const int grid_a = quick ? 32 : 48;
+  const int grid_b = quick ? 24 : 40;
+  sp::Csr a = gen::five_point(grid_a, grid_a);
+  const sp::Csr b_mat = gen::five_point(grid_b, grid_b);
+
+  rt::ThreadPool pool;  // hardware width; the service is its only caller
+  solve::Service svc(pool, opts);
+  const solve::MatrixId ta = svc.register_matrix(a);
+  const solve::MatrixId tb = svc.register_matrix(b_mat);
+
+  std::printf(
+      "batch_server: 2 tenants (%lld and %lld equations), %u threads, "
+      "queue %zu, policy %s, deadline %s\n",
+      static_cast<long long>(a.rows), static_cast<long long>(b_mat.rows),
+      pool.width(), opts.queue_capacity, to_string(opts.backpressure),
+      deadline_ms > 0 ? (std::to_string(deadline_ms) + " ms").c_str()
+                      : "none");
+
+  // Interleaved traffic: waves alternate tenants so the scheduler's
+  // same-matrix strip packing has something to do.
+  gen::SplitMix64 rng(2026);
+  const int waves = quick ? 3 : 5;
+  const int per_wave = quick ? 6 : 10;
+  std::vector<solve::JobHandle> jobs;
+  std::vector<double> rhs(static_cast<std::size_t>(a.rows));
+
+  pdx::bench::WallTimer wall;
+  for (int w = 0; w < waves; ++w) {
+    for (int j = 0; j < per_wave; ++j) {
+      const bool to_a = (w + j) % 2 == 0;
+      const index_t n = to_a ? a.rows : b_mat.rows;
+      for (index_t i = 0; i < n; ++i) {
+        rhs[static_cast<std::size_t>(i)] = rng.next_double(-1.0, 1.0);
+      }
+      jobs.push_back(svc.submit(
+          to_a ? ta : tb,
+          std::span<const double>(rhs.data(), static_cast<std::size_t>(n)),
+          deadline_ms));
+    }
+  }
+
+  std::size_t solved = 0, expired = 0, rejected = 0, failed = 0;
+  const auto tally = [&](const solve::JobResult& res) {
+    switch (res.outcome) {
+      case solve::JobOutcome::kSolved: ++solved; break;
+      case solve::JobOutcome::kExpired: ++expired; break;
+      case solve::JobOutcome::kRejected: ++rejected; break;
+      default:
+        ++failed;
+        std::printf("job failed: %s\n", res.error.c_str());
+        break;
+    }
+  };
+  for (const solve::JobHandle& job : jobs) tally(job->wait());
+
+  // Operator update mid-service: new VALUES over tenant A's (now live)
+  // unchanged pattern are adopted as a value-only plan refresh — numeric
+  // refactor through the persistent FactorPlan plus a packed-stream
+  // refresh, no rebuild — before A's next strip.
   for (std::size_t k = 0; k < a.val.size(); ++k) {
     a.val[k] *= 1.0 + 0.1 * ((k % 7) / 7.0);
   }
-  driver.refactor(a);
-  {
-    std::vector<double> br(static_cast<std::size_t>(n)),
-        xr(static_cast<std::size_t>(n), 0.0);
-    for (auto& v : br) v = rng.next_double(-1.0, 1.0);
-    driver.enqueue(br, xr);
-    const solve::BatchReport rep = driver.drain();
-    std::printf(
-        "\nrefactor: numeric factorization %.2f ms (%s strategy), plan "
-        "value-refresh %.2f ms; wave of %zu served against the new "
-        "operator (%llu iterations).\n",
-        rep.factor_ms, pdx::core::to_string(rep.factor_strategy),
-        rep.refresh_ms, rep.jobs,
-        static_cast<unsigned long long>(rep.total_iterations));
-    if (rep.converged != rep.jobs) {
-      std::printf("post-refactor wave failed to converge — FAIL\n");
-      return 1;
-    }
+  svc.update_values(ta, a);
+  for (index_t i = 0; i < a.rows; ++i) {
+    rhs[static_cast<std::size_t>(i)] = rng.next_double(-1.0, 1.0);
+  }
+  jobs.push_back(svc.submit(
+      ta, std::span<const double>(rhs.data(),
+                                  static_cast<std::size_t>(a.rows)),
+      deadline_ms));
+  tally(jobs.back()->wait());
+  const double ms = wall.millis();
+
+  const solve::ServiceReport rep = svc.report();
+  std::printf(
+      "%zu jobs in %.1f ms: %zu solved, %zu expired, %zu rejected, %zu "
+      "failed\n",
+      jobs.size(), ms, solved, expired, rejected, failed);
+  std::printf(
+      "queue high-water %zu/%zu; plan cache %llu hits / %llu misses / %llu "
+      "evictions; %llu value refresh(es)\n",
+      rep.queue_high_water, opts.queue_capacity,
+      static_cast<unsigned long long>(rep.cache_hits),
+      static_cast<unsigned long long>(rep.cache_misses),
+      static_cast<unsigned long long>(rep.cache_evictions),
+      static_cast<unsigned long long>(rep.value_refreshes));
+  std::printf("latency p50 %.2f ms, p99 %.2f ms, max %.2f ms\n", rep.p50_ms,
+              rep.p99_ms, rep.max_ms);
+  for (solve::MatrixId id : {ta, tb}) {
+    const solve::MatrixInfo mi = svc.matrix_info(id);
+    std::printf("tenant %llu: plans %s, strategy %s, breaker %s\n",
+                static_cast<unsigned long long>(id),
+                mi.live ? "live" : "cold", pdx::core::to_string(mi.strategy),
+                to_string(mi.breaker));
   }
 
-  // The raw batched primitive, for callers below the Krylov layer: apply
-  // M⁻¹ to a whole wave of vectors in ONE pool dispatch (e.g. smoothing,
-  // residual preprocessing). One dispatch, eight columns.
-  const auto& m = driver.preconditioner();
-  m.reserve_batch(per_wave);
-  std::vector<const double*> r_cols(per_wave);
-  std::vector<std::vector<double>> z(per_wave);
-  std::vector<double*> z_cols(per_wave);
-  for (int j = 0; j < per_wave; ++j) {
-    r_cols[static_cast<std::size_t>(j)] = b[static_cast<std::size_t>(j)].data();
-    z[static_cast<std::size_t>(j)].assign(static_cast<std::size_t>(n), 0.0);
-    z_cols[static_cast<std::size_t>(j)] = z[static_cast<std::size_t>(j)].data();
+  if (!svc.shutdown(/*drain_timeout_ms=*/10000.0)) {
+    std::printf("shutdown did not drain — FAIL\n");
+    return 1;
   }
-  rt::DispatchProbe probe(pool);
-  pdx::bench::WallTimer batch_timer;
-  m.apply_batch(r_cols.data(), z_cols.data(), per_wave);
-  std::printf(
-      "\napply_batch: M⁻¹ over %d vectors in %llu pool dispatch(es), "
-      "%.1f ms\n",
-      per_wave, static_cast<unsigned long long>(probe.delta()),
-      batch_timer.millis());
 
-  std::printf(
-      "plan amortization: %llu preconditioner applications and %llu batch "
-      "columns ran through one plan built at setup.\n",
-      static_cast<unsigned long long>(m.plan().solves()),
-      static_cast<unsigned long long>(m.plan().batch_columns()));
+  // Accounting must be exact: every job ended in exactly one state, and
+  // without a deadline (the smoke configuration) everything solves.
+  if (rep.submitted != rep.solved + rep.expired + rep.rejected + rep.failed) {
+    std::printf("accounting mismatch — FAIL\n");
+    return 1;
+  }
+  if (deadline_ms <= 0 &&
+      opts.backpressure == solve::BackpressurePolicy::kBlock && solved != jobs.size()) {
+    std::printf("expected every job solved under block policy — FAIL\n");
+    return 1;
+  }
+  if (rep.value_refreshes < 1) {
+    std::printf("value-only refresh did not happen — FAIL\n");
+    return 1;
+  }
+  std::printf("ok\n");
   return 0;
 }

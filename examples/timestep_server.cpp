@@ -1,34 +1,35 @@
-// timestep_server — the evolving-values serving loop FactorPlan and
-// refresh_values exist for.
+// timestep_server — the evolving-values serving loop, now through
+// solve::Service.
 //
 // Implicit time integration of a diffusion problem with a time-varying
 // coefficient field: every step the operator A(t) = I + dt·K(t) changes
-// VALUES while its stencil PATTERN stays fixed. The classic per-step
-// bill — sequential re-factorization plus a full solve-plan rebuild —
-// is replaced by the symbolic-once / numeric-fast split:
+// VALUES while its stencil PATTERN stays fixed. Each step is one
+// update_values() — which the service applies as a value-only plan
+// refresh (parallel numeric ILU(0) through the persistent FactorPlan +
+// packed-stream refresh, never a plan rebuild) — followed by one
+// deadline-carrying job for the implicit solve.
 //
-//   setup (once)     BatchDriver builds ILU(0), the TrisolvePlan, and
-//                    (on the first refactor) the FactorPlan's symbolic
-//                    phase;
-//   per step         driver.refactor(A) — parallel zero-allocation
-//                    numeric factorization + value-only refresh of the
-//                    packed solve streams — then enqueue/drain the
-//                    step's implicit solve through the shared plan.
+// Running the loop through the Service instead of a raw BatchDriver buys
+// the serving guarantees: the step solve carries a deadline, overload on
+// the submission queue follows an explicit backpressure policy, and an
+// infrastructure fault would degrade this tenant to the exact serial
+// fallback instead of taking the process down (DESIGN.md §15).
 //
-// Every step's report carries the refactor telemetry (factor_ms,
-// refresh_ms, the FactorPlan strategy) next to the Krylov work it paid
-// for. Build & run:  ./examples/timestep_server   (PDX_QUICK=1 shrinks
-// the grid and step count — the CI smoke mode).
+// Usage: ./examples/timestep_server [--deadline-ms=D]
+//                                   [--backpressure=block|shed|reject]
+//        (PDX_QUICK=1 shrinks the grid and step count — the CI smoke
+//        mode.)
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 #include <vector>
 
 #include "benchsupport/env.hpp"
 #include "benchsupport/timer.hpp"
 #include "gen/stencil.hpp"
 #include "runtime/thread_pool.hpp"
-#include "solve/batch_driver.hpp"
+#include "solve/service.hpp"
 
 namespace gen = pdx::gen;
 namespace rt = pdx::rt;
@@ -49,11 +50,36 @@ void assemble(const sp::Csr& base, sp::Csr& a, double t) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   const bool quick = pdx::bench::quick_mode();
   const int grid = quick ? 32 : 64;
   const int steps = quick ? 4 : 12;
   const double dt = 0.35;
+
+  solve::ServiceOptions opts;
+  opts.solver.rel_tolerance = 1e-10;
+  double deadline_ms = 0.0;  // 0 = none
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--deadline-ms=", 0) == 0) {
+      deadline_ms = std::atof(arg.c_str() + 14);
+    } else if (arg.rfind("--backpressure=", 0) == 0) {
+      const std::string v = arg.substr(15);
+      if (v == "block") {
+        opts.backpressure = solve::BackpressurePolicy::kBlock;
+      } else if (v == "shed") {
+        opts.backpressure = solve::BackpressurePolicy::kShedOldest;
+      } else if (v == "reject") {
+        opts.backpressure = solve::BackpressurePolicy::kReject;
+      } else {
+        std::fprintf(stderr, "unknown backpressure policy: %s\n", v.c_str());
+        return 2;
+      }
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return 2;
+    }
+  }
 
   const sp::Csr base = gen::five_point(grid, grid);
   sp::Csr a = base;  // pattern fixed for the whole run; values per step
@@ -61,22 +87,19 @@ int main() {
   assemble(base, a, 0.0);
 
   rt::ThreadPool pool;  // hardware width
-  solve::BatchDriverOptions opts;
-  opts.rel_tolerance = 1e-10;
+  solve::Service svc(pool, opts);
   pdx::bench::WallTimer build_timer;
-  solve::BatchDriver driver(pool, a, opts);
-  const double build_ms = build_timer.millis();
+  const solve::MatrixId id = svc.register_matrix(a);
+  const double register_ms = build_timer.millis();
 
   std::printf(
-      "timestep_server: %lld equations, %u threads, dt=%.2f, setup %.1f "
-      "ms\n",
-      static_cast<long long>(n), pool.width(), dt, build_ms);
-  const sp::PlanTelemetry& tel = driver.preconditioner().plan().telemetry();
-  std::printf("solve plan: %s / %s layout\n",
-              pdx::core::to_string(tel.strategy), sp::to_string(tel.layout));
-  std::printf("%-5s %-11s %-11s %-12s %-6s %-9s %-10s\n", "step",
-              "factor(ms)", "refresh(ms)", "factor-strat", "iters",
-              "M-solves", "step(ms)");
+      "timestep_server: %lld equations, %u threads, dt=%.2f, register %.1f "
+      "ms (plans build lazily), deadline %s\n",
+      static_cast<long long>(n), pool.width(), dt, register_ms,
+      deadline_ms > 0 ? (std::to_string(deadline_ms) + " ms").c_str()
+                      : "none");
+  std::printf("%-5s %-9s %-10s %-10s %-9s %-10s\n", "step", "iters",
+              "queue(ms)", "solve(ms)", "degraded", "step(ms)");
 
   // u evolves under backward Euler: (I + dt K(t)) u_next = u. The rhs of
   // each step is the previous solution — real time-stepping traffic, not
@@ -87,37 +110,46 @@ int main() {
   for (int s = 1; s <= steps; ++s) {
     pdx::bench::WallTimer step_timer;
     assemble(base, a, dt * s);
-    driver.refactor(a);  // parallel numeric ILU(0) + value-only refresh
+    svc.update_values(id, a);  // applied as a value-only refresh
 
-    std::fill(u_next.begin(), u_next.end(), 0.0);
-    driver.enqueue(u, u_next);
-    const solve::BatchReport rep = driver.drain();
-    if (rep.converged != rep.jobs) {
-      std::printf("step %d: solve failed to converge\n", s);
+    const solve::JobResult res = svc.solve(id, u, u_next, deadline_ms);
+    if (res.outcome != solve::JobOutcome::kSolved) {
+      std::printf("step %d: %s — %s\n", s, to_string(res.outcome),
+                  res.error.c_str());
       return 1;
     }
-    std::printf("%-5d %-11.2f %-11.2f %-12s %-6llu %-9llu %-10.1f\n", s,
-                rep.factor_ms, rep.refresh_ms,
-                pdx::core::to_string(rep.factor_strategy),
-                static_cast<unsigned long long>(rep.total_iterations),
-                static_cast<unsigned long long>(rep.precond_solves),
-                step_timer.millis());
+    std::printf("%-5d %-9d %-10.2f %-10.2f %-9s %-10.1f\n", s,
+                res.report.iterations, res.queue_ms, res.solve_ms,
+                res.degraded ? "yes" : "no", step_timer.millis());
     std::swap(u, u_next);
   }
 
-  const sp::FactorPlan* fp = driver.preconditioner().factor_plan();
-  if (fp == nullptr || fp->factorizations() !=
-                           static_cast<std::uint64_t>(steps)) {
-    std::printf("FactorPlan did not amortize across the steps — FAIL\n");
+  const solve::ServiceReport rep = svc.report();
+  const solve::MatrixInfo mi = svc.matrix_info(id);
+  // The first step builds the plans from the step-1 values (a cache
+  // miss); each later step's update lands as a value-only refresh on the
+  // live plans — 1 symbolic build serving steps-1 refreshes.
+  std::printf(
+      "\namortization: %llu plan build(s) served %llu value refresh(es) "
+      "across %d steps (strategy %s, breaker %s).\n",
+      static_cast<unsigned long long>(rep.cache_misses),
+      static_cast<unsigned long long>(rep.value_refreshes), steps,
+      pdx::core::to_string(mi.strategy), to_string(mi.breaker));
+
+  if (!svc.shutdown(/*drain_timeout_ms=*/10000.0)) {
+    std::printf("shutdown did not drain — FAIL\n");
     return 1;
   }
-  std::printf(
-      "\namortization: 1 symbolic phase (%zu bytes) served %llu numeric "
-      "factorizations; the solve plan was refreshed %llu times and "
-      "rebuilt 0 times.\n",
-      fp->telemetry().symbolic_bytes,
-      static_cast<unsigned long long>(fp->factorizations()),
-      static_cast<unsigned long long>(
-          driver.preconditioner().plan().refreshes()));
+  if (rep.solved != static_cast<std::uint64_t>(steps)) {
+    std::printf("expected %d solved steps, saw %llu — FAIL\n", steps,
+                static_cast<unsigned long long>(rep.solved));
+    return 1;
+  }
+  if (rep.cache_misses != 1 ||
+      rep.value_refreshes != static_cast<std::uint64_t>(steps - 1)) {
+    std::printf("plan did not amortize across the steps — FAIL\n");
+    return 1;
+  }
+  std::printf("ok\n");
   return 0;
 }

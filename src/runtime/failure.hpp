@@ -71,7 +71,9 @@ class InjectedFault : public std::runtime_error {
 
 /// A watched wait exceeded its spin-round budget: the producer (or a
 /// barrier peer) is not making progress. Carries enough diagnostics to
-/// name the stuck dependence.
+/// name the stuck dependence. Layers above the executor can append their
+/// own context (the active strategy, the serving matrix id) with
+/// add_context(); what() always reports the full annotated message.
 class StallError : public std::runtime_error {
  public:
   StallError(index_t row, index_t waiting_on, std::uint32_t epoch,
@@ -81,11 +83,25 @@ class StallError : public std::runtime_error {
             " spin rounds (site " + site + ", row " + std::to_string(row) +
             ", waiting on " + std::to_string(waiting_on) + ", epoch " +
             std::to_string(epoch) + ")"),
+        msg_(std::runtime_error::what()),
         row_(row),
         waiting_on_(waiting_on),
         epoch_(epoch),
         rounds_(rounds),
         site_(std::move(site)) {}
+
+  /// Append caller context ("strategy doacross, matrix 3") to the
+  /// diagnostic. The solve service annotates stalls it catches so the
+  /// job-level error names which tenant's plan — and which executor —
+  /// was stuck, not just the row offset inside it.
+  void add_context(const std::string& context) {
+    if (context.empty()) return;
+    msg_ += " [";
+    msg_ += context;
+    msg_ += "]";
+  }
+
+  const char* what() const noexcept override { return msg_.c_str(); }
 
   index_t row() const noexcept { return row_; }
   index_t waiting_on() const noexcept { return waiting_on_; }
@@ -94,6 +110,7 @@ class StallError : public std::runtime_error {
   const std::string& site() const noexcept { return site_; }
 
  private:
+  std::string msg_;
   index_t row_;
   index_t waiting_on_;
   std::uint32_t epoch_;

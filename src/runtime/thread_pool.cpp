@@ -6,55 +6,58 @@ namespace pdx::rt {
 
 ThreadPool::ThreadPool(unsigned width)
     : width_(width == 0 ? std::max(1u, std::thread::hardware_concurrency())
-                        : width) {
+                        : width),
+      sh_(std::make_shared<Shared>()) {
   workers_.reserve(width_ > 0 ? width_ - 1 : 0);
   for (unsigned tid = 1; tid < width_; ++tid) {
-    workers_.emplace_back([this, tid] { worker_main(tid); });
+    workers_.emplace_back([sh = sh_, tid] { worker_main(sh, tid); });
   }
 }
 
 ThreadPool::~ThreadPool() {
+  if (workers_.empty()) return;  // shutdown() already joined or abandoned
   {
-    std::lock_guard<std::mutex> lk(mu_);
-    stopping_ = true;
-    ++job_epoch_;
+    std::lock_guard<std::mutex> lk(sh_->mu);
+    sh_->stopping = true;
+    ++sh_->job_epoch;
   }
-  cv_start_.notify_all();
+  sh_->cv_start.notify_all();
   for (auto& t : workers_) t.join();
 }
 
-void ThreadPool::record_exception() noexcept {
-  std::lock_guard<std::mutex> lk(exc_mu_);
-  if (!first_exception_) first_exception_ = std::current_exception();
-}
-
-void ThreadPool::worker_main(unsigned tid) {
+void ThreadPool::worker_main(std::shared_ptr<Shared> sh, unsigned tid) {
   std::uint64_t seen_epoch = 0;
   for (;;) {
     const RegionFn* job = nullptr;
     unsigned job_width = 0;
     {
-      std::unique_lock<std::mutex> lk(mu_);
-      cv_start_.wait(lk, [&] { return stopping_ || job_epoch_ != seen_epoch; });
-      if (stopping_) return;
-      seen_epoch = job_epoch_;
-      job = job_;
-      job_width = job_width_;
+      std::unique_lock<std::mutex> lk(sh->mu);
+      sh->cv_start.wait(lk,
+                        [&] { return sh->stopping || sh->job_epoch != seen_epoch; });
+      if (sh->stopping) break;
+      seen_epoch = sh->job_epoch;
+      job = sh->job;
+      job_width = sh->job_width;
     }
     if (tid < job_width) {
       try {
         (*job)(tid, job_width);
       } catch (...) {
-        record_exception();
+        sh->record_exception();
       }
       bool last;
       {
-        std::lock_guard<std::mutex> lk(mu_);
-        last = (--outstanding_ == 0);
+        std::lock_guard<std::mutex> lk(sh->mu);
+        last = (--sh->outstanding == 0);
       }
-      if (last) cv_done_.notify_one();
+      if (last) sh->cv_done.notify_one();
     }
   }
+  {
+    std::lock_guard<std::mutex> lk(sh->mu);
+    ++sh->exited;
+  }
+  sh->cv_exit.notify_all();
 }
 
 void ThreadPool::parallel_region(unsigned nthreads, const RegionFn& fn) {
@@ -66,35 +69,78 @@ void ThreadPool::parallel_region(unsigned nthreads, const RegionFn& fn) {
   }
 
   {
-    std::lock_guard<std::mutex> lk(mu_);
-    assert(outstanding_ == 0 && "parallel_region is not reentrant");
-    job_ = &fn;
-    job_width_ = nthreads;
-    outstanding_ = nthreads - 1;  // workers 1..nthreads-1
-    ++job_epoch_;
+    std::lock_guard<std::mutex> lk(sh_->mu);
+    if (sh_->stopping) {
+      throw std::logic_error(
+          "ThreadPool::parallel_region: pool is shut down");
+    }
+    assert(sh_->outstanding == 0 && "parallel_region is not reentrant");
+    sh_->job = &fn;
+    sh_->job_width = nthreads;
+    sh_->outstanding = nthreads - 1;  // workers 1..nthreads-1
+    ++sh_->job_epoch;
   }
-  cv_start_.notify_all();
+  sh_->cv_start.notify_all();
 
   // The calling thread is member 0.
   try {
     fn(0, nthreads);
   } catch (...) {
-    record_exception();
+    sh_->record_exception();
   }
 
   {
-    std::unique_lock<std::mutex> lk(mu_);
-    cv_done_.wait(lk, [&] { return outstanding_ == 0; });
-    job_ = nullptr;
+    std::unique_lock<std::mutex> lk(sh_->mu);
+    sh_->cv_done.wait(lk, [&] { return sh_->outstanding == 0; });
+    sh_->job = nullptr;
   }
 
   std::exception_ptr eptr;
   {
-    std::lock_guard<std::mutex> lk(exc_mu_);
-    eptr = first_exception_;
-    first_exception_ = nullptr;
+    std::lock_guard<std::mutex> lk(sh_->exc_mu);
+    eptr = sh_->first_exception;
+    sh_->first_exception = nullptr;
   }
   if (eptr) std::rethrow_exception(eptr);
+}
+
+void ThreadPool::shutdown(std::chrono::milliseconds timeout) {
+  if (workers_.empty()) return;  // width 1, already joined, or abandoned
+  const unsigned total = static_cast<unsigned>(workers_.size());
+  bool all_exited;
+  {
+    std::unique_lock<std::mutex> lk(sh_->mu);
+    sh_->stopping = true;
+    ++sh_->job_epoch;
+    sh_->cv_start.notify_all();
+    all_exited = sh_->cv_exit.wait_for(
+        lk, timeout, [&] { return sh_->exited == total; });
+  }
+  if (all_exited) {
+    for (auto& t : workers_) t.join();
+    workers_.clear();
+    return;
+  }
+  // Workers are wedged inside a region. Joining would block exactly like
+  // the destructor we exist to improve on; instead abandon every thread.
+  // Each holds its own shared_ptr to the pool state, so a worker that
+  // eventually resumes finds live synchronization objects, observes
+  // `stopping`, and exits without touching this (possibly destroyed)
+  // ThreadPool.
+  unsigned stuck;
+  {
+    std::lock_guard<std::mutex> lk(sh_->mu);
+    stuck = total - sh_->exited;
+  }
+  for (auto& t : workers_) t.detach();
+  workers_.clear();
+  abandoned_ = true;
+  throw PoolShutdownError(stuck, total);
+}
+
+bool ThreadPool::is_shutdown() const noexcept {
+  std::lock_guard<std::mutex> lk(sh_->mu);
+  return sh_->stopping;
 }
 
 ThreadPool& ThreadPool::global() {

@@ -8,14 +8,26 @@
 // The doacross executor needs all `nthreads` members of a region to be
 // genuinely concurrent (they busy-wait on each other), which a task-queue
 // style pool does not guarantee; this fork/join design does.
+//
+// Shutdown: the destructor joins the workers, which blocks forever if a
+// worker is wedged inside a region (a fault the containment layer did not
+// reach — e.g. an uninstrumented infinite loop). shutdown(timeout) is the
+// loud alternative for services: it waits a bounded time for every worker
+// to exit and throws PoolShutdownError naming the stuck count instead of
+// hanging the process teardown. The pool's mutable state lives in a
+// shared_ptr shared with every worker, so abandoning a stuck worker never
+// leaves it touching freed memory.
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <exception>
 #include <functional>
+#include <memory>
 #include <mutex>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -23,6 +35,25 @@
 #include "runtime/types.hpp"
 
 namespace pdx::rt {
+
+/// shutdown(timeout) expired with workers still inside a parallel region.
+/// The pool has abandoned them (they keep the shared pool state alive and
+/// exit harmlessly if they ever resume); the process can tear down without
+/// blocking, but the stuck threads' resources are leaked until then.
+class PoolShutdownError : public std::runtime_error {
+ public:
+  PoolShutdownError(unsigned stuck, unsigned total)
+      : std::runtime_error("ThreadPool::shutdown: " + std::to_string(stuck) +
+                           " of " + std::to_string(total) +
+                           " workers still inside a parallel region past the "
+                           "timeout — abandoned, not joined"),
+        stuck_(stuck) {}
+
+  unsigned stuck_workers() const noexcept { return stuck_; }
+
+ private:
+  unsigned stuck_;
+};
 
 class ThreadPool {
  public:
@@ -42,7 +73,8 @@ class ThreadPool {
 
   /// Run `fn(tid, nthreads)` on `nthreads` members (clamped to width()).
   /// Blocks until every member finishes. The first exception thrown by any
-  /// member is rethrown here after all members have completed.
+  /// member is rethrown here after all members have completed. Throws
+  /// std::logic_error after shutdown().
   void parallel_region(unsigned nthreads, const RegionFn& fn);
 
   /// Convenience: run `f(i)` for i in [0, n) across `nthreads` members
@@ -62,6 +94,21 @@ class ThreadPool {
     });
   }
 
+  /// Explicit bounded-time shutdown. Stops accepting regions, wakes every
+  /// idle worker, and waits up to `timeout` for all workers to exit.
+  /// Returns normally once every worker has been joined (idempotent —
+  /// later calls and the destructor become no-ops). If the timeout
+  /// expires with workers still executing a region, every worker thread
+  /// is detached (safe: workers own a reference to the shared pool
+  /// state), the pool is marked dead, and PoolShutdownError is thrown so
+  /// the caller hears about the wedge instead of the destructor silently
+  /// blocking forever.
+  void shutdown(std::chrono::milliseconds timeout);
+
+  /// True once shutdown() ran (successfully or not): the pool no longer
+  /// dispatches regions.
+  bool is_shutdown() const noexcept;
+
   /// Process-wide default pool, created on first use with hardware width.
   static ThreadPool& global();
 
@@ -79,23 +126,37 @@ class ThreadPool {
   }
 
  private:
-  void worker_main(unsigned tid);
-  void record_exception() noexcept;
+  /// State shared between the pool object and its workers. Held by
+  /// shared_ptr from both sides so a detached (abandoned) worker that
+  /// eventually resumes finds its synchronization objects alive even if
+  /// the ThreadPool itself was destroyed.
+  struct Shared {
+    std::mutex mu;
+    std::condition_variable cv_start;
+    std::condition_variable cv_done;
+    std::condition_variable cv_exit;
+    const RegionFn* job = nullptr;
+    unsigned job_width = 0;
+    std::uint64_t job_epoch = 0;  // bumped per dispatched region
+    unsigned outstanding = 0;     // workers still inside current region
+    bool stopping = false;
+    unsigned exited = 0;          // workers whose loop has returned
+
+    std::mutex exc_mu;
+    std::exception_ptr first_exception;
+
+    void record_exception() noexcept {
+      std::lock_guard<std::mutex> lk(exc_mu);
+      if (!first_exception) first_exception = std::current_exception();
+    }
+  };
+
+  static void worker_main(std::shared_ptr<Shared> sh, unsigned tid);
 
   unsigned width_;
+  std::shared_ptr<Shared> sh_;
   std::vector<std::thread> workers_;  // members 1 .. width_-1
-
-  std::mutex mu_;
-  std::condition_variable cv_start_;
-  std::condition_variable cv_done_;
-  const RegionFn* job_ = nullptr;
-  unsigned job_width_ = 0;
-  std::uint64_t job_epoch_ = 0;   // bumped per dispatched region
-  unsigned outstanding_ = 0;      // workers still inside current region
-  bool stopping_ = false;
-
-  std::mutex exc_mu_;
-  std::exception_ptr first_exception_;
+  bool abandoned_ = false;            // shutdown timed out; threads detached
 
   std::atomic<std::uint64_t> dispatches_{0};
 };

@@ -22,12 +22,16 @@ BatchDriver::BatchDriver(rt::ThreadPool& pool, const sparse::Csr& a,
                              .layout = opts.layout,
                              .calibration_epochs = opts.calibration_epochs,
                              .use_tuning_cache = opts.use_tuning_cache,
+                             .stall_budget = opts.stall_budget,
                              .kernel = opts.kernel,
                              .ulp_tolerance = opts.ulp_tolerance},
          sparse::FactorPlanOptions{
              .nthreads = opts.nthreads,
+             .strategy = opts.factor_strategy,
              .calibration_epochs = opts.calibration_epochs,
              .use_tuning_cache = opts.use_tuning_cache,
+             .stall_budget = opts.stall_budget,
+             .pivot = {},
              .kernel = opts.kernel,
              .ulp_tolerance = opts.ulp_tolerance}) {
   if (opts.max_iterations < 1) {

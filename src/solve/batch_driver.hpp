@@ -54,6 +54,11 @@ struct BatchDriverOptions {
   /// (DESIGN.md §13; the decision and race telemetry appear in every
   /// BatchReport).
   sparse::ExecutionStrategy strategy = sparse::ExecutionStrategy::kAuto;
+  /// Numeric-factorization strategy of the shared FactorPlan
+  /// (FactorPlanOptions::strategy). Deliberately independent of the
+  /// trisolve pick above: factor rows carry ~nnz/row times the work of a
+  /// solve row, so the measured winners often differ.
+  sparse::ExecutionStrategy factor_strategy = sparse::ExecutionStrategy::kAuto;
   /// Factor layout of the shared plan (PlanOptions::layout): the
   /// default follows the resolved strategy (kCsrView for serial plans,
   /// packed execution-ordered streams otherwise); pin kPacked/kCsrView
@@ -86,6 +91,12 @@ struct BatchDriverOptions {
   /// update) on vector tables; 0 (default) keeps every answer bitwise
   /// identical to the sequential reference.
   double ulp_tolerance = 0.0;
+  /// Stall watchdog budget in spin rounds per in-region wait, for BOTH
+  /// shared plans (PlanOptions::stall_budget /
+  /// FactorPlanOptions::stall_budget; DESIGN.md §12). 0 (default)
+  /// disarms the watchdog. Serving layers arm it so a wedged producer
+  /// surfaces as rt::StallError instead of a hung drain.
+  std::uint64_t stall_budget = 0;
   /// Opt-in admission screen: reject enqueue() of a b or x containing
   /// NaN/Inf (named job and row) instead of letting the garbage propagate
   /// into a breakdown mid-drain. Off by default — the scan is O(n) per

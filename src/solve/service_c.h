@@ -1,0 +1,196 @@
+/* service_c.h — stable C ABI for the multi-tenant solve service.
+ *
+ * Embedding contract (DESIGN.md §15): no exceptions, no RTTI, no C++
+ * types cross this boundary. Every function returns a pdx_status; error
+ * text and statistics land in caller-owned buffers. Handles are opaque
+ * and freed with the matching pdx_*_free — never with free().
+ *
+ * Thread safety matches the C++ Service: pdx_service_submit /
+ * pdx_job_wait may be called from any thread concurrently;
+ * pdx_service_shutdown and pdx_service_free must not race submissions.
+ *
+ * Matrices are square CSR with 64-bit indices: ptr has n+1 entries,
+ * idx/val have ptr[n] entries, column indices sorted per row with the
+ * diagonal present (the ILU(0) requirement).
+ *
+ * Minimal session:
+ *
+ *   pdx_service *svc;
+ *   pdx_service_options o; pdx_service_options_init(&o);
+ *   if (pdx_service_create(&o, &svc) != PDX_OK) ...;
+ *   uint64_t id;
+ *   pdx_service_register_matrix(svc, n, ptr, idx, val, &id);
+ *   char err[256];
+ *   pdx_status s = pdx_service_solve(svc, id, b, x, n, 50.0 (deadline ms),
+ *                                    err, sizeof err);
+ *   pdx_service_shutdown(svc, 1000.0);
+ *   pdx_service_free(svc);
+ */
+#ifndef PDX_SOLVE_SERVICE_C_H_
+#define PDX_SOLVE_SERVICE_C_H_
+
+#include <stddef.h>
+#include <stdint.h>
+
+#ifdef __cplusplus
+extern "C" {
+#endif
+
+/* ---------------------------------------------------------------- status */
+
+typedef int32_t pdx_status;
+
+enum {
+  PDX_OK = 0,
+  /* Caller bugs. */
+  PDX_ERR_INVALID_ARGUMENT = 1, /* null pointer, bad CSR, bad option   */
+  PDX_ERR_UNKNOWN_MATRIX = 2,   /* id was never registered             */
+  /* Overload / lifecycle outcomes (the admission-control surface). */
+  PDX_ERR_QUEUE_FULL = 3,       /* rejected: reject policy, queue full */
+  PDX_ERR_SHED = 4,             /* rejected: evicted by shed-oldest    */
+  PDX_ERR_EXPIRED = 5,          /* deadline passed before the solve    */
+  PDX_ERR_SHUTDOWN = 6,         /* service draining / already shut down */
+  PDX_ERR_DRAIN_TIMEOUT = 7,    /* shutdown: queue not drained in time */
+  /* Execution outcomes. */
+  PDX_ERR_SOLVE_FAILED = 8,     /* ran but did not converge / faulted  */
+  PDX_ERR_PENDING = 9,          /* pdx_job_poll: not finished yet      */
+  PDX_ERR_INTERNAL = 10         /* unexpected failure inside the lib   */
+};
+
+/* Static name for a status code ("ok", "expired", ...). Never NULL. */
+const char *pdx_status_name(pdx_status s);
+
+/* ---------------------------------------------------------------- options */
+
+enum {
+  PDX_BACKPRESSURE_BLOCK = 0,      /* block the submitter until space    */
+  PDX_BACKPRESSURE_SHED_OLDEST = 1,/* evict the oldest queued job        */
+  PDX_BACKPRESSURE_REJECT = 2      /* fail the new job with QUEUE_FULL   */
+};
+
+/* 0 / 0.0 in any field means "library default". Always initialize with
+ * pdx_service_options_init so new fields stay forward-compatible. */
+typedef struct pdx_service_options {
+  size_t queue_capacity;     /* bounded submission queue (default 256)  */
+  int32_t backpressure;      /* PDX_BACKPRESSURE_* (default BLOCK)      */
+  size_t max_batch;          /* same-matrix jobs per strip (default 32) */
+  size_t max_live_plans;     /* LRU cap on built plans (default 8)      */
+  double default_timeout_ms; /* applied when submit passes timeout < 0  */
+  int32_t breaker_threshold; /* failures before the breaker trips (3)   */
+  double breaker_backoff_ms; /* initial planned-path retry backoff (50) */
+  uint64_t stall_budget;     /* stall watchdog spin rounds (0 = off)    */
+  unsigned nthreads;         /* worker pool width (0 = hardware)        */
+  double rel_tolerance;      /* Krylov relative tolerance (1e-10)       */
+  int32_t max_iterations;    /* per attempt (default 1000)              */
+  int32_t max_attempts;      /* retry/escalation ladder length (1)      */
+} pdx_service_options;
+
+void pdx_service_options_init(pdx_service_options *o);
+
+/* -------------------------------------------------------------- telemetry */
+
+/* Caller-owned statistics buffer, filled by pdx_service_report. The
+ * outcome counters partition `submitted`; `shed` is the subset of
+ * `rejected` evicted by the shed-oldest policy. */
+typedef struct pdx_service_report {
+  uint64_t submitted;
+  uint64_t solved;
+  uint64_t expired;
+  uint64_t rejected;
+  uint64_t failed;
+  uint64_t shed;
+  uint64_t degraded_jobs;      /* served by the serial fallback        */
+  uint64_t breaker_trips;
+  uint64_t breaker_recoveries;
+  uint64_t stalls;
+  uint64_t cache_hits;
+  uint64_t cache_misses;
+  uint64_t cache_evictions;
+  uint64_t value_refreshes;
+  uint64_t queue_depth;
+  uint64_t queue_high_water;
+  uint64_t matrices;
+  uint64_t live_plans;
+  uint64_t latency_samples;
+  double p50_ms;               /* submit->solved latency percentiles   */
+  double p99_ms;
+  double max_ms;
+} pdx_service_report;
+
+/* ---------------------------------------------------------------- service */
+
+typedef struct pdx_service pdx_service; /* opaque */
+typedef struct pdx_job pdx_job;         /* opaque */
+
+/* Create a service (and its private worker pool). `opts` may be NULL
+ * for all defaults. On success *out owns the handle until
+ * pdx_service_free. */
+pdx_status pdx_service_create(const pdx_service_options *opts,
+                              pdx_service **out);
+
+/* Shut the service down (drain up to drain_timeout_ms, then fail the
+ * remainder) and release everything. NULL is a no-op. Implies
+ * pdx_service_shutdown(svc, 0) if shutdown was never called. */
+void pdx_service_free(pdx_service *svc);
+
+/* Register a square n x n CSR matrix (deep-copied). Writes the tenant
+ * id to *out_id. */
+pdx_status pdx_service_register_matrix(pdx_service *svc, int64_t n,
+                                       const int64_t *ptr, const int64_t *idx,
+                                       const double *val, uint64_t *out_id);
+
+/* Adopt new values for matrix `id` (same CSR layout arguments). An
+ * unchanged sparsity pattern is applied as a value-only plan refresh;
+ * a changed pattern (same n) replaces the matrix and rebuilds plans on
+ * demand. Takes effect before the tenant's next batch. */
+pdx_status pdx_service_update_values(pdx_service *svc, uint64_t id, int64_t n,
+                                     const int64_t *ptr, const int64_t *idx,
+                                     const double *val);
+
+/* Enqueue one solve of A[id] x = b (b[0..n) is copied). timeout_ms:
+ * < 0 uses options.default_timeout_ms, 0 means no deadline. On success
+ * *out_job owns a handle the caller must pdx_job_free (safe at any
+ * time; the service keeps the job alive while it runs). A job rejected
+ * or expired AT SUBMISSION still returns PDX_OK here — the verdict is
+ * delivered by pdx_job_wait, so every submitted job is accounted for
+ * the same way. */
+pdx_status pdx_service_submit(pdx_service *svc, uint64_t id, const double *b,
+                              int64_t n, double timeout_ms, pdx_job **out_job);
+
+/* Block until the job finishes. Returns PDX_OK when solved (and copies
+ * the solution into x_out[0..x_len) when x_out != NULL), else the
+ * status matching the job's fate (EXPIRED / QUEUE_FULL / SHED /
+ * SHUTDOWN / SOLVE_FAILED). err_buf (may be NULL) receives a
+ * NUL-terminated diagnostic, truncated to err_cap. */
+pdx_status pdx_job_wait(pdx_job *job, double *x_out, int64_t x_len,
+                        char *err_buf, size_t err_cap);
+
+/* Non-blocking probe: PDX_ERR_PENDING while running, else the same
+ * verdict pdx_job_wait would return (without copying the solution). */
+pdx_status pdx_job_poll(pdx_job *job);
+
+/* 1 if the job was served by the degraded (serial fallback) path. Only
+ * meaningful once the job is done. */
+int32_t pdx_job_degraded(const pdx_job *job);
+
+/* Release the caller's reference to a job handle. NULL is a no-op. */
+void pdx_job_free(pdx_job *job);
+
+/* Synchronous convenience: submit + wait + copy x[0..n). */
+pdx_status pdx_service_solve(pdx_service *svc, uint64_t id, const double *b,
+                             double *x, int64_t n, double timeout_ms,
+                             char *err_buf, size_t err_cap);
+
+/* Graceful drain: refuse new submissions, finish what is queued, and
+ * past drain_timeout_ms fail the rest. PDX_OK when fully drained,
+ * PDX_ERR_DRAIN_TIMEOUT otherwise. Idempotent. */
+pdx_status pdx_service_shutdown(pdx_service *svc, double drain_timeout_ms);
+
+/* Fill a caller-owned statistics buffer. */
+pdx_status pdx_service_get_report(pdx_service *svc, pdx_service_report *out);
+
+#ifdef __cplusplus
+} /* extern "C" */
+#endif
+
+#endif /* PDX_SOLVE_SERVICE_C_H_ */

@@ -1,6 +1,9 @@
 // Tests for the iter table and the three ready-table implementations.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <cstdint>
 #include <thread>
 #include <vector>
 
@@ -100,15 +103,29 @@ TYPED_TEST(ReadyTableTyped, WaitDoneReturnsZeroWhenAlreadyDone) {
 
 TYPED_TEST(ReadyTableTyped, WaitDoneBlocksUntilProducerSignals) {
   TypeParam t(8);
-  t.begin_epoch();
-  std::thread producer([&] {
-    std::this_thread::sleep_for(std::chrono::milliseconds(5));
-    t.mark_done(2);
-  });
-  const auto rounds = t.wait_done(2);
-  producer.join();
+  // rounds > 0 needs the consumer to reach its spin loop before the flag
+  // goes up, which no fixed producer delay can guarantee on a loaded
+  // one-core machine (the consumer may be scheduled only after mark_done
+  // already landed and legitimately observe 0 rounds). So: retry the
+  // whole handshake until one attempt provably blocked. Forward progress
+  // (wait_done returning at all) is still asserted on every attempt.
+  std::uint64_t rounds = 0;
+  for (int attempt = 0; attempt < 50 && rounds == 0; ++attempt) {
+    t.begin_epoch();
+    std::atomic<bool> waiting{false};
+    std::thread producer([&] {
+      while (!waiting.load(std::memory_order_acquire)) {
+        std::this_thread::yield();
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1 + attempt));
+      t.mark_done(2);
+    });
+    waiting.store(true, std::memory_order_release);
+    rounds = t.wait_done(2);
+    producer.join();
+    EXPECT_TRUE(t.is_done(2));
+  }
   EXPECT_GT(rounds, 0u);
-  EXPECT_TRUE(t.is_done(2));
 }
 
 TYPED_TEST(ReadyTableTyped, EpochOrClearResetsForReuse) {

@@ -161,8 +161,12 @@ TEST(FaultInjection, StalledProducerTripsWatchdogEveryParallelExecutor) {
       // blocked-hybrid's only cross-block flag also stalls; the safety
       // valve is far beyond the watchdog budget, so the watchdog fires
       // first and the latch (not the valve) wakes the stalled producer.
+      // "Far beyond" is measured in wall time, not rounds: on a loaded
+      // one-core CI box each post-pause watchdog round is a yield that
+      // can burn a scheduling quantum, so the budget's worst-case burn
+      // runs to tens of seconds and the valve must stay well clear of it.
       inj.arm_stall(rt::FaultInjector::kAnyTid, n / 2 - 1,
-                    /*max_stall_ms=*/20000);
+                    /*max_stall_ms=*/240000);
       try {
         plan.solve(rhs, x);
         FAIL() << "expected rt::StallError";

@@ -3,12 +3,16 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
 #include <set>
 #include <stdexcept>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "runtime/aligned.hpp"
+#include "runtime/failure.hpp"
 #include "runtime/thread_pool.hpp"
 
 namespace rt = pdx::rt;
@@ -188,6 +192,80 @@ TEST(ThreadPool, GlobalPoolIsSingleton) {
   rt::ThreadPool& a = rt::ThreadPool::global();
   rt::ThreadPool& b = rt::ThreadPool::global();
   EXPECT_EQ(&a, &b);
+}
+
+TEST(ThreadPool, ShutdownJoinsIdleWorkersAndRefusesNewRegions) {
+  rt::ThreadPool pool(4);
+  std::atomic<int> ok{0};
+  pool.parallel_region(4, [&](unsigned, unsigned) { ok.fetch_add(1); });
+  ASSERT_EQ(ok.load(), 4);
+
+  pool.shutdown(std::chrono::milliseconds(1000));  // all idle: joins clean
+  EXPECT_TRUE(pool.is_shutdown());
+  EXPECT_THROW(pool.parallel_region(4, [&](unsigned, unsigned) {}),
+               std::logic_error);
+  // Idempotent: a second shutdown (and the destructor) are no-ops.
+  pool.shutdown(std::chrono::milliseconds(0));
+}
+
+TEST(ThreadPool, ShutdownTimeoutThrowsInsteadOfHangingOnStuckWorker) {
+  auto* pool = new rt::ThreadPool(2);
+  std::atomic<bool> entered{false};
+  std::atomic<bool> release{false};
+
+  // A caller thread drives a region where the non-caller member wedges in
+  // an uninstrumented spin — the failure mode shutdown(timeout) exists
+  // for. The caller member finishes its body but blocks in the region's
+  // join, so from the outside the whole solve looks hung.
+  std::thread driver([&] {
+    pool->parallel_region(2, [&](unsigned tid, unsigned) {
+      if (tid == 1) {
+        entered.store(true, std::memory_order_release);
+        while (!release.load(std::memory_order_acquire)) {
+          std::this_thread::yield();
+        }
+      }
+    });
+  });
+  while (!entered.load(std::memory_order_acquire)) {
+    std::this_thread::yield();
+  }
+
+  try {
+    pool->shutdown(std::chrono::milliseconds(100));
+    FAIL() << "shutdown must throw while a worker is stuck in a region";
+  } catch (const rt::PoolShutdownError& e) {
+    EXPECT_GE(e.stuck_workers(), 1u);
+    EXPECT_NE(std::string(e.what()).find("still inside a parallel region"),
+              std::string::npos);
+  }
+  EXPECT_TRUE(pool->is_shutdown());
+
+  // Unwedge the detached worker so it can finish the region, let the
+  // caller's join complete, then drop the pool object. Workers co-own the
+  // shared state, so this is safe even though they were detached.
+  release.store(true, std::memory_order_release);
+  driver.join();
+  delete pool;
+}
+
+TEST(StallError, AddContextAnnotatesWhatAndPreservesDiagnostics) {
+  rt::StallError e(/*row=*/41, /*waiting_on=*/40, /*epoch=*/3,
+                   /*rounds=*/123456, "trisolve");
+  const std::string before = e.what();
+  EXPECT_NE(before.find("stall watchdog"), std::string::npos);
+  EXPECT_NE(before.find("row 41"), std::string::npos);
+
+  e.add_context("strategy doacross, matrix 7");
+  const std::string after = e.what();
+  EXPECT_NE(after.find(before), std::string::npos)
+      << "original diagnostic must survive annotation";
+  EXPECT_NE(after.find("[strategy doacross, matrix 7]"), std::string::npos);
+  // Structured accessors are unchanged by the annotation.
+  EXPECT_EQ(e.row(), 41);
+  EXPECT_EQ(e.waiting_on(), 40);
+  EXPECT_EQ(e.rounds(), 123456u);
+  EXPECT_EQ(e.site(), "trisolve");
 }
 
 TEST(ThreadPool, ReductionAcrossMembersIsComplete) {
