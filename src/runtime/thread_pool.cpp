@@ -45,10 +45,13 @@ void ThreadPool::worker_main(std::shared_ptr<Shared> sh, unsigned tid) {
       } catch (...) {
         sh->record_exception();
       }
-      bool last;
+      bool last = false;
       {
         std::lock_guard<std::mutex> lk(sh->mu);
-        last = (--sh->outstanding == 0);
+        // An abandoned shutdown already forced outstanding to 0 to
+        // release the region caller; a worker resuming afterwards must
+        // not underflow the counter.
+        if (sh->outstanding > 0) last = (--sh->outstanding == 0);
       }
       if (last) sh->cv_done.notify_one();
     }
@@ -89,10 +92,15 @@ void ThreadPool::parallel_region(unsigned nthreads, const RegionFn& fn) {
     sh_->record_exception();
   }
 
+  bool abandoned = false;
+  unsigned abandoned_stuck = 0, abandoned_total = 0;
   {
     std::unique_lock<std::mutex> lk(sh_->mu);
     sh_->cv_done.wait(lk, [&] { return sh_->outstanding == 0; });
     sh_->job = nullptr;
+    abandoned = sh_->abandoned;
+    abandoned_stuck = sh_->abandoned_stuck;
+    abandoned_total = sh_->abandoned_total;
   }
 
   std::exception_ptr eptr;
@@ -100,6 +108,13 @@ void ThreadPool::parallel_region(unsigned nthreads, const RegionFn& fn) {
     std::lock_guard<std::mutex> lk(sh_->exc_mu);
     eptr = sh_->first_exception;
     sh_->first_exception = nullptr;
+  }
+  if (abandoned) {
+    // shutdown(timeout) released this join by force: some member never
+    // finished, so the region's outputs are unreliable and a detached
+    // worker may still be executing the body. This outranks any recorded
+    // member exception.
+    throw PoolShutdownError(abandoned_stuck, abandoned_total);
   }
   if (eptr) std::rethrow_exception(eptr);
 }
@@ -131,7 +146,16 @@ void ThreadPool::shutdown(std::chrono::milliseconds timeout) {
   {
     std::lock_guard<std::mutex> lk(sh_->mu);
     stuck = total - sh_->exited;
+    sh_->abandoned = true;
+    sh_->abandoned_stuck = stuck;
+    sh_->abandoned_total = total;
+    // A region caller may be blocked in parallel_region's join waiting
+    // on the very workers we just gave up on — force the count to zero
+    // and wake it so IT can tear down too (it throws PoolShutdownError
+    // after observing `abandoned`).
+    sh_->outstanding = 0;
   }
+  sh_->cv_done.notify_all();
   for (auto& t : workers_) t.detach();
   workers_.clear();
   abandoned_ = true;

@@ -13,10 +13,13 @@
 // worker is wedged inside a region (a fault the containment layer did not
 // reach — e.g. an uninstrumented infinite loop). shutdown(timeout) is the
 // loud alternative for services: it waits a bounded time for every worker
-// to exit and throws PoolShutdownError naming the stuck count instead of
-// hanging the process teardown. The pool's mutable state lives in a
-// shared_ptr shared with every worker, so abandoning a stuck worker never
-// leaves it touching freed memory.
+// to exit, then detaches the stragglers and throws PoolShutdownError
+// naming the stuck count instead of hanging the process teardown — and it
+// releases a thread blocked in parallel_region's join on those workers,
+// which rethrows PoolShutdownError there. The pool's mutable state lives
+// in a shared_ptr shared with every worker, so abandoning a stuck worker
+// never leaves it touching freed POOL memory; region-body state is the
+// caller's to park (see PoolShutdownError).
 #pragma once
 
 #include <atomic>
@@ -40,6 +43,15 @@ namespace pdx::rt {
 /// The pool has abandoned them (they keep the shared pool state alive and
 /// exit harmlessly if they ever resume); the process can tear down without
 /// blocking, but the stuck threads' resources are leaked until then.
+///
+/// Thrown from two places: shutdown() itself, and — so the teardown is
+/// actually bounded — from a parallel_region() call that was blocked in
+/// its join waiting on the abandoned workers. A caller unblocked this way
+/// must treat the region's outputs as garbage AND must not free state the
+/// region body can reach (matrix arrays, plan buffers, output vectors): an
+/// abandoned worker that eventually resumes may still be touching it. Park
+/// such state immortally or exit the process; shutdown(timeout) is a
+/// last-resort valve for loud teardown, not a recovery mechanism.
 class PoolShutdownError : public std::runtime_error {
  public:
   PoolShutdownError(unsigned stuck, unsigned total)
@@ -102,7 +114,10 @@ class ThreadPool {
   /// is detached (safe: workers own a reference to the shared pool
   /// state), the pool is marked dead, and PoolShutdownError is thrown so
   /// the caller hears about the wedge instead of the destructor silently
-  /// blocking forever.
+  /// blocking forever. A thread blocked in parallel_region's join on the
+  /// abandoned workers is released too: its region's outstanding count is
+  /// forced to zero and that parallel_region call throws PoolShutdownError
+  /// (see the class comment for what the unblocked caller may touch).
   void shutdown(std::chrono::milliseconds timeout);
 
   /// True once shutdown() ran (successfully or not): the pool no longer
@@ -141,6 +156,14 @@ class ThreadPool {
     unsigned outstanding = 0;     // workers still inside current region
     bool stopping = false;
     unsigned exited = 0;          // workers whose loop has returned
+
+    // shutdown() timed out and detached the workers. `outstanding` was
+    // forced to 0 to release a region caller blocked in its join; the
+    // caller observes this flag and throws PoolShutdownError instead of
+    // trusting the (incomplete) region.
+    bool abandoned = false;
+    unsigned abandoned_stuck = 0;
+    unsigned abandoned_total = 0;
 
     std::mutex exc_mu;
     std::exception_ptr first_exception;

@@ -37,6 +37,27 @@ void validate_matrix(const sparse::Csr& a, const char* who) {
   }
 }
 
+/// State a detached (abandoned) pool worker may still be executing
+/// against: plans, job buffers, whole tenants. Parked here immortally on
+/// the PoolShutdownError teardown path — freeing it would turn a wedged
+/// worker into a use-after-free, and the process is about to exit anyway.
+/// The registry itself is intentionally never destroyed (static pointer)
+/// so it also survives static teardown order.
+std::vector<std::shared_ptr<void>>& abandoned_parking() {
+  static auto* v = new std::vector<std::shared_ptr<void>>();
+  return *v;
+}
+std::mutex& abandoned_parking_mu() {
+  static auto* m = new std::mutex();
+  return *m;
+}
+
+void park_abandoned(std::shared_ptr<void> p) {
+  if (!p) return;
+  std::lock_guard<std::mutex> lk(abandoned_parking_mu());
+  abandoned_parking().push_back(std::move(p));
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------- ServiceJob
@@ -85,6 +106,16 @@ Service::~Service() {
   } catch (...) {
     // Destructors must not throw; shutdown(0) only throws on programmer
     // error, and the scheduler has been joined by the time it does.
+  }
+  if (pool_abandoned_.load(std::memory_order_acquire)) {
+    // A detached worker may still be executing a region body that reaches
+    // into a tenant's matrix or plans: park every tenant immortally
+    // instead of freeing it (see abandoned_parking above).
+    std::lock_guard<std::mutex> lk(tenants_mu_);
+    for (auto& [id, t] : tenants_) {
+      park_abandoned(std::shared_ptr<void>(std::move(t)));
+    }
+    tenants_.clear();
   }
 }
 
@@ -296,6 +327,25 @@ bool Service::shutdown(double drain_timeout_ms) {
       // fail whatever is still queued, loudly, below.
       stop_ = true;
       cv_jobs_.notify_all();
+      // The scheduler normally exits within moments of finishing its
+      // current strip. If that strip is wedged inside a pool region
+      // (stall watchdog disarmed, worker spinning forever), waiting
+      // unconditionally would hang the very teardown this API bounds:
+      // past the grace period, break the region. ThreadPool::shutdown
+      // abandons the wedged workers and releases the scheduler's join
+      // with PoolShutdownError, which process_strip turns into failed
+      // jobs (with the wedge-reachable state parked, not freed); the
+      // scheduler then sees stop_ and exits.
+      if (!cv_done_.wait_for(lk, ms_duration(opts_.stop_grace_ms),
+                             [&] { return sched_done_; })) {
+        lk.unlock();
+        try {
+          pool_->shutdown(std::chrono::milliseconds(0));
+        } catch (const rt::PoolShutdownError&) {
+          pool_abandoned_.store(true, std::memory_order_release);
+        }
+        lk.lock();
+      }
       cv_done_.wait(lk, [&] { return sched_done_; });
     }
   }
@@ -367,7 +417,27 @@ void Service::scheduler_main() {
 
     Tenant* t = find_tenant(mid);
     // Tenants are never erased, so t is always valid.
-    process_strip(*t, strip);
+    //
+    // process_strip handles every failure it expects; this catch is the
+    // last line of defense, because an exception escaping here would
+    // std::terminate the scheduler thread and strand every waiter. Moved-
+    // out (null) handles were finalized inside process_strip; finalize is
+    // idempotent for the rest.
+    try {
+      process_strip(*t, strip);
+    } catch (const std::exception& e) {
+      for (const JobHandle& job : strip) {
+        if (!job) continue;
+        finalize(job, JobOutcome::kFailed, RejectReason::kNone,
+                 std::string("internal error: ") + e.what(), nullptr, false);
+      }
+    } catch (...) {
+      for (const JobHandle& job : strip) {
+        if (!job) continue;
+        finalize(job, JobOutcome::kFailed, RejectReason::kNone,
+                 "internal error: unknown exception", nullptr, false);
+      }
+    }
   }
   {
     std::lock_guard<std::mutex> lk(qmu_);
@@ -381,6 +451,9 @@ void Service::process_strip(Tenant& t, std::vector<JobHandle>& strip) {
 
   // Deadline enforcement at dequeue: a job whose deadline has passed is
   // expired here and never reaches a solver.
+  // Handles are COPIED (shared_ptr), not moved: strip must stay intact so
+  // scheduler_main's last-resort catch can still finalize every job if
+  // something unexpected escapes this function.
   std::vector<JobHandle> live;
   live.reserve(strip.size());
   for (JobHandle& job : strip) {
@@ -389,7 +462,7 @@ void Service::process_strip(Tenant& t, std::vector<JobHandle>& strip) {
       finalize(job, JobOutcome::kExpired, RejectReason::kNone,
                "deadline expired while queued", nullptr, false);
     } else {
-      live.push_back(std::move(job));
+      live.push_back(job);
     }
   }
   if (live.empty()) return;
@@ -450,17 +523,41 @@ void Service::process_strip(Tenant& t, std::vector<JobHandle>& strip) {
     breaker_note_failure(t, now);
     fail_all(std::string("plan build/refresh failed: ") + e.what(), !planned);
     return;
+  } catch (const rt::PoolShutdownError& e) {
+    // Teardown broke a wedged build/refresh region: abandoned workers may
+    // still touch the plans — park, never free.
+    pool_abandoned_.store(true, std::memory_order_release);
+    quarantine(t, live);
+    fail_all(std::string("plan build/refresh failed: ") + e.what(), !planned);
+    return;
   } catch (const std::exception& e) {
     // Build/refresh blew up (zero pivot, poisoned refresh, injected
-    // fault): infrastructure failure before any job ran.
+    // fault): infrastructure failure before any job ran. The fallback
+    // driver goes too — if the refresh threw after apply_pending_update
+    // adopted the new values, its factors are stale/partially updated
+    // (the StallError path above does the same).
     if (planned) drop_driver(t);
+    t.fallback.reset();
     breaker_note_failure(t, now);
     fail_all(std::string("plan build/refresh failed: ") + e.what(), !planned);
     return;
   }
 
-  for (const JobHandle& job : live) {
-    d->enqueue(job->b_, job->x_);
+  try {
+    for (const JobHandle& job : live) {
+      d->enqueue(job->b_, job->x_);
+    }
+  } catch (const std::exception& e) {
+    // BatchDriver::enqueue rejects undersized or (with screen_nonfinite)
+    // non-finite inputs. Sizes were validated at submit, so this is a
+    // client-data error, not an infrastructure failure — the breaker is
+    // not charged. The partially enqueued strip left spans into the
+    // jobs' buffers inside the driver, so the driver is discarded rather
+    // than reused with a stale queue.
+    if (planned) drop_driver(t);
+    t.fallback.reset();
+    fail_all(std::string("enqueue failed: ") + e.what(), !planned);
+    return;
   }
 
   try {
@@ -501,6 +598,13 @@ void Service::process_strip(Tenant& t, std::vector<JobHandle>& strip) {
     if (planned) drop_driver(t);
     t.fallback.reset();  // cheap to rebuild; never keep a suspect driver
     breaker_note_failure(t, now);
+    fail_all(e.what(), !planned);
+  } catch (const rt::PoolShutdownError& e) {
+    // Teardown broke this wedged drain: the abandoned workers may still
+    // be executing against the plans and the jobs' b/x buffers — park
+    // everything, never free it.
+    pool_abandoned_.store(true, std::memory_order_release);
+    quarantine(t, live);
     fail_all(e.what(), !planned);
   } catch (const std::exception& e) {
     // Anything else out of a drain (PlanPoisonedError, injected faults
@@ -584,6 +688,20 @@ void Service::drop_driver(Tenant& t) {
   t.driver.reset();
   std::lock_guard<std::mutex> lk(tenants_mu_);
   --live_plans_;
+}
+
+void Service::quarantine(Tenant& t, const std::vector<JobHandle>& live) {
+  if (t.driver) {
+    park_abandoned(std::shared_ptr<void>(std::move(t.driver)));
+    std::lock_guard<std::mutex> lk(tenants_mu_);
+    --live_plans_;
+  }
+  if (t.fallback) {
+    park_abandoned(std::shared_ptr<void>(std::move(t.fallback)));
+  }
+  for (const JobHandle& job : live) {
+    park_abandoned(std::static_pointer_cast<void>(job));
+  }
 }
 
 void Service::evict_for(Tenant& t) {

@@ -166,6 +166,12 @@ struct ServiceOptions {
   /// what turns "service hangs" into "job fails with an annotated
   /// rt::StallError and the breaker counts it".
   std::uint64_t stall_budget = 0;
+  /// After the drain timeout forces a hard stop, how long shutdown()
+  /// waits for the scheduler to finish its current strip before breaking
+  /// a wedged pool region via rt::ThreadPool::shutdown (which kills the
+  /// pool for good — last resort, but it bounds teardown even with the
+  /// stall watchdog disarmed and a worker spinning forever).
+  double stop_grace_ms = 5000.0;
   /// Completed-job latency samples kept for the p50/p99 report (ring).
   std::size_t latency_window = 1 << 16;
   /// Per-tenant solver configuration (method, tolerance, strategy,
@@ -332,6 +338,14 @@ class Service {
   /// and finalize the remainder as rejected (shutdown). Returns true if
   /// the queue fully drained in time. Idempotent; the destructor calls
   /// shutdown(0).
+  ///
+  /// Teardown is bounded even when a strip is wedged inside a pool
+  /// region (stall watchdog disarmed, worker spinning forever): after
+  /// ServiceOptions::stop_grace_ms the wedged region is broken via
+  /// rt::ThreadPool::shutdown — the strip's jobs fail with the
+  /// PoolShutdownError text, the pool is dead afterwards, and any state
+  /// the abandoned workers might still touch (plans, job buffers,
+  /// tenants) is parked immortally rather than freed.
   bool shutdown(double drain_timeout_ms);
 
   /// Aggregate telemetry snapshot (cheap; taken under the stat locks).
@@ -399,6 +413,11 @@ class Service {
   /// Reset t.driver and keep the live-plan count honest. Caller holds
   /// t.mu.
   void drop_driver(Tenant& t);
+  /// The pool abandoned wedged workers mid-region: park the tenant's
+  /// drivers and the strip's job handles immortally (an abandoned worker
+  /// may still be touching them — freeing would be use-after-free).
+  /// Caller holds t.mu.
+  void quarantine(Tenant& t, const std::vector<JobHandle>& live);
   BatchDriverOptions planned_driver_opts() const;
 
   bool breaker_allows_planned(Tenant& t, Clock::time_point now);
@@ -435,6 +454,12 @@ class Service {
   bool sched_done_ = false;
   bool shutdown_ran_ = false;
   std::size_t high_water_ = 0;
+
+  // The pool abandoned workers (PoolShutdownError seen by the scheduler
+  // or thrown by our own stop-grace break). The destructor then parks the
+  // tenants immortally instead of freeing state a detached worker may
+  // still touch.
+  std::atomic<bool> pool_abandoned_{false};
 
   std::thread scheduler_;
 

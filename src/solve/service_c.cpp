@@ -60,6 +60,23 @@ pdx_status status_of(const pdx::solve::JobResult& r) {
   return PDX_ERR_INTERNAL;
 }
 
+/// The exception-free boundary cannot trust caller arrays: before any
+/// element count is used for a copy, ptr must start at 0 and be
+/// non-decreasing (which makes nnz = ptr[n] non-negative), and every
+/// column index must land in [0, n). A garbage or negative ptr[n] would
+/// otherwise cast to a huge size_t and read far out of bounds.
+bool csr_args_valid(int64_t n, const int64_t* ptr, const int64_t* idx) {
+  if (n <= 0 || ptr[0] != 0) return false;
+  for (int64_t i = 0; i < n; ++i) {
+    if (ptr[i + 1] < ptr[i]) return false;
+  }
+  const int64_t nnz = ptr[n];
+  for (int64_t k = 0; k < nnz; ++k) {
+    if (idx[k] < 0 || idx[k] >= n) return false;
+  }
+  return true;
+}
+
 pdx::sparse::Csr make_csr(int64_t n, const int64_t* ptr, const int64_t* idx,
                           const double* val) {
   pdx::sparse::Csr a;
@@ -184,7 +201,8 @@ void pdx_service_free(pdx_service* svc) {
 pdx_status pdx_service_register_matrix(pdx_service* svc, int64_t n,
                                        const int64_t* ptr, const int64_t* idx,
                                        const double* val, uint64_t* out_id) {
-  if (!svc || !ptr || !idx || !val || !out_id || n <= 0) {
+  if (!svc || !ptr || !idx || !val || !out_id || n <= 0 ||
+      !csr_args_valid(n, ptr, idx)) {
     return PDX_ERR_INVALID_ARGUMENT;
   }
   try {
@@ -198,7 +216,10 @@ pdx_status pdx_service_register_matrix(pdx_service* svc, int64_t n,
 pdx_status pdx_service_update_values(pdx_service* svc, uint64_t id, int64_t n,
                                      const int64_t* ptr, const int64_t* idx,
                                      const double* val) {
-  if (!svc || !ptr || !idx || !val || n <= 0) return PDX_ERR_INVALID_ARGUMENT;
+  if (!svc || !ptr || !idx || !val || n <= 0 ||
+      !csr_args_valid(n, ptr, idx)) {
+    return PDX_ERR_INVALID_ARGUMENT;
+  }
   try {
     svc->svc->update_values(id, make_csr(n, ptr, idx, val));
     return PDX_OK;
@@ -225,6 +246,12 @@ pdx_status pdx_service_submit(pdx_service* svc, uint64_t id, const double* b,
 pdx_status pdx_job_wait(pdx_job* job, double* x_out, int64_t x_len,
                         char* err_buf, size_t err_cap) {
   if (!job || !job->h) return PDX_ERR_INVALID_ARGUMENT;
+  if (x_out && x_len < 0) {
+    // A negative length would cast to a huge size_t below, pass the
+    // too-small check, and overflow the caller's buffer.
+    copy_err(err_buf, err_cap, "x_len is negative");
+    return PDX_ERR_INVALID_ARGUMENT;
+  }
   try {
     const pdx::solve::JobResult r = job->h->wait();
     copy_err(err_buf, err_cap, r.error);

@@ -134,7 +134,10 @@ pdx_status pdx_service_create(const pdx_service_options *opts,
 void pdx_service_free(pdx_service *svc);
 
 /* Register a square n x n CSR matrix (deep-copied). Writes the tenant
- * id to *out_id. */
+ * id to *out_id. The CSR arrays are validated BEFORE anything is copied
+ * (ptr[0] == 0, ptr non-decreasing, column indices in [0, n)) and a
+ * malformed matrix returns PDX_ERR_INVALID_ARGUMENT — ptr[n] is never
+ * trusted as an element count until then. */
 pdx_status pdx_service_register_matrix(pdx_service *svc, int64_t n,
                                        const int64_t *ptr, const int64_t *idx,
                                        const double *val, uint64_t *out_id);
@@ -160,8 +163,10 @@ pdx_status pdx_service_submit(pdx_service *svc, uint64_t id, const double *b,
 /* Block until the job finishes. Returns PDX_OK when solved (and copies
  * the solution into x_out[0..x_len) when x_out != NULL), else the
  * status matching the job's fate (EXPIRED / QUEUE_FULL / SHED /
- * SHUTDOWN / SOLVE_FAILED). err_buf (may be NULL) receives a
- * NUL-terminated diagnostic, truncated to err_cap. */
+ * SHUTDOWN / SOLVE_FAILED). x_len must be >= the matrix dimension and
+ * never negative — PDX_ERR_INVALID_ARGUMENT otherwise, with nothing
+ * written to x_out. err_buf (may be NULL) receives a NUL-terminated
+ * diagnostic, truncated to err_cap. */
 pdx_status pdx_job_wait(pdx_job *job, double *x_out, int64_t x_len,
                         char *err_buf, size_t err_cap);
 

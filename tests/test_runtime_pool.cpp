@@ -212,20 +212,34 @@ TEST(ThreadPool, ShutdownTimeoutThrowsInsteadOfHangingOnStuckWorker) {
   auto* pool = new rt::ThreadPool(2);
   std::atomic<bool> entered{false};
   std::atomic<bool> release{false};
+  std::atomic<bool> worker_done{false};
+  std::atomic<bool> caller_unblocked{false};
 
   // A caller thread drives a region where the non-caller member wedges in
   // an uninstrumented spin — the failure mode shutdown(timeout) exists
   // for. The caller member finishes its body but blocks in the region's
-  // join, so from the outside the whole solve looks hung.
-  std::thread driver([&] {
-    pool->parallel_region(2, [&](unsigned tid, unsigned) {
-      if (tid == 1) {
-        entered.store(true, std::memory_order_release);
-        while (!release.load(std::memory_order_acquire)) {
-          std::this_thread::yield();
-        }
+  // join, so from the outside the whole solve looks hung. The region fn
+  // is a TEST-scope lvalue (not a temporary in the driver thread): the
+  // abandoned worker keeps executing it after the driver unwinds, so it
+  // must outlive the driver.
+  const rt::ThreadPool::RegionFn fn = [&](unsigned tid, unsigned) {
+    if (tid == 1) {
+      entered.store(true, std::memory_order_release);
+      while (!release.load(std::memory_order_acquire)) {
+        std::this_thread::yield();
       }
-    });
+      worker_done.store(true, std::memory_order_release);
+    }
+  };
+  std::thread driver([&] {
+    try {
+      pool->parallel_region(2, fn);
+    } catch (const rt::PoolShutdownError&) {
+      // The abandon path must release this join — a region caller left
+      // blocked forever would hang any service waiting on it (the exact
+      // hang shutdown(timeout) exists to prevent).
+      caller_unblocked.store(true, std::memory_order_release);
+    }
   });
   while (!entered.load(std::memory_order_acquire)) {
     std::this_thread::yield();
@@ -241,11 +255,19 @@ TEST(ThreadPool, ShutdownTimeoutThrowsInsteadOfHangingOnStuckWorker) {
   }
   EXPECT_TRUE(pool->is_shutdown());
 
-  // Unwedge the detached worker so it can finish the region, let the
-  // caller's join complete, then drop the pool object. Workers co-own the
-  // shared state, so this is safe even though they were detached.
-  release.store(true, std::memory_order_release);
+  // The region caller must come back (with PoolShutdownError) even though
+  // the wedged worker never finished — joinable without unwedging it.
   driver.join();
+  EXPECT_TRUE(caller_unblocked.load(std::memory_order_acquire));
+
+  // Now unwedge the detached worker and wait for it to leave the region
+  // body before the test scope (which it captures) goes away. Workers
+  // co-own the shared pool state, so dropping the pool object afterwards
+  // is safe even though they were detached.
+  release.store(true, std::memory_order_release);
+  while (!worker_done.load(std::memory_order_acquire)) {
+    std::this_thread::yield();
+  }
   delete pool;
 }
 

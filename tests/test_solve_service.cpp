@@ -17,11 +17,14 @@
 #include <thread>
 #include <vector>
 
+#include <cmath>
+
 #include "gen/rng.hpp"
 #include "gen/stencil.hpp"
 #include "runtime/failure.hpp"
 #include "runtime/thread_pool.hpp"
 #include "solve/service.hpp"
+#include "solve/service_c.h"
 #include "solve/vec.hpp"
 #include "sparse/csr.hpp"
 #include "sparse/spmv.hpp"
@@ -694,4 +697,171 @@ TEST(Service, StallErrorCarriesStrategyAndMatrixContext) {
   EXPECT_EQ(rep.failed, 1u);
   expect_exact_accounting(rep);
   EXPECT_TRUE(svc.shutdown(20000.0));
+}
+
+// ----------------------------------------------------------- bad client data
+
+TEST(Service, NonFiniteRhsFailsJobWithoutKillingSchedulerOrBreaker) {
+  // Regression: BatchDriver::enqueue throws on a NaN/Inf b when
+  // screen_nonfinite is on. That throw used to escape the scheduler
+  // thread (no handler around the enqueue loop) and std::terminate the
+  // whole service. It must instead fail the strip's jobs, leave the
+  // breaker alone (client data, not infrastructure), and keep serving.
+  solve::ServiceOptions opts;
+  opts.solver.screen_nonfinite = true;
+  solve::Service svc(pool(), opts);
+  const sp::Csr a = gen::five_point(8, 8);
+  const solve::MatrixId id = svc.register_matrix(a);
+
+  auto bad = random_vec(a.rows, 900);
+  bad[5] = std::nan("");
+  const solve::JobResult res = svc.submit(id, bad)->wait();
+  ASSERT_EQ(res.outcome, JobOutcome::kFailed);
+  EXPECT_NE(res.error.find("non-finite"), std::string::npos) << res.error;
+
+  // No breaker charge for caller data: the planned path stays armed.
+  const solve::MatrixInfo mi = svc.matrix_info(id);
+  EXPECT_EQ(mi.breaker, solve::BreakerState::kClosed);
+  EXPECT_EQ(mi.consecutive_failures, 0);
+
+  // The scheduler survived: the next clean job solves at full speed.
+  const auto good = random_vec(a.rows, 901);
+  const solve::JobHandle job = svc.submit(id, good);
+  const solve::JobResult ok = job->wait();
+  ASSERT_EQ(ok.outcome, JobOutcome::kSolved) << ok.error;
+  EXPECT_FALSE(ok.degraded);
+  EXPECT_LE(relative_residual(a, good, job->solution()), 1e-8);
+
+  const solve::ServiceReport rep = svc.report();
+  EXPECT_EQ(rep.failed, 1u);
+  EXPECT_EQ(rep.solved, 1u);
+  expect_exact_accounting(rep);
+  EXPECT_TRUE(svc.shutdown(10000.0));
+}
+
+TEST(Service, SchedulerSurvivesDeadPoolAndDegradesToSerialFallback) {
+  // The scheduler must absorb a pool that refuses regions (thrown
+  // std::logic_error at dispatch) the same way it absorbs any other
+  // infrastructure failure: fail the strip, trip the breaker, and keep
+  // serving through the inline serial fallback — never terminate.
+  rt::ThreadPool own_pool(4);
+  solve::ServiceOptions opts = chaos_options();
+  opts.breaker_threshold = 1;
+  opts.breaker_backoff_ms = 60000.0;  // stays open for the whole test
+  solve::Service svc(own_pool, opts);
+  const sp::Csr a = tridiag(300);
+  const solve::MatrixId id = svc.register_matrix(a);
+  const auto b = random_vec(a.rows, 910);
+
+  {  // Warm the planned (parallel) path while the pool is healthy.
+    const solve::JobHandle job = svc.submit(id, b);
+    ASSERT_EQ(job->wait().outcome, JobOutcome::kSolved);
+  }
+
+  // All workers idle: this join is clean, but every later region throws.
+  own_pool.shutdown(std::chrono::milliseconds(10000));
+
+  const solve::JobResult dead = svc.submit(id, b)->wait();
+  ASSERT_EQ(dead.outcome, JobOutcome::kFailed);
+  EXPECT_NE(dead.error.find("shut down"), std::string::npos) << dead.error;
+  EXPECT_EQ(svc.matrix_info(id).breaker, solve::BreakerState::kOpen);
+
+  // Breaker open: the serial fallback runs inline (width-1 regions never
+  // touch the dead pool) and still serves exact answers.
+  const solve::JobHandle job = svc.submit(id, b);
+  const solve::JobResult deg = job->wait();
+  ASSERT_EQ(deg.outcome, JobOutcome::kSolved) << deg.error;
+  EXPECT_TRUE(deg.degraded);
+  EXPECT_LE(relative_residual(a, b, job->solution()), 1e-8);
+
+  const solve::ServiceReport rep = svc.report();
+  EXPECT_EQ(rep.submitted, 3u);
+  EXPECT_EQ(rep.solved, 2u);
+  EXPECT_EQ(rep.failed, 1u);
+  EXPECT_GE(rep.breaker_trips, 1u);
+  expect_exact_accounting(rep);
+  EXPECT_TRUE(svc.shutdown(10000.0));
+}
+
+// ------------------------------------------------------------------- C ABI
+
+TEST(ServiceCAbi, MalformedCsrIsRejectedBeforeAnyCopy) {
+  // Regression: make_csr used to trust ptr[n] as the element count
+  // before any validation — a negative or garbage value cast to a huge
+  // size_t and read far out of bounds across the exception-free C
+  // boundary. The C layer must reject malformed arrays up front.
+  pdx_service* svc = nullptr;
+  pdx_service_options o;
+  pdx_service_options_init(&o);
+  ASSERT_EQ(pdx_service_create(&o, &svc), PDX_OK);
+
+  int64_t ptr_ok[3] = {0, 1, 2};
+  int64_t idx_ok[2] = {0, 1};
+  double val[2] = {4.0, 4.0};
+  uint64_t id = 0;
+
+  int64_t ptr_negative_nnz[3] = {0, 1, -4};
+  EXPECT_EQ(pdx_service_register_matrix(svc, 2, ptr_negative_nnz, idx_ok, val,
+                                        &id),
+            PDX_ERR_INVALID_ARGUMENT);
+  int64_t ptr_decreasing[3] = {0, 2, 1};
+  EXPECT_EQ(pdx_service_register_matrix(svc, 2, ptr_decreasing, idx_ok, val,
+                                        &id),
+            PDX_ERR_INVALID_ARGUMENT);
+  int64_t ptr_nonzero_base[3] = {1, 1, 2};
+  EXPECT_EQ(pdx_service_register_matrix(svc, 2, ptr_nonzero_base, idx_ok, val,
+                                        &id),
+            PDX_ERR_INVALID_ARGUMENT);
+  int64_t idx_out_of_range[2] = {0, 5};
+  EXPECT_EQ(pdx_service_register_matrix(svc, 2, ptr_ok, idx_out_of_range, val,
+                                        &id),
+            PDX_ERR_INVALID_ARGUMENT);
+  EXPECT_EQ(pdx_service_register_matrix(svc, 0, ptr_ok, idx_ok, val, &id),
+            PDX_ERR_INVALID_ARGUMENT);
+
+  ASSERT_EQ(pdx_service_register_matrix(svc, 2, ptr_ok, idx_ok, val, &id),
+            PDX_OK);
+  EXPECT_EQ(pdx_service_update_values(svc, id, 2, ptr_negative_nnz, idx_ok,
+                                      val),
+            PDX_ERR_INVALID_ARGUMENT);
+  EXPECT_EQ(pdx_service_update_values(svc, id, 2, ptr_ok, idx_ok, val),
+            PDX_OK);
+
+  pdx_service_free(svc);
+}
+
+TEST(ServiceCAbi, NegativeXLenIsInvalidNotABufferOverflow) {
+  // Regression: pdx_job_wait cast x_len straight to size_t, so a
+  // negative length passed the too-small check and memcpy overran the
+  // caller's buffer.
+  pdx_service* svc = nullptr;
+  pdx_service_options o;
+  pdx_service_options_init(&o);
+  ASSERT_EQ(pdx_service_create(&o, &svc), PDX_OK);
+
+  int64_t ptr[3] = {0, 1, 2};
+  int64_t idx[2] = {0, 1};
+  double val[2] = {4.0, 4.0};
+  uint64_t id = 0;
+  ASSERT_EQ(pdx_service_register_matrix(svc, 2, ptr, idx, val, &id), PDX_OK);
+
+  double b[2] = {4.0, 8.0};
+  pdx_job* job = nullptr;
+  ASSERT_EQ(pdx_service_submit(svc, id, b, 2, /*timeout_ms=*/0.0, &job),
+            PDX_OK);
+
+  char err[128] = {0};
+  double x[2] = {0.0, 0.0};
+  EXPECT_EQ(pdx_job_wait(job, x, -1, err, sizeof err),
+            PDX_ERR_INVALID_ARGUMENT);
+  EXPECT_NE(std::string(err).find("negative"), std::string::npos) << err;
+  EXPECT_EQ(x[0], 0.0);  // nothing was written
+
+  // The same handle with a sane length still hands out the solution.
+  ASSERT_EQ(pdx_job_wait(job, x, 2, err, sizeof err), PDX_OK);
+  EXPECT_NEAR(x[0], 1.0, 1e-8);
+  EXPECT_NEAR(x[1], 2.0, 1e-8);
+
+  pdx_job_free(job);
+  pdx_service_free(svc);
 }
